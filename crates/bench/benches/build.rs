@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks for the construction path: tokenization,
+//! collection building, and index building.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use setsim_core::{CollectionBuilder, IndexOptions, InvertedIndex};
+use setsim_datagen::{Corpus, CorpusConfig};
+use setsim_tokenize::{QGramTokenizer, Tokenizer};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_records: 2_000,
+        vocab_size: 1_000,
+        seed: 3,
+        ..CorpusConfig::default()
+    });
+    let words: Vec<&str> = corpus.words().collect();
+
+    c.bench_function("tokenize_3grams_per_1k_words", |b| {
+        let tok = QGramTokenizer::new(3).with_padding('#');
+        let mut buf = Vec::new();
+        b.iter(|| {
+            for w in words.iter().take(1_000) {
+                buf.clear();
+                tok.tokenize_into(black_box(w), &mut buf);
+            }
+            black_box(buf.len())
+        })
+    });
+
+    c.bench_function("collection_build_5k_words", |b| {
+        b.iter(|| {
+            let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+            for w in words.iter() {
+                builder.add(w);
+            }
+            black_box(builder.build().len())
+        })
+    });
+
+    let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    for w in &words {
+        builder.add(w);
+    }
+    let collection = builder.build();
+
+    c.bench_function("index_build_full", |b| {
+        b.iter(|| black_box(InvertedIndex::build(&collection, IndexOptions::default()).num_lists()))
+    });
+
+    c.bench_function("index_build_lists_only", |b| {
+        let lean = IndexOptions {
+            build_skip_lists: false,
+            build_hash_indexes: false,
+            build_id_sorted_lists: false,
+            ..IndexOptions::default()
+        };
+        b.iter(|| black_box(InvertedIndex::build(&collection, lean.clone()).num_lists()))
+    });
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the index substrates: skip list,
+//! extendible hashing, and B+-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setsim_collections::{BPlusTree, ExtendibleHashMap, SkipList};
+use std::hint::black_box;
+
+const N: u64 = 10_000;
+
+fn bench_skiplist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skiplist");
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut sl = SkipList::with_seed(1);
+            for k in 0..N {
+                sl.insert(black_box(k.wrapping_mul(2654435761) % N), k);
+            }
+            black_box(sl.len())
+        })
+    });
+    let mut sl = SkipList::with_seed(2);
+    for k in 0..N {
+        sl.insert(k * 2, k);
+    }
+    group.bench_function("get", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7919) % (2 * N);
+            black_box(sl.get(&k))
+        })
+    });
+    group.bench_function("lower_bound_seek", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7919) % (2 * N);
+            black_box(sl.lower_bound(&k).next())
+        })
+    });
+    group.finish();
+}
+
+fn bench_extendible(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extendible_hash");
+    for cap in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("insert_10k", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut h = ExtendibleHashMap::new(cap);
+                for k in 0..N {
+                    h.insert(black_box(k), ());
+                }
+                black_box(h.len())
+            })
+        });
+    }
+    let mut h = ExtendibleHashMap::new(64);
+    for k in 0..N {
+        h.insert(k, k);
+    }
+    group.bench_function("probe", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7919) % (2 * N);
+            black_box(h.get(&k))
+        })
+    });
+    group.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bplustree");
+    for branching in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("insert_10k", branching),
+            &branching,
+            |b, &br| {
+                b.iter(|| {
+                    let mut t = BPlusTree::new(br);
+                    for k in 0..N {
+                        t.insert(black_box(k.wrapping_mul(2654435761) % N), k);
+                    }
+                    black_box(t.len())
+                })
+            },
+        );
+    }
+    let mut t = BPlusTree::new(64);
+    for k in 0..N {
+        t.insert(k, k);
+    }
+    group.bench_function("get", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7919) % (2 * N);
+            black_box(t.get(&k))
+        })
+    });
+    group.bench_function("range_scan_100", |b| {
+        let mut k = 0;
+        b.iter(|| {
+            k = (k + 7919) % N;
+            black_box(t.range(k..k + 100).count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_skiplist, bench_extendible, bench_btree);
+criterion_main!(benches);

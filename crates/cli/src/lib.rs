@@ -1,0 +1,336 @@
+//! Implementation of the `setsim` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `setsim-cli query  -i FILE -q TEXT [--tau T] [--algo NAME] [-n N]`
+//!   — similarity selection against the lines of FILE.
+//! * `setsim-cli topk   -i FILE -q TEXT [-k K]` — top-k most similar lines.
+//! * `setsim-cli join   -i FILE [--tau T] [--threads N]` — self-join: all
+//!   similar line pairs (duplicate detection).
+//! * `setsim-cli stats  -i FILE` — collection and index statistics.
+//!
+//! Lines are tokenized into padded 3-grams by default; `--words` switches
+//! to word tokens, `--q N` changes the gram length.
+
+use setsim_core::algorithms::selfjoin::par_self_join;
+use setsim_core::algorithms::topk::topk_nra;
+use setsim_core::{
+    CollectionBuilder, HybridAlgorithm, INraAlgorithm, ITaAlgorithm, IndexOptions, InvertedIndex,
+    NraAlgorithm, SelectionAlgorithm, SetCollection, SfAlgorithm, SortByIdMerge, TaAlgorithm,
+};
+use setsim_tokenize::{QGramTokenizer, WordTokenizer};
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand: query | topk | join | stats.
+    pub command: String,
+    /// Input file of newline-separated records.
+    pub input: Option<String>,
+    /// Query text (query/topk).
+    pub query: Option<String>,
+    /// Threshold.
+    pub tau: f64,
+    /// Algorithm name.
+    pub algo: String,
+    /// Top-k k.
+    pub k: usize,
+    /// Max results to print.
+    pub limit: usize,
+    /// Join worker threads.
+    pub threads: usize,
+    /// Gram length (ignored with --words).
+    pub q: usize,
+    /// Tokenize into words instead of q-grams.
+    pub words: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            command: String::new(),
+            input: None,
+            query: None,
+            tau: 0.7,
+            algo: "sf".into(),
+            k: 10,
+            limit: 20,
+            threads: 1,
+            q: 3,
+            words: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+setsim-cli — set similarity search over the lines of a file
+
+USAGE:
+  setsim-cli query -i FILE -q TEXT [--tau T] [--algo sf|hybrid|inra|ita|ta|nra|merge] [-n N]
+  setsim-cli topk  -i FILE -q TEXT [-k K]
+  setsim-cli join  -i FILE [--tau T] [--threads N] [-n N]
+  setsim-cli stats -i FILE
+
+OPTIONS:
+  -i, --input FILE   newline-separated records
+  -q, --query TEXT   query string
+      --tau T        similarity threshold in (0, 1] (default 0.7)
+      --algo NAME    selection algorithm (default sf)
+  -k K               top-k size (default 10)
+  -n, --limit N      max results to print (default 20)
+      --threads N    join parallelism (default 1)
+      --q N          gram length (default 3)
+      --words        word tokens instead of q-grams
+";
+
+/// Parse argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    opts.command = it.next().cloned().ok_or_else(|| USAGE.to_string())?;
+    if !matches!(opts.command.as_str(), "query" | "topk" | "join" | "stats") {
+        return Err(format!("unknown command {:?}\n{USAGE}", opts.command));
+    }
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "-i" | "--input" => opts.input = Some(value("--input")?),
+            "-q" | "--query" => opts.query = Some(value("--query")?),
+            "--tau" => {
+                opts.tau = value("--tau")?
+                    .parse()
+                    .map_err(|_| "--tau expects a number".to_string())?
+            }
+            "--algo" => opts.algo = value("--algo")?,
+            "-k" => {
+                opts.k = value("-k")?
+                    .parse()
+                    .map_err(|_| "-k expects an integer".to_string())?
+            }
+            "-n" | "--limit" => {
+                opts.limit = value("--limit")?
+                    .parse()
+                    .map_err(|_| "--limit expects an integer".to_string())?
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer".to_string())?
+            }
+            "--q" => {
+                opts.q = value("--q")?
+                    .parse()
+                    .map_err(|_| "--q expects an integer".to_string())?
+            }
+            "--words" => opts.words = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+    }
+    if opts.input.is_none() {
+        return Err("missing --input FILE".to_string());
+    }
+    if matches!(opts.command.as_str(), "query" | "topk") && opts.query.is_none() {
+        return Err(format!("{} requires --query TEXT", opts.command));
+    }
+    if !(opts.tau > 0.0 && opts.tau <= 1.0) {
+        return Err("--tau must lie in (0, 1]".to_string());
+    }
+    Ok(opts)
+}
+
+/// Build the collection from record lines per the tokenizer options.
+pub fn build_collection(lines: &[String], opts: &Options) -> SetCollection {
+    let mut builder: CollectionBuilder = if opts.words {
+        CollectionBuilder::new(WordTokenizer::new().with_lowercase())
+    } else {
+        CollectionBuilder::new(
+            QGramTokenizer::new(opts.q)
+                .with_padding('#')
+                .with_lowercase(),
+        )
+    };
+    for l in lines {
+        builder.add(l);
+    }
+    builder.build()
+}
+
+fn algorithm(name: &str) -> Result<Box<dyn SelectionAlgorithm + Sync>, String> {
+    Ok(match name {
+        "sf" => Box::new(SfAlgorithm::default()),
+        "hybrid" => Box::new(HybridAlgorithm::default()),
+        "inra" => Box::new(INraAlgorithm::default()),
+        "ita" => Box::new(ITaAlgorithm::default()),
+        "ta" => Box::new(TaAlgorithm),
+        "nra" => Box::new(NraAlgorithm::default()),
+        "merge" => Box::new(SortByIdMerge),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+/// Run a parsed command against record lines; returns printable output.
+pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
+    let collection = build_collection(lines, opts);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut out = String::new();
+    match opts.command.as_str() {
+        "query" => {
+            let algo = algorithm(&opts.algo)?;
+            let q = index.prepare_query_str(opts.query.as_ref().expect("validated"));
+            let results = algo.search(&index, &q, opts.tau).sorted_by_score();
+            writeln!(out, "{} match(es) at tau={}:", results.len(), opts.tau).unwrap();
+            for m in results.iter().take(opts.limit) {
+                writeln!(out, "  {:5.3}  {}", m.score, collection.text(m.id).unwrap()).unwrap();
+            }
+        }
+        "topk" => {
+            let q = index.prepare_query_str(opts.query.as_ref().expect("validated"));
+            let top = topk_nra(&index, &q, opts.k);
+            writeln!(out, "top-{}:", opts.k).unwrap();
+            for m in top.results.iter().take(opts.limit) {
+                writeln!(out, "  {:5.3}  {}", m.score, collection.text(m.id).unwrap()).unwrap();
+            }
+        }
+        "join" => {
+            let joined = par_self_join(&index, &SfAlgorithm::default(), opts.tau, opts.threads);
+            writeln!(
+                out,
+                "{} similar pair(s) at tau={}:",
+                joined.pairs.len(),
+                opts.tau
+            )
+            .unwrap();
+            for p in joined.pairs.iter().take(opts.limit) {
+                writeln!(
+                    out,
+                    "  {:5.3}  {:?} ~ {:?}",
+                    p.score,
+                    collection.text(p.a).unwrap(),
+                    collection.text(p.b).unwrap()
+                )
+                .unwrap();
+            }
+        }
+        "stats" => {
+            let (lists, skips, hash) = index.size_bytes();
+            writeln!(out, "records:          {}", collection.len()).unwrap();
+            writeln!(out, "distinct tokens:  {}", collection.dict().len()).unwrap();
+            writeln!(out, "postings:         {}", index.total_postings()).unwrap();
+            writeln!(out, "inverted lists:   {} bytes", lists).unwrap();
+            writeln!(out, "skip lists:       {} bytes", skips).unwrap();
+            writeln!(out, "hash indexes:     {} bytes", hash).unwrap();
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_query_command() {
+        let o = parse_args(&argv(
+            "query -i f.txt -q hello --tau 0.5 --algo hybrid -n 5",
+        ))
+        .unwrap();
+        assert_eq!(o.command, "query");
+        assert_eq!(o.input.as_deref(), Some("f.txt"));
+        assert_eq!(o.query.as_deref(), Some("hello"));
+        assert_eq!(o.tau, 0.5);
+        assert_eq!(o.algo, "hybrid");
+        assert_eq!(o.limit, 5);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_args(&argv("frobnicate -i f.txt")).is_err());
+        assert!(
+            parse_args(&argv("query -i f.txt")).is_err(),
+            "missing query"
+        );
+        assert!(parse_args(&argv("query -q x")).is_err(), "missing input");
+        assert!(parse_args(&argv("query -i f -q x --tau 1.5")).is_err());
+        assert!(parse_args(&argv("query -i f -q x --tau")).is_err());
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse_args(&argv("stats -i data.txt")).unwrap();
+        assert_eq!(o.tau, 0.7);
+        assert_eq!(o.algo, "sf");
+        assert_eq!(o.q, 3);
+        assert!(!o.words);
+    }
+
+    fn lines() -> Vec<String> {
+        ["main street", "main st", "maine street", "park avenue"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn query_end_to_end() {
+        let o = parse_args(&argv("query -i x -q main_street --tau 0.4")).unwrap();
+        let mut o = o;
+        o.query = Some("main street".into());
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.contains("main street"), "{out}");
+        assert!(out.contains("1.000"), "{out}");
+    }
+
+    #[test]
+    fn every_algorithm_name_resolves() {
+        for name in ["sf", "hybrid", "inra", "ita", "ta", "nra", "merge"] {
+            let mut o = parse_args(&argv("query -i x -q y")).unwrap();
+            o.algo = name.into();
+            o.query = Some("main street".into());
+            assert!(run(&o, &lines()).is_ok(), "{name}");
+        }
+        assert!(algorithm("bogus").is_err());
+    }
+
+    #[test]
+    fn topk_end_to_end() {
+        let mut o = parse_args(&argv("topk -i x -q y -k 2")).unwrap();
+        o.query = Some("main".into());
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.starts_with("top-2"), "{out}");
+    }
+
+    #[test]
+    fn join_end_to_end() {
+        let o = parse_args(&argv("join -i x --tau 0.5 --threads 2")).unwrap();
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.contains("pair"), "{out}");
+    }
+
+    #[test]
+    fn stats_end_to_end() {
+        let o = parse_args(&argv("stats -i x")).unwrap();
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.contains("records:          4"), "{out}");
+    }
+
+    #[test]
+    fn words_mode() {
+        let mut o = parse_args(&argv("query -i x -q y --words --tau 0.3")).unwrap();
+        o.query = Some("main street".into());
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.contains("main street"), "{out}");
+    }
+}

@@ -1,0 +1,828 @@
+use std::ops::{Bound, RangeBounds};
+
+const NIL: u32 = u32::MAX;
+
+enum Node<K, V> {
+    Internal {
+        /// Separator keys; child `i` holds keys `< keys[i]`, child `i+1`
+        /// holds keys `≥ keys[i]` (separators equal the first key of the
+        /// right subtree's leftmost leaf at split time).
+        keys: Vec<K>,
+        children: Vec<u32>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+        /// Next-leaf link for range scans.
+        next: u32,
+    },
+}
+
+impl<K, V> Node<K, V> {
+    fn hole() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+            next: NIL,
+        }
+    }
+}
+
+/// A B+-tree with linked leaves and configurable branching factor.
+///
+/// This is the clustered composite index of the paper's relational baseline
+/// (Section III-A): the q-gram table is indexed on `(token, len, id)` so
+/// that a similarity selection becomes one index range scan per query token
+/// feeding a grouped aggregate. Leaf links make the range scans sequential,
+/// which is what lets the SQL approach stay competitive when the Length
+/// Boundedness bounds are pushed into the scan (Figure 8).
+///
+/// Keys are unique; inserting an existing key replaces its value. `remove`
+/// rebalances (borrow from siblings, then merge), so the tree stays within
+/// its occupancy invariants under churn.
+pub struct BPlusTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: u32,
+    /// Maximum number of keys in any node. Minimum is `branching / 2`
+    /// (except the root).
+    branching: usize,
+    len: usize,
+    free: Vec<u32>,
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// A tree holding at most `branching` keys per node.
+    ///
+    /// # Panics
+    /// Panics if `branching < 3` (rebalancing needs room to borrow).
+    pub fn new(branching: usize) -> Self {
+        assert!(branching >= 3, "branching factor must be at least 3");
+        Self {
+            nodes: vec![Node::hole()],
+            root: 0,
+            branching,
+            len: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                assert!(self.nodes.len() < NIL as usize, "b+tree overflow");
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn min_keys(&self) -> usize {
+        self.branching / 2
+    }
+
+    /// Route within an internal node: index of the child covering `key`.
+    fn route(keys: &[K], key: &K) -> usize {
+        keys.partition_point(|k| k <= key)
+    }
+
+    /// Insert `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let root = self.root;
+        let (old, split) = self.insert_rec(root, key, value);
+        if let Some((sep, right)) = split {
+            let new_root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            });
+            self.root = new_root;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Recursive insert; returns (replaced value, optional split
+    /// `(separator, new right sibling)`).
+    fn insert_rec(&mut self, node: u32, key: K, value: V) -> (Option<V>, Option<(K, u32)>) {
+        match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, values, next } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => (Some(std::mem::replace(&mut values[i], value)), None),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                        if keys.len() <= self.branching {
+                            return (None, None);
+                        }
+                        // Split the leaf in half; separator is the right
+                        // half's first key.
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = values.split_off(mid);
+                        let old_next = *next;
+                        let sep = right_keys[0].clone();
+                        let right = self.alloc(Node::Leaf {
+                            keys: right_keys,
+                            values: right_vals,
+                            next: old_next,
+                        });
+                        if let Node::Leaf { next, .. } = &mut self.nodes[node as usize] {
+                            *next = right;
+                        }
+                        (None, Some((sep, right)))
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = Self::route(keys, &key);
+                let child = children[idx];
+                let (old, split) = self.insert_rec(child, key, value);
+                if let Some((sep, right)) = split {
+                    if let Node::Internal { keys, children } = &mut self.nodes[node as usize] {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() <= self.branching {
+                            return (old, None);
+                        }
+                        // Split the internal node; middle key moves up.
+                        let mid = keys.len() / 2;
+                        let up = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // drop the promoted key
+                        let right_children = children.split_off(mid + 1);
+                        let right = self.alloc(Node::Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        });
+                        return (old, Some((up, right)));
+                    }
+                    unreachable!("node changed kind during insert");
+                }
+                (old, None)
+            }
+        }
+    }
+
+    /// The value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { keys, children } => {
+                    node = children[Self::route(keys, key)];
+                }
+                Node::Leaf { keys, values, .. } => {
+                    return keys.binary_search(key).ok().map(|i| &values[i]);
+                }
+            }
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let root = self.root;
+        let removed = self.remove_rec(root, key)?;
+        // Collapse a root that lost all separators.
+        if let Node::Internal { keys, children } = &self.nodes[self.root as usize] {
+            if keys.is_empty() {
+                let only = children[0];
+                let old = self.root;
+                self.root = only;
+                self.nodes[old as usize] = Node::hole();
+                self.free.push(old);
+            }
+        }
+        self.len -= 1;
+        Some(removed)
+    }
+
+    fn remove_rec(&mut self, node: u32, key: &K) -> Option<V> {
+        match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, values, .. } => {
+                let i = keys.binary_search(key).ok()?;
+                keys.remove(i);
+                Some(values.remove(i))
+            }
+            Node::Internal { keys, children } => {
+                let idx = Self::route(keys, key);
+                let child = children[idx];
+                let removed = self.remove_rec(child, key)?;
+                if self.is_underfull(child) {
+                    self.rebalance(node, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    fn is_underfull(&self, node: u32) -> bool {
+        let n = match &self.nodes[node as usize] {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        };
+        n < self.min_keys()
+    }
+
+    fn key_count(&self, node: u32) -> usize {
+        match &self.nodes[node as usize] {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Internal { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Fix an underfull child `idx` of internal node `parent` by borrowing
+    /// from a sibling or merging with one.
+    fn rebalance(&mut self, parent: u32, idx: usize) {
+        let (left_sib, right_sib) = {
+            let Node::Internal { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!("rebalance on leaf parent");
+            };
+            (
+                idx.checked_sub(1).map(|i| children[i]),
+                children.get(idx + 1).copied(),
+            )
+        };
+        let min = self.min_keys();
+        if let Some(left) = left_sib {
+            if self.key_count(left) > min {
+                self.borrow_from_left(parent, idx);
+                return;
+            }
+        }
+        if let Some(right) = right_sib {
+            if self.key_count(right) > min {
+                self.borrow_from_right(parent, idx);
+                return;
+            }
+        }
+        if left_sib.is_some() {
+            self.merge(parent, idx - 1);
+        } else {
+            self.merge(parent, idx);
+        }
+    }
+
+    /// Take two nodes out of the arena for simultaneous mutation.
+    fn take2(&mut self, a: u32, b: u32) -> (Node<K, V>, Node<K, V>) {
+        let na = std::mem::replace(&mut self.nodes[a as usize], Node::hole());
+        let nb = std::mem::replace(&mut self.nodes[b as usize], Node::hole());
+        (na, nb)
+    }
+
+    fn put2(&mut self, a: u32, na: Node<K, V>, b: u32, nb: Node<K, V>) {
+        self.nodes[a as usize] = na;
+        self.nodes[b as usize] = nb;
+    }
+
+    fn borrow_from_left(&mut self, parent: u32, idx: usize) {
+        let (left_id, child_id) = {
+            let Node::Internal { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            (children[idx - 1], children[idx])
+        };
+        let (mut left, mut child) = self.take2(left_id, child_id);
+        let new_sep = match (&mut left, &mut child) {
+            (
+                Node::Leaf {
+                    keys: lk,
+                    values: lv,
+                    ..
+                },
+                Node::Leaf {
+                    keys: ck,
+                    values: cv,
+                    ..
+                },
+            ) => {
+                let k = lk.pop().expect("left sibling not empty");
+                let v = lv.pop().expect("left sibling not empty");
+                ck.insert(0, k);
+                cv.insert(0, v);
+                ck[0].clone()
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: ck,
+                    children: cc,
+                },
+            ) => {
+                let Node::Internal { keys: pk, .. } = &mut self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                let sep = pk[idx - 1].clone();
+                let k = lk.pop().expect("left sibling not empty");
+                let c = lc.pop().expect("left sibling not empty");
+                ck.insert(0, sep);
+                cc.insert(0, c);
+                k
+            }
+            _ => unreachable!("siblings of different kinds"),
+        };
+        self.put2(left_id, left, child_id, child);
+        let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
+            unreachable!()
+        };
+        keys[idx - 1] = new_sep;
+    }
+
+    fn borrow_from_right(&mut self, parent: u32, idx: usize) {
+        let (child_id, right_id) = {
+            let Node::Internal { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            (children[idx], children[idx + 1])
+        };
+        let (mut child, mut right) = self.take2(child_id, right_id);
+        let new_sep = match (&mut child, &mut right) {
+            (
+                Node::Leaf {
+                    keys: ck,
+                    values: cv,
+                    ..
+                },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                    ..
+                },
+            ) => {
+                ck.push(rk.remove(0));
+                cv.push(rv.remove(0));
+                rk[0].clone()
+            }
+            (
+                Node::Internal {
+                    keys: ck,
+                    children: cc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                let Node::Internal { keys: pk, .. } = &mut self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                let sep = pk[idx].clone();
+                ck.push(sep);
+                cc.push(rc.remove(0));
+                rk.remove(0)
+            }
+            _ => unreachable!("siblings of different kinds"),
+        };
+        self.put2(child_id, child, right_id, right);
+        let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
+            unreachable!()
+        };
+        keys[idx] = new_sep;
+    }
+
+    /// Merge child `idx+1` of `parent` into child `idx`.
+    fn merge(&mut self, parent: u32, idx: usize) {
+        let (left_id, right_id, sep) = {
+            let Node::Internal { keys, children } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            (children[idx], children[idx + 1], keys[idx].clone())
+        };
+        let (mut left, right) = self.take2(left_id, right_id);
+        match (&mut left, right) {
+            (
+                Node::Leaf {
+                    keys: lk,
+                    values: lv,
+                    next: ln,
+                },
+                Node::Leaf {
+                    keys: rk,
+                    values: rv,
+                    next: rn,
+                },
+            ) => {
+                lk.extend(rk);
+                lv.extend(rv);
+                *ln = rn;
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.extend(rk);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings of different kinds"),
+        }
+        self.nodes[left_id as usize] = left;
+        self.free.push(right_id);
+        let Node::Internal { keys, children } = &mut self.nodes[parent as usize] else {
+            unreachable!()
+        };
+        keys.remove(idx);
+        children.remove(idx + 1);
+    }
+
+    /// Leaf holding the lower bound of `range`, or NIL.
+    fn seek_leaf(&self, bound: Bound<&K>) -> (u32, usize) {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { keys, children } => {
+                    node = match bound {
+                        Bound::Unbounded => children[0],
+                        Bound::Included(k) | Bound::Excluded(k) => children[Self::route(keys, k)],
+                    };
+                }
+                Node::Leaf { keys, .. } => {
+                    let pos = match bound {
+                        Bound::Unbounded => 0,
+                        Bound::Included(k) => keys.partition_point(|x| x < k),
+                        Bound::Excluded(k) => keys.partition_point(|x| x <= k),
+                    };
+                    return (node, pos);
+                }
+            }
+        }
+    }
+
+    /// Iterate over entries within `range` in ascending key order, walking
+    /// the leaf chain (the index range scan of the SQL baseline).
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> Range<'_, K, V> {
+        let (leaf, pos) = self.seek_leaf(range.start_bound());
+        Range {
+            tree: self,
+            leaf,
+            pos,
+            end: match range.end_bound() {
+                Bound::Unbounded => None,
+                Bound::Included(k) => Some((k.clone(), true)),
+                Bound::Excluded(k) => Some((k.clone(), false)),
+            },
+        }
+    }
+
+    /// Iterate over all entries in ascending key order.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        self.range(..)
+    }
+
+    /// First entry (smallest key).
+    pub fn first(&self) -> Option<(&K, &V)> {
+        self.iter().next()
+    }
+
+    /// Tree height (1 for a lone leaf). Used by invariants tests.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Internal { children, .. } => {
+                    node = children[0];
+                    h += 1;
+                }
+                Node::Leaf { .. } => return h,
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let mut total = self.nodes.capacity() * std::mem::size_of::<Node<K, V>>();
+        for n in &self.nodes {
+            total += match n {
+                Node::Internal { keys, children } => {
+                    keys.capacity() * std::mem::size_of::<K>()
+                        + children.capacity() * std::mem::size_of::<u32>()
+                }
+                Node::Leaf { keys, values, .. } => {
+                    keys.capacity() * std::mem::size_of::<K>()
+                        + values.capacity() * std::mem::size_of::<V>()
+                }
+            };
+        }
+        total
+    }
+
+    /// Validate structural invariants; used by tests. Returns the number of
+    /// reachable leaf entries.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> usize {
+        fn walk<K: Ord + Clone, V>(
+            tree: &BPlusTree<K, V>,
+            node: u32,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            is_root: bool,
+        ) -> usize {
+            match &tree.nodes[node as usize] {
+                Node::Leaf { keys, values, .. } => {
+                    assert_eq!(keys.len(), values.len(), "leaf key/value mismatch");
+                    assert!(keys.len() <= tree.branching, "leaf overfull");
+                    if !is_root {
+                        assert!(keys.len() >= tree.min_keys(), "leaf underfull");
+                    }
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf unsorted");
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "leaves at different depths"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                    keys.len()
+                }
+                Node::Internal { keys, children } => {
+                    assert_eq!(children.len(), keys.len() + 1, "fanout mismatch");
+                    assert!(keys.len() <= tree.branching, "internal overfull");
+                    if !is_root {
+                        assert!(keys.len() >= tree.min_keys(), "internal underfull");
+                    } else {
+                        assert!(!keys.is_empty(), "root internal with no keys");
+                    }
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "internal unsorted");
+                    children
+                        .iter()
+                        .map(|&c| walk(tree, c, depth + 1, leaf_depth, false))
+                        .sum()
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        let n = walk(self, self.root, 0, &mut leaf_depth, true);
+        assert_eq!(n, self.len, "len out of sync with reachable entries");
+        // The leaf chain must visit every entry in sorted order.
+        let chained: usize = self.iter().count();
+        assert_eq!(chained, self.len, "leaf chain misses entries");
+        n
+    }
+}
+
+/// Ascending range iterator over a [`BPlusTree`].
+pub struct Range<'a, K, V> {
+    tree: &'a BPlusTree<K, V>,
+    leaf: u32,
+    pos: usize,
+    end: Option<(K, bool)>,
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.leaf == NIL {
+                return None;
+            }
+            let Node::Leaf { keys, values, next } = &self.tree.nodes[self.leaf as usize] else {
+                unreachable!("range cursor on internal node");
+            };
+            if self.pos >= keys.len() {
+                self.leaf = *next;
+                self.pos = 0;
+                continue;
+            }
+            let k = &keys[self.pos];
+            if let Some((end, inclusive)) = &self.end {
+                let stop = if *inclusive { k > end } else { k >= end };
+                if stop {
+                    return None;
+                }
+            }
+            let v = &values[self.pos];
+            self.pos += 1;
+            return Some((k, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BPlusTree::new(4);
+        for k in [5, 1, 9, 3, 7] {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        for k in [5, 1, 9, 3, 7] {
+            assert_eq!(t.get(&k), Some(&(k * 10)));
+        }
+        assert_eq!(t.get(&2), None);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BPlusTree::new(4);
+        t.insert("a", 1);
+        assert_eq!(t.insert("a", 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn splits_maintain_order() {
+        let mut t = BPlusTree::new(3);
+        for k in 0..200 {
+            t.insert(k, k);
+        }
+        t.check_invariants();
+        let keys: Vec<i32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..200).collect::<Vec<_>>());
+        assert!(t.height() > 2, "tree should have split repeatedly");
+    }
+
+    #[test]
+    fn reverse_and_shuffled_inserts() {
+        let mut t = BPlusTree::new(4);
+        for k in (0..100).rev() {
+            t.insert(k, ());
+        }
+        t.check_invariants();
+        let mut t2 = BPlusTree::new(4);
+        for k in [50, 3, 99, 1, 77, 20, 63, 42, 8, 95, 31, 60, 12, 88] {
+            t2.insert(k, ());
+        }
+        t2.check_invariants();
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BPlusTree::new(4);
+        for k in (0..100).step_by(2) {
+            t.insert(k, k);
+        }
+        let mid: Vec<i32> = t.range(10..20).map(|(k, _)| *k).collect();
+        assert_eq!(mid, vec![10, 12, 14, 16, 18]);
+        let incl: Vec<i32> = t.range(10..=20).map(|(k, _)| *k).collect();
+        assert_eq!(incl, vec![10, 12, 14, 16, 18, 20]);
+        let from_odd: Vec<i32> = t.range(11..16).map(|(k, _)| *k).collect();
+        assert_eq!(from_odd, vec![12, 14]);
+        let all: Vec<i32> = t.range(..).map(|(k, _)| *k).collect();
+        assert_eq!(all.len(), 50);
+        let none: Vec<i32> = t.range(200..300).map(|(k, _)| *k).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn composite_key_range_scan() {
+        // The relational baseline's access pattern: (token, len, id).
+        let mut t: BPlusTree<(u32, u64, u32), f64> = BPlusTree::new(8);
+        for token in 0..5u32 {
+            for id in 0..20u32 {
+                let len = (id as u64) * 100;
+                t.insert((token, len, id), f64::from(id));
+            }
+        }
+        // Scan token 2 with len in [500, 1500].
+        let hits: Vec<u32> = t
+            .range((2, 500, 0)..=(2, 1500, u32::MAX))
+            .map(|(_, v)| *v as u32)
+            .collect();
+        assert_eq!(hits, vec![5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn remove_simple() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..50 {
+            t.insert(k, k);
+        }
+        for k in 10..20 {
+            assert_eq!(t.remove(&k), Some(k));
+        }
+        assert_eq!(t.remove(&15), None);
+        assert_eq!(t.len(), 40);
+        t.check_invariants();
+        assert_eq!(t.get(&15), None);
+        assert_eq!(t.get(&25), Some(&25));
+    }
+
+    #[test]
+    fn remove_everything_then_reinsert() {
+        let mut t = BPlusTree::new(3);
+        for k in 0..100 {
+            t.insert(k, k);
+        }
+        for k in 0..100 {
+            assert_eq!(t.remove(&k), Some(k), "removing {k}");
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        for k in 0..20 {
+            t.insert(k, k);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 20);
+    }
+
+    #[test]
+    fn remove_descending() {
+        let mut t = BPlusTree::new(4);
+        for k in 0..64 {
+            t.insert(k, ());
+        }
+        for k in (0..64).rev() {
+            assert!(t.remove(&k).is_some());
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<i32, i32> = BPlusTree::new(4);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.first(), None);
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_branching_panics() {
+        let _ = BPlusTree::<i32, i32>::new(2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_behaves_like_btreemap(
+            branching in 3usize..8,
+            ops in prop::collection::vec((0u8..3, 0i64..200, 0i64..1000), 0..400),
+        ) {
+            let mut t = BPlusTree::new(branching);
+            let mut model = BTreeMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(t.insert(k, v), model.insert(k, v));
+                    }
+                    1 => {
+                        prop_assert_eq!(t.remove(&k), model.remove(&k));
+                    }
+                    _ => {
+                        prop_assert_eq!(t.get(&k), model.get(&k));
+                    }
+                }
+            }
+            t.check_invariants();
+            let got: Vec<(i64, i64)> = t.iter().map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_range_matches_btreemap(
+            keys in prop::collection::btree_set(0i64..300, 0..120),
+            lo in 0i64..300,
+            width in 0i64..120,
+        ) {
+            let mut t = BPlusTree::new(5);
+            let mut model = BTreeMap::new();
+            for &k in &keys {
+                t.insert(k, k);
+                model.insert(k, k);
+            }
+            let hi = lo + width;
+            let got: Vec<i64> = t.range(lo..hi).map(|(k, _)| *k).collect();
+            let want: Vec<i64> = model.range(lo..hi).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, want);
+            let got_incl: Vec<i64> = t.range(lo..=hi).map(|(k, _)| *k).collect();
+            let want_incl: Vec<i64> = model.range(lo..=hi).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got_incl, want_incl);
+        }
+    }
+}

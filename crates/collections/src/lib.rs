@@ -1,0 +1,36 @@
+//! Index substrates for disk-style set similarity indexes.
+//!
+//! The ICDE 2008 evaluation attaches three auxiliary structures to its
+//! inverted lists, all implemented here from scratch:
+//!
+//! * [`SkipList`] — a probabilistic skip list. The paper associates one with
+//!   every weight-sorted inverted list so that algorithms employing the
+//!   Length Boundedness property can jump directly to the first posting with
+//!   `len(s) ≥ τ·len(q)` instead of scanning and discarding a prefix
+//!   (Figure 9 measures the effect).
+//! * [`ExtendibleHashMap`] — extendible hashing over set ids, answering the
+//!   set-containment probes the TA/iTA algorithms issue on random access
+//!   ("does set `s` appear in list `i`?") with at most one simulated page
+//!   read. Bucket pages have a fixed capacity; the directory doubles on
+//!   demand, mirroring the large space overhead reported in Figure 5.
+//! * [`BPlusTree`] — an order-configurable B+-tree with leaf links, the
+//!   clustered composite index `(token, len, id) → weight` behind the
+//!   relational (SQL) baseline of Section III-A.
+//!
+//! All three are deterministic given their seeds and expose `size_bytes`
+//! estimates used by the index-size experiment (Figure 5).
+
+//! A fourth substrate, [`codec`]-level compression, reflects how such
+//! lists are actually laid out on disk: delta + varint encoded blocks with
+//! per-block skip keys ([`CompressedList`]).
+
+pub mod codec;
+
+mod btree;
+mod extendible;
+mod skiplist;
+
+pub use btree::BPlusTree;
+pub use codec::{CodecEntry, CompressedList};
+pub use extendible::ExtendibleHashMap;
+pub use skiplist::SkipList;

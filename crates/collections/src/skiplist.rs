@@ -1,0 +1,457 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_LEVEL: usize = 24;
+const NIL: u32 = u32::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    /// Forward pointers, one per level this node participates in.
+    forwards: Vec<u32>,
+}
+
+/// A probabilistic skip list with ordered iteration and `lower_bound` seeks.
+///
+/// In the paper's index, a skip list keyed on normalized set length hangs off
+/// every weight-sorted inverted list so that queries can skip straight to the
+/// first posting inside the Length Boundedness window `[τ·len(q), len(q)/τ]`.
+/// Seeks and point lookups are expected `O(log n)`.
+///
+/// Keys are unique: inserting an existing key replaces its value and returns
+/// the old one. Level selection uses a seeded RNG (p = 1/2), so a given build
+/// sequence is reproducible.
+pub struct SkipList<K, V> {
+    /// Arena of nodes; freed slots are `None` and recycled via `free`.
+    nodes: Vec<Option<Node<K, V>>>,
+    /// Head forward pointers (the head holds no key).
+    head: [u32; MAX_LEVEL],
+    level: usize,
+    len: usize,
+    free: Vec<u32>,
+    rng: StdRng,
+}
+
+impl<K: Ord, V> SkipList<K, V> {
+    /// An empty skip list with the default seed.
+    pub fn new() -> Self {
+        Self::with_seed(0x5eed_1157)
+    }
+
+    /// An empty skip list whose level coin flips derive from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            head: [NIL; MAX_LEVEL],
+            level: 1,
+            len: 0,
+            free: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the list holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn random_level(&mut self) -> usize {
+        let mut lvl = 1;
+        while lvl < MAX_LEVEL && self.rng.gen::<bool>() {
+            lvl += 1;
+        }
+        lvl
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node<K, V> {
+        self.nodes[idx as usize]
+            .as_ref()
+            .expect("skip list pointer to freed slot")
+    }
+
+    /// For each level, the index of the last node with key < `key`
+    /// (NIL means "the head"). Also returns the level-0 successor, i.e. the
+    /// first node with key ≥ `key`.
+    fn find_predecessors(&self, key: &K) -> ([u32; MAX_LEVEL], u32) {
+        let mut preds = [NIL; MAX_LEVEL];
+        let mut cur = NIL; // NIL = head
+        for lvl in (0..self.level).rev() {
+            loop {
+                let next = if cur == NIL {
+                    self.head[lvl]
+                } else {
+                    self.node(cur).forwards[lvl]
+                };
+                if next != NIL && self.node(next).key < *key {
+                    cur = next;
+                } else {
+                    break;
+                }
+            }
+            preds[lvl] = cur;
+        }
+        let candidate = if cur == NIL {
+            self.head[0]
+        } else {
+            self.node(cur).forwards[0]
+        };
+        (preds, candidate)
+    }
+
+    /// Insert `key → value`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (preds, candidate) = self.find_predecessors(&key);
+        if candidate != NIL {
+            let n = self.nodes[candidate as usize]
+                .as_mut()
+                .expect("freed slot in chain");
+            if n.key == key {
+                return Some(std::mem::replace(&mut n.value, value));
+            }
+        }
+        let lvl = self.random_level();
+        if lvl > self.level {
+            self.level = lvl;
+        }
+        let node = Node {
+            key,
+            value,
+            forwards: vec![NIL; lvl],
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = Some(node);
+                slot
+            }
+            None => {
+                assert!(self.nodes.len() < NIL as usize, "skip list overflow");
+                self.nodes.push(Some(node));
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        #[allow(clippy::needless_range_loop)] // indexes preds, head, and nodes together
+        for l in 0..lvl {
+            let pred = preds[l];
+            let next = if pred == NIL {
+                self.head[l]
+            } else {
+                self.node(pred).forwards[l]
+            };
+            self.nodes[idx as usize].as_mut().unwrap().forwards[l] = next;
+            if pred == NIL {
+                self.head[l] = idx;
+            } else {
+                self.nodes[pred as usize].as_mut().unwrap().forwards[l] = idx;
+            }
+        }
+        self.len += 1;
+        None
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (preds, candidate) = self.find_predecessors(key);
+        if candidate == NIL || self.node(candidate).key != *key {
+            return None;
+        }
+        let node = self.nodes[candidate as usize]
+            .take()
+            .expect("freed slot in chain");
+        for (l, &next) in node.forwards.iter().enumerate() {
+            let pred = preds[l];
+            if pred == NIL {
+                self.head[l] = next;
+            } else {
+                self.nodes[pred as usize].as_mut().unwrap().forwards[l] = next;
+            }
+        }
+        while self.level > 1 && self.head[self.level - 1] == NIL {
+            self.level -= 1;
+        }
+        self.len -= 1;
+        self.free.push(candidate);
+        Some(node.value)
+    }
+
+    /// The value for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let (_, candidate) = self.find_predecessors(key);
+        if candidate != NIL && self.node(candidate).key == *key {
+            Some(&self.node(candidate).value)
+        } else {
+            None
+        }
+    }
+
+    /// True if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate over entries with key ≥ `key`, in ascending key order.
+    ///
+    /// This is the skip list's reason to exist here: `lower_bound(τ·len(q))`
+    /// positions a list scan at the start of the Length Boundedness window
+    /// without touching the skipped prefix.
+    pub fn lower_bound<'a>(&'a self, key: &K) -> Iter<'a, K, V> {
+        let (_, candidate) = self.find_predecessors(key);
+        Iter {
+            list: self,
+            cur: candidate,
+        }
+    }
+
+    /// The last entry with key strictly below `key`, if any.
+    ///
+    /// Length seeks over *sparse* skip indexes (the index holds every k-th
+    /// posting) start from the predecessor: postings between it and the
+    /// first indexed entry ≥ `key` may also satisfy the bound, so the
+    /// caller scans forward from the predecessor's payload offset.
+    pub fn predecessor(&self, key: &K) -> Option<(&K, &V)> {
+        let (preds, _) = self.find_predecessors(key);
+        if preds[0] == NIL {
+            None
+        } else {
+            let n = self.node(preds[0]);
+            Some((&n.key, &n.value))
+        }
+    }
+
+    /// Iterate over all entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            list: self,
+            cur: self.head[0],
+        }
+    }
+
+    /// First entry (smallest key).
+    pub fn first(&self) -> Option<(&K, &V)> {
+        if self.head[0] == NIL {
+            None
+        } else {
+            let n = self.node(self.head[0]);
+            Some((&n.key, &n.value))
+        }
+    }
+
+    /// Approximate heap footprint in bytes (keys, values, towers).
+    pub fn size_bytes(&self) -> usize {
+        let per_node = std::mem::size_of::<Option<Node<K, V>>>();
+        let towers: usize = self
+            .nodes
+            .iter()
+            .flatten()
+            .map(|n| n.forwards.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        self.nodes.capacity() * per_node + towers
+    }
+}
+
+impl<K: Ord, V> Default for SkipList<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Ascending iterator over a [`SkipList`].
+pub struct Iter<'a, K, V> {
+    list: &'a SkipList<K, V>,
+    cur: u32,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let n = self.list.node(self.cur);
+        self.cur = n.forwards[0];
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_basic() {
+        let mut sl = SkipList::new();
+        assert_eq!(sl.insert(5, "five"), None);
+        assert_eq!(sl.insert(3, "three"), None);
+        assert_eq!(sl.insert(8, "eight"), None);
+        assert_eq!(sl.get(&5), Some(&"five"));
+        assert_eq!(sl.get(&4), None);
+        assert_eq!(sl.len(), 3);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut sl = SkipList::new();
+        sl.insert(1, 10);
+        assert_eq!(sl.insert(1, 20), Some(10));
+        assert_eq!(sl.get(&1), Some(&20));
+        assert_eq!(sl.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut sl = SkipList::new();
+        for k in [9, 1, 5, 3, 7, 2, 8, 4, 6, 0] {
+            sl.insert(k, k * 10);
+        }
+        let keys: Vec<i32> = sl.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lower_bound_seeks() {
+        let mut sl = SkipList::new();
+        for k in [10, 20, 30, 40, 50] {
+            sl.insert(k, ());
+        }
+        let from25: Vec<i32> = sl.lower_bound(&25).map(|(k, _)| *k).collect();
+        assert_eq!(from25, vec![30, 40, 50]);
+        let from30: Vec<i32> = sl.lower_bound(&30).map(|(k, _)| *k).collect();
+        assert_eq!(from30, vec![30, 40, 50]);
+        let past: Vec<i32> = sl.lower_bound(&51).map(|(k, _)| *k).collect();
+        assert!(past.is_empty());
+        let before: Vec<i32> = sl.lower_bound(&0).map(|(k, _)| *k).collect();
+        assert_eq!(before.len(), 5);
+    }
+
+    #[test]
+    fn predecessor_queries() {
+        let mut sl = SkipList::new();
+        for k in [10, 20, 30] {
+            sl.insert(k, k * 2);
+        }
+        assert_eq!(sl.predecessor(&5), None);
+        assert_eq!(sl.predecessor(&10), None);
+        assert_eq!(sl.predecessor(&11), Some((&10, &20)));
+        assert_eq!(sl.predecessor(&30), Some((&20, &40)));
+        assert_eq!(sl.predecessor(&99), Some((&30, &60)));
+    }
+
+    #[test]
+    fn remove_unlinks() {
+        let mut sl = SkipList::new();
+        for k in 0..100 {
+            sl.insert(k, k);
+        }
+        for k in (0..100).step_by(2) {
+            assert_eq!(sl.remove(&k), Some(k));
+        }
+        assert_eq!(sl.len(), 50);
+        let keys: Vec<i32> = sl.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (1..100).step_by(2).collect::<Vec<_>>());
+        assert_eq!(sl.remove(&2), None);
+    }
+
+    #[test]
+    fn reuses_freed_slots() {
+        let mut sl = SkipList::new();
+        for k in 0..10 {
+            sl.insert(k, k);
+        }
+        let cap_before = sl.nodes.len();
+        for k in 0..10 {
+            sl.remove(&k);
+        }
+        for k in 10..20 {
+            sl.insert(k, k);
+        }
+        assert_eq!(sl.nodes.len(), cap_before);
+        assert_eq!(sl.len(), 10);
+    }
+
+    #[test]
+    fn drop_values_once() {
+        // Exercised under the default test harness: dropping the list with
+        // live Rc clones must not double-drop (would panic under Miri, and
+        // strong counts verify single ownership here).
+        use std::rc::Rc;
+        let shared = Rc::new(0u8);
+        let mut sl = SkipList::new();
+        for k in 0..16 {
+            sl.insert(k, Rc::clone(&shared));
+        }
+        for k in (0..16).step_by(3) {
+            sl.remove(&k);
+        }
+        drop(sl);
+        assert_eq!(Rc::strong_count(&shared), 1);
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let sl: SkipList<i32, i32> = SkipList::new();
+        assert!(sl.is_empty());
+        assert_eq!(sl.first(), None);
+        assert_eq!(sl.iter().count(), 0);
+        assert_eq!(sl.lower_bound(&0).count(), 0);
+    }
+
+    #[test]
+    fn float_ordered_keys() {
+        // Lengths are floats in the real index; exercise via ordered bits.
+        let mut sl = SkipList::new();
+        for (i, len) in [3.5f64, 1.25, 2.0, 9.75].iter().enumerate() {
+            sl.insert(len.to_bits(), i);
+        }
+        // f64 bit patterns of positive floats sort like the floats.
+        let keys: Vec<f64> = sl.iter().map(|(k, _)| f64::from_bits(*k)).collect();
+        assert_eq!(keys, vec![1.25, 2.0, 3.5, 9.75]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_behaves_like_btreemap(ops in prop::collection::vec(
+            (0u8..3, 0i64..64, 0i64..1000), 0..200)) {
+            let mut sl = SkipList::with_seed(7);
+            let mut model = BTreeMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(sl.insert(k, v), model.insert(k, v));
+                    }
+                    1 => {
+                        prop_assert_eq!(sl.remove(&k), model.remove(&k));
+                    }
+                    _ => {
+                        prop_assert_eq!(sl.get(&k), model.get(&k));
+                    }
+                }
+                prop_assert_eq!(sl.len(), model.len());
+            }
+            let got: Vec<(i64, i64)> = sl.iter().map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn prop_lower_bound_matches_btreemap(keys in prop::collection::btree_set(0i64..500, 0..80),
+                                             probe in 0i64..500) {
+            let mut sl = SkipList::with_seed(13);
+            let mut model = BTreeMap::new();
+            for &k in &keys {
+                sl.insert(k, k);
+                model.insert(k, k);
+            }
+            let got: Vec<i64> = sl.lower_bound(&probe).map(|(k, _)| *k).collect();
+            let want: Vec<i64> = model.range(probe..).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+use crate::algorithms::{assert_query_width, AlgoConfig, SelectionAlgorithm};
+use crate::{
+    properties, safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome,
+    SearchStats, SetId,
+};
+use std::collections::HashMap;
+
+/// The Hybrid algorithm (Section VII, Algorithm 4).
+///
+/// Round-robin breadth-first like iNRA, but each list additionally stops
+/// at the SF reading bound: once list `i`'s frontier exceeds both `λᵢ` (no
+/// new viable candidate can be *first discovered* here) and `max_len(C)`
+/// (no tracked candidate can still appear here), the list **rests**. A
+/// resting list resumes if a later-discovered candidate raises
+/// `max_len(C)` past its head — that re-read rule is what makes the stop
+/// sound under round-robin, where (unlike SF's fixed order) a set's first
+/// sighting can come from any of its lists.
+///
+/// Hybrid therefore never descends deeper into a list than SF, and being
+/// round-robin it also never reads more than iNRA (Lemma 4): the best of
+/// both in element accesses. The price is bookkeeping: `max_len(C)` is
+/// consulted on every access, which the paper's special candidate
+/// organization makes `O(n)` — candidates are partitioned into per-list
+/// append-only vectors (each sorted by length by construction, since
+/// lists are scanned in increasing length order) plus a hash table on set
+/// ids, so `max_len(C)` is read off the tails and pruning pops dead
+/// entries from the backs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridAlgorithm {
+    /// Property toggles (Figures 8 and 9 ablations).
+    pub config: AlgoConfig,
+}
+
+impl HybridAlgorithm {
+    /// Hybrid with explicit property toggles.
+    pub fn with_config(config: AlgoConfig) -> Self {
+        Self { config }
+    }
+}
+
+struct PoolCand {
+    id: u32,
+    len: f64,
+    lower: f64,
+    seen: u128,
+    dead: bool,
+}
+
+/// The paper's candidate organization: one length-sorted append-only list
+/// per inverted list, plus a hash table for id access.
+struct Pool {
+    per_list: Vec<Vec<PoolCand>>,
+    index: HashMap<u32, (u32, u32)>,
+    alive: usize,
+}
+
+impl Pool {
+    fn new(n: usize) -> Self {
+        Self {
+            per_list: (0..n).map(|_| Vec::new()).collect(),
+            index: HashMap::new(),
+            alive: 0,
+        }
+    }
+
+    fn get_mut(&mut self, id: u32) -> Option<&mut PoolCand> {
+        let &(l, p) = self.index.get(&id)?;
+        let c = &mut self.per_list[l as usize][p as usize];
+        debug_assert!(!c.dead);
+        Some(c)
+    }
+
+    fn insert(&mut self, list: usize, cand: PoolCand) {
+        let v = &mut self.per_list[list];
+        debug_assert!(v
+            .last()
+            .map_or(true, |last| last.dead || last.len <= cand.len));
+        self.index.insert(cand.id, (list as u32, v.len() as u32));
+        v.push(cand);
+        self.alive += 1;
+    }
+
+    /// Largest length among live candidates, reading only list tails
+    /// (dead tail entries are popped on the way — the paper's
+    /// back-pruning).
+    fn max_len(&mut self) -> f64 {
+        let mut max = f64::NEG_INFINITY;
+        for v in &mut self.per_list {
+            while v.last().is_some_and(|c| c.dead) {
+                v.pop();
+            }
+            if let Some(c) = v.last() {
+                max = max.max(c.len);
+            }
+        }
+        max
+    }
+
+    fn kill_at(&mut self, list: usize, pos: usize) {
+        let c = &mut self.per_list[list][pos];
+        if !c.dead {
+            c.dead = true;
+            self.index.remove(&c.id);
+            self.alive -= 1;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+}
+
+impl SelectionAlgorithm for HybridAlgorithm {
+    fn name(&self) -> &'static str {
+        "Hybrid"
+    }
+
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
+        validate_tau(tau);
+        assert_query_width(query);
+        let mut stats = SearchStats {
+            total_list_elements: index.query_list_elements(query),
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        if query.is_empty() {
+            return SearchOutcome { results, stats };
+        }
+
+        let lists: Vec<&[crate::Posting]> = query
+            .tokens
+            .iter()
+            .map(|qt| {
+                index
+                    .list(qt.token)
+                    .expect("query token has a list")
+                    .postings()
+            })
+            .collect();
+        let n = lists.len();
+        let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
+        let hi_cut = len_hi * (1.0 + crate::EPS_REL);
+        let lambdas: Vec<f64> = properties::lambda_cutoffs(query, tau)
+            .into_iter()
+            .map(|l| l * (1.0 + crate::EPS_REL))
+            .collect();
+        let suffix = query.idf_sq_suffix_sums();
+
+        let mut pos: Vec<usize> = (0..n)
+            .map(|i| {
+                if self.config.length_bounding {
+                    index.list(query.tokens[i].token).unwrap().seek_len(
+                        len_lo * (1.0 - crate::EPS_REL),
+                        self.config.use_skip_lists,
+                        &mut stats,
+                    )
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let mut closed: Vec<bool> = (0..n).map(|i| pos[i] >= lists[i].len()).collect();
+        let mut resting = vec![false; n];
+        let mut pool = Pool::new(n);
+        let mut f_star = f64::INFINITY;
+
+        // Next unread length per list (∞ when closed/exhausted).
+        let next_len = |pos: &[usize], closed: &[bool], i: usize| -> f64 {
+            if closed[i] || pos[i] >= lists[i].len() {
+                f64::INFINITY
+            } else {
+                lists[i][pos[i]].len
+            }
+        };
+
+        loop {
+            stats.rounds += 1;
+            let mut any_read = false;
+            for i in 0..n {
+                if closed[i] {
+                    continue;
+                }
+                if resting[i] {
+                    // Resume if a tracked candidate may still appear here.
+                    let head = next_len(&pos, &closed, i);
+                    let bound = pool.max_len().max(lambdas[i]);
+                    if head <= bound {
+                        resting[i] = false;
+                    } else {
+                        continue;
+                    }
+                }
+                let p = lists[i][pos[i]];
+                pos[i] += 1;
+                stats.elements_read += 1;
+                any_read = true;
+                if pos[i] >= lists[i].len() {
+                    closed[i] = true;
+                }
+                if self.config.length_bounding && p.len > hi_cut {
+                    closed[i] = true;
+                    continue;
+                }
+                let w = query.tokens[i].idf_sq / (p.len * query.len);
+                if let Some(c) = pool.get_mut(p.id.0) {
+                    c.lower += w;
+                    c.seen |= 1u128 << i;
+                } else {
+                    let admissible = !safely_below(f_star, tau)
+                        && !safely_below(
+                            properties::max_score(query.idf_sq_total, p.len, query.len),
+                            tau,
+                        );
+                    if admissible {
+                        stats.candidates_inserted += 1;
+                        pool.insert(
+                            i,
+                            PoolCand {
+                                id: p.id.0,
+                                len: p.len,
+                                lower: w,
+                                seen: 1u128 << i,
+                                dead: false,
+                            },
+                        );
+                    }
+                }
+                // SF-style stop: beyond λᵢ nothing new viable can be first
+                // discovered here, and beyond max_len(C) no tracked
+                // candidate can still appear here.
+                if !closed[i] && p.len > lambdas[i] && p.len > pool.max_len() {
+                    resting[i] = true;
+                }
+            }
+
+            let all_closed = closed.iter().all(|&c| c);
+            // Unseen-set bound via Magnitude Boundedness: a set first
+            // discovered in list j has len ≥ that list's head, so its best
+            // score is suffix(j) / (head·len(q)); the max over lists bounds
+            // every unseen set (tighter than NRA's frontier sum).
+            f_star = (0..n)
+                .filter(|&j| !closed[j])
+                .map(|j| {
+                    let head = next_len(&pos, &closed, j).max(len_lo.max(f64::MIN_POSITIVE));
+                    suffix[j] / (head * query.len)
+                })
+                .fold(0.0f64, f64::max);
+
+            if safely_below(f_star, tau) || all_closed || !any_read {
+                for li in 0..n {
+                    for pi in 0..pool.per_list[li].len() {
+                        let (id, len, lower, seen, dead) = {
+                            let c = &pool.per_list[li][pi];
+                            (c.id, c.len, c.lower, c.seen, c.dead)
+                        };
+                        if dead {
+                            continue;
+                        }
+                        stats.candidate_scan_steps += 1;
+                        let mut upper = lower;
+                        let mut complete = true;
+                        for i in 0..n {
+                            if seen & (1u128 << i) != 0 {
+                                continue;
+                            }
+                            // Resolved absent: list fully consumed for this
+                            // length range (Order Preservation on the next
+                            // unread posting).
+                            if closed[i] || len < next_len(&pos, &closed, i) {
+                                continue;
+                            }
+                            complete = false;
+                            upper += query.tokens[i].idf_sq / (len * query.len);
+                        }
+                        if complete {
+                            if crate::passes(lower, tau) {
+                                results.push(Match {
+                                    id: SetId(id),
+                                    score: lower,
+                                });
+                            }
+                            pool.kill_at(li, pi);
+                        } else if safely_below(upper, tau) {
+                            pool.kill_at(li, pi);
+                        }
+                    }
+                }
+            }
+
+            if all_closed {
+                break;
+            }
+            if pool.is_empty() && safely_below(f_star, tau) {
+                break;
+            }
+            if !any_read {
+                if pool.is_empty() {
+                    break;
+                }
+                // Defensive: all lists rest yet candidates remain (cannot
+                // happen — resting implies frontier > max_len(C), which
+                // resolves every candidate). Force progress.
+                for r in resting.iter_mut() {
+                    *r = false;
+                }
+            }
+        }
+
+        SearchOutcome { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FullScan, INraAlgorithm, SfAlgorithm};
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(texts: &[&str]) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn agrees_with_scan_all_configs() {
+        let c = setup(&[
+            "main street",
+            "main st",
+            "maine street",
+            "park avenue",
+            "main street east",
+            "maine",
+            "mainstreet",
+            "st main",
+        ]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let configs = [
+            AlgoConfig::full(),
+            AlgoConfig::no_skip_lists(),
+            AlgoConfig::no_length_bounding(),
+        ];
+        for text in ["main street", "maine", "park avenue", "main", "st"] {
+            let q = idx.prepare_query_str(text);
+            for tau in [0.2, 0.5, 0.8, 1.0] {
+                let oracle = FullScan.search(&idx, &q, tau);
+                for cfg in configs {
+                    let got = HybridAlgorithm::with_config(cfg).search(&idx, &q, tau);
+                    assert_eq!(
+                        got.ids_sorted(),
+                        oracle.ids_sorted(),
+                        "q={text} tau={tau} cfg={cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reads_no_more_than_inra_and_sf() {
+        let texts: Vec<String> = (0..400)
+            .map(|i| {
+                format!(
+                    "entry {} number {:04}",
+                    if i % 7 == 0 { "rare" } else { "common" },
+                    i
+                )
+            })
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let c = setup(&refs);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        for qtext in ["rare", "common", "entry number"] {
+            let q = idx.prepare_query_str(qtext);
+            for tau in [0.6, 0.8, 0.95] {
+                let hy = HybridAlgorithm::default().search(&idx, &q, tau);
+                let inra = INraAlgorithm::default().search(&idx, &q, tau);
+                let sf = SfAlgorithm::default().search(&idx, &q, tau);
+                assert_eq!(hy.ids_sorted(), inra.ids_sorted());
+                assert_eq!(hy.ids_sorted(), sf.ids_sorted());
+                // Lemma 4's spirit: Hybrid tracks the better of iNRA/SF
+                // up to boundary-posting accounting (SF peeks the posting
+                // that stops a scan without consuming it; round-robin
+                // algorithms consume it — one posting per list per round).
+                let slack = 2 * q.num_lists() as u64 + 8;
+                assert!(
+                    hy.stats.elements_read <= inra.stats.elements_read + slack,
+                    "q={qtext} tau={tau}: hybrid {} vs iNRA {}",
+                    hy.stats.elements_read,
+                    inra.stats.elements_read
+                );
+                assert!(
+                    hy.stats.elements_read <= sf.stats.elements_read + slack,
+                    "q={qtext} tau={tau}: hybrid {} vs SF {}",
+                    hy.stats.elements_read,
+                    sf.stats.elements_read
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query() {
+        let c = setup(&["abcd"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("");
+        assert!(HybridAlgorithm::default()
+            .search(&idx, &q, 0.5)
+            .results
+            .is_empty());
+    }
+}

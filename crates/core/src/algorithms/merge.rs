@@ -1,0 +1,151 @@
+use crate::algorithms::SelectionAlgorithm;
+use crate::{validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Multiway merge over **id-sorted** inverted lists (Section III-B's
+/// "sort-by-id" baseline).
+///
+/// A heap holds the head of every list; the smallest id's score is always
+/// complete when it surfaces, so it can be emitted or discarded
+/// immediately. Bookkeeping is trivial but every element of every query
+/// list is read — no pruning whatsoever, which is why its cost is constant
+/// across thresholds in Figure 6(a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortByIdMerge;
+
+impl SelectionAlgorithm for SortByIdMerge {
+    fn name(&self) -> &'static str {
+        "sort-by-id"
+    }
+
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
+        validate_tau(tau);
+        let mut stats = SearchStats {
+            total_list_elements: index.query_list_elements(query),
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        if query.is_empty() {
+            return SearchOutcome { results, stats };
+        }
+
+        let lists: Vec<&[crate::Posting]> = query
+            .tokens
+            .iter()
+            .map(|qt| {
+                let l = index
+                    .list(qt.token)
+                    .expect("prepared query token has a list");
+                assert!(
+                    !l.postings_by_id().is_empty() || l.is_empty(),
+                    "sort-by-id requires build_id_sorted_lists"
+                );
+                l.postings_by_id()
+            })
+            .collect();
+
+        // Heap of (Reverse(id), list index); positions track each cursor.
+        let mut heap: BinaryHeap<(Reverse<u32>, usize)> = BinaryHeap::new();
+        let mut pos = vec![0usize; lists.len()];
+        for (i, l) in lists.iter().enumerate() {
+            if !l.is_empty() {
+                heap.push((Reverse(l[0].id.0), i));
+            }
+        }
+
+        while let Some(&(Reverse(id), _)) = heap.peek() {
+            // Drain every list whose head is `id`, accumulating its score.
+            let mut dot = 0.0;
+            let mut len_s = 0.0;
+            while let Some(&(Reverse(head), i)) = heap.peek() {
+                if head != id {
+                    break;
+                }
+                heap.pop();
+                let p = lists[i][pos[i]];
+                stats.elements_read += 1;
+                dot += query.tokens[i].idf_sq;
+                len_s = p.len;
+                pos[i] += 1;
+                if pos[i] < lists[i].len() {
+                    heap.push((Reverse(lists[i][pos[i]].id.0), i));
+                }
+            }
+            let score = dot / (len_s * query.len);
+            if crate::passes(score, tau) {
+                results.push(Match {
+                    id: crate::SetId(id),
+                    score,
+                });
+            }
+        }
+
+        SearchOutcome { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FullScan;
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(texts: &[&str]) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn agrees_with_scan() {
+        let c = setup(&[
+            "main street",
+            "main st",
+            "maine street",
+            "park avenue",
+            "main street east",
+        ]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        for text in ["main street", "maine", "park"] {
+            let q = idx.prepare_query_str(text);
+            for tau in [0.2, 0.5, 0.8, 1.0] {
+                let a = SortByIdMerge.search(&idx, &q, tau);
+                let b = FullScan.search(&idx, &q, tau);
+                assert_eq!(a.ids_sorted(), b.ids_sorted(), "q={text} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn reads_every_list_element() {
+        let c = setup(&["abcd", "bcde", "abcf"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcd");
+        let out = SortByIdMerge.search(&idx, &q, 0.9);
+        assert_eq!(out.stats.elements_read, out.stats.total_list_elements);
+        assert_eq!(out.stats.pruning_pct(), 0.0);
+    }
+
+    #[test]
+    fn empty_query() {
+        let c = setup(&["abcd"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("");
+        let out = SortByIdMerge.search(&idx, &q, 0.5);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn scores_are_exact() {
+        let c = setup(&["abcdef", "abcxyz"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = SortByIdMerge.search(&idx, &q, 0.1);
+        for m in &out.results {
+            let expect = super::super::scan::exact_score(&idx, &q, m.id);
+            assert!((m.score - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The eight selection algorithms plus top-k and parallel extensions.
+//!
+//! All list-based algorithms implement [`SelectionAlgorithm`] and can be
+//! swapped freely; every one of them returns exactly the sets with
+//! `I(q, s) ≥ τ` (the integration suite checks each against [`FullScan`]).
+//!
+//! | Algorithm | Section | Access pattern | Properties used |
+//! |---|---|---|---|
+//! | [`FullScan`] | — | whole database | none (oracle) |
+//! | [`SortByIdMerge`] | III-B | all list elements, heap merge | none |
+//! | [`TaAlgorithm`] | III-B | sorted + random | monotonicity |
+//! | [`NraAlgorithm`] | III-B (Alg. 1) | sorted, round-robin | monotonicity |
+//! | [`ITaAlgorithm`] | V | sorted + random | all three |
+//! | [`INraAlgorithm`] | V (Alg. 2) | sorted, round-robin | all three |
+//! | [`SfAlgorithm`] | VI (Alg. 3) | sorted, depth-first by idf | all three + λᵢ |
+//! | [`HybridAlgorithm`] | VII (Alg. 4) | sorted, round-robin | all three + λᵢ + max_len(C) |
+
+mod hybrid;
+mod inra;
+mod ita;
+mod merge;
+mod nra;
+pub mod parallel;
+pub mod prefix;
+mod scan;
+pub mod selfjoin;
+mod sf;
+pub mod sql;
+mod ta;
+pub mod topk;
+
+pub use hybrid::HybridAlgorithm;
+pub use inra::INraAlgorithm;
+pub use ita::ITaAlgorithm;
+pub use merge::SortByIdMerge;
+pub use nra::NraAlgorithm;
+pub use scan::FullScan;
+pub use sf::SfAlgorithm;
+pub use ta::TaAlgorithm;
+
+use crate::{InvertedIndex, PreparedQuery, SearchOutcome};
+
+/// Toggles for the property-based optimizations, matching the ablations of
+/// Figures 8 (Length Bounding) and 9 (skip lists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoConfig {
+    /// Apply Theorem 1: seek lists to `τ·len(q)` and stop them past
+    /// `len(q)/τ`. Disabling reproduces the "NLB" variants of Figure 8.
+    pub length_bounding: bool,
+    /// Use the per-list skip lists for the initial seek. Disabling forces
+    /// a scan-and-discard of the prefix — the "NSL" variants of Figure 9.
+    /// Irrelevant unless `length_bounding` is on.
+    pub use_skip_lists: bool,
+}
+
+impl Default for AlgoConfig {
+    fn default() -> Self {
+        Self {
+            length_bounding: true,
+            use_skip_lists: true,
+        }
+    }
+}
+
+impl AlgoConfig {
+    /// Everything on (the paper's default setting).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Length Bounding disabled (Figure 8's NLB).
+    pub fn no_length_bounding() -> Self {
+        Self {
+            length_bounding: false,
+            use_skip_lists: false,
+        }
+    }
+
+    /// Skip lists disabled but Length Bounding on (Figure 9's NSL).
+    pub fn no_skip_lists() -> Self {
+        Self {
+            length_bounding: true,
+            use_skip_lists: false,
+        }
+    }
+}
+
+/// A set similarity selection algorithm: given a prepared query and a
+/// threshold `τ ∈ (0, 1]`, return every set with `I(q, s) ≥ τ`.
+pub trait SelectionAlgorithm {
+    /// Display name used in experiment output ("SF", "iNRA", …).
+    fn name(&self) -> &'static str;
+
+    /// Run the selection. Implementations must be exact: no false
+    /// negatives, no false positives, exact scores in the result.
+    ///
+    /// # Panics
+    /// Panics if `tau` is outside `(0, 1]`.
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome;
+}
+
+/// Bitset over query lists; queries are words decomposed into q-grams, so
+/// 128 lists is far beyond anything the paper's workloads produce.
+pub(crate) const MAX_QUERY_LISTS: usize = 128;
+
+pub(crate) fn assert_query_width(query: &PreparedQuery) {
+    assert!(
+        query.num_lists() <= MAX_QUERY_LISTS,
+        "query has {} lists; maximum supported is {MAX_QUERY_LISTS}",
+        query.num_lists()
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    /// Deterministic pseudo-random lowercase sequence (LCG). Prefixes of it
+    /// have pairwise-distinct gram sets and strictly growing normalized
+    /// lengths — unlike a cycled alphabet, whose prefixes alias each other's
+    /// gram sets every period.
+    pub fn pseudoseq(len: usize) -> String {
+        let mut x: u32 = 0xbeef;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+                char::from(b'a' + ((x >> 16) % 26) as u8)
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,266 @@
+use crate::algorithms::{assert_query_width, SelectionAlgorithm};
+use crate::{
+    safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats,
+    SetId,
+};
+use std::collections::HashMap;
+
+/// The classic No-Random-Access algorithm (Algorithm 1).
+///
+/// Sequential accesses only, in round-robin order. A hash table keeps one
+/// candidate per discovered set with its partial (lower-bound) score and a
+/// bit vector of the lists it has appeared in; upper bounds use the
+/// frontier contributions `wᵢ(fᵢ)`. After each round the candidate set is
+/// scanned: candidates whose upper bound falls below τ are discarded,
+/// candidates whose score is complete and ≥ τ are reported. The search
+/// ends when the candidate set empties.
+///
+/// The paper could not run textbook NRA to completion at scale, so its
+/// experiments enable two bookkeeping reducers (both on by default here,
+/// disable via [`NraAlgorithm::pure`]): skip candidate scans while the
+/// frontier bound `F ≥ τ` (the search cannot terminate before `F < τ`
+/// anyway), and end a scan at the first still-viable candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct NraAlgorithm {
+    /// Skip candidate-set scans while `F ≥ τ`.
+    pub lazy_scans: bool,
+    /// Terminate a candidate scan at the first surviving candidate.
+    pub early_scan_exit: bool,
+}
+
+impl Default for NraAlgorithm {
+    fn default() -> Self {
+        Self {
+            lazy_scans: true,
+            early_scan_exit: true,
+        }
+    }
+}
+
+impl NraAlgorithm {
+    /// Textbook NRA: full candidate scan every round.
+    pub fn pure() -> Self {
+        Self {
+            lazy_scans: false,
+            early_scan_exit: false,
+        }
+    }
+}
+
+// Classic NRA tracks no set length: its upper bounds use frontier weights
+// only (that blindness is exactly what iNRA fixes).
+struct Cand {
+    lower: f64,
+    seen: u128,
+}
+
+impl SelectionAlgorithm for NraAlgorithm {
+    fn name(&self) -> &'static str {
+        "NRA"
+    }
+
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
+        validate_tau(tau);
+        assert_query_width(query);
+        let mut stats = SearchStats {
+            total_list_elements: index.query_list_elements(query),
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        if query.is_empty() {
+            return SearchOutcome { results, stats };
+        }
+
+        let lists: Vec<&[crate::Posting]> = query
+            .tokens
+            .iter()
+            .map(|qt| {
+                index
+                    .list(qt.token)
+                    .expect("query token has a list")
+                    .postings()
+            })
+            .collect();
+        let n = lists.len();
+        let mut pos = vec![0usize; n];
+        let mut frontier_w = vec![f64::INFINITY; n]; // wᵢ(fᵢ); 0 when exhausted
+        let mut candidates: HashMap<u32, Cand> = HashMap::new();
+
+        loop {
+            stats.rounds += 1;
+            let mut any_read = false;
+            for i in 0..n {
+                if pos[i] >= lists[i].len() {
+                    frontier_w[i] = 0.0;
+                    continue;
+                }
+                let p = lists[i][pos[i]];
+                pos[i] += 1;
+                stats.elements_read += 1;
+                any_read = true;
+                frontier_w[i] = query.tokens[i].idf_sq / (p.len * query.len);
+                if pos[i] >= lists[i].len() {
+                    // Keep the frontier weight until the round's bound is
+                    // computed; it becomes 0 next round via the guard above.
+                }
+                let w = query.tokens[i].idf_sq / (p.len * query.len);
+                let e = candidates.entry(p.id.0).or_insert_with(|| {
+                    stats.candidates_inserted += 1;
+                    Cand {
+                        lower: 0.0,
+                        seen: 0,
+                    }
+                });
+                e.lower += w;
+                e.seen |= 1u128 << i;
+            }
+
+            let exhausted: Vec<bool> = (0..n).map(|i| pos[i] >= lists[i].len()).collect();
+            let all_exhausted = exhausted.iter().all(|&e| e);
+            // Best possible score of an unseen set.
+            let f: f64 = (0..n)
+                .map(|i| if exhausted[i] { 0.0 } else { frontier_w[i] })
+                .sum();
+
+            let must_scan = !self.lazy_scans || safely_below(f, tau) || all_exhausted;
+            if must_scan {
+                let mut to_remove = Vec::new();
+                for (&id, c) in candidates.iter() {
+                    stats.candidate_scan_steps += 1;
+                    let mut upper = c.lower;
+                    let mut complete = true;
+                    for i in 0..n {
+                        if c.seen & (1u128 << i) != 0 {
+                            continue;
+                        }
+                        if exhausted[i] {
+                            continue; // resolved: not in list i
+                        }
+                        complete = false;
+                        upper += frontier_w[i];
+                    }
+                    if complete {
+                        if crate::passes(c.lower, tau) {
+                            results.push(Match {
+                                id: SetId(id),
+                                score: c.lower,
+                            });
+                        }
+                        to_remove.push(id);
+                    } else if safely_below(upper, tau) {
+                        to_remove.push(id);
+                    } else if self.early_scan_exit && !all_exhausted {
+                        break; // a viable candidate survives; stop scanning
+                    }
+                }
+                for id in to_remove {
+                    candidates.remove(&id);
+                }
+            }
+
+            if all_exhausted {
+                break; // final scan above resolved every candidate
+            }
+            if candidates.is_empty() && safely_below(f, tau) {
+                break;
+            }
+            if !any_read {
+                break; // defensive: nothing left to read
+            }
+        }
+
+        SearchOutcome { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FullScan;
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(texts: &[&str]) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    fn check_against_scan(texts: &[&str], queries: &[&str], taus: &[f64]) {
+        let c = setup(texts);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        for text in queries {
+            let q = idx.prepare_query_str(text);
+            for &tau in taus {
+                let oracle = FullScan.search(&idx, &q, tau);
+                for algo in [NraAlgorithm::default(), NraAlgorithm::pure()] {
+                    let got = algo.search(&idx, &q, tau);
+                    assert_eq!(
+                        got.ids_sorted(),
+                        oracle.ids_sorted(),
+                        "q={text} tau={tau} lazy={}",
+                        algo.lazy_scans
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_scan() {
+        check_against_scan(
+            &[
+                "main street",
+                "main st",
+                "maine street",
+                "park avenue",
+                "main street east",
+                "maine",
+            ],
+            &["main street", "maine", "park avenue", "main"],
+            &[0.2, 0.5, 0.8, 1.0],
+        );
+    }
+
+    #[test]
+    fn agrees_on_identical_lengths() {
+        // All sets the same length: frontier bounds stay flat for a while.
+        check_against_scan(
+            &["abcd", "bcda", "cdab", "dabc"],
+            &["abcd", "bcda"],
+            &[0.3, 0.7, 1.0],
+        );
+    }
+
+    #[test]
+    fn no_random_probes() {
+        let c = setup(&["abcdef", "abcxyz"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = NraAlgorithm::default().search(&idx, &q, 0.5);
+        assert_eq!(out.stats.random_probes, 0);
+    }
+
+    #[test]
+    fn scores_are_exact() {
+        let c = setup(&["abcdef", "abcxyz", "abqrst"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = NraAlgorithm::default().search(&idx, &q, 0.1);
+        for m in &out.results {
+            let expect = super::super::scan::exact_score(&idx, &q, m.id);
+            assert!((m.score - expect).abs() < 1e-9, "{:?}", m);
+        }
+    }
+
+    #[test]
+    fn empty_query() {
+        let c = setup(&["abcd"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("");
+        assert!(NraAlgorithm::default()
+            .search(&idx, &q, 0.5)
+            .results
+            .is_empty());
+    }
+}

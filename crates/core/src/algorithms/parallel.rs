@@ -1,0 +1,110 @@
+//! Parallel batch query execution (the paper's stated future work).
+//!
+//! The index is immutable after construction, so queries parallelize
+//! embarrassingly: a batch is split across scoped worker threads
+//! (crossbeam), each running any [`SelectionAlgorithm`] against the shared
+//! index. Results come back in input order.
+
+use crate::algorithms::SelectionAlgorithm;
+use crate::{InvertedIndex, PreparedQuery, SearchOutcome};
+
+/// Run `algo` over every query in `queries` using `num_threads` workers.
+///
+/// Outcomes are returned in the order of `queries`. With `num_threads`
+/// of 0 or 1, runs inline on the caller's thread.
+pub fn search_batch<A>(
+    algo: &A,
+    index: &InvertedIndex<'_>,
+    queries: &[PreparedQuery],
+    tau: f64,
+    num_threads: usize,
+) -> Vec<SearchOutcome>
+where
+    A: SelectionAlgorithm + Sync,
+{
+    if num_threads <= 1 || queries.len() <= 1 {
+        return queries.iter().map(|q| algo.search(index, q, tau)).collect();
+    }
+    let workers = num_threads.min(queries.len());
+    let chunk = queries.len().div_ceil(workers);
+    let mut slots: Vec<Option<SearchOutcome>> = (0..queries.len()).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for (qchunk, schunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (q, slot) in qchunk.iter().zip(schunk.iter_mut()) {
+                    *slot = Some(algo.search(index, q, tau));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every query produced an outcome"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FullScan, SfAlgorithm};
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(n: usize) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        for i in 0..n {
+            b.add(&format!("record number {i:05}"));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let c = setup(200);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let queries: Vec<_> = (0..16)
+            .map(|i| idx.prepare_query_str(&format!("record number {i:05}")))
+            .collect();
+        let serial = search_batch(&SfAlgorithm::default(), &idx, &queries, 0.8, 1);
+        let parallel = search_batch(&SfAlgorithm::default(), &idx, &queries, 0.8, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.ids_sorted(), p.ids_sorted());
+        }
+    }
+
+    #[test]
+    fn parallel_agrees_with_oracle() {
+        let c = setup(100);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let queries: Vec<_> = (0..8)
+            .map(|i| idx.prepare_query_str(&format!("record number {i:05}")))
+            .collect();
+        let outs = search_batch(&SfAlgorithm::default(), &idx, &queries, 0.7, 3);
+        for (q, out) in queries.iter().zip(&outs) {
+            let oracle = FullScan.search(&idx, q, 0.7);
+            assert_eq!(out.ids_sorted(), oracle.ids_sorted());
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let c = setup(5);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let outs = search_batch(&SfAlgorithm::default(), &idx, &[], 0.5, 4);
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let c = setup(20);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let queries = vec![idx.prepare_query_str("record number 00001")];
+        let outs = search_batch(&SfAlgorithm::default(), &idx, &queries, 0.8, 16);
+        assert_eq!(outs.len(), 1);
+        assert!(!outs[0].results.is_empty());
+    }
+}

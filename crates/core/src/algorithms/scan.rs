@@ -1,0 +1,147 @@
+use crate::algorithms::SelectionAlgorithm;
+use crate::{validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats, SetId};
+
+/// Exhaustive scan: scores every database set directly from the base
+/// table. `O(N · |q|)`, no index structures used.
+///
+/// This is the correctness oracle for every other algorithm, and the
+/// behaviour of the relational baseline when no index is available (which
+/// the paper reports as "did not terminate in a reasonable amount of
+/// time" at their scale).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullScan;
+
+impl SelectionAlgorithm for FullScan {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
+        validate_tau(tau);
+        let mut stats = SearchStats {
+            total_list_elements: index.query_list_elements(query),
+            ..Default::default()
+        };
+        let collection = index.collection();
+        let mut results = Vec::new();
+        if query.is_empty() || query.len == 0.0 {
+            return SearchOutcome { results, stats };
+        }
+        for (id, set) in collection.iter_sets() {
+            stats.elements_read += 1;
+            let len_s = index.set_len(id);
+            if len_s == 0.0 {
+                continue;
+            }
+            let mut dot = 0.0;
+            for qt in &query.tokens {
+                if set.contains(qt.token) {
+                    dot += qt.idf_sq;
+                }
+            }
+            let score = dot / (len_s * query.len);
+            if crate::passes(score, tau) {
+                results.push(Match { id, score });
+            }
+        }
+        SearchOutcome { results, stats }
+    }
+}
+
+/// Exact IDF score of one set against a prepared query (used by tests and
+/// the top-k oracle).
+pub(crate) fn exact_score(index: &InvertedIndex<'_>, query: &PreparedQuery, id: SetId) -> f64 {
+    let set = index.collection().set(id);
+    let len_s = index.set_len(id);
+    if len_s == 0.0 || query.len == 0.0 {
+        return 0.0;
+    }
+    let dot: f64 = query
+        .tokens
+        .iter()
+        .filter(|qt| set.contains(qt.token))
+        .map(|qt| qt.idf_sq)
+        .sum();
+    dot / (len_s * query.len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(texts: &[&str]) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let c = setup(&["main street", "park avenue"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("main street");
+        let out = FullScan.search(&idx, &q, 0.99);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].id, SetId(0));
+        assert!((out.results[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_one_returns_only_exact() {
+        let c = setup(&["abcdef", "abcdeg", "abcdef"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = FullScan.search(&idx, &q, 1.0);
+        assert_eq!(out.ids_sorted(), vec![SetId(0), SetId(2)]);
+    }
+
+    #[test]
+    fn low_tau_returns_everything_overlapping() {
+        let c = setup(&["abcdef", "defghi", "zzzzzz"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = FullScan.search(&idx, &q, 0.01);
+        // zzzzzz shares no grams.
+        assert_eq!(out.ids_sorted(), vec![SetId(0), SetId(1)]);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let c = setup(&["abcdef"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("");
+        let out = FullScan.search(&idx, &q, 0.5);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn zero_tau_panics() {
+        let c = setup(&["abcdef"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let _ = FullScan.search(&idx, &q, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn tau_above_one_panics() {
+        let c = setup(&["abcdef"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let _ = FullScan.search(&idx, &q, 1.5);
+    }
+
+    #[test]
+    fn exact_score_agrees_with_scan() {
+        let c = setup(&["abcdef", "abcxyz", "qrstuv"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = FullScan.search(&idx, &q, 0.0001);
+        for m in &out.results {
+            assert!((exact_score(&idx, &q, m.id) - m.score).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Set similarity **self-join** built on selection queries.
+//!
+//! The literature the paper positions itself against is mostly about
+//! joins; the selection primitive composes into one directly: run one
+//! selection per database set and keep each pair once. Length Boundedness
+//! makes this far better than it sounds — each probe touches only the
+//! `[τ·len(q), len(q)/τ]` window of its lists — and probes are
+//! embarrassingly parallel.
+
+use crate::algorithms::SelectionAlgorithm;
+use crate::{validate_tau, InvertedIndex, SearchStats, SetId};
+
+/// One joined pair: `a < b` and `I(a, b) ≥ τ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinPair {
+    /// Smaller set id.
+    pub a: SetId,
+    /// Larger set id.
+    pub b: SetId,
+    /// Their exact similarity.
+    pub score: f64,
+}
+
+/// Result of a self-join.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// All qualifying pairs, `a < b`, in ascending `(a, b)` order.
+    pub pairs: Vec<JoinPair>,
+    /// Merged access statistics over all probes.
+    pub stats: SearchStats,
+}
+
+/// Self-join `index`'s collection at threshold `tau` using `algo` for the
+/// per-set probes. Pairs are deduplicated (`a < b`); self-pairs excluded.
+pub fn self_join<A: SelectionAlgorithm>(
+    index: &InvertedIndex<'_>,
+    algo: &A,
+    tau: f64,
+) -> JoinOutcome {
+    validate_tau(tau);
+    let mut out = JoinOutcome::default();
+    let collection = index.collection();
+    for (id, set) in collection.iter_sets() {
+        let query = index.prepare_query(set, 0);
+        let probe = algo.search(index, &query, tau);
+        out.stats.merge(&probe.stats);
+        for m in probe.results {
+            // Keep each unordered pair once, from its smaller endpoint.
+            if m.id > id {
+                out.pairs.push(JoinPair {
+                    a: id,
+                    b: m.id,
+                    score: m.score,
+                });
+            }
+        }
+    }
+    out.pairs.sort_by_key(|p| (p.a, p.b));
+    out
+}
+
+/// Parallel self-join: probes split across `num_threads` workers.
+pub fn par_self_join<A: SelectionAlgorithm + Sync>(
+    index: &InvertedIndex<'_>,
+    algo: &A,
+    tau: f64,
+    num_threads: usize,
+) -> JoinOutcome {
+    validate_tau(tau);
+    let n = index.collection().len();
+    if num_threads <= 1 || n <= 1 {
+        return self_join(index, algo, tau);
+    }
+    let workers = num_threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let mut partials: Vec<JoinOutcome> = (0..workers).map(|_| JoinOutcome::default()).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for (ids_chunk, slot) in ids.chunks(chunk).zip(partials.iter_mut()) {
+            scope.spawn(move |_| {
+                for &raw in ids_chunk {
+                    let id = SetId(raw);
+                    let query = index.prepare_query(index.collection().set(id), 0);
+                    let probe = algo.search(index, &query, tau);
+                    slot.stats.merge(&probe.stats);
+                    for m in probe.results {
+                        if m.id > id {
+                            slot.pairs.push(JoinPair {
+                                a: id,
+                                b: m.id,
+                                score: m.score,
+                            });
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("join worker panicked");
+
+    let mut out = JoinOutcome::default();
+    for p in partials {
+        out.stats.merge(&p.stats);
+        out.pairs.extend(p.pairs);
+    }
+    out.pairs.sort_by_key(|p| (p.a, p.b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::scan::exact_score;
+    use crate::{CollectionBuilder, IndexOptions, SfAlgorithm};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(texts: &[&str]) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    /// O(n²) oracle.
+    fn join_oracle(index: &InvertedIndex<'_>, tau: f64) -> Vec<(u32, u32)> {
+        let n = index.collection().len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let q = index.prepare_query(index.collection().set(SetId(i as u32)), 0);
+            for j in (i + 1)..n {
+                let s = exact_score(index, &q, SetId(j as u32));
+                if s >= tau - 1e-9 * tau {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_nested_loop_oracle() {
+        let c = setup(&[
+            "main street",
+            "main st",
+            "maine street",
+            "main street",
+            "park avenue",
+            "park avenu",
+            "completely different",
+        ]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        for tau in [0.4, 0.6, 0.9] {
+            let got: Vec<(u32, u32)> = self_join(&idx, &SfAlgorithm::default(), tau)
+                .pairs
+                .iter()
+                .map(|p| (p.a.0, p.b.0))
+                .collect();
+            let want = join_oracle(&idx, tau);
+            assert_eq!(got, want, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn duplicate_records_always_join() {
+        let c = setup(&["same string", "same string", "other thing"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let out = self_join(&idx, &SfAlgorithm::default(), 1.0);
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!((out.pairs[0].a.0, out.pairs[0].b.0), (0, 1));
+        assert!((out.pairs[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pairs_are_deduplicated_and_ordered() {
+        let c = setup(&["abcdef", "abcdeg", "abcdfg", "abcefg"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let out = self_join(&idx, &SfAlgorithm::default(), 0.3);
+        for p in &out.pairs {
+            assert!(p.a < p.b);
+        }
+        for w in out.pairs.windows(2) {
+            assert!((w[0].a, w[0].b) < (w[1].a, w[1].b));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &out.pairs {
+            assert!(seen.insert((p.a, p.b)), "duplicate pair {p:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let texts: Vec<String> = (0..120)
+            .map(|i| format!("record {} {}", i % 30, i))
+            .collect();
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let c = setup(&refs);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let serial = self_join(&idx, &SfAlgorithm::default(), 0.7);
+        let parallel = par_self_join(&idx, &SfAlgorithm::default(), 0.7, 4);
+        let a: Vec<_> = serial.pairs.iter().map(|p| (p.a, p.b)).collect();
+        let b: Vec<_> = parallel.pairs.iter().map(|p| (p.a, p.b)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_collection_joins_empty() {
+        let c = setup(&[]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        assert!(self_join(&idx, &SfAlgorithm::default(), 0.5)
+            .pairs
+            .is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+use crate::algorithms::{AlgoConfig, SelectionAlgorithm};
+use crate::{
+    properties, safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome,
+    SearchStats, SetId,
+};
+
+/// The Shortest-First algorithm (Algorithm 3, "SF").
+///
+/// Depth-first: lists are processed one at a time in **descending idf**
+/// order — shortest (rarest-token) lists first. Before list `i` is
+/// scanned, the cutoff
+///
+/// ```text
+/// λᵢ = Σ_{j ≥ i} idf(qʲ)² / (τ·len(q))
+/// ```
+///
+/// bounds the length of any *new* viable candidate: a set first appearing
+/// in list `i` can collect contributions only from lists `i..n`, so a
+/// longer set cannot reach τ even if it appeared in all of them. Because
+/// `λ₁ ≥ λ₂ ≥ …`, reading rare lists first discovers few false positives,
+/// and the candidate ceiling `max_len(C)` keeps falling, so only a small
+/// prefix of the long, frequent-token lists is ever touched.
+///
+/// Candidates live in a single list sorted by `(len, id)` — the same order
+/// as every inverted list — so each list is combined with the candidate
+/// set by one merge pass: no hashing, no per-round scans. Bookkeeping is
+/// minimal, which is why SF wins on wall-clock time throughout Figure 6
+/// even though iTA prunes slightly more.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SfAlgorithm {
+    /// Property toggles (Figures 8 and 9 ablations).
+    pub config: AlgoConfig,
+}
+
+impl SfAlgorithm {
+    /// SF with explicit property toggles.
+    pub fn with_config(config: AlgoConfig) -> Self {
+        Self { config }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cand {
+    id: SetId,
+    len: f64,
+    lower: f64,
+}
+
+/// Ordering key shared by candidate list and inverted lists.
+#[inline]
+fn key(len: f64, id: SetId) -> (u64, u32) {
+    (len.to_bits(), id.0)
+}
+
+impl SelectionAlgorithm for SfAlgorithm {
+    fn name(&self) -> &'static str {
+        "SF"
+    }
+
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
+        validate_tau(tau);
+        let mut stats = SearchStats {
+            total_list_elements: index.query_list_elements(query),
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        if query.is_empty() {
+            return SearchOutcome { results, stats };
+        }
+
+        let n = query.num_lists();
+        let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
+        let lo_seek = len_lo * (1.0 - crate::EPS_REL);
+        let hi_cut = len_hi * (1.0 + crate::EPS_REL);
+        // λᵢ cutoffs (query tokens are already in descending idf order).
+        let lambdas = properties::lambda_cutoffs(query, tau);
+        let suffix = query.idf_sq_suffix_sums();
+
+        // Candidate list, kept sorted by (len, id).
+        let mut cands: Vec<Cand> = Vec::new();
+
+        for i in 0..n {
+            stats.rounds += 1;
+            let list = index
+                .list(query.tokens[i].token)
+                .expect("query token has a list");
+            let postings = list.postings();
+            let start = if self.config.length_bounding {
+                list.seek_len(lo_seek, self.config.use_skip_lists, &mut stats)
+            } else {
+                0
+            };
+            let lambda_i = lambdas[i] * (1.0 + crate::EPS_REL);
+            // µᵢ: no new candidate beyond λᵢ; nothing qualifies beyond
+            // len(q)/τ. (λᵢ ≤ len(q)/τ always, but keep the min for the
+            // no-length-bounding ablation where hi_cut is disabled.)
+            let mu = if self.config.length_bounding {
+                lambda_i.min(hi_cut)
+            } else {
+                lambda_i
+            };
+
+            let mut merged: Vec<Cand> = Vec::with_capacity(cands.len());
+            let mut ci = 0usize; // cursor into cands
+            let mut pos = start;
+            loop {
+                // Reading bound: the deepest point any existing candidate
+                // or admissible new candidate can sit at. Only the
+                // not-yet-merged tail of C matters; new insertions sit
+                // below λᵢ ≤ µ already.
+                let tail_max = if ci < cands.len() {
+                    cands[cands.len() - 1].len
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let bound = mu.max(tail_max);
+                if pos >= postings.len() {
+                    break;
+                }
+                let p = postings[pos];
+                if p.len > bound {
+                    break;
+                }
+                pos += 1;
+                stats.elements_read += 1;
+
+                // Merge step: flush candidates ordered before this posting;
+                // they did not appear in list i.
+                while ci < cands.len() && key(cands[ci].len, cands[ci].id) < key(p.len, p.id) {
+                    let c = cands[ci];
+                    ci += 1;
+                    stats.candidate_scan_steps += 1;
+                    let upper = c.lower + suffix[i + 1] / (c.len * query.len);
+                    if !safely_below(upper, tau) {
+                        merged.push(c);
+                    }
+                }
+                let w = query.tokens[i].idf_sq / (p.len * query.len);
+                if ci < cands.len() && key(cands[ci].len, cands[ci].id) == key(p.len, p.id) {
+                    // Existing candidate found in list i.
+                    let mut c = cands[ci];
+                    ci += 1;
+                    c.lower += w;
+                    merged.push(c);
+                } else if p.len <= lambda_i {
+                    // New candidate admissible in list i.
+                    stats.candidates_inserted += 1;
+                    merged.push(Cand {
+                        id: p.id,
+                        len: p.len,
+                        lower: w,
+                    });
+                }
+            }
+            // Flush candidates beyond the last posting read: skipped in
+            // list i as well.
+            while ci < cands.len() {
+                let c = cands[ci];
+                ci += 1;
+                stats.candidate_scan_steps += 1;
+                let upper = c.lower + suffix[i + 1] / (c.len * query.len);
+                if !safely_below(upper, tau) {
+                    merged.push(c);
+                }
+            }
+            cands = merged;
+            if cands.is_empty() && i + 1 < n {
+                // No candidate survives; later lists cannot create viable
+                // new ones deeper than their own λ, so continue — λ keeps
+                // shrinking and scans stay shallow.
+                continue;
+            }
+        }
+
+        for c in cands {
+            if crate::passes(c.lower, tau) {
+                results.push(Match {
+                    id: c.id,
+                    score: c.lower,
+                });
+            }
+        }
+
+        SearchOutcome { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FullScan;
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(texts: &[&str]) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn agrees_with_scan_all_configs() {
+        let c = setup(&[
+            "main street",
+            "main st",
+            "maine street",
+            "park avenue",
+            "main street east",
+            "maine",
+            "mainstreet",
+            "st main",
+        ]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let configs = [
+            AlgoConfig::full(),
+            AlgoConfig::no_skip_lists(),
+            AlgoConfig::no_length_bounding(),
+        ];
+        for text in ["main street", "maine", "park avenue", "main", "st"] {
+            let q = idx.prepare_query_str(text);
+            for tau in [0.2, 0.5, 0.8, 1.0] {
+                let oracle = FullScan.search(&idx, &q, tau);
+                for cfg in configs {
+                    let got = SfAlgorithm::with_config(cfg).search(&idx, &q, tau);
+                    assert_eq!(
+                        got.ids_sorted(),
+                        oracle.ids_sorted(),
+                        "q={text} tau={tau} cfg={cfg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_list_merge_keeps_exact_scores() {
+        let c = setup(&["abcdef", "abcxyz", "abqrst", "abcdxy"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = SfAlgorithm::default().search(&idx, &q, 0.1);
+        for m in &out.results {
+            let expect = super::super::scan::exact_score(&idx, &q, m.id);
+            assert!((m.score - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_random_probes_and_no_hash_needed() {
+        // SF must run on an index without hash structures at all.
+        let c = setup(&["abcdef", "abcxyz", "defghi"]);
+        let lean = IndexOptions {
+            build_hash_indexes: false,
+            build_id_sorted_lists: false,
+            ..IndexOptions::default()
+        };
+        let idx = InvertedIndex::build(&c, lean);
+        let q = idx.prepare_query_str("abcdef");
+        let out = SfAlgorithm::default().search(&idx, &q, 0.4);
+        assert_eq!(out.stats.random_probes, 0);
+        assert!(!out.results.is_empty());
+    }
+
+    #[test]
+    fn shallow_scans_on_frequent_lists() {
+        // A flood of long records sharing the query's grams: they populate
+        // the query's lists but sit far beyond the length window, so SF
+        // skips essentially all of them.
+        let mut texts: Vec<String> = (0..500)
+            .map(|i| format!("zyxwvut padded with lots of extra material {i:04}"))
+            .collect();
+        texts.push("zyxwvut".into());
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let c = setup(&refs);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("zyxwvut");
+        let out = SfAlgorithm::default().search(&idx, &q, 0.8);
+        assert_eq!(out.results.len(), 1);
+        assert!(
+            out.stats.pruning_pct() > 90.0,
+            "pruning {}%",
+            out.stats.pruning_pct()
+        );
+    }
+
+    #[test]
+    fn empty_query() {
+        let c = setup(&["abcd"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("");
+        assert!(SfAlgorithm::default()
+            .search(&idx, &q, 0.5)
+            .results
+            .is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+use crate::algorithms::SelectionAlgorithm;
+use crate::{
+    safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats,
+};
+use std::collections::HashSet;
+
+/// The classic Threshold Algorithm (Fagin et al.) adapted to selection
+/// queries.
+///
+/// Round-robin sorted access over the weight-sorted lists; every newly
+/// seen set's score is completed immediately by random-access probes
+/// (extendible-hash membership tests) into every other list. The search
+/// stops when the frontier bound `F = Σᵢ wᵢ(fᵢ)` — the best score any
+/// unseen set could attain — drops below τ.
+///
+/// TA needs no candidate set, but pays `n − 1` random probes per new set,
+/// which is what makes it uncompetitive in Figure 6 (and why extendible
+/// hashing dominates the index budget in Figure 5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaAlgorithm;
+
+impl SelectionAlgorithm for TaAlgorithm {
+    fn name(&self) -> &'static str {
+        "TA"
+    }
+
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
+        validate_tau(tau);
+        let mut stats = SearchStats {
+            total_list_elements: index.query_list_elements(query),
+            ..Default::default()
+        };
+        let mut results = Vec::new();
+        if query.is_empty() {
+            return SearchOutcome { results, stats };
+        }
+
+        let lists: Vec<&crate::index::PostingList> = query
+            .tokens
+            .iter()
+            .map(|qt| index.list(qt.token).expect("query token has a list"))
+            .collect();
+        let n = lists.len();
+        let mut pos = vec![0usize; n];
+        let mut frontier_len = vec![0.0f64; n];
+        let mut seen: HashSet<u32> = HashSet::new();
+
+        loop {
+            stats.rounds += 1;
+            let mut any_read = false;
+            for i in 0..n {
+                let postings = lists[i].postings();
+                if pos[i] >= postings.len() {
+                    continue;
+                }
+                let p = postings[pos[i]];
+                pos[i] += 1;
+                stats.elements_read += 1;
+                any_read = true;
+                frontier_len[i] = p.len;
+                if !seen.insert(p.id.0) {
+                    continue;
+                }
+                // Complete the score by probing every other list.
+                let mut dot = query.tokens[i].idf_sq;
+                for (j, l) in lists.iter().enumerate() {
+                    if j != i && l.contains_id(p.id, &mut stats) {
+                        dot += query.tokens[j].idf_sq;
+                    }
+                }
+                let score = dot / (p.len * query.len);
+                if crate::passes(score, tau) {
+                    results.push(Match { id: p.id, score });
+                }
+            }
+            if !any_read {
+                break; // every list exhausted
+            }
+            // Best possible score of a yet unseen set.
+            let f: f64 = (0..n)
+                .map(|i| {
+                    if pos[i] >= lists[i].len() {
+                        0.0
+                    } else {
+                        query.tokens[i].idf_sq / (frontier_len[i] * query.len)
+                    }
+                })
+                .sum();
+            if safely_below(f, tau) {
+                break;
+            }
+        }
+
+        SearchOutcome { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FullScan;
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+
+    fn setup(texts: &[&str]) -> crate::SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn agrees_with_scan() {
+        let c = setup(&[
+            "main street",
+            "main st",
+            "maine street",
+            "park avenue",
+            "main street east",
+            "maine",
+        ]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        for text in ["main street", "maine", "park avenue", "main"] {
+            let q = idx.prepare_query_str(text);
+            for tau in [0.2, 0.5, 0.8, 1.0] {
+                let a = TaAlgorithm.search(&idx, &q, tau);
+                let b = FullScan.search(&idx, &q, tau);
+                assert_eq!(a.ids_sorted(), b.ids_sorted(), "q={text} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn issues_random_probes() {
+        let c = setup(&["abcdef", "abcxyz", "qrstuv"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("abcdef");
+        let out = TaAlgorithm.search(&idx, &q, 0.5);
+        assert!(out.stats.random_probes > 0, "TA must probe");
+    }
+
+    #[test]
+    fn early_stop_at_high_threshold() {
+        // Every record contains the query's grams, but all except the
+        // exact match are much longer: their postings sit deep in the
+        // weight-sorted lists, so the frontier bound F collapses below a
+        // high tau after a few accesses.
+        let mut texts: Vec<String> = (0..200)
+            .map(|i| format!("exactmatchword with plenty of extra junk {i:04}"))
+            .collect();
+        texts.push("exactmatchword".to_string());
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let c = setup(&refs);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("exactmatchword");
+        let out = TaAlgorithm.search(&idx, &q, 0.95);
+        assert_eq!(out.results.len(), 1);
+        assert!(
+            out.stats.elements_read < out.stats.total_list_elements,
+            "TA read everything"
+        );
+    }
+
+    #[test]
+    fn empty_query() {
+        let c = setup(&["abcd"]);
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let q = idx.prepare_query_str("");
+        assert!(TaAlgorithm.search(&idx, &q, 0.5).results.is_empty());
+    }
+}

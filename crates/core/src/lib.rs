@@ -1,0 +1,108 @@
+//! Set similarity selection queries over inverted lists.
+//!
+//! This crate implements the primary contribution of *"Fast Indexes and
+//! Algorithms for Set Similarity Selection Queries"* (ICDE 2008):
+//!
+//! * the **IDF similarity measure** (length-normalized TF/IDF with the term
+//!   frequency component dropped) and its companions TF/IDF, BM25, BM25′
+//!   (see [`measures`]);
+//! * the **semantic properties** of IDF — Order Preservation, Magnitude
+//!   Boundedness, and Length Boundedness (Theorem 1) — in [`properties`];
+//! * an **inverted index** whose lists are sorted by normalized set length
+//!   (equivalently, descending per-token contribution), with optional skip
+//!   lists for length seeks and extendible-hash id indexes for random
+//!   access ([`InvertedIndex`]);
+//! * **eight selection algorithms** sharing one interface
+//!   ([`SelectionAlgorithm`]): full scan, sort-by-id multiway merge, the
+//!   classic TA and NRA, the improved iTA and iNRA, the Shortest-First
+//!   (SF) algorithm, and the Hybrid algorithm; plus a relational (SQL)
+//!   baseline in [`algorithms::sql`];
+//! * extensions the paper lists as future work: **top-k** variants
+//!   ([`algorithms::topk`]) and **parallel batch execution**
+//!   ([`algorithms::parallel`]).
+//!
+//! # The problem
+//!
+//! Given a database `D` of token sets and a query set `q`, return every
+//! `s ∈ D` with `I(q, s) ≥ τ`, where
+//!
+//! ```text
+//! idf(t)  = log2(1 + N / N(t))
+//! len(s)  = sqrt( Σ_{t ∈ s} idf(t)² )
+//! I(q, s) = Σ_{t ∈ q ∩ s} idf(t)² / (len(s) · len(q))
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use setsim_core::{CollectionBuilder, IndexOptions, InvertedIndex,
+//!                   SelectionAlgorithm, SfAlgorithm};
+//! use setsim_tokenize::QGramTokenizer;
+//!
+//! let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+//! for s in ["main street", "main st", "maine street", "park avenue"] {
+//!     b.add(s);
+//! }
+//! let collection = b.build();
+//! let index = InvertedIndex::build(&collection, IndexOptions::default());
+//! let query = index.prepare_query_str("main street");
+//! let out = SfAlgorithm::default().search(&index, &query, 0.5);
+//! assert!(out
+//!     .results
+//!     .iter()
+//!     .any(|m| collection.text(m.id) == Some("main street")));
+//! ```
+
+pub mod algorithms;
+mod collection;
+mod index;
+pub mod measures;
+pub mod properties;
+mod query;
+mod result;
+mod stats;
+pub mod tfsearch;
+mod weights;
+
+pub use algorithms::{
+    AlgoConfig, FullScan, HybridAlgorithm, INraAlgorithm, ITaAlgorithm, NraAlgorithm,
+    SelectionAlgorithm, SfAlgorithm, SortByIdMerge, TaAlgorithm,
+};
+pub use collection::{CollectionBuilder, SetCollection, SetId};
+pub use index::{IndexOptions, InvertedIndex, Posting, PostingList};
+pub use query::{PreparedQuery, QueryToken};
+pub use result::{Match, SearchOutcome};
+pub use stats::SearchStats;
+pub use weights::TokenWeights;
+
+/// Relative slack used in pruning and boundary comparisons so that
+/// floating-point summation order can never cause a true result to be
+/// pruned. All slack is one-sided: it may keep a borderline candidate a
+/// little longer, never discard one early.
+pub(crate) const EPS_REL: f64 = 1e-9;
+
+/// True if `upper` is strictly below `tau` even after granting the
+/// floating-point slack — i.e. it is safe to prune.
+#[inline]
+pub(crate) fn safely_below(upper: f64, tau: f64) -> bool {
+    upper < tau - tau.abs() * EPS_REL - 1e-12
+}
+
+/// True if a completed score qualifies for reporting. The complement of
+/// [`safely_below`]: a score within floating-point slack of `tau` passes,
+/// so an exact match (whose score is 1 up to summation order) is always
+/// reported at `tau = 1` regardless of which algorithm summed it.
+#[inline]
+pub(crate) fn passes(score: f64, tau: f64) -> bool {
+    !safely_below(score, tau)
+}
+
+/// Validate a selection threshold. The IDF score is normalized to `[0, 1]`,
+/// so thresholds outside `(0, 1]` are programming errors.
+#[inline]
+pub(crate) fn validate_tau(tau: f64) {
+    assert!(
+        tau > 0.0 && tau <= 1.0 && tau.is_finite(),
+        "threshold must lie in (0, 1], got {tau}"
+    );
+}

@@ -1,0 +1,84 @@
+use crate::{SearchStats, SetId};
+
+/// One qualifying set: its id and exact IDF score (≥ τ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// The qualifying set.
+    pub id: SetId,
+    /// Its exact similarity score.
+    pub score: f64,
+}
+
+/// The outcome of one selection query: qualifying sets plus access
+/// statistics. Result order is unspecified (algorithms emit matches as
+/// their scores complete); sort by score or id as needed.
+#[derive(Debug, Clone, Default)]
+pub struct SearchOutcome {
+    /// All sets with score ≥ τ.
+    pub results: Vec<Match>,
+    /// Access counters for this query.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// Results sorted by descending score (ties by ascending id).
+    pub fn sorted_by_score(mut self) -> Vec<Match> {
+        self.results
+            .sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
+        self.results
+    }
+
+    /// Result ids sorted ascending (for set comparison in tests).
+    pub fn ids_sorted(&self) -> Vec<SetId> {
+        let mut ids: Vec<SetId> = self.results.iter().map(|m| m.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_by_score_orders_descending() {
+        let out = SearchOutcome {
+            results: vec![
+                Match {
+                    id: SetId(1),
+                    score: 0.5,
+                },
+                Match {
+                    id: SetId(2),
+                    score: 0.9,
+                },
+                Match {
+                    id: SetId(3),
+                    score: 0.7,
+                },
+            ],
+            stats: SearchStats::default(),
+        };
+        let sorted = out.sorted_by_score();
+        let ids: Vec<u32> = sorted.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn ids_sorted_ascending() {
+        let out = SearchOutcome {
+            results: vec![
+                Match {
+                    id: SetId(9),
+                    score: 0.5,
+                },
+                Match {
+                    id: SetId(2),
+                    score: 0.9,
+                },
+            ],
+            stats: SearchStats::default(),
+        };
+        assert_eq!(out.ids_sorted(), vec![SetId(2), SetId(9)]);
+    }
+}

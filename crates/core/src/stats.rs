@@ -1,0 +1,108 @@
+/// Access counters filled in by every selection algorithm.
+///
+/// The paper evaluates algorithms on wall-clock time *and* pruning power —
+/// "the percentage of words examined over the total number of words"
+/// (Figure 7). These counters expose both: `elements_read` is sorted
+/// (sequential) access, `random_probes` counts extendible-hash lookups
+/// (the TA family's per-element random I/O), and `total_list_elements` is
+/// the denominator for [`pruning_pct`](Self::pruning_pct).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Postings read by sorted access across all of the query's lists.
+    pub elements_read: u64,
+    /// Random-access probes (extendible hashing lookups) issued.
+    pub random_probes: u64,
+    /// Postings stepped over by skip-list seeks (never materialized).
+    pub elements_skipped: u64,
+    /// Candidates ever inserted into the candidate set.
+    pub candidates_inserted: u64,
+    /// Candidate-set entries visited during bookkeeping scans.
+    pub candidate_scan_steps: u64,
+    /// Round-robin rounds (breadth-first algorithms) or lists processed
+    /// (depth-first algorithms).
+    pub rounds: u64,
+    /// Total postings across the query's inverted lists — the pruning
+    /// denominator.
+    pub total_list_elements: u64,
+}
+
+impl SearchStats {
+    /// Percentage of list elements *not* read by sorted access, the
+    /// paper's pruning-power metric. 100 means nothing was read.
+    pub fn pruning_pct(&self) -> f64 {
+        if self.total_list_elements == 0 {
+            return 100.0;
+        }
+        let read = self.elements_read.min(self.total_list_elements);
+        100.0 * (1.0 - read as f64 / self.total_list_elements as f64)
+    }
+
+    /// Merge counters from another search (for workload aggregation).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.elements_read += other.elements_read;
+        self.random_probes += other.random_probes;
+        self.elements_skipped += other.elements_skipped;
+        self.candidates_inserted += other.candidates_inserted;
+        self.candidate_scan_steps += other.candidate_scan_steps;
+        self.rounds += other.rounds;
+        self.total_list_elements += other.total_list_elements;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_pct_full_read_is_zero() {
+        let s = SearchStats {
+            elements_read: 100,
+            total_list_elements: 100,
+            ..Default::default()
+        };
+        assert_eq!(s.pruning_pct(), 0.0);
+    }
+
+    #[test]
+    fn pruning_pct_no_read_is_hundred() {
+        let s = SearchStats {
+            elements_read: 0,
+            total_list_elements: 50,
+            ..Default::default()
+        };
+        assert_eq!(s.pruning_pct(), 100.0);
+    }
+
+    #[test]
+    fn pruning_pct_empty_lists() {
+        let s = SearchStats::default();
+        assert_eq!(s.pruning_pct(), 100.0);
+    }
+
+    #[test]
+    fn pruning_pct_partial() {
+        let s = SearchStats {
+            elements_read: 25,
+            total_list_elements: 100,
+            ..Default::default()
+        };
+        assert!((s.pruning_pct() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = SearchStats {
+            elements_read: 1,
+            random_probes: 2,
+            elements_skipped: 3,
+            candidates_inserted: 4,
+            candidate_scan_steps: 5,
+            rounds: 6,
+            total_list_elements: 7,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.elements_read, 2);
+        assert_eq!(a.random_probes, 4);
+        assert_eq!(a.total_list_elements, 14);
+    }
+}

@@ -1,0 +1,336 @@
+use crate::{SetCollection, SetId, TokenWeights};
+use setsim_tokenize::{Token, TokenMultiSet};
+use std::collections::HashMap;
+
+/// One tf-aware posting: the set, its tf-weighted norm, and the token's
+/// frequency in the set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TfPosting {
+    /// The set containing this list's token.
+    pub id: SetId,
+    /// `‖s‖ = sqrt(Σ (tf·idf)²)`, constant across lists (the global sort
+    /// key that keeps Order Preservation intact).
+    pub norm: f64,
+    /// `tf_s(token)` — needed for the exact contribution.
+    pub tf: u32,
+}
+
+/// A tf-aware inverted list: postings sorted by `(norm, id)` plus the
+/// list's maximum term frequency (the boosting constant `M_t`).
+pub struct TfList {
+    postings: Vec<TfPosting>,
+    max_tf: u32,
+}
+
+impl TfList {
+    /// Postings in ascending `(norm, id)` order.
+    pub fn postings(&self) -> &[TfPosting] {
+        &self.postings
+    }
+
+    /// The maximum tf of this token in any database set (`M_t`).
+    pub fn max_tf(&self) -> u32 {
+        self.max_tf
+    }
+
+    /// Offset of the first posting with `norm ≥ min_norm` (binary search —
+    /// this extension module is in-memory and needs no skip-list model).
+    pub fn seek_norm(&self, min_norm: f64) -> usize {
+        self.postings.partition_point(|p| p.norm < min_norm)
+    }
+}
+
+/// One query token with its weight and query-side frequency.
+#[derive(Debug, Clone, Copy)]
+pub struct TfQueryToken {
+    /// The token.
+    pub token: Token,
+    /// `idf(token)²`.
+    pub idf_sq: f64,
+    /// `tf_q(token)`.
+    pub tf_q: u32,
+    /// The boosting mass `tf_q · M_t · idf²` this token can contribute in
+    /// the best case.
+    pub boost: f64,
+}
+
+/// A prepared tf-aware query: tokens in descending boost order, plus the
+/// tf-weighted query norm.
+#[derive(Debug, Clone)]
+pub struct TfQuery {
+    /// Known tokens, sorted by descending `boost`.
+    pub tokens: Vec<TfQueryToken>,
+    /// `‖q‖` (includes unknown-token mass).
+    pub norm: f64,
+    /// `max_t tf_q(t)` over known tokens (≥ 1 unless empty) — the lower
+    /// length bound's boost divisor.
+    pub max_tf_q: u32,
+    /// `B_q = Σ boost` — the upper length bound's numerator.
+    pub boost_total: f64,
+}
+
+impl TfQuery {
+    /// Number of inverted lists the query touches.
+    pub fn num_lists(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if no known token remains.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Boosted Theorem 1: the inclusive `‖s‖` window
+    /// `[τ·‖q‖/m_q, B_q/(τ·‖q‖)]` any qualifying set must fall in.
+    ///
+    /// Upper: `τ·‖q‖·‖s‖ ≤ dot ≤ Σ tf_q·M_t·idf² = B_q`.
+    /// Lower: on common tokens `tf_s·idf ≥ idf ≥ 1`, so
+    /// `dot ≤ m_q·Σ tf_s·idf² ≤ m_q·Σ (tf_s·idf)² ≤ m_q·‖s‖²`, hence
+    /// `τ·‖q‖·‖s‖ ≤ m_q·‖s‖²`.
+    pub fn norm_bounds(&self, tau: f64) -> (f64, f64) {
+        let m_q = f64::from(self.max_tf_q.max(1));
+        (tau * self.norm / m_q, self.boost_total / (tau * self.norm))
+    }
+
+    /// Suffix sums of `boost` in token order: `suffix(i) = Σ_{j≥i} boost`.
+    pub fn boost_suffix_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.tokens.len() + 1];
+        for i in (0..self.tokens.len()).rev() {
+            out[i] = out[i + 1] + self.tokens[i].boost;
+        }
+        out
+    }
+}
+
+/// The tf-aware inverted index.
+pub struct TfIndex<'c> {
+    collection: &'c SetCollection,
+    weights: TokenWeights,
+    norms: Vec<f64>,
+    lists: HashMap<Token, TfList>,
+    total_postings: u64,
+}
+
+fn multiset_norm(m: &TokenMultiSet, weights: &TokenWeights) -> f64 {
+    m.iter()
+        .map(|(t, tf)| {
+            let w = f64::from(tf) * weights.idf(t);
+            w * w
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+impl<'c> TfIndex<'c> {
+    /// Build the tf-aware index over `collection`'s multisets.
+    pub fn build(collection: &'c SetCollection) -> Self {
+        let weights = TokenWeights::compute(collection);
+        let mut norms = Vec::with_capacity(collection.len());
+        let mut raw: HashMap<Token, Vec<TfPosting>> = HashMap::new();
+        for i in 0..collection.len() {
+            let id = SetId(i as u32);
+            let m = collection.multiset(id);
+            let norm = multiset_norm(m, &weights);
+            norms.push(norm);
+            for (t, tf) in m.iter() {
+                raw.entry(t).or_default().push(TfPosting { id, norm, tf });
+            }
+        }
+        let mut total_postings = 0u64;
+        let lists = raw
+            .into_iter()
+            .map(|(t, mut postings)| {
+                total_postings += postings.len() as u64;
+                postings.sort_by(|a, b| a.norm.total_cmp(&b.norm).then(a.id.cmp(&b.id)));
+                let max_tf = postings.iter().map(|p| p.tf).max().unwrap_or(1);
+                (t, TfList { postings, max_tf })
+            })
+            .collect();
+        Self {
+            collection,
+            weights,
+            norms,
+            lists,
+            total_postings,
+        }
+    }
+
+    /// The indexed collection.
+    pub fn collection(&self) -> &'c SetCollection {
+        self.collection
+    }
+
+    /// Token weights.
+    pub fn weights(&self) -> &TokenWeights {
+        &self.weights
+    }
+
+    /// `‖s‖` for set `id`.
+    #[inline]
+    pub fn norm(&self, id: SetId) -> f64 {
+        self.norms[id.index()]
+    }
+
+    /// The tf list of `token`, if indexed.
+    pub fn list(&self, token: Token) -> Option<&TfList> {
+        self.lists.get(&token)
+    }
+
+    /// Total postings across all lists.
+    pub fn total_postings(&self) -> u64 {
+        self.total_postings
+    }
+
+    /// Prepare a query multiset (duplicates carry tf weight).
+    pub fn prepare_query(&self, query: &TokenMultiSet, unknown_tokens: u32) -> TfQuery {
+        let mut tokens: Vec<TfQueryToken> = query
+            .iter()
+            .filter(|(t, _)| self.lists.contains_key(t))
+            .map(|(t, tf_q)| {
+                let idf = self.weights.idf(t);
+                let idf_sq = idf * idf;
+                let max_tf = self.lists[&t].max_tf;
+                TfQueryToken {
+                    token: t,
+                    idf_sq,
+                    tf_q,
+                    boost: f64::from(tf_q) * f64::from(max_tf) * idf_sq,
+                }
+            })
+            .collect();
+        tokens.sort_by(|a, b| b.boost.total_cmp(&a.boost).then(a.token.cmp(&b.token)));
+        let known_sq: f64 = tokens
+            .iter()
+            .map(|t| {
+                let w = f64::from(t.tf_q) * t.idf_sq.sqrt();
+                w * w
+            })
+            .sum();
+        let unseen = self.weights.unseen_idf();
+        let norm = (known_sq + f64::from(unknown_tokens) * unseen * unseen).sqrt();
+        let max_tf_q = tokens.iter().map(|t| t.tf_q).max().unwrap_or(0);
+        let boost_total = tokens.iter().map(|t| t.boost).sum();
+        TfQuery {
+            tokens,
+            norm,
+            max_tf_q,
+            boost_total,
+        }
+    }
+
+    /// Tokenize `text` with the collection's tokenizer (multiset
+    /// semantics) and prepare it.
+    pub fn prepare_query_str(&self, text: &str) -> TfQuery {
+        let mut buf = Vec::new();
+        self.collection.tokenizer().tokenize_into(text, &mut buf);
+        let mut known = Vec::new();
+        let mut unknown = 0u32;
+        for s in &buf {
+            match self.collection.dict().get(s) {
+                Some(t) => known.push(t),
+                None => unknown += 1,
+            }
+        }
+        self.prepare_query(&TokenMultiSet::from_tokens(known), unknown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectionBuilder;
+    use setsim_tokenize::WordTokenizer;
+
+    fn setup(texts: &[&str]) -> SetCollection {
+        let mut b = CollectionBuilder::new(WordTokenizer::new().with_lowercase());
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn postings_sorted_and_norms_global() {
+        let c = setup(&["main main st", "main st", "st st st", "park"]);
+        let idx = TfIndex::build(&c);
+        for list in idx.lists.values() {
+            for w in list.postings().windows(2) {
+                assert!((w[0].norm, w[0].id) < (w[1].norm, w[1].id));
+            }
+            for p in list.postings() {
+                assert_eq!(p.norm, idx.norm(p.id));
+            }
+        }
+    }
+
+    #[test]
+    fn max_tf_is_correct() {
+        let c = setup(&["main main main st", "main st"]);
+        let idx = TfIndex::build(&c);
+        let main = c.dict().get("main").unwrap();
+        let st = c.dict().get("st").unwrap();
+        assert_eq!(idx.list(main).unwrap().max_tf(), 3);
+        assert_eq!(idx.list(st).unwrap().max_tf(), 1);
+    }
+
+    #[test]
+    fn tf_weighs_norms() {
+        let c = setup(&["word word", "word"]);
+        let idx = TfIndex::build(&c);
+        assert!(idx.norm(SetId(0)) > idx.norm(SetId(1)));
+        // tf = 2 doubles the component: exactly 2x here (single token).
+        assert!((idx.norm(SetId(0)) - 2.0 * idx.norm(SetId(1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_prep_counts_duplicates() {
+        let c = setup(&["main st", "main rd"]);
+        let idx = TfIndex::build(&c);
+        let q = idx.prepare_query_str("main main st");
+        let main_tok = q
+            .tokens
+            .iter()
+            .find(|t| c.dict().resolve(t.token) == Some("main"))
+            .unwrap();
+        assert_eq!(main_tok.tf_q, 2);
+        assert_eq!(q.max_tf_q, 2);
+    }
+
+    #[test]
+    fn norm_bounds_bracket_query_norm() {
+        let c = setup(&["alpha beta", "beta gamma", "gamma alpha"]);
+        let idx = TfIndex::build(&c);
+        let q = idx.prepare_query_str("alpha beta");
+        for tau in [0.3, 0.7, 1.0] {
+            let (lo, hi) = q.norm_bounds(tau);
+            assert!(lo <= q.norm * (1.0 + 1e-12) / tau.max(1e-9));
+            assert!(hi >= q.norm * tau - 1e-12 || hi >= lo);
+            assert!(lo <= hi * (1.0 + 1e-9), "window inverted: [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn seek_norm_binary_search() {
+        let c = setup(&["a b", "a b c", "a b c d", "a"]);
+        let idx = TfIndex::build(&c);
+        let a = c.dict().get("a").unwrap();
+        let list = idx.list(a).unwrap();
+        let mid = list.postings()[2].norm;
+        let off = list.seek_norm(mid);
+        assert!(list.postings()[off].norm >= mid);
+        assert!(off == 0 || list.postings()[off - 1].norm < mid);
+        assert_eq!(list.seek_norm(f64::MAX), list.postings().len());
+        assert_eq!(list.seek_norm(0.0), 0);
+    }
+
+    #[test]
+    fn boost_suffix_sums_decrease() {
+        let c = setup(&["alpha beta gamma", "alpha beta", "alpha"]);
+        let idx = TfIndex::build(&c);
+        let q = idx.prepare_query_str("alpha beta gamma");
+        let s = q.boost_suffix_sums();
+        assert!((s[0] - q.boost_total).abs() < 1e-12);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(*s.last().unwrap(), 0.0);
+    }
+}

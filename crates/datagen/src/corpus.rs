@@ -1,0 +1,165 @@
+use crate::Vocabulary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for synthetic corpus generation.
+///
+/// Defaults produce a corpus that is laptop-scale but preserves the shape
+/// of the paper's IMDB setup: Zipf-skewed word frequencies, multi-word
+/// records, and a word-occurrence view where every occurrence carries its
+/// own id.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of multi-word records (the paper's Actor/Movie rows).
+    pub num_records: usize,
+    /// Vocabulary size (distinct words).
+    pub vocab_size: usize,
+    /// Inclusive range of words per record.
+    pub words_per_record: (usize, usize),
+    /// Inclusive range of characters per word.
+    pub word_len: (usize, usize),
+    /// Zipf exponent for word frequencies.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_records: 20_000,
+            vocab_size: 8_000,
+            words_per_record: (1, 4),
+            word_len: (3, 14),
+            zipf_s: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A synthetic corpus: records plus their word-occurrence view.
+///
+/// `records[i]` is a multi-word string. `word_occurrences` flattens the
+/// records into one entry per word occurrence, mirroring how the paper
+/// treats the IMDB table ("every word/set is associated with a unique
+/// identifier encoding the row/column/location of the word").
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    records: Vec<String>,
+    /// `(record index, word)` per occurrence, in record order.
+    word_occurrences: Vec<(usize, String)>,
+    vocab: Vocabulary,
+}
+
+impl Corpus {
+    /// Generate a corpus from `config`.
+    pub fn generate(config: &CorpusConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let vocab = Vocabulary::generate(
+            config.vocab_size,
+            config.word_len.0,
+            config.word_len.1,
+            config.zipf_s,
+            &mut rng,
+        );
+        let mut records = Vec::with_capacity(config.num_records);
+        let mut word_occurrences = Vec::new();
+        for i in 0..config.num_records {
+            let (lo, hi) = config.words_per_record;
+            let n_words = rng.gen_range(lo..=hi);
+            let words: Vec<&str> = (0..n_words).map(|_| vocab.sample(&mut rng)).collect();
+            for w in &words {
+                word_occurrences.push((i, (*w).to_string()));
+            }
+            records.push(words.join(" "));
+        }
+        Self {
+            records,
+            word_occurrences,
+            vocab,
+        }
+    }
+
+    /// The multi-word records.
+    pub fn records(&self) -> &[String] {
+        &self.records
+    }
+
+    /// One `(record index, word)` pair per word occurrence.
+    pub fn word_occurrences(&self) -> &[(usize, String)] {
+        &self.word_occurrences
+    }
+
+    /// Just the occurrence words, in id order (the database of sets for
+    /// word-level similarity search).
+    pub fn words(&self) -> impl Iterator<Item = &str> {
+        self.word_occurrences.iter().map(|(_, w)| w.as_str())
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            num_records: 500,
+            vocab_size: 200,
+            seed: 7,
+            ..CorpusConfig::default()
+        }
+    }
+
+    #[test]
+    fn record_and_occurrence_counts_line_up() {
+        let c = Corpus::generate(&small());
+        assert_eq!(c.records().len(), 500);
+        let total_words: usize = c.records().iter().map(|r| r.split(' ').count()).sum();
+        assert_eq!(c.word_occurrences().len(), total_words);
+    }
+
+    #[test]
+    fn occurrences_reference_their_record() {
+        let c = Corpus::generate(&small());
+        for (rec, word) in c.word_occurrences() {
+            assert!(
+                c.records()[*rec].split(' ').any(|w| w == word),
+                "occurrence {word:?} missing from record {rec}"
+            );
+        }
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let c = Corpus::generate(&small());
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for w in c.words() {
+            *freq.entry(w).or_default() += 1;
+        }
+        let max = freq.values().copied().max().unwrap();
+        let distinct = freq.len();
+        // With Zipf(200, 1) over ~1250 draws, the top word should appear
+        // far more often than the mean frequency.
+        assert!(max as f64 > 5.0 * (c.word_occurrences().len() as f64 / distinct as f64));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Corpus::generate(&small());
+        let b = Corpus::generate(&small());
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Corpus::generate(&small());
+        let b = Corpus::generate(&CorpusConfig { seed: 8, ..small() });
+        assert_ne!(a.records(), b.records());
+    }
+}

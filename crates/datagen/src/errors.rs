@@ -1,0 +1,213 @@
+use rand::Rng;
+
+/// A single character-level modification, as applied to the paper's query
+/// workloads ("a fixed number of random letter insertions, deletions and
+/// swaps") and to dirty duplicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modification {
+    /// Insert a random letter at a random position.
+    Insert,
+    /// Delete the character at a random position.
+    Delete,
+    /// Swap two adjacent characters.
+    Swap,
+    /// Replace the character at a random position with a random letter.
+    Substitute,
+}
+
+impl Modification {
+    /// All modification kinds.
+    pub const ALL: [Modification; 4] = [
+        Modification::Insert,
+        Modification::Delete,
+        Modification::Swap,
+        Modification::Substitute,
+    ];
+}
+
+/// Applies random character-level modifications to strings.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorModel {
+    /// Restrict to the paper's explicit trio (insert/delete/swap) when
+    /// false; include substitutions when true.
+    pub allow_substitutions: bool,
+}
+
+impl ErrorModel {
+    /// The paper's modification mix: insertions, deletions, swaps.
+    pub fn paper() -> Self {
+        Self {
+            allow_substitutions: false,
+        }
+    }
+
+    /// Include substitutions as well (used for dirty duplicates).
+    pub fn with_substitutions() -> Self {
+        Self {
+            allow_substitutions: true,
+        }
+    }
+
+    fn kinds(&self) -> &'static [Modification] {
+        if self.allow_substitutions {
+            &Modification::ALL
+        } else {
+            &Modification::ALL[..3]
+        }
+    }
+
+    /// Apply exactly `k` random modifications to `s`.
+    ///
+    /// Deletions and swaps on empty/singleton strings degrade to inserts so
+    /// the requested modification count is always applied.
+    pub fn apply<R: Rng + ?Sized>(&self, s: &str, k: usize, rng: &mut R) -> String {
+        let mut chars: Vec<char> = s.chars().collect();
+        for _ in 0..k {
+            let kinds = self.kinds();
+            let mut kind = kinds[rng.gen_range(0..kinds.len())];
+            // Degrade impossible edits (delete/swap on too-short strings)
+            // to inserts so the requested count is always applied.
+            if chars.is_empty() || (chars.len() == 1 && kind == Modification::Swap) {
+                kind = Modification::Insert;
+            }
+            match kind {
+                Modification::Insert => {
+                    let pos = rng.gen_range(0..=chars.len());
+                    chars.insert(pos, random_letter(rng));
+                }
+                Modification::Delete => {
+                    let pos = rng.gen_range(0..chars.len());
+                    chars.remove(pos);
+                }
+                Modification::Swap => {
+                    let pos = rng.gen_range(0..chars.len() - 1);
+                    chars.swap(pos, pos + 1);
+                }
+                Modification::Substitute => {
+                    let pos = rng.gen_range(0..chars.len());
+                    chars[pos] = random_letter(rng);
+                }
+            }
+        }
+        chars.into_iter().collect()
+    }
+
+    /// Apply modifications to each word of a multi-word record: every word
+    /// independently receives `floor(mean)` errors plus one more with
+    /// probability `frac(mean)`, so the expected error count per word is
+    /// exactly `mean` — total error stays proportional to record length,
+    /// as in the cu benchmarks.
+    pub fn perturb_record<R: Rng + ?Sized>(&self, record: &str, mean: f64, rng: &mut R) -> String {
+        assert!(mean >= 0.0 && mean.is_finite(), "error mean must be >= 0");
+        let words: Vec<&str> = record.split_whitespace().collect();
+        let dirty: Vec<String> = words
+            .iter()
+            .map(|w| {
+                let base = mean.floor() as usize;
+                let extra = usize::from(rng.gen::<f64>() < mean.fract());
+                self.apply(w, base + extra, rng)
+            })
+            .filter(|w| !w.is_empty())
+            .collect();
+        dirty.join(" ")
+    }
+}
+
+fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    (b'a' + rng.gen_range(0..26u8)) as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_modifications_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let em = ErrorModel::paper();
+        assert_eq!(em.apply("main street", 0, &mut rng), "main street");
+    }
+
+    #[test]
+    fn modifications_change_length_boundedly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let em = ErrorModel::paper();
+        for k in 1..5usize {
+            for _ in 0..50 {
+                let out = em.apply("abcdefgh", k, &mut rng);
+                let n = out.chars().count() as i64;
+                assert!((n - 8).unsigned_abs() as usize <= k, "k={k} out={out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_string_survives() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let em = ErrorModel::with_substitutions();
+        // The first modification on an empty string degrades to an insert;
+        // later ones may delete again. Only the drift bound is guaranteed.
+        for _ in 0..50 {
+            let out = em.apply("", 3, &mut rng);
+            assert!(out.chars().count() <= 3);
+        }
+    }
+
+    #[test]
+    fn swap_on_singleton_degrades() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let em = ErrorModel::paper();
+        for _ in 0..50 {
+            let out = em.apply("x", 1, &mut rng);
+            assert!(!out.is_empty() || out.is_empty(), "never panics");
+        }
+    }
+
+    #[test]
+    fn perturb_record_keeps_word_structure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let em = ErrorModel::with_substitutions();
+        let out = em.perturb_record("alpha beta gamma", 0.5, &mut rng);
+        assert!(!out.is_empty());
+        assert!(out.split_whitespace().count() <= 3);
+    }
+
+    #[test]
+    fn higher_error_rates_diverge_more() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let em = ErrorModel::with_substitutions();
+        let clean = "somewhat lengthy example record here";
+        let mut low_same = 0;
+        let mut high_same = 0;
+        for _ in 0..100 {
+            if em.perturb_record(clean, 0.1, &mut rng) == clean {
+                low_same += 1;
+            }
+            if em.perturb_record(clean, 3.0, &mut rng) == clean {
+                high_same += 1;
+            }
+        }
+        assert!(low_same > high_same);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apply_never_panics(s in ".{0,30}", k in 0usize..6, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let em = ErrorModel::with_substitutions();
+            let _ = em.apply(&s, k, &mut rng);
+        }
+
+        #[test]
+        fn prop_length_drift_bounded(s in "[a-z]{1,20}", k in 0usize..6, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let em = ErrorModel::paper();
+            let out = em.apply(&s, k, &mut rng);
+            let drift = (out.chars().count() as i64 - s.chars().count() as i64).unsigned_abs();
+            prop_assert!(drift as usize <= k);
+        }
+    }
+}

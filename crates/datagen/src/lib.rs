@@ -1,0 +1,39 @@
+//! Synthetic data for set similarity experiments.
+//!
+//! The paper evaluates on the IMDB actor/movie table, DBLP, and the
+//! cu1..cu8 dirty-duplicate benchmark of Chandel et al. (SIGMOD 2007).
+//! None of those corpora are redistributable, so this crate generates
+//! statistically analogous substitutes (the substitution rationale is in
+//! `DESIGN.md`):
+//!
+//! * [`Zipf`] — a Zipfian rank sampler. Natural-language token frequencies
+//!   are Zipf-distributed, and that skew is precisely what produces the
+//!   idf spread and inverted-list length skew the paper's algorithms
+//!   exploit.
+//! * [`Vocabulary`] — a random vocabulary with Zipfian word frequencies.
+//! * [`Corpus`] — multi-word records composed from a vocabulary, plus the
+//!   word-occurrence view used for word-level similarity search (the
+//!   paper's IMDB setup assigns one id per word occurrence).
+//! * [`ErrorModel`] — character-level modifications (insert, delete, swap,
+//!   substitute), matching the paper's query perturbation procedure.
+//! * [`DirtyDataset`] — clean records plus erroneous duplicates with ground
+//!   truth, at eight error levels mirroring cu1 (worst) … cu8 (cleanest);
+//!   used for the Table I precision experiment.
+//! * [`QueryWorkload`] — query words drawn by 3-gram-length bucket with a
+//!   fixed number of modifications, matching Section VIII-A.
+//!
+//! Everything is seeded and deterministic.
+
+mod corpus;
+mod dirty;
+mod errors;
+mod vocab;
+mod workload;
+mod zipf;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use dirty::{DirtyConfig, DirtyDataset};
+pub use errors::{ErrorModel, Modification};
+pub use vocab::Vocabulary;
+pub use workload::{LengthBucket, QueryWorkload};
+pub use zipf::Zipf;

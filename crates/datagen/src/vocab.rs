@@ -1,0 +1,170 @@
+use crate::Zipf;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Rough English letter frequencies used to make generated words look like
+/// words rather than uniform noise (this shapes the 3-gram distribution,
+/// which in turn shapes inverted-list length skew).
+const LETTERS: &[(char, u32)] = &[
+    ('e', 127),
+    ('t', 91),
+    ('a', 82),
+    ('o', 75),
+    ('i', 70),
+    ('n', 67),
+    ('s', 63),
+    ('h', 61),
+    ('r', 60),
+    ('d', 43),
+    ('l', 40),
+    ('c', 28),
+    ('u', 28),
+    ('m', 24),
+    ('w', 24),
+    ('f', 22),
+    ('g', 20),
+    ('y', 20),
+    ('p', 19),
+    ('b', 15),
+    ('v', 10),
+    ('k', 8),
+    ('j', 2),
+    ('x', 2),
+    ('q', 1),
+    ('z', 1),
+];
+
+fn sample_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
+    let total: u32 = LETTERS.iter().map(|&(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for &(c, w) in LETTERS {
+        if pick < w {
+            return c;
+        }
+        pick -= w;
+    }
+    unreachable!("letter weights exhausted")
+}
+
+/// A random vocabulary with Zipfian word frequencies.
+///
+/// Words are distinct, between `min_len` and `max_len` characters, with
+/// letter frequencies approximating English. Word *rank* determines draw
+/// probability via the embedded [`Zipf`] distribution, so a small set of
+/// words dominates any corpus built on top — the property that gives
+/// frequent tokens low idf and long inverted lists.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    zipf: Zipf,
+}
+
+impl Vocabulary {
+    /// Generate `n` distinct words with lengths in `[min_len, max_len]`
+    /// and Zipf exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `min_len == 0`, or `min_len > max_len`.
+    pub fn generate<R: Rng + ?Sized>(
+        n: usize,
+        min_len: usize,
+        max_len: usize,
+        s: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(n > 0, "vocabulary must be non-empty");
+        assert!(
+            min_len > 0 && min_len <= max_len,
+            "invalid word length range"
+        );
+        let mut seen = HashSet::with_capacity(n);
+        let mut words = Vec::with_capacity(n);
+        while words.len() < n {
+            let len = rng.gen_range(min_len..=max_len);
+            let w: String = (0..len).map(|_| sample_letter(rng)).collect();
+            if seen.insert(w.clone()) {
+                words.push(w);
+            }
+        }
+        Self {
+            words,
+            zipf: Zipf::new(n, s),
+        }
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the vocabulary is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The word at `rank` (0 = most frequent).
+    pub fn word(&self, rank: usize) -> &str {
+        &self.words[rank]
+    }
+
+    /// All words in rank order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Draw a word according to the Zipfian frequency model.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &str {
+        &self.words[self.zipf.sample(rng)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_distinct_words_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = Vocabulary::generate(500, 3, 10, 1.0, &mut rng);
+        assert_eq!(v.len(), 500);
+        let distinct: HashSet<&String> = v.words().iter().collect();
+        assert_eq!(distinct.len(), 500);
+        for w in v.words() {
+            assert!((3..=10).contains(&w.len()), "word {w:?}");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = Vocabulary::generate(200, 3, 8, 1.0, &mut rng);
+        let mut head = 0;
+        for _ in 0..5000 {
+            let w = v.sample(&mut rng);
+            if w == v.word(0) {
+                head += 1;
+            }
+        }
+        // Rank 0 under Zipf(200, 1) has mass ~1/H_200 ≈ 0.17.
+        assert!(head > 300, "rank-0 frequency too low: {head}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let va = Vocabulary::generate(50, 3, 6, 1.0, &mut a);
+        let vb = Vocabulary::generate(50, 3, 6, 1.0, &mut b);
+        assert_eq!(va.words(), vb.words());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_vocab_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Vocabulary::generate(0, 3, 6, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,228 @@
+use crate::ErrorModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A query-size bucket expressed in 3-gram counts, as in Section VIII-A
+/// ("randomly extracting words between lengths 1–5, 6–10, 11–15, and 16–20
+/// 3-grams from the base table").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthBucket {
+    /// Minimum grams, inclusive.
+    pub min_grams: usize,
+    /// Maximum grams, inclusive.
+    pub max_grams: usize,
+}
+
+impl LengthBucket {
+    /// The paper's four buckets.
+    pub const PAPER: [LengthBucket; 4] = [
+        LengthBucket {
+            min_grams: 1,
+            max_grams: 5,
+        },
+        LengthBucket {
+            min_grams: 6,
+            max_grams: 10,
+        },
+        LengthBucket {
+            min_grams: 11,
+            max_grams: 15,
+        },
+        LengthBucket {
+            min_grams: 16,
+            max_grams: 20,
+        },
+    ];
+
+    /// Number of padded q-grams a `chars`-character word produces.
+    pub fn grams_of(chars: usize, q: usize) -> usize {
+        if chars == 0 {
+            0
+        } else {
+            chars + q - 1
+        }
+    }
+
+    /// True if a `chars`-character word falls in this bucket under padded
+    /// q-gramming.
+    pub fn contains(&self, chars: usize, q: usize) -> bool {
+        let g = Self::grams_of(chars, q);
+        g >= self.min_grams && g <= self.max_grams
+    }
+
+    /// Human-readable label like `"11-15"`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.min_grams, self.max_grams)
+    }
+}
+
+/// A workload of query words extracted from a database, bucketed by gram
+/// count, with a fixed number of modifications applied to each.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    queries: Vec<String>,
+    bucket: LengthBucket,
+    modifications: usize,
+}
+
+impl QueryWorkload {
+    /// Draw up to `n` words from `words` whose padded `q`-gram count lies
+    /// in `bucket`, then apply `modifications` random edits to each
+    /// (0 modifications means every query has at least one exact match).
+    pub fn generate<'a, I>(
+        words: I,
+        bucket: LengthBucket,
+        q: usize,
+        modifications: usize,
+        n: usize,
+        seed: u64,
+    ) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut eligible: Vec<&str> = words
+            .into_iter()
+            .filter(|w| bucket.contains(w.chars().count(), q))
+            .collect();
+        eligible.sort_unstable();
+        eligible.dedup();
+        eligible.shuffle(&mut rng);
+        eligible.truncate(n);
+        let em = ErrorModel::paper();
+        let queries = eligible
+            .into_iter()
+            .map(|w| em.apply(w, modifications, &mut rng))
+            .collect();
+        Self {
+            queries,
+            bucket,
+            modifications,
+        }
+    }
+
+    /// The query strings.
+    pub fn queries(&self) -> &[String] {
+        &self.queries
+    }
+
+    /// The bucket queries were drawn from.
+    pub fn bucket(&self) -> LengthBucket {
+        self.bucket
+    }
+
+    /// Modifications applied per query.
+    pub fn modifications(&self) -> usize {
+        self.modifications
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if no eligible words were found.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORDS: &[&str] = &[
+        "cat",
+        "dog",
+        "horse",
+        "mackerel",
+        "hippopotamus",
+        "encyclopedia",
+        "sun",
+        "star",
+        "constellation",
+        "astrophysicist",
+    ];
+
+    #[test]
+    fn grams_formula() {
+        assert_eq!(LengthBucket::grams_of(4, 3), 6); // "main" -> 6 padded 3-grams
+        assert_eq!(LengthBucket::grams_of(0, 3), 0);
+        assert_eq!(LengthBucket::grams_of(1, 3), 3);
+    }
+
+    #[test]
+    fn bucket_filtering() {
+        let b = LengthBucket {
+            min_grams: 6,
+            max_grams: 10,
+        };
+        // 4..=8 characters under q = 3.
+        let w = QueryWorkload::generate(WORDS.iter().copied(), b, 3, 0, 100, 1);
+        for q in w.queries() {
+            let n = q.chars().count();
+            assert!((4..=8).contains(&n), "query {q:?}");
+        }
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn zero_modifications_yields_exact_words() {
+        let b = LengthBucket {
+            min_grams: 1,
+            max_grams: 30,
+        };
+        let w = QueryWorkload::generate(WORDS.iter().copied(), b, 3, 0, 100, 2);
+        for q in w.queries() {
+            assert!(WORDS.contains(&q.as_str()));
+        }
+        assert_eq!(w.len(), WORDS.len());
+    }
+
+    #[test]
+    fn modifications_are_applied() {
+        let b = LengthBucket {
+            min_grams: 1,
+            max_grams: 30,
+        };
+        let w = QueryWorkload::generate(WORDS.iter().copied(), b, 3, 3, 100, 3);
+        // With 3 edits most short words must change.
+        let changed = w
+            .queries()
+            .iter()
+            .filter(|q| !WORDS.contains(&q.as_str()))
+            .count();
+        assert!(changed > WORDS.len() / 2);
+        assert_eq!(w.modifications(), 3);
+    }
+
+    #[test]
+    fn respects_n_and_dedups() {
+        let b = LengthBucket {
+            min_grams: 1,
+            max_grams: 30,
+        };
+        let dup_words = ["cat", "cat", "cat", "dog"];
+        let w = QueryWorkload::generate(dup_words.iter().copied(), b, 3, 0, 1, 4);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn empty_when_no_eligible_words() {
+        let b = LengthBucket {
+            min_grams: 25,
+            max_grams: 30,
+        };
+        let w = QueryWorkload::generate(WORDS.iter().copied(), b, 3, 0, 10, 5);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = LengthBucket::PAPER[2];
+        let a = QueryWorkload::generate(WORDS.iter().copied(), b, 3, 1, 10, 6);
+        let c = QueryWorkload::generate(WORDS.iter().copied(), b, 3, 1, 10, 6);
+        assert_eq!(a.queries(), c.queries());
+    }
+}

@@ -1,0 +1,140 @@
+//! Volcano-style iterator operators.
+//!
+//! Plans are compositions of iterators over [`Row`]s. This is all the
+//! machinery the SQL similarity baseline needs: scans feeding a grouped
+//! aggregate feeding a HAVING filter, as in the processing of
+//! Gravano et al. / Chaudhuri et al. that Section III-A builds on.
+
+use crate::{Row, RowId, Table, TableIndex, Value};
+use std::collections::HashMap;
+
+/// Sequential scan over a table.
+pub fn seq_scan(table: &Table) -> impl Iterator<Item = Row> + '_ {
+    table.iter().map(|(_, r)| r.clone())
+}
+
+/// Clustered index range scan: rows whose indexed prefix lies in
+/// `[lo, hi]`, in index order.
+pub fn index_range_scan<'a>(
+    table: &'a Table,
+    index: &TableIndex,
+    lo: &[Value],
+    hi: &[Value],
+) -> impl Iterator<Item = Row> + 'a {
+    let ids: Vec<RowId> = index.range_scan(lo, hi);
+    ids.into_iter().map(move |id| table.row(id).clone())
+}
+
+/// Filter rows by a predicate (σ).
+pub fn filter<I, F>(input: I, pred: F) -> impl Iterator<Item = Row>
+where
+    I: Iterator<Item = Row>,
+    F: Fn(&Row) -> bool,
+{
+    input.filter(move |r| pred(r))
+}
+
+/// Project columns by position (π).
+pub fn project<I>(input: I, cols: Vec<usize>) -> impl Iterator<Item = Row>
+where
+    I: Iterator<Item = Row>,
+{
+    input.map(move |r| cols.iter().map(|&c| r[c].clone()).collect())
+}
+
+/// Hash aggregation: `SELECT group_col, SUM(sum_col) GROUP BY group_col`.
+///
+/// Groups by the integer column `group_col`, summing the float column
+/// `sum_col`. Materializing (pipeline breaker), like any hash aggregate.
+/// Output rows are `[Int(group), Float(sum)]` in unspecified order.
+pub fn hash_aggregate_sum<I>(input: I, group_col: usize, sum_col: usize) -> Vec<Row>
+where
+    I: Iterator<Item = Row>,
+{
+    let mut groups: HashMap<i64, f64> = HashMap::new();
+    for row in input {
+        let g = row[group_col].as_int();
+        let v = row[sum_col].as_float();
+        *groups.entry(g).or_insert(0.0) += v;
+    }
+    groups
+        .into_iter()
+        .map(|(g, s)| vec![Value::Int(g), Value::Float(s)])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnType, Schema};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                ("grp", ColumnType::Int),
+                ("w", ColumnType::Float),
+                ("tag", ColumnType::Str),
+            ]),
+        );
+        for (g, w, s) in [
+            (1, 0.5, "a"),
+            (2, 1.0, "b"),
+            (1, 0.25, "c"),
+            (3, 2.0, "d"),
+            (2, 0.5, "e"),
+        ] {
+            t.insert(vec![Value::Int(g), Value::Float(w), Value::Str(s.into())]);
+        }
+        t
+    }
+
+    #[test]
+    fn seq_scan_yields_all() {
+        let t = table();
+        assert_eq!(seq_scan(&t).count(), 5);
+    }
+
+    #[test]
+    fn filter_predicate() {
+        let t = table();
+        let big: Vec<Row> = filter(seq_scan(&t), |r| r[1].as_float() >= 0.5).collect();
+        assert_eq!(big.len(), 4);
+    }
+
+    #[test]
+    fn projection() {
+        let t = table();
+        let tags: Vec<Row> = project(seq_scan(&t), vec![2]).collect();
+        assert_eq!(tags[0], vec![Value::Str("a".into())]);
+        assert_eq!(tags[0].len(), 1);
+    }
+
+    #[test]
+    fn aggregate_sums_by_group() {
+        let t = table();
+        let mut agg = hash_aggregate_sum(seq_scan(&t), 0, 1);
+        agg.sort_by_key(|r| r[0].as_int());
+        assert_eq!(agg.len(), 3);
+        assert_eq!(agg[0], vec![Value::Int(1), Value::Float(0.75)]);
+        assert_eq!(agg[1], vec![Value::Int(2), Value::Float(1.5)]);
+        assert_eq!(agg[2], vec![Value::Int(3), Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn aggregate_of_empty_input() {
+        let agg = hash_aggregate_sum(std::iter::empty(), 0, 1);
+        assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn index_scan_then_aggregate() {
+        let t = table();
+        let idx = TableIndex::build(&t, &["grp"], 4);
+        let rows = index_range_scan(&t, &idx, &[Value::Int(1)], &[Value::Int(2)]);
+        let mut agg = hash_aggregate_sum(rows, 0, 1);
+        agg.sort_by_key(|r| r[0].as_int());
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0][1], Value::Float(0.75));
+    }
+}

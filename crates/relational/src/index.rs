@@ -1,0 +1,185 @@
+use crate::{Row, RowId, Table, Value};
+use setsim_collections::BPlusTree;
+
+/// A clustered composite index over a [`Table`], backed by a B+-tree.
+///
+/// Keys are tuples of the indexed columns' values (in declaration order)
+/// with the row id appended as a tiebreaker, so duplicate key prefixes are
+/// allowed. This mirrors the paper's clustered B-tree on
+/// `3-gram / length / id / weight`: a prefix range scan over
+/// `(token, len_lo..len_hi)` is one contiguous leaf walk.
+pub struct TableIndex {
+    cols: Vec<usize>,
+    col_types: Vec<crate::ColumnType>,
+    tree: BPlusTree<Vec<Value>, RowId>,
+}
+
+/// A value ordering at or above every realistic value of `t`. For strings
+/// this is a practical (not theoretical) maximum: eight U+10FFFF code
+/// points — do not use string columns as non-final range-scan prefix
+/// columns with keys beyond that.
+fn max_value(t: crate::ColumnType) -> Value {
+    match t {
+        crate::ColumnType::Int => Value::Int(i64::MAX),
+        crate::ColumnType::Float => Value::Float(f64::INFINITY),
+        crate::ColumnType::Str => Value::Str(char::MAX.to_string().repeat(8)),
+    }
+}
+
+impl TableIndex {
+    /// Build an index on `table` over the named columns.
+    ///
+    /// # Panics
+    /// Panics if a column name is unknown.
+    pub fn build(table: &Table, columns: &[&str], branching: usize) -> Self {
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| table.schema().col_or_panic(c))
+            .collect();
+        let col_types: Vec<crate::ColumnType> =
+            cols.iter().map(|&c| table.schema().column(c).1).collect();
+        let mut tree = BPlusTree::new(branching);
+        for (id, row) in table.iter() {
+            tree.insert(Self::key_of(&cols, row, id), id);
+        }
+        Self {
+            cols,
+            col_types,
+            tree,
+        }
+    }
+
+    fn key_of(cols: &[usize], row: &Row, id: RowId) -> Vec<Value> {
+        let mut key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+        key.push(Value::Int(i64::from(id)));
+        key
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.len() == 0
+    }
+
+    /// Row ids whose indexed columns fall in `[lo, hi]` lexicographically,
+    /// where `lo`/`hi` are prefixes of the indexed columns (shorter
+    /// prefixes match whole subranges). Ascending key order.
+    pub fn range_scan(&self, lo: &[Value], hi: &[Value]) -> Vec<RowId> {
+        assert!(lo.len() <= self.cols.len() && hi.len() <= self.cols.len());
+        let lo_key: Vec<Value> = lo.to_vec();
+        // Upper bound: extend with per-type maximal sentinels so every key
+        // sharing the `hi` prefix is included (the last slot is the row-id
+        // tiebreaker, an Int).
+        let mut hi_key: Vec<Value> = hi.to_vec();
+        while hi_key.len() < self.cols.len() {
+            hi_key.push(max_value(self.col_types[hi_key.len()]));
+        }
+        hi_key.push(Value::Int(i64::MAX));
+        self.tree
+            .range(lo_key..=hi_key)
+            .map(|(_, &rid)| rid)
+            .collect()
+    }
+
+    /// Approximate heap size in bytes (Figure 5's B-tree bar).
+    pub fn size_bytes(&self) -> usize {
+        self.tree.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnType, Schema};
+
+    fn qgram_table() -> Table {
+        let mut t = Table::new(
+            "qgrams",
+            Schema::new(vec![
+                ("token", ColumnType::Int),
+                ("len", ColumnType::Float),
+                ("id", ColumnType::Int),
+                ("weight", ColumnType::Float),
+            ]),
+        );
+        for token in 0..4i64 {
+            for id in 0..10i64 {
+                let len = (id as f64) + 1.0;
+                t.insert(vec![
+                    Value::Int(token),
+                    Value::Float(len),
+                    Value::Int(id),
+                    Value::Float(1.0 / len),
+                ]);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn full_token_scan() {
+        let t = qgram_table();
+        let idx = TableIndex::build(&t, &["token", "len", "id"], 8);
+        let rows = idx.range_scan(&[Value::Int(2)], &[Value::Int(2)]);
+        assert_eq!(rows.len(), 10);
+        for rid in &rows {
+            assert_eq!(t.row(*rid)[0], Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn token_and_length_window() {
+        let t = qgram_table();
+        let idx = TableIndex::build(&t, &["token", "len", "id"], 8);
+        let rows = idx.range_scan(
+            &[Value::Int(1), Value::Float(3.0)],
+            &[Value::Int(1), Value::Float(6.0)],
+        );
+        // len in {3,4,5,6}.
+        assert_eq!(rows.len(), 4);
+        for rid in &rows {
+            let len = t.row(*rid)[1].as_float();
+            assert!((3.0..=6.0).contains(&len));
+        }
+    }
+
+    #[test]
+    fn results_in_key_order() {
+        let t = qgram_table();
+        let idx = TableIndex::build(&t, &["token", "len", "id"], 4);
+        let rows = idx.range_scan(&[Value::Int(0)], &[Value::Int(3)]);
+        assert_eq!(rows.len(), 40);
+        let keys: Vec<(i64, i64)> = rows
+            .iter()
+            .map(|&r| (t.row(r)[0].as_int(), t.row(r)[2].as_int()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn empty_range() {
+        let t = qgram_table();
+        let idx = TableIndex::build(&t, &["token", "len", "id"], 8);
+        let rows = idx.range_scan(&[Value::Int(99)], &[Value::Int(99)]);
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn duplicate_prefixes_all_returned() {
+        let mut t = Table::new(
+            "dups",
+            Schema::new(vec![("k", ColumnType::Int), ("v", ColumnType::Int)]),
+        );
+        for v in 0..5 {
+            t.insert(vec![Value::Int(7), Value::Int(v)]);
+        }
+        let idx = TableIndex::build(&t, &["k"], 4);
+        assert_eq!(idx.range_scan(&[Value::Int(7)], &[Value::Int(7)]).len(), 5);
+    }
+}

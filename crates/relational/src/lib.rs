@@ -1,0 +1,30 @@
+//! A miniature relational engine for the SQL set-similarity baseline.
+//!
+//! Section III-A of the paper evaluates similarity selections "using pure
+//! relational database technology": the database of sets is stored in
+//! First Normal Form (one row per set id / token / length / partial
+//! weight), a clustered composite B-tree index is built on
+//! `(token, len, id)`, and a selection becomes one aggregate/group-by/join
+//! over the query's tokens. This crate supplies exactly those parts, built
+//! from scratch:
+//!
+//! * [`Value`], [`Schema`], [`Table`] — typed rows in 1NF.
+//! * [`TableIndex`] — a clustered composite index backed by the
+//!   [`setsim_collections::BPlusTree`], supporting prefix range scans.
+//! * [`exec`] — Volcano-style iterator operators: sequential scan, index
+//!   range scan, filter, projection, hash group-by aggregation.
+//!
+//! The actual similarity plan (one index range scan per query token, a
+//! hash aggregate summing partial weights, and a HAVING threshold filter)
+//! lives in `setsim_core::algorithms::sql`, which drives this engine.
+
+pub mod exec;
+mod index;
+mod schema;
+mod table;
+mod value;
+
+pub use index::TableIndex;
+pub use schema::{ColumnType, Schema};
+pub use table::{Row, RowId, Table};
+pub use value::Value;

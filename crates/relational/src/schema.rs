@@ -1,0 +1,124 @@
+use crate::Value;
+
+/// Column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ColumnType {
+    /// True if `v` inhabits this type.
+    pub fn matches(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// A table schema: ordered, named, typed columns.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    columns: Vec<(String, ColumnType)>,
+}
+
+impl Schema {
+    /// A schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names.
+    pub fn new(columns: Vec<(&str, ColumnType)>) -> Self {
+        for (i, (a, _)) in columns.iter().enumerate() {
+            for (b, _) in &columns[i + 1..] {
+                assert_ne!(a, b, "duplicate column name {a:?}");
+            }
+        }
+        Self {
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of column `name`.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(n, _)| n == name)
+    }
+
+    /// Index of column `name`, panicking on absence (plans are static).
+    pub fn col_or_panic(&self, name: &str) -> usize {
+        self.col(name)
+            .unwrap_or_else(|| panic!("no column {name:?} in schema"))
+    }
+
+    /// Column name and type at `i`.
+    pub fn column(&self, i: usize) -> (&str, ColumnType) {
+        let (n, t) = &self.columns[i];
+        (n, *t)
+    }
+
+    /// True if `row` matches the schema's arity and types.
+    pub fn validates(&self, row: &[Value]) -> bool {
+        row.len() == self.columns.len()
+            && row
+                .iter()
+                .zip(&self.columns)
+                .all(|(v, (_, t))| t.matches(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id", ColumnType::Int),
+            ("len", ColumnType::Float),
+            ("word", ColumnType::Str),
+        ])
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.col("id"), Some(0));
+        assert_eq!(s.col("word"), Some(2));
+        assert_eq!(s.col("missing"), None);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column(1), ("len", ColumnType::Float));
+    }
+
+    #[test]
+    fn validation() {
+        let s = schema();
+        assert!(s.validates(&[Value::Int(1), Value::Float(2.0), Value::Str("x".into())]));
+        assert!(!s.validates(&[Value::Int(1), Value::Int(2), Value::Str("x".into())]));
+        assert!(!s.validates(&[Value::Int(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_panic() {
+        let _ = Schema::new(vec![("a", ColumnType::Int), ("a", ColumnType::Int)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn col_or_panic_panics() {
+        let _ = schema().col_or_panic("nope");
+    }
+}

@@ -1,0 +1,127 @@
+use crate::{Schema, Value};
+
+/// One tuple.
+pub type Row = Vec<Value>;
+
+/// Position of a row within its table (stable: rows are append-only).
+pub type RowId = u32;
+
+/// An append-only heap table in First Normal Form.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Self {
+            name: name.to_string(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Append a row, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the row does not match the schema.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        assert!(
+            self.schema.validates(&row),
+            "row does not match schema of table {:?}",
+            self.name
+        );
+        let id = RowId::try_from(self.rows.len()).expect("table overflowed u32 row ids");
+        self.rows.push(row);
+        id
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row at `id`.
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id as usize]
+    }
+
+    /// Iterate over `(id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().enumerate().map(|(i, r)| (i as RowId, r))
+    }
+
+    /// Approximate heap size in bytes (Figure 5's q-gram-table bar).
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnType;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            Schema::new(vec![("id", ColumnType::Int), ("w", ColumnType::Float)]),
+        )
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = table();
+        let r0 = t.insert(vec![Value::Int(7), Value::Float(0.5)]);
+        let r1 = t.insert(vec![Value::Int(8), Value::Float(0.25)]);
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(t.row(0)[0], Value::Int(7));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match schema")]
+    fn schema_violation_panics() {
+        let mut t = table();
+        t.insert(vec![Value::Float(0.5), Value::Int(7)]);
+    }
+
+    #[test]
+    fn iteration_in_insertion_order() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::Float(0.0)]);
+        }
+        let ids: Vec<i64> = t.iter().map(|(_, r)| r[0].as_int()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn size_grows_with_rows() {
+        let mut t = table();
+        let empty = t.size_bytes();
+        t.insert(vec![Value::Int(1), Value::Float(1.0)]);
+        assert!(t.size_bytes() > empty);
+    }
+}

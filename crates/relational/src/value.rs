@@ -1,0 +1,154 @@
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A typed SQL-ish value.
+///
+/// Floats compare by IEEE total order so values can serve as B+-tree keys;
+/// cross-type comparisons order by type tag (Int < Float < Str), which the
+/// engine never relies on — schemas keep columns homogeneous.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float (totally ordered via `f64::total_cmp`).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Panics
+    /// Panics if the value is not an `Int`.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    /// Panics if the value is not a `Float`.
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            other => panic!("expected Float, got {other:?}"),
+        }
+    }
+
+    /// The string payload.
+    ///
+    /// # Panics
+    /// Panics if the value is not a `Str`.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(v) => v,
+            other => panic!("expected Str, got {other:?}"),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Value>()
+            + match self {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            }
+    }
+}
+
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_type_ordering() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::Float(1.5) < Value::Float(2.5));
+        assert!(Value::Str("a".into()) < Value::Str("b".into()));
+    }
+
+    #[test]
+    fn float_total_order_handles_edge_values() {
+        assert!(Value::Float(-0.0) <= Value::Float(0.0));
+        assert!(Value::Float(f64::NEG_INFINITY) < Value::Float(0.0));
+        assert!(Value::Float(0.0) < Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        assert_eq!(Value::from(42i64).as_int(), 42);
+        assert_eq!(Value::from(1.5f64).as_float(), 1.5);
+        assert_eq!(Value::from("hi").as_str(), "hi");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        let _ = Value::from("nope").as_int();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+    }
+}

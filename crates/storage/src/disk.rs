@@ -1,0 +1,225 @@
+/// Identifier of a page on a [`SimulatedDisk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Read/write tallies kept by a [`SimulatedDisk`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Reads of the page immediately following the previously read page
+    /// (streamable).
+    pub sequential_reads: u64,
+    /// All other reads (head seeks on spinning media).
+    pub random_reads: u64,
+    /// Pages written.
+    pub writes: u64,
+}
+
+impl DiskStats {
+    /// Total page reads.
+    pub fn total_reads(&self) -> u64 {
+        self.sequential_reads + self.random_reads
+    }
+}
+
+/// A cost model mapping page accesses to modeled time.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Microseconds per sequential page read.
+    pub sequential_read_us: f64,
+    /// Microseconds per random page read.
+    pub random_read_us: f64,
+}
+
+impl CostModel {
+    /// A 2008-era 7200 rpm disk: ~8 ms per seek, ~60 MB/s streaming
+    /// (a 4 KiB page every ~65 µs).
+    pub fn hdd_2008() -> Self {
+        Self {
+            sequential_read_us: 65.0,
+            random_read_us: 8_000.0,
+        }
+    }
+
+    /// A modern NVMe drive: both access kinds cheap, randoms only mildly
+    /// worse.
+    pub fn nvme() -> Self {
+        Self {
+            sequential_read_us: 2.0,
+            random_read_us: 10.0,
+        }
+    }
+
+    /// Modeled read time in milliseconds for `stats`.
+    pub fn read_ms(&self, stats: &DiskStats) -> f64 {
+        (stats.sequential_reads as f64 * self.sequential_read_us
+            + stats.random_reads as f64 * self.random_read_us)
+            / 1e3
+    }
+}
+
+/// An in-memory, page-addressed store with access-pattern accounting.
+///
+/// Pages have a fixed size; short writes are zero-padded, oversized writes
+/// are rejected. Every read is classified as sequential (it targets the
+/// page right after the previously read one) or random.
+pub struct SimulatedDisk {
+    page_size: usize,
+    pages: Vec<Box<[u8]>>,
+    last_read: Option<u32>,
+    stats: DiskStats,
+}
+
+impl SimulatedDisk {
+    /// A disk with `page_size`-byte pages.
+    ///
+    /// # Panics
+    /// Panics if `page_size == 0`.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self {
+            page_size,
+            pages: Vec::new(),
+            last_read: None,
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total capacity used, in bytes (whole pages).
+    pub fn size_bytes(&self) -> usize {
+        self.pages.len() * self.page_size
+    }
+
+    /// Append a new page holding `data` (zero-padded).
+    ///
+    /// # Panics
+    /// Panics if `data` exceeds the page size.
+    pub fn write_page(&mut self, data: &[u8]) -> PageId {
+        assert!(
+            data.len() <= self.page_size,
+            "page overflow: {} > {}",
+            data.len(),
+            self.page_size
+        );
+        let mut page = vec![0u8; self.page_size].into_boxed_slice();
+        page[..data.len()].copy_from_slice(data);
+        let id = PageId(u32::try_from(self.pages.len()).expect("disk overflow"));
+        self.pages.push(page);
+        self.stats.writes += 1;
+        id
+    }
+
+    /// Read a page, charging a sequential or random access.
+    ///
+    /// # Panics
+    /// Panics on an unallocated page id.
+    pub fn read_page(&mut self, id: PageId) -> &[u8] {
+        match self.last_read {
+            Some(prev) if id.0 == prev.wrapping_add(1) => self.stats.sequential_reads += 1,
+            _ => self.stats.random_reads += 1,
+        }
+        self.last_read = Some(id.0);
+        &self.pages[id.0 as usize]
+    }
+
+    /// Access tallies so far.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Reset tallies (the head position is also forgotten).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+        self.last_read = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut d = SimulatedDisk::new(16);
+        let a = d.write_page(b"hello");
+        let b = d.write_page(b"world!");
+        assert_eq!(&d.read_page(a)[..5], b"hello");
+        assert_eq!(&d.read_page(b)[..6], b"world!");
+        assert_eq!(d.num_pages(), 2);
+        assert_eq!(d.stats().writes, 2);
+    }
+
+    #[test]
+    fn sequential_vs_random_classification() {
+        let mut d = SimulatedDisk::new(8);
+        let ids: Vec<PageId> = (0..5).map(|i| d.write_page(&[i])).collect();
+        d.reset_stats();
+        // 0 (random: first), 1, 2 (sequential), 4 (random), 0 (random).
+        d.read_page(ids[0]);
+        d.read_page(ids[1]);
+        d.read_page(ids[2]);
+        d.read_page(ids[4]);
+        d.read_page(ids[0]);
+        let s = d.stats();
+        assert_eq!(s.sequential_reads, 2);
+        assert_eq!(s.random_reads, 3);
+        assert_eq!(s.total_reads(), 5);
+    }
+
+    #[test]
+    fn cost_models_order_access_kinds() {
+        let stats = DiskStats {
+            sequential_reads: 100,
+            random_reads: 100,
+            writes: 0,
+        };
+        let hdd = CostModel::hdd_2008();
+        let nvme = CostModel::nvme();
+        assert!(hdd.read_ms(&stats) > nvme.read_ms(&stats));
+        // On the HDD the random share dominates.
+        let seq_only = DiskStats {
+            sequential_reads: 200,
+            random_reads: 0,
+            writes: 0,
+        };
+        assert!(hdd.read_ms(&stats) > 10.0 * hdd.read_ms(&seq_only) / 2.0);
+    }
+
+    #[test]
+    fn pages_are_padded() {
+        let mut d = SimulatedDisk::new(8);
+        let id = d.write_page(b"ab");
+        let page = d.read_page(id);
+        assert_eq!(page.len(), 8);
+        assert_eq!(&page[..2], b"ab");
+        assert!(page[2..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn oversized_write_panics() {
+        let mut d = SimulatedDisk::new(4);
+        d.write_page(b"too big for a page");
+    }
+
+    #[test]
+    fn reset_forgets_head_position() {
+        let mut d = SimulatedDisk::new(4);
+        let a = d.write_page(b"a");
+        let b = d.write_page(b"b");
+        d.read_page(a);
+        d.reset_stats();
+        d.read_page(b); // would be sequential if head were remembered
+        assert_eq!(d.stats().random_reads, 1);
+        assert_eq!(d.stats().sequential_reads, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Disk-behaviour substrate for the set similarity indexes.
+//!
+//! The paper's indexes are **disk resident**: 5 GB of inverted lists plus
+//! skip lists and extendible hashing, with "caching left to the operating
+//! system and the disk drive". Its headline trade-off — SF's sequential
+//! scans versus TA's per-element random probes — is an I/O story. This
+//! crate provides the pieces needed to study that story precisely, in
+//! memory:
+//!
+//! * [`SimulatedDisk`] — a page-addressed store that classifies every read
+//!   as *sequential* (the page after the previous read) or *random*, and
+//!   converts the tallies to modeled time under a configurable
+//!   [`CostModel`].
+//! * [`BufferPool`] — an LRU page cache with hit/miss accounting, standing
+//!   in for the OS page cache the paper relies on.
+//! * [`PagedPostings`] — a posting list laid out on disk pages using the
+//!   delta+varint blocks of `setsim_collections::codec`, one block per
+//!   page, with an in-memory `(first key → page)` directory so the Length
+//!   Boundedness seek touches only the pages inside the window.
+
+mod disk;
+mod paged;
+mod pool;
+
+pub use disk::{CostModel, DiskStats, PageId, SimulatedDisk};
+pub use paged::PagedPostings;
+pub use pool::BufferPool;

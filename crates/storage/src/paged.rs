@@ -1,0 +1,319 @@
+use crate::{BufferPool, PageId, SimulatedDisk};
+use setsim_collections::codec::{read_varint, write_varint};
+use setsim_collections::CodecEntry;
+
+/// A posting list laid out on disk pages.
+///
+/// Entries (sorted by `(key, id)`) are split into blocks sized to fit one
+/// page after delta+varint encoding. The in-memory directory holds each
+/// block's first key and page id — the only per-list state kept resident,
+/// mirroring how a disk-based index keeps fence keys in memory. A
+/// [`seek`](Self::seek) touches only the pages that can intersect
+/// `key ≥ min_key`, which is exactly the Length Boundedness access
+/// pattern: one partial block plus a sequential run.
+pub struct PagedPostings {
+    /// `(first key, page, entry count)` per block, ascending.
+    directory: Vec<(u64, PageId, u32)>,
+    len: usize,
+}
+
+impl PagedPostings {
+    /// Write `entries` to `disk`, packing as many per page as fit.
+    ///
+    /// # Panics
+    /// Panics if entries are unsorted, or if a single entry cannot fit a
+    /// page (page size below ~15 bytes).
+    pub fn store(disk: &mut SimulatedDisk, entries: &[CodecEntry]) -> Self {
+        for w in entries.windows(2) {
+            assert!(
+                (w[0].key, w[0].id) <= (w[1].key, w[1].id),
+                "entries must be sorted"
+            );
+        }
+        let page_size = disk.page_size();
+        let mut directory = Vec::new();
+        let mut buf: Vec<u8> = Vec::with_capacity(page_size);
+        let mut block_first: Option<u64> = None;
+        let mut block_count = 0u32;
+        let mut prev_key = 0u64;
+        let mut scratch: Vec<u8> = Vec::new();
+
+        for e in entries {
+            scratch.clear();
+            let delta = match block_first {
+                None => e.key,
+                Some(_) => e.key - prev_key,
+            };
+            write_varint(&mut scratch, delta);
+            write_varint(&mut scratch, u64::from(e.id));
+            assert!(
+                scratch.len() <= page_size,
+                "page size {page_size} too small for one entry"
+            );
+            if buf.len() + scratch.len() > page_size {
+                // Flush the current block.
+                let first = block_first.expect("non-empty block");
+                directory.push((first, disk.write_page(&buf), block_count));
+                buf.clear();
+                block_first = None;
+                block_count = 0;
+                // Re-encode with an absolute first key.
+                scratch.clear();
+                write_varint(&mut scratch, e.key);
+                write_varint(&mut scratch, u64::from(e.id));
+            }
+            if block_first.is_none() {
+                block_first = Some(e.key);
+            }
+            buf.extend_from_slice(&scratch);
+            block_count += 1;
+            prev_key = e.key;
+        }
+        if let Some(first) = block_first {
+            directory.push((first, disk.write_page(&buf), block_count));
+        }
+        Self {
+            directory,
+            len: entries.len(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of disk pages used.
+    pub fn num_pages(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Decode exactly `count` entries (pages are zero-padded; the count
+    /// from the directory delimits the payload unambiguously).
+    fn decode_page(page: &[u8], count: u32, out: &mut Vec<CodecEntry>) {
+        let mut pos = 0usize;
+        let mut key = 0u64;
+        for i in 0..count {
+            let delta = read_varint(page, &mut pos).expect("corrupt page");
+            key = if i == 0 { delta } else { key + delta };
+            let id = read_varint(page, &mut pos).expect("corrupt page") as u32;
+            out.push(CodecEntry { key, id });
+        }
+    }
+
+    /// Decode every entry, streaming pages through `pool`.
+    pub fn decode_all(&self, disk: &mut SimulatedDisk, pool: &mut BufferPool) -> Vec<CodecEntry> {
+        let mut out = Vec::with_capacity(self.len);
+        for &(_, page, count) in &self.directory {
+            let data: Box<[u8]> = pool.get(disk, page).into();
+            Self::decode_page(&data, count, &mut out);
+        }
+        out
+    }
+
+    /// Entries with `key ≥ min_key`, reading only the pages that can hold
+    /// them. Returns `(entries, pages_touched)`.
+    pub fn seek(
+        &self,
+        disk: &mut SimulatedDisk,
+        pool: &mut BufferPool,
+        min_key: u64,
+    ) -> (Vec<CodecEntry>, usize) {
+        if self.directory.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let start = self
+            .directory
+            .partition_point(|&(first, _, _)| first < min_key)
+            .saturating_sub(1);
+        let mut out = Vec::new();
+        let mut touched = 0;
+        for &(_, page, count) in &self.directory[start..] {
+            let data: Box<[u8]> = pool.get(disk, page).into();
+            Self::decode_page(&data, count, &mut out);
+            touched += 1;
+        }
+        out.retain(|e| e.key >= min_key);
+        (out, touched)
+    }
+
+    /// Entries with `min_key ≤ key ≤ max_key` — the Length Boundedness
+    /// window — touching only the pages that can intersect it: one random
+    /// landing plus a sequential run that stops at the first block wholly
+    /// past `max_key`. Returns `(entries, pages_touched)`.
+    pub fn seek_range(
+        &self,
+        disk: &mut SimulatedDisk,
+        pool: &mut BufferPool,
+        min_key: u64,
+        max_key: u64,
+    ) -> (Vec<CodecEntry>, usize) {
+        if self.directory.is_empty() || min_key > max_key {
+            return (Vec::new(), 0);
+        }
+        let start = self
+            .directory
+            .partition_point(|&(first, _, _)| first < min_key)
+            .saturating_sub(1);
+        let mut out = Vec::new();
+        let mut touched = 0;
+        for &(first, page, count) in &self.directory[start..] {
+            if first > max_key {
+                break;
+            }
+            let data: Box<[u8]> = pool.get(disk, page).into();
+            Self::decode_page(&data, count, &mut out);
+            touched += 1;
+        }
+        out.retain(|e| e.key >= min_key && e.key <= max_key);
+        (out, touched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entries(n: u64) -> Vec<CodecEntry> {
+        (0..n)
+            .map(|i| CodecEntry {
+                key: i * 13,
+                id: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_through_pages() {
+        let mut disk = SimulatedDisk::new(64);
+        let e = entries(500);
+        let p = PagedPostings::store(&mut disk, &e);
+        assert!(p.num_pages() > 5, "should span many pages");
+        let mut pool = BufferPool::new(8);
+        assert_eq!(p.decode_all(&mut disk, &mut pool), e);
+    }
+
+    #[test]
+    fn seek_touches_few_pages() {
+        let mut disk = SimulatedDisk::new(64);
+        let e = entries(2_000);
+        let p = PagedPostings::store(&mut disk, &e);
+        let mut pool = BufferPool::new(4);
+        let target = e[1_900].key;
+        disk.reset_stats();
+        let (got, touched) = p.seek(&mut disk, &mut pool, target);
+        let want: Vec<CodecEntry> = e.iter().copied().filter(|x| x.key >= target).collect();
+        assert_eq!(got, want);
+        assert!(
+            touched * 10 < p.num_pages(),
+            "touched {touched} of {} pages",
+            p.num_pages()
+        );
+        // The touched run is one random landing plus sequential follows.
+        let s = disk.stats();
+        assert_eq!(s.random_reads, 1, "one seek to the window start");
+        assert_eq!(s.sequential_reads as usize, touched - 1);
+    }
+
+    #[test]
+    fn repeated_scans_hit_the_pool() {
+        let mut disk = SimulatedDisk::new(128);
+        let e = entries(300);
+        let p = PagedPostings::store(&mut disk, &e);
+        let mut pool = BufferPool::new(p.num_pages());
+        let _ = p.decode_all(&mut disk, &mut pool);
+        disk.reset_stats();
+        let _ = p.decode_all(&mut disk, &mut pool);
+        assert_eq!(disk.stats().total_reads(), 0, "fully cached second scan");
+        assert!(pool.hit_ratio() > 0.49);
+    }
+
+    #[test]
+    fn seek_range_is_window_bounded() {
+        let mut disk = SimulatedDisk::new(64);
+        let e = entries(2_000);
+        let p = PagedPostings::store(&mut disk, &e);
+        let mut pool = BufferPool::new(4);
+        let (lo, hi) = (e[900].key, e[1_000].key);
+        let (got, touched) = p.seek_range(&mut disk, &mut pool, lo, hi);
+        let want: Vec<CodecEntry> = e
+            .iter()
+            .copied()
+            .filter(|x| x.key >= lo && x.key <= hi)
+            .collect();
+        assert_eq!(got, want);
+        // ~100 of 2000 entries => a small slice of the pages.
+        assert!(touched * 8 < p.num_pages(), "touched {touched}");
+        // Degenerate windows.
+        assert_eq!(p.seek_range(&mut disk, &mut pool, hi, lo).0.len(), 0);
+        let (all, _) = p.seek_range(&mut disk, &mut pool, 0, u64::MAX);
+        assert_eq!(all.len(), e.len());
+    }
+
+    #[test]
+    fn empty_list() {
+        let mut disk = SimulatedDisk::new(32);
+        let p = PagedPostings::store(&mut disk, &[]);
+        assert!(p.is_empty());
+        let mut pool = BufferPool::new(2);
+        assert!(p.decode_all(&mut disk, &mut pool).is_empty());
+        assert_eq!(p.seek(&mut disk, &mut pool, 0).0.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_pages_panic() {
+        let mut disk = SimulatedDisk::new(4);
+        let big = [CodecEntry {
+            key: u64::MAX,
+            id: u32::MAX,
+        }];
+        let _ = PagedPostings::store(&mut disk, &big);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_round_trip(
+            mut keys in proptest::collection::vec(0u64..100_000, 0..400),
+            page_size in 32usize..256,
+        ) {
+            keys.sort_unstable();
+            let e: Vec<CodecEntry> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| CodecEntry { key: k, id: i as u32 })
+                .collect();
+            let mut disk = SimulatedDisk::new(page_size);
+            let p = PagedPostings::store(&mut disk, &e);
+            let mut pool = BufferPool::new(4);
+            prop_assert_eq!(p.decode_all(&mut disk, &mut pool), e);
+        }
+
+        #[test]
+        fn prop_seek_matches_filter(
+            mut keys in proptest::collection::vec(0u64..50_000, 1..300),
+            probe in 0u64..50_000,
+        ) {
+            keys.sort_unstable();
+            let e: Vec<CodecEntry> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| CodecEntry { key: k, id: i as u32 })
+                .collect();
+            let mut disk = SimulatedDisk::new(64);
+            let p = PagedPostings::store(&mut disk, &e);
+            let mut pool = BufferPool::new(4);
+            let (got, _) = p.seek(&mut disk, &mut pool, probe);
+            let want: Vec<CodecEntry> = e.iter().copied().filter(|x| x.key >= probe).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+use crate::{PageId, SimulatedDisk};
+use std::collections::HashMap;
+
+/// An LRU page cache in front of a [`SimulatedDisk`].
+///
+/// Stands in for the OS page cache the paper's experiments rely on
+/// ("we leave caching up to the operating system and the disk drive").
+/// Hits are free; misses read through to the disk (charging it a
+/// sequential or random access) and evict the least recently used frame
+/// when full.
+pub struct BufferPool {
+    capacity: usize,
+    frames: HashMap<PageId, Frame>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct Frame {
+    data: Box<[u8]>,
+    last_used: u64,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        Self {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetch a page through the cache. On a miss the disk is charged and
+    /// the LRU frame evicted if the pool is full.
+    pub fn get(&mut self, disk: &mut SimulatedDisk, id: PageId) -> &[u8] {
+        self.clock += 1;
+        let clock = self.clock;
+        if self.frames.contains_key(&id) {
+            self.hits += 1;
+            let f = self.frames.get_mut(&id).expect("checked");
+            f.last_used = clock;
+            return &f.data;
+        }
+        self.misses += 1;
+        if self.frames.len() >= self.capacity {
+            let victim = *self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| id)
+                .expect("pool non-empty");
+            self.frames.remove(&victim);
+        }
+        let data: Box<[u8]> = disk.read_page(id).into();
+        self.frames.insert(
+            id,
+            Frame {
+                data,
+                last_used: clock,
+            },
+        );
+        &self.frames[&id].data
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of accesses served from the cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Drop every frame and forget statistics.
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.hits = 0;
+        self.misses = 0;
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_with(n: u8) -> (SimulatedDisk, Vec<PageId>) {
+        let mut d = SimulatedDisk::new(8);
+        let ids = (0..n).map(|i| d.write_page(&[i])).collect();
+        (d, ids)
+    }
+
+    #[test]
+    fn caches_repeated_reads() {
+        let (mut d, ids) = disk_with(3);
+        d.reset_stats();
+        let mut pool = BufferPool::new(4);
+        for _ in 0..10 {
+            pool.get(&mut d, ids[0]);
+        }
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 9);
+        assert_eq!(d.stats().total_reads(), 1, "disk touched once");
+    }
+
+    #[test]
+    fn evicts_lru_when_full() {
+        let (mut d, ids) = disk_with(3);
+        let mut pool = BufferPool::new(2);
+        pool.get(&mut d, ids[0]);
+        pool.get(&mut d, ids[1]);
+        pool.get(&mut d, ids[0]); // 0 now more recent than 1
+        pool.get(&mut d, ids[2]); // evicts 1
+        assert_eq!(pool.resident(), 2);
+        d.reset_stats();
+        pool.get(&mut d, ids[0]); // hit
+        assert_eq!(d.stats().total_reads(), 0);
+        pool.get(&mut d, ids[1]); // miss: was evicted
+        assert_eq!(d.stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn hit_ratio_tracks() {
+        let (mut d, ids) = disk_with(2);
+        let mut pool = BufferPool::new(2);
+        assert_eq!(pool.hit_ratio(), 0.0);
+        pool.get(&mut d, ids[0]);
+        pool.get(&mut d, ids[0]);
+        assert!((pool.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn returned_data_is_page_content() {
+        let (mut d, ids) = disk_with(3);
+        let mut pool = BufferPool::new(1);
+        assert_eq!(pool.get(&mut d, ids[2])[0], 2);
+        assert_eq!(pool.get(&mut d, ids[1])[0], 1);
+        assert_eq!(pool.get(&mut d, ids[2])[0], 2); // refetched after eviction
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let (mut d, ids) = disk_with(1);
+        let mut pool = BufferPool::new(2);
+        pool.get(&mut d, ids[0]);
+        pool.clear();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.hits() + pool.misses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        let _ = BufferPool::new(0);
+    }
+}

@@ -1,0 +1,168 @@
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense integer identifier for an interned token string.
+///
+/// Tokens are handed out sequentially by a [`Dictionary`]; they are valid
+/// only with respect to the dictionary that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub u32);
+
+impl Token {
+    /// The token id as a `usize`, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Interns token strings into dense [`Token`] ids.
+///
+/// The dictionary is append-only: interning a new string assigns the next
+/// id, and ids never change. This makes `Token::index` safe to use against
+/// any side table sized by [`Dictionary::len`] at the time of the lookup.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_str: HashMap<Box<str>, Token>,
+    by_id: Vec<Box<str>>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty dictionary with capacity for `cap` distinct tokens.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            by_str: HashMap::with_capacity(cap),
+            by_id: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Intern `s`, returning its token id (allocating a new id if unseen).
+    pub fn intern(&mut self, s: &str) -> Token {
+        if let Some(&t) = self.by_str.get(s) {
+            return t;
+        }
+        let id = Token(u32::try_from(self.by_id.len()).expect("dictionary overflowed u32 ids"));
+        let boxed: Box<str> = s.into();
+        self.by_id.push(boxed.clone());
+        self.by_str.insert(boxed, id);
+        id
+    }
+
+    /// Look up an already-interned token without allocating a new id.
+    pub fn get(&self, s: &str) -> Option<Token> {
+        self.by_str.get(s).copied()
+    }
+
+    /// The string for token `t`, or `None` if `t` was produced by a
+    /// different dictionary.
+    pub fn resolve(&self, t: Token) -> Option<&str> {
+        self.by_id.get(t.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True if no tokens have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate over `(Token, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Token, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Token(i as u32), &**s))
+    }
+
+    /// Approximate heap size of the dictionary in bytes, for the index-size
+    /// accounting used by the Figure 5 experiment.
+    pub fn size_bytes(&self) -> usize {
+        let strings: usize = self.by_id.iter().map(|s| s.len()).sum();
+        // Each entry is stored twice (map key + vec) plus map/vec overhead.
+        2 * strings
+            + self.by_id.len() * std::mem::size_of::<Box<str>>()
+            + self.by_str.capacity()
+                * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<Token>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("main");
+        let b = d.intern("main");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        let a = d.intern("a");
+        let b = d.intern("b");
+        let c = d.intern("c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut d = Dictionary::new();
+        let words = ["main", "st.", "maine", "florham", "park"];
+        let toks: Vec<Token> = words.iter().map(|w| d.intern(w)).collect();
+        for (w, t) in words.iter().zip(&toks) {
+            assert_eq!(d.resolve(*t), Some(*w));
+        }
+    }
+
+    #[test]
+    fn get_does_not_allocate_ids() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.get("missing"), None);
+        assert_eq!(d.len(), 0);
+        d.intern("present");
+        assert_eq!(d.get("present"), Some(Token(0)));
+    }
+
+    #[test]
+    fn resolve_foreign_token_is_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.resolve(Token(42)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        d.intern("y");
+        let pairs: Vec<_> = d.iter().map(|(t, s)| (t.0, s.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn size_bytes_grows() {
+        let mut d = Dictionary::new();
+        let empty = d.size_bytes();
+        for i in 0..100 {
+            d.intern(&format!("token-{i}"));
+        }
+        assert!(d.size_bytes() > empty);
+    }
+}

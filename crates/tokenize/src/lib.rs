@@ -1,0 +1,68 @@
+//! Tokenization substrate for set similarity search.
+//!
+//! Set similarity queries view strings as sets of tokens. This crate provides
+//! the pieces needed to get from raw text to compact, integer-identified
+//! token sets:
+//!
+//! * [`Dictionary`] — interns token strings into dense [`Token`] ids.
+//! * [`QGramTokenizer`] — decomposes a string into overlapping q-grams
+//!   (the paper uses 3-grams), with optional boundary padding.
+//! * [`WordTokenizer`] — splits text into words (the paper tokenizes
+//!   IMDB/DBLP tuples into words before 3-gramming each word).
+//! * [`TokenSet`] / [`TokenMultiSet`] — canonical sorted set and multiset
+//!   representations of a tokenized string.
+//!
+//! # Example
+//!
+//! ```
+//! use setsim_tokenize::{Dictionary, QGramTokenizer, Tokenizer, TokenSet};
+//!
+//! let mut dict = Dictionary::new();
+//! let tok = QGramTokenizer::new(3).with_padding('#');
+//! let set = TokenSet::tokenize("main", &tok, &mut dict);
+//! // "##m", "#ma", "mai", "ain", "in#", "n##"
+//! assert_eq!(set.len(), 6);
+//! ```
+
+mod dictionary;
+mod multiset;
+mod qgram;
+mod set;
+mod word;
+
+pub use dictionary::{Dictionary, Token};
+pub use multiset::TokenMultiSet;
+pub use qgram::QGramTokenizer;
+pub use set::TokenSet;
+pub use word::WordTokenizer;
+
+/// A tokenizer decomposes a string into a sequence of token strings.
+///
+/// Implementations push tokens into a caller-provided buffer so that callers
+/// tokenizing many strings can reuse a single allocation.
+pub trait Tokenizer {
+    /// Append the tokens of `text` to `out`. Existing contents of `out` are
+    /// preserved; callers should `clear()` between strings if they want one
+    /// string's tokens at a time.
+    fn tokenize_into(&self, text: &str, out: &mut Vec<String>);
+
+    /// Convenience wrapper returning a fresh vector of tokens.
+    fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.tokenize_into(text, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_object_usable() {
+        let mut dict = Dictionary::new();
+        let tok: Box<dyn Tokenizer> = Box::new(WordTokenizer::new());
+        let set = TokenSet::tokenize("a b a", tok.as_ref(), &mut dict);
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,144 @@
+use crate::{Dictionary, Token, TokenSet, Tokenizer};
+
+/// A token multiset: sorted `(token, frequency)` pairs.
+///
+/// This is the representation TF-aware measures (TF/IDF, BM25) operate on.
+/// The paper observes that in relational string data term frequencies are
+/// almost always 1, motivating the tf-free IDF/BM25′ variants; the multiset
+/// form is kept so that both measure families can be evaluated side by side
+/// (Table I).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenMultiSet {
+    entries: Vec<(Token, u32)>,
+    total: u32,
+}
+
+impl TokenMultiSet {
+    /// Build a multiset from arbitrary tokens, counting duplicates.
+    pub fn from_tokens(mut tokens: Vec<Token>) -> Self {
+        tokens.sort_unstable();
+        let mut entries: Vec<(Token, u32)> = Vec::new();
+        for t in tokens {
+            match entries.last_mut() {
+                Some((last, n)) if *last == t => *n += 1,
+                _ => entries.push((t, 1)),
+            }
+        }
+        let total = entries.iter().map(|&(_, n)| n).sum();
+        Self { entries, total }
+    }
+
+    /// Tokenize `text` with `tok`, interning tokens in `dict`.
+    pub fn tokenize<T: Tokenizer + ?Sized>(text: &str, tok: &T, dict: &mut Dictionary) -> Self {
+        let mut buf = Vec::new();
+        tok.tokenize_into(text, &mut buf);
+        Self::from_tokens(buf.iter().map(|s| dict.intern(s)).collect())
+    }
+
+    /// Number of distinct tokens.
+    pub fn distinct_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total token count including duplicates (the multiset cardinality).
+    pub fn total_len(&self) -> u32 {
+        self.total
+    }
+
+    /// True if the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Frequency of token `t` (0 if absent).
+    pub fn tf(&self, t: Token) -> u32 {
+        match self.entries.binary_search_by_key(&t, |&(tok, _)| tok) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterate over `(token, frequency)` pairs in token order.
+    pub fn iter(&self) -> impl Iterator<Item = (Token, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Forget frequencies, producing the underlying set.
+    pub fn to_set(&self) -> TokenSet {
+        TokenSet::from_tokens(self.entries.iter().map(|&(t, _)| t).collect())
+    }
+}
+
+impl FromIterator<Token> for TokenMultiSet {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        Self::from_tokens(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WordTokenizer;
+    use proptest::prelude::*;
+
+    fn mset(ids: &[u32]) -> TokenMultiSet {
+        TokenMultiSet::from_tokens(ids.iter().map(|&i| Token(i)).collect())
+    }
+
+    #[test]
+    fn counts_duplicates() {
+        // The paper's running example: {Main, St., Main}.
+        let mut dict = Dictionary::new();
+        let tok = WordTokenizer::new();
+        let m = TokenMultiSet::tokenize("Main St. Main", &tok, &mut dict);
+        let main = dict.get("Main").unwrap();
+        let st = dict.get("St").unwrap();
+        assert_eq!(m.tf(main), 2);
+        assert_eq!(m.tf(st), 1);
+        assert_eq!(m.total_len(), 3);
+        assert_eq!(m.distinct_len(), 2);
+    }
+
+    #[test]
+    fn tf_of_absent_token_is_zero() {
+        let m = mset(&[1, 1, 2]);
+        assert_eq!(m.tf(Token(9)), 0);
+    }
+
+    #[test]
+    fn to_set_drops_frequencies() {
+        let m = mset(&[5, 5, 5, 2]);
+        let s = m.to_set();
+        assert_eq!(s.as_slice(), &[Token(2), Token(5)]);
+    }
+
+    #[test]
+    fn empty_multiset() {
+        let m = TokenMultiSet::default();
+        assert!(m.is_empty());
+        assert_eq!(m.total_len(), 0);
+        assert_eq!(m.distinct_len(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_is_input_len(ids in prop::collection::vec(0u32..20, 0..60)) {
+            let m = mset(&ids);
+            prop_assert_eq!(m.total_len() as usize, ids.len());
+        }
+
+        #[test]
+        fn prop_tf_sums_to_total(ids in prop::collection::vec(0u32..20, 0..60)) {
+            let m = mset(&ids);
+            let sum: u32 = m.iter().map(|(_, n)| n).sum();
+            prop_assert_eq!(sum, m.total_len());
+        }
+
+        #[test]
+        fn prop_entries_sorted_distinct(ids in prop::collection::vec(0u32..20, 0..60)) {
+            let m = mset(&ids);
+            let toks: Vec<Token> = m.iter().map(|(t, _)| t).collect();
+            prop_assert!(toks.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+use crate::Tokenizer;
+
+/// Decomposes a string into overlapping character q-grams.
+///
+/// The paper tokenizes words into 3-grams. With padding enabled (the
+/// common convention, and our default via [`QGramTokenizer::with_padding`]),
+/// `q - 1` copies of a pad character are conceptually prepended and appended
+/// so that every character participates in exactly `q` grams and even
+/// strings shorter than `q` produce at least one gram.
+///
+/// Without padding, strings shorter than `q` characters produce no grams.
+#[derive(Debug, Clone)]
+pub struct QGramTokenizer {
+    q: usize,
+    pad: Option<char>,
+    lowercase: bool,
+}
+
+impl QGramTokenizer {
+    /// A q-gram tokenizer with no padding and no case folding.
+    ///
+    /// # Panics
+    /// Panics if `q == 0`.
+    pub fn new(q: usize) -> Self {
+        assert!(q > 0, "q-gram length must be positive");
+        Self {
+            q,
+            pad: None,
+            lowercase: false,
+        }
+    }
+
+    /// Enable boundary padding with `pad_char`.
+    pub fn with_padding(mut self, pad_char: char) -> Self {
+        self.pad = Some(pad_char);
+        self
+    }
+
+    /// Fold input to lowercase before gramming.
+    pub fn with_lowercase(mut self) -> Self {
+        self.lowercase = true;
+        self
+    }
+
+    /// The gram length q.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    fn collect_chars(&self, text: &str, buf: &mut Vec<char>) {
+        buf.clear();
+        if let Some(p) = self.pad {
+            buf.extend(std::iter::repeat(p).take(self.q - 1));
+        }
+        if self.lowercase {
+            buf.extend(text.chars().flat_map(|c| c.to_lowercase()));
+        } else {
+            buf.extend(text.chars());
+        }
+        if let Some(p) = self.pad {
+            buf.extend(std::iter::repeat(p).take(self.q - 1));
+        }
+    }
+}
+
+impl Tokenizer for QGramTokenizer {
+    fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
+        let mut chars = Vec::new();
+        self.collect_chars(text, &mut chars);
+        if chars.len() < self.q {
+            return;
+        }
+        for window in chars.windows(self.q) {
+            out.push(window.iter().collect());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpadded_trigrams() {
+        let t = QGramTokenizer::new(3);
+        assert_eq!(t.tokenize("main"), vec!["mai", "ain"]);
+    }
+
+    #[test]
+    fn unpadded_short_string_yields_nothing() {
+        let t = QGramTokenizer::new(3);
+        assert!(t.tokenize("ab").is_empty());
+        assert!(t.tokenize("").is_empty());
+    }
+
+    #[test]
+    fn padded_trigrams() {
+        let t = QGramTokenizer::new(3).with_padding('#');
+        assert_eq!(t.tokenize("ab"), vec!["##a", "#ab", "ab#", "b##"]);
+    }
+
+    #[test]
+    fn padded_empty_string_yields_nothing() {
+        // Pure padding windows carry no information; an empty string pads to
+        // 2(q-1) chars and produces q-1 all-pad grams. We keep them: they
+        // make every non-degenerate string produce >= 1 gram and empty
+        // strings match only empty strings. Verify the exact behaviour.
+        let t = QGramTokenizer::new(3).with_padding('#');
+        assert_eq!(t.tokenize(""), vec!["###", "###"]);
+    }
+
+    #[test]
+    fn gram_count_matches_formula() {
+        // With padding: n + q - 1 grams for an n-char string (n >= 1).
+        let t = QGramTokenizer::new(3).with_padding('$');
+        for s in ["a", "ab", "main", "main street"] {
+            let n = s.chars().count();
+            assert_eq!(t.tokenize(s).len(), n + 2, "string {s:?}");
+        }
+    }
+
+    #[test]
+    fn lowercase_folding() {
+        let t = QGramTokenizer::new(2).with_lowercase();
+        assert_eq!(t.tokenize("AbC"), vec!["ab", "bc"]);
+    }
+
+    #[test]
+    fn unicode_is_char_based() {
+        let t = QGramTokenizer::new(2);
+        assert_eq!(t.tokenize("naïve"), vec!["na", "aï", "ïv", "ve"]);
+    }
+
+    #[test]
+    fn q1_is_character_set() {
+        let t = QGramTokenizer::new(1);
+        assert_eq!(t.tokenize("abc"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn q0_panics() {
+        let _ = QGramTokenizer::new(0);
+    }
+}

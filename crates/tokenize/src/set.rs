@@ -1,0 +1,218 @@
+use crate::{Dictionary, Token, Tokenizer};
+
+/// A canonical token set: sorted, duplicate-free token ids.
+///
+/// This is the representation the IDF measure operates on — the paper drops
+/// the term-frequency component, reducing multi-sets to sets (Section II).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct TokenSet {
+    tokens: Vec<Token>,
+}
+
+impl TokenSet {
+    /// Build a set from arbitrary (possibly unsorted, duplicated) tokens.
+    pub fn from_tokens(mut tokens: Vec<Token>) -> Self {
+        tokens.sort_unstable();
+        tokens.dedup();
+        Self { tokens }
+    }
+
+    /// Tokenize `text` with `tok`, interning tokens in `dict`.
+    pub fn tokenize<T: Tokenizer + ?Sized>(text: &str, tok: &T, dict: &mut Dictionary) -> Self {
+        let mut buf = Vec::new();
+        tok.tokenize_into(text, &mut buf);
+        Self::from_tokens(buf.iter().map(|s| dict.intern(s)).collect())
+    }
+
+    /// Tokenize `text` without extending the dictionary; tokens not already
+    /// interned are dropped. Useful for read-only query-side tokenization.
+    pub fn tokenize_readonly<T: Tokenizer + ?Sized>(
+        text: &str,
+        tok: &T,
+        dict: &Dictionary,
+    ) -> Self {
+        let mut buf = Vec::new();
+        tok.tokenize_into(text, &mut buf);
+        Self::from_tokens(buf.iter().filter_map(|s| dict.get(s)).collect())
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if the set has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Membership test (binary search over the sorted representation).
+    pub fn contains(&self, t: Token) -> bool {
+        self.tokens.binary_search(&t).is_ok()
+    }
+
+    /// The sorted tokens as a slice.
+    pub fn as_slice(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Iterate over tokens in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = Token> + '_ {
+        self.tokens.iter().copied()
+    }
+
+    /// Size of the intersection with `other` (linear merge).
+    pub fn intersection_size(&self, other: &TokenSet) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.tokens.len() && j < other.tokens.len() {
+            match self.tokens[i].cmp(&other.tokens[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Iterate over tokens common to both sets, in ascending id order.
+    pub fn intersection<'a>(&'a self, other: &'a TokenSet) -> impl Iterator<Item = Token> + 'a {
+        Intersection {
+            a: &self.tokens,
+            b: &other.tokens,
+            i: 0,
+            j: 0,
+        }
+    }
+}
+
+impl FromIterator<Token> for TokenSet {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        Self::from_tokens(iter.into_iter().collect())
+    }
+}
+
+struct Intersection<'a> {
+    a: &'a [Token],
+    b: &'a [Token],
+    i: usize,
+    j: usize,
+}
+
+impl Iterator for Intersection<'_> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        while self.i < self.a.len() && self.j < self.b.len() {
+            match self.a[self.i].cmp(&self.b[self.j]) {
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+                std::cmp::Ordering::Equal => {
+                    let t = self.a[self.i];
+                    self.i += 1;
+                    self.j += 1;
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QGramTokenizer;
+    use proptest::prelude::*;
+
+    fn set(ids: &[u32]) -> TokenSet {
+        TokenSet::from_tokens(ids.iter().map(|&i| Token(i)).collect())
+    }
+
+    #[test]
+    fn from_tokens_sorts_and_dedups() {
+        let s = set(&[3, 1, 3, 2, 1]);
+        assert_eq!(s.as_slice(), &[Token(1), Token(2), Token(3)]);
+    }
+
+    #[test]
+    fn tokenize_builds_set_semantics() {
+        // "Main St., Main" shares grams between the two occurrences of Main;
+        // set semantics collapse them.
+        let mut dict = Dictionary::new();
+        let tok = QGramTokenizer::new(3);
+        let a = TokenSet::tokenize("mainmain", &tok, &mut dict);
+        let b = TokenSet::tokenize("main", &tok, &mut dict);
+        assert!(b.iter().all(|t| a.contains(t)));
+    }
+
+    #[test]
+    fn readonly_tokenize_drops_unknown() {
+        let mut dict = Dictionary::new();
+        let tok = QGramTokenizer::new(3);
+        let _ = TokenSet::tokenize("abcdef", &tok, &mut dict);
+        let before = dict.len();
+        let q = TokenSet::tokenize_readonly("abcxyz", &tok, &dict);
+        assert_eq!(dict.len(), before, "dictionary must not grow");
+        // "abc", "bcd" overlap with indexed grams; "xyz"-side grams dropped.
+        assert!(q.len() < 4);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn intersection_of_disjoint_is_empty() {
+        assert_eq!(set(&[1, 2]).intersection_size(&set(&[3, 4])), 0);
+    }
+
+    #[test]
+    fn intersection_matches_iterator() {
+        let a = set(&[1, 3, 5, 7, 9]);
+        let b = set(&[3, 4, 5, 6, 7]);
+        let via_iter: Vec<Token> = a.intersection(&b).collect();
+        assert_eq!(via_iter, vec![Token(3), Token(5), Token(7)]);
+        assert_eq!(a.intersection_size(&b), via_iter.len());
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = TokenSet::default();
+        assert!(e.is_empty());
+        assert_eq!(e.intersection_size(&set(&[1])), 0);
+        assert!(!e.contains(Token(0)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_symmetric(a in prop::collection::vec(0u32..50, 0..30),
+                                       b in prop::collection::vec(0u32..50, 0..30)) {
+            let sa = set(&a);
+            let sb = set(&b);
+            prop_assert_eq!(sa.intersection_size(&sb), sb.intersection_size(&sa));
+        }
+
+        #[test]
+        fn prop_intersection_bounded(a in prop::collection::vec(0u32..50, 0..30),
+                                     b in prop::collection::vec(0u32..50, 0..30)) {
+            let sa = set(&a);
+            let sb = set(&b);
+            let n = sa.intersection_size(&sb);
+            prop_assert!(n <= sa.len().min(sb.len()));
+        }
+
+        #[test]
+        fn prop_self_intersection_is_len(a in prop::collection::vec(0u32..50, 0..30)) {
+            let sa = set(&a);
+            prop_assert_eq!(sa.intersection_size(&sa), sa.len());
+        }
+
+        #[test]
+        fn prop_sorted_dedup_invariant(a in prop::collection::vec(0u32..1000, 0..100)) {
+            let sa = set(&a);
+            let sl = sa.as_slice();
+            prop_assert!(sl.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+use crate::Tokenizer;
+
+/// Splits text into words on non-alphanumeric boundaries.
+///
+/// The paper's pipeline tokenizes IMDB/DBLP tuples into words first; each
+/// word is then treated either as a token itself (word-level sets) or
+/// decomposed further into q-grams (the main experimental setting).
+#[derive(Debug, Clone, Default)]
+pub struct WordTokenizer {
+    lowercase: bool,
+    keep_digits: bool,
+}
+
+impl WordTokenizer {
+    /// A word tokenizer that keeps case and treats digits as word characters.
+    pub fn new() -> Self {
+        Self {
+            lowercase: false,
+            keep_digits: true,
+        }
+    }
+
+    /// Fold words to lowercase.
+    pub fn with_lowercase(mut self) -> Self {
+        self.lowercase = true;
+        self
+    }
+
+    /// Treat digits as separators rather than word characters.
+    pub fn without_digits(mut self) -> Self {
+        self.keep_digits = false;
+        self
+    }
+
+    fn is_word_char(&self, c: char) -> bool {
+        c.is_alphabetic() || (self.keep_digits && c.is_numeric())
+    }
+}
+
+impl Tokenizer for WordTokenizer {
+    fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
+        let mut current = String::new();
+        for c in text.chars() {
+            if self.is_word_char(c) {
+                if self.lowercase {
+                    current.extend(c.to_lowercase());
+                } else {
+                    current.push(c);
+                }
+            } else if !current.is_empty() {
+                out.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            out.push(current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_space() {
+        let t = WordTokenizer::new();
+        assert_eq!(t.tokenize("Main St., Maine"), vec!["Main", "St", "Maine"]);
+    }
+
+    #[test]
+    fn empty_and_all_separator_inputs() {
+        let t = WordTokenizer::new();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize(" ,.;- ").is_empty());
+    }
+
+    #[test]
+    fn lowercase_folding() {
+        let t = WordTokenizer::new().with_lowercase();
+        assert_eq!(t.tokenize("Main ST"), vec!["main", "st"]);
+    }
+
+    #[test]
+    fn digits_kept_by_default() {
+        let t = WordTokenizer::new();
+        assert_eq!(t.tokenize("route 66"), vec!["route", "66"]);
+    }
+
+    #[test]
+    fn digits_as_separators() {
+        let t = WordTokenizer::new().without_digits();
+        assert_eq!(t.tokenize("ab1cd"), vec!["ab", "cd"]);
+    }
+
+    #[test]
+    fn tokenize_into_appends() {
+        let t = WordTokenizer::new();
+        let mut buf = vec!["pre".to_string()];
+        t.tokenize_into("a b", &mut buf);
+        assert_eq!(buf, vec!["pre", "a", "b"]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: index a handful of strings and run similarity selections.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use setsim::core::{
+    CollectionBuilder, IndexOptions, InvertedIndex, SelectionAlgorithm, SfAlgorithm,
+};
+use setsim::tokenize::QGramTokenizer;
+
+fn main() {
+    // 1. Tokenize strings into 3-gram sets and build the collection.
+    let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    let records = [
+        "Main St., Main",
+        "Main St., Maine",
+        "Main Street",
+        "Florham Park",
+        "Florham Dark",
+        "Park Avenue",
+    ];
+    builder.extend(records);
+    let collection = builder.build();
+
+    // 2. Build the inverted index (weight-sorted lists + skip lists +
+    //    extendible hashing, all on by default).
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+
+    // 3. Run selections with the Shortest-First algorithm.
+    let sf = SfAlgorithm::default();
+    for (query_text, tau) in [
+        ("Main Street", 0.5),
+        ("Florham Prak", 0.4),
+        ("Main St", 0.6),
+    ] {
+        let query = index.prepare_query_str(query_text);
+        let results = sf.search(&index, &query, tau).sorted_by_score();
+        println!("query {query_text:?} (tau = {tau}):");
+        if results.is_empty() {
+            println!("  no matches");
+        }
+        for m in results {
+            println!(
+                "  {:5.3}  {}",
+                m.score,
+                collection.text(m.id).unwrap_or("<gone>")
+            );
+        }
+    }
+}

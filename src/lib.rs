@@ -1,0 +1,46 @@
+//! # setsim — fast set similarity selection queries
+//!
+//! Facade crate for the `setsim` workspace, a from-scratch Rust
+//! implementation of *"Fast Indexes and Algorithms for Set Similarity
+//! Selection Queries"* (Hadjieleftheriou, Chandel, Koudas, Srivastava,
+//! ICDE 2008).
+//!
+//! The individual pieces live in focused crates and are re-exported here:
+//!
+//! * [`tokenize`] — q-gram/word tokenizers and token interning.
+//! * [`collections`] — skip list, extendible hashing, B+-tree substrates.
+//! * [`relational`] — the mini relational engine behind the SQL baseline.
+//! * [`storage`] — simulated paged disk, LRU buffer pool, paged compressed
+//!   posting storage (for the physical I/O experiments).
+//! * [`datagen`] — synthetic corpora, error models, and query workloads.
+//! * [`core`] — similarity measures, the inverted index, and the
+//!   TA/NRA-family selection algorithms (TA, NRA, iTA, iNRA, SF, Hybrid).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use setsim::core::{CollectionBuilder, IndexOptions, InvertedIndex, SfAlgorithm,
+//!                    SelectionAlgorithm};
+//! use setsim::tokenize::QGramTokenizer;
+//!
+//! let tok = QGramTokenizer::new(3).with_padding('#');
+//! let mut builder = CollectionBuilder::new(tok);
+//! for s in ["main street", "main st", "maine street", "park avenue"] {
+//!     builder.add(s);
+//! }
+//! let collection = builder.build();
+//! let index = InvertedIndex::build(&collection, IndexOptions::default());
+//!
+//! let query = index.prepare_query_str("main street");
+//! let mut results = SfAlgorithm::default().search(&index, &query, 0.5).results;
+//! results.sort_by(|a, b| b.score.total_cmp(&a.score));
+//! assert_eq!(collection.text(results[0].id), Some("main street"));
+//! assert!((results[0].score - 1.0).abs() < 1e-9);
+//! ```
+
+pub use setsim_collections as collections;
+pub use setsim_core as core;
+pub use setsim_datagen as datagen;
+pub use setsim_relational as relational;
+pub use setsim_storage as storage;
+pub use setsim_tokenize as tokenize;

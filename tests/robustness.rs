@@ -1,0 +1,196 @@
+//! Robustness suite: algorithms must return identical answers under every
+//! index-construction configuration (skip stride, hash page size, disabled
+//! structures), the tf-aware path must match its oracle on random inputs,
+//! and degenerate inputs must not break anything.
+
+use proptest::prelude::*;
+use setsim::core::tfsearch::{tf_scan, TfIndex, TfSfAlgorithm};
+use setsim::core::{
+    AlgoConfig, CollectionBuilder, FullScan, HybridAlgorithm, INraAlgorithm, IndexOptions,
+    InvertedIndex, SelectionAlgorithm, SetCollection, SfAlgorithm,
+};
+use setsim::tokenize::QGramTokenizer;
+
+fn build(texts: &[String]) -> SetCollection {
+    let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    for t in texts {
+        b.add(t);
+    }
+    b.build()
+}
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('b'), Just('c'), Just('d')],
+        1..12,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Results are invariant under index build options.
+    #[test]
+    fn index_options_do_not_change_answers(
+        texts in proptest::collection::vec(word_strategy(), 1..40),
+        query in word_strategy(),
+        tau_pct in 10u32..=100,
+        stride in 1usize..40,
+        bucket_cap in 1usize..16,
+    ) {
+        let tau = f64::from(tau_pct) / 100.0;
+        let collection = build(&texts);
+        let reference = {
+            let idx = InvertedIndex::build(&collection, IndexOptions::default());
+            let q = idx.prepare_query_str(&query);
+            FullScan.search(&idx, &q, tau).ids_sorted()
+        };
+        let variants = [
+            IndexOptions {
+                skip_stride: stride,
+                hash_bucket_capacity: bucket_cap,
+                ..IndexOptions::default()
+            },
+            IndexOptions {
+                build_skip_lists: false,
+                build_hash_indexes: false,
+                build_id_sorted_lists: false,
+                ..IndexOptions::default()
+            },
+        ];
+        for opts in variants {
+            let idx = InvertedIndex::build(&collection, opts.clone());
+            let q = idx.prepare_query_str(&query);
+            for out in [
+                SfAlgorithm::default().search(&idx, &q, tau),
+                INraAlgorithm::with_config(AlgoConfig::full()).search(&idx, &q, tau),
+                HybridAlgorithm::default().search(&idx, &q, tau),
+            ] {
+                prop_assert_eq!(out.ids_sorted(), reference.clone(), "opts {:?}", opts);
+            }
+        }
+    }
+
+    /// The boosted tf-aware SF matches the exhaustive tf oracle on
+    /// randomized inputs (duplicated grams give genuine tf > 1).
+    #[test]
+    fn tf_sf_matches_tf_scan(
+        texts in proptest::collection::vec(word_strategy(), 1..40),
+        query in word_strategy(),
+        tau_pct in 10u32..=100,
+    ) {
+        let tau = f64::from(tau_pct) / 100.0;
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(2));
+        for t in &texts {
+            b.add(t);
+        }
+        let collection = b.build();
+        let idx = TfIndex::build(&collection);
+        let q = idx.prepare_query_str(&query);
+        let oracle = tf_scan(&idx, &q, tau);
+        let got = TfSfAlgorithm.search(&idx, &q, tau);
+        // Knife-edge scores may flip either way; compare off-boundary ids.
+        let mut scores = vec![0.0f64; collection.len()];
+        for m in &tf_scan(&idx, &q, 1e-9).results {
+            scores[m.id.index()] = m.score;
+        }
+        let band = 1e-9 * tau.max(1.0);
+        let got_ids: std::collections::HashSet<u32> =
+            got.results.iter().map(|m| m.id.0).collect();
+        for (i, &s) in scores.iter().enumerate() {
+            if (s - tau).abs() <= band {
+                continue;
+            }
+            prop_assert_eq!(
+                got_ids.contains(&(i as u32)),
+                s >= tau,
+                "id {} score {} tau {}",
+                i,
+                s,
+                tau
+            );
+        }
+        let _ = oracle;
+    }
+}
+
+#[test]
+fn degenerate_inputs_do_not_panic() {
+    // Single-record database.
+    let c = build(&["x".to_string()]);
+    let idx = InvertedIndex::build(&c, IndexOptions::default());
+    let q = idx.prepare_query_str("x");
+    assert_eq!(
+        SfAlgorithm::default().search(&idx, &q, 1.0).results.len(),
+        1
+    );
+
+    // Query matching nothing.
+    let q = idx.prepare_query_str("zzzzzz");
+    assert!(SfAlgorithm::default()
+        .search(&idx, &q, 0.1)
+        .results
+        .is_empty());
+
+    // All-identical records.
+    let c = build(&vec!["same".to_string(); 20]);
+    let idx = InvertedIndex::build(&c, IndexOptions::default());
+    let q = idx.prepare_query_str("same");
+    let out = HybridAlgorithm::default().search(&idx, &q, 1.0);
+    assert_eq!(out.results.len(), 20);
+
+    // Whitespace-only record: padded grams only.
+    let c = build(&[" ".to_string(), "real".to_string()]);
+    let idx = InvertedIndex::build(&c, IndexOptions::default());
+    let q = idx.prepare_query_str("real");
+    assert!(!INraAlgorithm::default()
+        .search(&idx, &q, 0.9)
+        .results
+        .is_empty());
+}
+
+#[test]
+fn unicode_records_work_end_to_end() {
+    let texts: Vec<String> = [
+        "straße münchen",
+        "strasse muenchen",
+        "日本語テキスト",
+        "日本語テスト",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let c = build(&texts);
+    let idx = InvertedIndex::build(&c, IndexOptions::default());
+    let q = idx.prepare_query_str("日本語テキスト");
+    let out = SfAlgorithm::default()
+        .search(&idx, &q, 0.5)
+        .sorted_by_score();
+    assert_eq!(c.text(out[0].id), Some("日本語テキスト"));
+    assert!((out[0].score - 1.0).abs() < 1e-9);
+    // The near-duplicate Japanese string should score above the German ones.
+    assert_eq!(c.text(out[1].id), Some("日本語テスト"));
+}
+
+#[test]
+fn very_long_record_does_not_blow_bounds() {
+    let mut texts: Vec<String> = vec!["short".into()];
+    texts.push("short".repeat(500)); // shares every gram, enormous length
+    let c = build(&texts);
+    let idx = InvertedIndex::build(&c, IndexOptions::default());
+    let q = idx.prepare_query_str("short");
+    for tau in [0.5, 0.9, 1.0] {
+        let oracle = FullScan.search(&idx, &q, tau).ids_sorted();
+        assert_eq!(
+            SfAlgorithm::default().search(&idx, &q, tau).ids_sorted(),
+            oracle
+        );
+        assert_eq!(
+            HybridAlgorithm::default()
+                .search(&idx, &q, tau)
+                .ids_sorted(),
+            oracle
+        );
+    }
+}
