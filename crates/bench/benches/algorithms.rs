@@ -21,7 +21,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 for q in &queries {
                     black_box(engines.run(a, AlgoConfig::default(), q, 0.8));
                 }
-            })
+            });
         });
     }
     group.finish();
@@ -33,7 +33,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 for q in &queries {
                     black_box(engines.run(Algo::Sf, AlgoConfig::default(), q, tau));
                 }
-            })
+            });
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 for q in &queries {
                     black_box(engines.run(Algo::Sf, cfg, q, 0.8));
                 }
-            })
+            });
         });
     }
     group.finish();
@@ -68,7 +68,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 for q in &queries {
                     black_box(algo.search(&engines.index, q, 0.8));
                 }
-            })
+            });
         });
     }
     group.finish();
@@ -89,7 +89,7 @@ fn bench_algorithms(c: &mut Criterion) {
                         0.9,
                         threads,
                     ))
-                })
+                });
             },
         );
     }

@@ -25,17 +25,17 @@ fn bench_build(c: &mut Criterion) {
                 tok.tokenize_into(black_box(w), &mut buf);
             }
             black_box(buf.len())
-        })
+        });
     });
 
     c.bench_function("collection_build_5k_words", |b| {
         b.iter(|| {
             let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
-            for w in words.iter() {
+            for w in &words {
                 builder.add(w);
             }
             black_box(builder.build().len())
-        })
+        });
     });
 
     let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
@@ -45,7 +45,9 @@ fn bench_build(c: &mut Criterion) {
     let collection = builder.build();
 
     c.bench_function("index_build_full", |b| {
-        b.iter(|| black_box(InvertedIndex::build(&collection, IndexOptions::default()).num_lists()))
+        b.iter(|| {
+            black_box(InvertedIndex::build(&collection, IndexOptions::default()).num_lists())
+        });
     });
 
     c.bench_function("index_build_lists_only", |b| {
@@ -55,7 +57,7 @@ fn bench_build(c: &mut Criterion) {
             build_id_sorted_lists: false,
             ..IndexOptions::default()
         };
-        b.iter(|| black_box(InvertedIndex::build(&collection, lean.clone()).num_lists()))
+        b.iter(|| black_box(InvertedIndex::build(&collection, lean.clone()).num_lists()));
     });
 }
 

@@ -16,7 +16,7 @@ fn bench_skiplist(c: &mut Criterion) {
                 sl.insert(black_box(k.wrapping_mul(2654435761) % N), k);
             }
             black_box(sl.len())
-        })
+        });
     });
     let mut sl = SkipList::with_seed(2);
     for k in 0..N {
@@ -27,14 +27,14 @@ fn bench_skiplist(c: &mut Criterion) {
         b.iter(|| {
             k = (k + 7919) % (2 * N);
             black_box(sl.get(&k))
-        })
+        });
     });
     group.bench_function("lower_bound_seek", |b| {
         let mut k = 0;
         b.iter(|| {
             k = (k + 7919) % (2 * N);
             black_box(sl.lower_bound(&k).next())
-        })
+        });
     });
     group.finish();
 }
@@ -49,7 +49,7 @@ fn bench_extendible(c: &mut Criterion) {
                     h.insert(black_box(k), ());
                 }
                 black_box(h.len())
-            })
+            });
         });
     }
     let mut h = ExtendibleHashMap::new(64);
@@ -61,7 +61,7 @@ fn bench_extendible(c: &mut Criterion) {
         b.iter(|| {
             k = (k + 7919) % (2 * N);
             black_box(h.get(&k))
-        })
+        });
     });
     group.finish();
 }
@@ -79,7 +79,7 @@ fn bench_btree(c: &mut Criterion) {
                         t.insert(black_box(k.wrapping_mul(2654435761) % N), k);
                     }
                     black_box(t.len())
-                })
+                });
             },
         );
     }
@@ -92,14 +92,14 @@ fn bench_btree(c: &mut Criterion) {
         b.iter(|| {
             k = (k + 7919) % (2 * N);
             black_box(t.get(&k))
-        })
+        });
     });
     group.bench_function("range_scan_100", |b| {
         let mut k = 0;
         b.iter(|| {
             k = (k + 7919) % N;
             black_box(t.range(k..k + 100).count())
-        })
+        });
     });
     group.finish();
 }

@@ -82,7 +82,7 @@ fn sweep_querysize(engines: &Engines<'_>, corpus: &setsim_datagen::Corpus) {
         "Figure 6(b): avg wall-clock ms/query vs query size (tau=0.8, 0 mods)",
         &LengthBucket::PAPER
             .iter()
-            .map(|b| b.label())
+            .map(setsim_datagen::LengthBucket::label)
             .collect::<Vec<_>>(),
         &rows,
     );
@@ -125,7 +125,7 @@ fn main() {
         collection.len(),
         engines.index.total_postings()
     );
-    let which = rest.first().map(|s| s.as_str()).unwrap_or("all");
+    let which = rest.first().map_or("all", std::string::String::as_str);
     if which == "threshold" || which == "all" {
         sweep_threshold(&engines, &corpus);
     }

@@ -111,7 +111,7 @@ fn main() {
         "Figure 8(b): SQL and SF vs query size (tau=0.8)",
         &LengthBucket::PAPER
             .iter()
-            .map(|b| b.label())
+            .map(setsim_datagen::LengthBucket::label)
             .collect::<Vec<_>>(),
         &rows_b,
     );

@@ -9,12 +9,11 @@
 //!
 //! Usage: `table1_precision [--scale small|medium|large] [--queries N]`
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use setsim_bench::{print_table, scale_from_args, Scale};
 use setsim_core::measures::{rank_all, Bm25, Bm25NoTf, Idf, Similarity, TfIdf};
 use setsim_core::{CollectionBuilder, SetCollection, TokenWeights};
 use setsim_datagen::{DirtyConfig, DirtyDataset};
+use setsim_prng::SliceRandom;
 use setsim_tokenize::QGramTokenizer;
 
 /// Average precision of one ranked list against a relevance set.
@@ -86,7 +85,7 @@ fn main() {
         let collection = builder.build();
         let weights = TokenWeights::compute(&collection);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7 + u64::from(level));
+        let mut rng = setsim_prng::StdRng::seed_from_u64(7 + u64::from(level));
         let mut clusters: Vec<usize> = (0..dataset.clean().len()).collect();
         clusters.shuffle(&mut rng);
         clusters.truncate(num_queries);

@@ -279,8 +279,11 @@ pub fn print_table(title: &str, col_labels: &[String], rows: &[(String, Vec<Stri
         .unwrap();
     let col_w = col_labels
         .iter()
-        .map(|c| c.len())
-        .chain(rows.iter().flat_map(|(_, v)| v.iter().map(|s| s.len())))
+        .map(std::string::String::len)
+        .chain(
+            rows.iter()
+                .flat_map(|(_, v)| v.iter().map(std::string::String::len)),
+        )
         .max()
         .unwrap_or(8)
         .max(8);

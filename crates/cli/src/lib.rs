@@ -105,28 +105,28 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--tau" => {
                 opts.tau = value("--tau")?
                     .parse()
-                    .map_err(|_| "--tau expects a number".to_string())?
+                    .map_err(|_| "--tau expects a number".to_string())?;
             }
             "--algo" => opts.algo = value("--algo")?,
             "-k" => {
                 opts.k = value("-k")?
                     .parse()
-                    .map_err(|_| "-k expects an integer".to_string())?
+                    .map_err(|_| "-k expects an integer".to_string())?;
             }
             "-n" | "--limit" => {
                 opts.limit = value("--limit")?
                     .parse()
-                    .map_err(|_| "--limit expects an integer".to_string())?
+                    .map_err(|_| "--limit expects an integer".to_string())?;
             }
             "--threads" => {
                 opts.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| "--threads expects an integer".to_string())?
+                    .map_err(|_| "--threads expects an integer".to_string())?;
             }
             "--q" => {
                 opts.q = value("--q")?
                     .parse()
-                    .map_err(|_| "--q expects an integer".to_string())?
+                    .map_err(|_| "--q expects an integer".to_string())?;
             }
             "--words" => opts.words = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -223,9 +223,9 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
             writeln!(out, "records:          {}", collection.len()).unwrap();
             writeln!(out, "distinct tokens:  {}", collection.dict().len()).unwrap();
             writeln!(out, "postings:         {}", index.total_postings()).unwrap();
-            writeln!(out, "inverted lists:   {} bytes", lists).unwrap();
-            writeln!(out, "skip lists:       {} bytes", skips).unwrap();
-            writeln!(out, "hash indexes:     {} bytes", hash).unwrap();
+            writeln!(out, "inverted lists:   {lists} bytes").unwrap();
+            writeln!(out, "skip lists:       {skips} bytes").unwrap();
+            writeln!(out, "hash indexes:     {hash} bytes").unwrap();
         }
         _ => unreachable!("validated in parse_args"),
     }
@@ -279,7 +279,7 @@ mod tests {
     fn lines() -> Vec<String> {
         ["main street", "main st", "maine street", "park avenue"]
             .iter()
-            .map(|s| s.to_string())
+            .map(|s| (*s).to_string())
             .collect()
     }
 

@@ -315,8 +315,9 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                     ..
                 },
             ) => {
-                let k = lk.pop().expect("left sibling not empty");
-                let v = lv.pop().expect("left sibling not empty");
+                let (Some(k), Some(v)) = (lk.pop(), lv.pop()) else {
+                    unreachable!("rebalance only borrows from a sibling with spare keys")
+                };
                 ck.insert(0, k);
                 cv.insert(0, v);
                 ck[0].clone()
@@ -335,8 +336,9 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                     unreachable!()
                 };
                 let sep = pk[idx - 1].clone();
-                let k = lk.pop().expect("left sibling not empty");
-                let c = lc.pop().expect("left sibling not empty");
+                let (Some(k), Some(c)) = (lk.pop(), lc.pop()) else {
+                    unreachable!("rebalance only borrows from a sibling with spare keys")
+                };
                 ck.insert(0, sep);
                 cc.insert(0, c);
                 k
@@ -701,7 +703,7 @@ mod tests {
         let mut t: BPlusTree<(u32, u64, u32), f64> = BPlusTree::new(8);
         for token in 0..5u32 {
             for id in 0..20u32 {
-                let len = (id as u64) * 100;
+                let len = u64::from(id) * 100;
                 t.insert((token, len, id), f64::from(id));
             }
         }

@@ -123,10 +123,14 @@ impl CompressedList {
         let mut pos = offset as usize;
         let mut key = 0u64;
         for i in 0..count {
-            let delta = read_varint(&self.data, &mut pos).expect("corrupt block");
+            let Some(delta) = read_varint(&self.data, &mut pos) else {
+                panic!("corrupt block {b}: truncated key varint")
+            };
             key = if i == 0 { delta } else { key + delta };
-            let id = read_varint(&self.data, &mut pos).expect("corrupt block") as u32;
-            out.push(CodecEntry { key, id });
+            let Some(id) = read_varint(&self.data, &mut pos) else {
+                panic!("corrupt block {b}: truncated id varint")
+            };
+            out.push(CodecEntry { key, id: id as u32 });
         }
     }
 
@@ -169,7 +173,7 @@ mod tests {
 
     #[test]
     fn varint_round_trip_edges() {
-        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+        for v in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             let mut pos = 0;

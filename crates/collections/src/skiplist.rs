@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use setsim_prng::{Rng, StdRng};
 
 const MAX_LEVEL: usize = 24;
 const NIL: u32 = u32::MAX;
@@ -70,9 +69,18 @@ impl<K: Ord, V> SkipList<K, V> {
 
     #[inline]
     fn node(&self, idx: u32) -> &Node<K, V> {
-        self.nodes[idx as usize]
-            .as_ref()
-            .expect("skip list pointer to freed slot")
+        let Some(node) = self.nodes[idx as usize].as_ref() else {
+            unreachable!("skip list pointer to freed slot")
+        };
+        node
+    }
+
+    #[inline]
+    fn node_mut(&mut self, idx: u32) -> &mut Node<K, V> {
+        let Some(node) = self.nodes[idx as usize].as_mut() else {
+            unreachable!("skip list pointer to freed slot")
+        };
+        node
     }
 
     /// For each level, the index of the last node with key < `key`
@@ -108,9 +116,7 @@ impl<K: Ord, V> SkipList<K, V> {
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         let (preds, candidate) = self.find_predecessors(&key);
         if candidate != NIL {
-            let n = self.nodes[candidate as usize]
-                .as_mut()
-                .expect("freed slot in chain");
+            let n = self.node_mut(candidate);
             if n.key == key {
                 return Some(std::mem::replace(&mut n.value, value));
             }
@@ -143,11 +149,11 @@ impl<K: Ord, V> SkipList<K, V> {
             } else {
                 self.node(pred).forwards[l]
             };
-            self.nodes[idx as usize].as_mut().unwrap().forwards[l] = next;
+            self.node_mut(idx).forwards[l] = next;
             if pred == NIL {
                 self.head[l] = idx;
             } else {
-                self.nodes[pred as usize].as_mut().unwrap().forwards[l] = idx;
+                self.node_mut(pred).forwards[l] = idx;
             }
         }
         self.len += 1;
@@ -160,15 +166,15 @@ impl<K: Ord, V> SkipList<K, V> {
         if candidate == NIL || self.node(candidate).key != *key {
             return None;
         }
-        let node = self.nodes[candidate as usize]
-            .take()
-            .expect("freed slot in chain");
+        let Some(node) = self.nodes[candidate as usize].take() else {
+            unreachable!("freed slot in chain")
+        };
         for (l, &next) in node.forwards.iter().enumerate() {
             let pred = preds[l];
             if pred == NIL {
                 self.head[l] = next;
             } else {
-                self.nodes[pred as usize].as_mut().unwrap().forwards[l] = next;
+                self.node_mut(pred).forwards[l] = next;
             }
         }
         while self.level > 1 && self.head[self.level - 1] == NIL {

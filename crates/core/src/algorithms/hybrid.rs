@@ -130,12 +130,7 @@ impl SelectionAlgorithm for HybridAlgorithm {
         let lists: Vec<&[crate::Posting]> = query
             .tokens
             .iter()
-            .map(|qt| {
-                index
-                    .list(qt.token)
-                    .expect("query token has a list")
-                    .postings()
-            })
+            .map(|qt| index.query_list(qt.token).postings())
             .collect();
         let n = lists.len();
         let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
@@ -149,7 +144,7 @@ impl SelectionAlgorithm for HybridAlgorithm {
         let mut pos: Vec<usize> = (0..n)
             .map(|i| {
                 if self.config.length_bounding {
-                    index.list(query.tokens[i].token).unwrap().seek_len(
+                    index.query_list(query.tokens[i].token).seek_len(
                         len_lo * (1.0 - crate::EPS_REL),
                         self.config.use_skip_lists,
                         &mut stats,
@@ -300,9 +295,7 @@ impl SelectionAlgorithm for HybridAlgorithm {
                 // Defensive: all lists rest yet candidates remain (cannot
                 // happen — resting implies frontier > max_len(C), which
                 // resolves every candidate). Force progress.
-                for r in resting.iter_mut() {
-                    *r = false;
-                }
+                resting.fill(false);
             }
         }
 
@@ -368,7 +361,7 @@ mod tests {
                 )
             })
             .collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         for qtext in ["rare", "common", "entry number"] {

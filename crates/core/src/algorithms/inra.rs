@@ -63,12 +63,7 @@ impl SelectionAlgorithm for INraAlgorithm {
         let lists: Vec<&[crate::Posting]> = query
             .tokens
             .iter()
-            .map(|qt| {
-                index
-                    .list(qt.token)
-                    .expect("query token has a list")
-                    .postings()
-            })
+            .map(|qt| index.query_list(qt.token).postings())
             .collect();
         let n = lists.len();
         let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
@@ -77,7 +72,7 @@ impl SelectionAlgorithm for INraAlgorithm {
         let mut pos: Vec<usize> = (0..n)
             .map(|i| {
                 if self.config.length_bounding {
-                    index.list(query.tokens[i].token).unwrap().seek_len(
+                    index.query_list(query.tokens[i].token).seek_len(
                         len_lo * (1.0 - crate::EPS_REL),
                         self.config.use_skip_lists,
                         &mut stats,
@@ -154,7 +149,7 @@ impl SelectionAlgorithm for INraAlgorithm {
             // before that point are wasted work (Section V).
             if safely_below(f_bound, tau) || all_closed {
                 let mut to_remove = Vec::new();
-                for (&id, c) in candidates.iter() {
+                for (&id, c) in &candidates {
                     stats.candidate_scan_steps += 1;
                     let mut upper = c.lower;
                     let mut complete = true;
@@ -260,7 +255,7 @@ mod tests {
         // must read (Lemma 1's direction of improvement).
         let seq = super::super::test_support::pseudoseq(160);
         let texts: Vec<String> = (3..120).map(|i| seq[..i].to_string()).collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let q = idx.prepare_query_str(&seq[..60]);
@@ -284,7 +279,7 @@ mod tests {
         // distinct (a cyclic alphabet would alias whole prefixes).
         let seq = super::super::test_support::pseudoseq(120);
         let texts: Vec<String> = (3..80).map(|i| seq[..i].to_string()).collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let q = idx.prepare_query_str(&seq[..40]);

@@ -51,7 +51,7 @@ impl SelectionAlgorithm for ITaAlgorithm {
         let lists: Vec<&crate::index::PostingList> = query
             .tokens
             .iter()
-            .map(|qt| index.list(qt.token).expect("query token has a list"))
+            .map(|qt| index.query_list(qt.token))
             .collect();
         let n = lists.len();
         let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
@@ -197,7 +197,7 @@ mod tests {
                 texts.push(format!("{}q{j:02}", &seq[..i]));
             }
         }
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let q = idx.prepare_query_str(&format!("{}q05", &seq[..60]));
@@ -219,7 +219,7 @@ mod tests {
         // magnitude bound at tau=0.9 and must not trigger probes.
         let mut texts: Vec<String> = (0..100).map(|i| format!("abcdefghijklm{i:03}")).collect();
         texts.push("abcdef".into());
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let q = idx.prepare_query_str("abcdef");

@@ -34,9 +34,7 @@ impl SelectionAlgorithm for SortByIdMerge {
             .tokens
             .iter()
             .map(|qt| {
-                let l = index
-                    .list(qt.token)
-                    .expect("prepared query token has a list");
+                let l = index.query_list(qt.token);
                 assert!(
                     !l.postings_by_id().is_empty() || l.is_empty(),
                     "sort-by-id requires build_id_sorted_lists"

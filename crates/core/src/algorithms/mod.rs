@@ -20,13 +20,21 @@ mod inra;
 mod ita;
 mod merge;
 mod nra;
+/// Parallel batch query execution (the paper's stated future work,
+/// Section IX).
 pub mod parallel;
+/// The prefix-filter baseline (Chaudhuri et al., discussed in Section IX).
 pub mod prefix;
 mod scan;
+/// Set similarity self-join composed from selection queries (the join
+/// setting of the Section IX related work).
 pub mod selfjoin;
 mod sf;
+/// The relational (SQL) baseline of Section III-A.
 pub mod sql;
 mod ta;
+/// Top-k set similarity search (the paper's stated future work,
+/// Section IX).
 pub mod topk;
 
 pub use hybrid::HybridAlgorithm;
@@ -34,6 +42,8 @@ pub use inra::INraAlgorithm;
 pub use ita::ITaAlgorithm;
 pub use merge::SortByIdMerge;
 pub use nra::NraAlgorithm;
+#[cfg(feature = "audit")]
+pub(crate) use scan::exact_score;
 pub use scan::FullScan;
 pub use sf::SfAlgorithm;
 pub use ta::TaAlgorithm;
@@ -117,7 +127,7 @@ pub(crate) mod test_support {
     /// have pairwise-distinct gram sets and strictly growing normalized
     /// lengths — unlike a cycled alphabet, whose prefixes alias each other's
     /// gram sets every period.
-    pub fn pseudoseq(len: usize) -> String {
+    pub(crate) fn pseudoseq(len: usize) -> String {
         let mut x: u32 = 0xbeef;
         (0..len)
             .map(|_| {

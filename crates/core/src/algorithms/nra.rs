@@ -74,12 +74,7 @@ impl SelectionAlgorithm for NraAlgorithm {
         let lists: Vec<&[crate::Posting]> = query
             .tokens
             .iter()
-            .map(|qt| {
-                index
-                    .list(qt.token)
-                    .expect("query token has a list")
-                    .postings()
-            })
+            .map(|qt| index.query_list(qt.token).postings())
             .collect();
         let n = lists.len();
         let mut pos = vec![0usize; n];
@@ -125,7 +120,7 @@ impl SelectionAlgorithm for NraAlgorithm {
             let must_scan = !self.lazy_scans || safely_below(f, tau) || all_exhausted;
             if must_scan {
                 let mut to_remove = Vec::new();
-                for (&id, c) in candidates.iter() {
+                for (&id, c) in &candidates {
                     stats.candidate_scan_steps += 1;
                     let mut upper = c.lower;
                     let mut complete = true;
@@ -249,7 +244,7 @@ mod tests {
         let out = NraAlgorithm::default().search(&idx, &q, 0.1);
         for m in &out.results {
             let expect = super::super::scan::exact_score(&idx, &q, m.id);
-            assert!((m.score - expect).abs() < 1e-9, "{:?}", m);
+            assert!((m.score - expect).abs() < 1e-9, "{m:?}");
         }
     }
 

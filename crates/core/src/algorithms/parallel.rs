@@ -2,8 +2,8 @@
 //!
 //! The index is immutable after construction, so queries parallelize
 //! embarrassingly: a batch is split across scoped worker threads
-//! (crossbeam), each running any [`SelectionAlgorithm`] against the shared
-//! index. Results come back in input order.
+//! (`std::thread::scope`), each running any [`SelectionAlgorithm`] against
+//! the shared index. Results come back in input order.
 
 use crate::algorithms::SelectionAlgorithm;
 use crate::{InvertedIndex, PreparedQuery, SearchOutcome};
@@ -29,20 +29,26 @@ where
     let chunk = queries.len().div_ceil(workers);
     let mut slots: Vec<Option<SearchOutcome>> = (0..queries.len()).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    // A worker panic propagates when the scope joins, so a lost outcome is
+    // impossible without a panic reaching the caller.
+    std::thread::scope(|scope| {
         for (qchunk, schunk) in queries.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (q, slot) in qchunk.iter().zip(schunk.iter_mut()) {
                     *slot = Some(algo.search(index, q, tau));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()
-        .map(|s| s.expect("every query produced an outcome"))
+        .map(|s| {
+            let Some(outcome) = s else {
+                unreachable!("every chunk fills its slots before the scope joins")
+            };
+            outcome
+        })
         .collect()
 }
 

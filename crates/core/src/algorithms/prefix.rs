@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn prefix_index_is_smaller() {
         let texts: Vec<String> = (0..300).map(|i| format!("record number {i:05}")).collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let strict = PrefixFilterIndex::build(&idx, 0.9);
@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn exact_match_survives_strictest_filter() {
         let texts: Vec<String> = (0..100).map(|i| format!("word{i:03}")).collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let filter = PrefixFilterIndex::build(&idx, 1.0);

@@ -76,9 +76,11 @@ pub fn par_self_join<A: SelectionAlgorithm + Sync>(
     let ids: Vec<u32> = (0..n as u32).collect();
     let mut partials: Vec<JoinOutcome> = (0..workers).map(|_| JoinOutcome::default()).collect();
 
-    crossbeam::thread::scope(|scope| {
+    // std::thread::scope joins all workers before returning and re-raises
+    // any worker panic, so every chunk's pairs are complete here.
+    std::thread::scope(|scope| {
         for (ids_chunk, slot) in ids.chunks(chunk).zip(partials.iter_mut()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for &raw in ids_chunk {
                     let id = SetId(raw);
                     let query = index.prepare_query(index.collection().set(id), 0);
@@ -96,8 +98,7 @@ pub fn par_self_join<A: SelectionAlgorithm + Sync>(
                 }
             });
         }
-    })
-    .expect("join worker panicked");
+    });
 
     let mut out = JoinOutcome::default();
     for p in partials {
@@ -192,7 +193,7 @@ mod tests {
         let texts: Vec<String> = (0..120)
             .map(|i| format!("record {} {}", i % 30, i))
             .collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let serial = self_join(&idx, &SfAlgorithm::default(), 0.7);

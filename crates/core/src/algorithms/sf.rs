@@ -81,9 +81,7 @@ impl SelectionAlgorithm for SfAlgorithm {
 
         for i in 0..n {
             stats.rounds += 1;
-            let list = index
-                .list(query.tokens[i].token)
-                .expect("query token has a list");
+            let list = index.query_list(query.tokens[i].token);
             let postings = list.postings();
             let start = if self.config.length_bounding {
                 list.seek_len(lo_seek, self.config.use_skip_lists, &mut stats)
@@ -269,7 +267,7 @@ mod tests {
             .map(|i| format!("zyxwvut padded with lots of extra material {i:04}"))
             .collect();
         texts.push("zyxwvut".into());
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let q = idx.prepare_query_str("zyxwvut");

@@ -117,8 +117,11 @@ impl SqlBaseline {
             let partial = row[1].as_float();
             let score = partial / query.len;
             if crate::passes(score, tau) {
+                let Ok(id) = u32::try_from(row[0].as_int()) else {
+                    unreachable!("set ids originate from u32")
+                };
                 results.push(Match {
-                    id: SetId(u32::try_from(row[0].as_int()).expect("id fits u32")),
+                    id: SetId(id),
                     score,
                 });
             }
@@ -184,7 +187,7 @@ mod tests {
     #[test]
     fn length_bounding_reads_fewer_rows() {
         let texts: Vec<String> = (1..50).map(|i| "ab".repeat(i)).collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let with = SqlBaseline::build(&c, idx.weights());

@@ -38,7 +38,7 @@ impl SelectionAlgorithm for TaAlgorithm {
         let lists: Vec<&crate::index::PostingList> = query
             .tokens
             .iter()
-            .map(|qt| index.list(qt.token).expect("query token has a list"))
+            .map(|qt| index.query_list(qt.token))
             .collect();
         let n = lists.len();
         let mut pos = vec![0usize; n];
@@ -148,7 +148,7 @@ mod tests {
             .map(|i| format!("exactmatchword with plenty of extra junk {i:04}"))
             .collect();
         texts.push("exactmatchword".to_string());
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = setup(&refs);
         let idx = InvertedIndex::build(&c, IndexOptions::default());
         let q = idx.prepare_query_str("exactmatchword");

@@ -60,12 +60,7 @@ pub fn topk_nra(index: &InvertedIndex<'_>, query: &PreparedQuery, k: usize) -> S
     let lists: Vec<&[crate::Posting]> = query
         .tokens
         .iter()
-        .map(|qt| {
-            index
-                .list(qt.token)
-                .expect("query token has a list")
-                .postings()
-        })
+        .map(|qt| index.query_list(qt.token).postings())
         .collect();
     let n = lists.len();
     let mut pos = vec![0usize; n];
@@ -113,7 +108,7 @@ pub fn topk_nra(index: &InvertedIndex<'_>, query: &PreparedQuery, k: usize) -> S
         let tau = threshold(&best);
 
         let mut to_remove = Vec::new();
-        for (&id, c) in candidates.iter() {
+        for (&id, c) in &candidates {
             stats.candidate_scan_steps += 1;
             let mut upper = c.lower;
             let mut complete = true;

@@ -41,8 +41,14 @@ impl CollectionBuilder {
     }
 
     /// Tokenize and add one string; returns its id.
+    ///
+    /// # Panics
+    /// Panics if the collection outgrows the `u32` id space.
     pub fn add(&mut self, text: &str) -> SetId {
-        let id = SetId(u32::try_from(self.texts.len()).expect("collection overflowed u32 ids"));
+        let Ok(raw) = u32::try_from(self.texts.len()) else {
+            panic!("collection overflowed the u32 id space")
+        };
+        let id = SetId(raw);
         let ms = TokenMultiSet::tokenize(text, self.tokenizer.as_ref(), &mut self.dict);
         self.texts.push(text.to_string());
         self.multisets.push(ms);
@@ -58,7 +64,11 @@ impl CollectionBuilder {
 
     /// Finish building.
     pub fn build(self) -> SetCollection {
-        let sets = self.multisets.iter().map(|m| m.to_set()).collect();
+        let sets = self
+            .multisets
+            .iter()
+            .map(setsim_tokenize::TokenMultiSet::to_set)
+            .collect();
         SetCollection {
             tokenizer: self.tokenizer,
             dict: self.dict,
@@ -105,7 +115,7 @@ impl SetCollection {
 
     /// Original text of a record.
     pub fn text(&self, id: SetId) -> Option<&str> {
-        self.texts.get(id.index()).map(|s| s.as_str())
+        self.texts.get(id.index()).map(std::string::String::as_str)
     }
 
     /// Token set of a record.

@@ -88,10 +88,9 @@ impl PostingList {
     /// # Panics
     /// Panics if the index was built without hash indexes.
     pub fn contains_id(&self, id: SetId, stats: &mut SearchStats) -> bool {
-        let hash = self
-            .hash
-            .as_ref()
-            .expect("random access requires build_hash_indexes");
+        let Some(hash) = self.hash.as_ref() else {
+            panic!("random access requires build_hash_indexes")
+        };
         stats.random_probes += 1;
         hash.contains_key(&id.0)
     }
@@ -145,8 +144,14 @@ impl PostingList {
     pub fn size_bytes(&self) -> (usize, usize, usize) {
         let posting = std::mem::size_of::<Posting>();
         let lists = (self.by_len.len() + self.by_id.len()) * posting;
-        let skip = self.skip.as_ref().map_or(0, |s| s.size_bytes());
-        let hash = self.hash.as_ref().map_or(0, |h| h.size_bytes());
+        let skip = self
+            .skip
+            .as_ref()
+            .map_or(0, setsim_collections::SkipList::size_bytes);
+        let hash = self
+            .hash
+            .as_ref()
+            .map_or(0, setsim_collections::ExtendibleHashMap::size_bytes);
         (lists, skip, hash)
     }
 }
@@ -264,6 +269,21 @@ impl<'c> InvertedIndex<'c> {
         self.lists.get(&token)
     }
 
+    /// The inverted list of a prepared-query token. Prepared queries only
+    /// retain tokens with lists ([`prepare_query`](Self::prepare_query)
+    /// filters the rest), so algorithms use this instead of unwrapping
+    /// [`list`](Self::list) at every site.
+    ///
+    /// # Panics
+    /// Panics if `token` has no list — i.e. the query was prepared
+    /// against a different index.
+    pub(crate) fn query_list(&self, token: Token) -> &PostingList {
+        let Some(list) = self.lists.get(&token) else {
+            panic!("prepared-query token {token:?} has no inverted list; was the query prepared against this index?")
+        };
+        list
+    }
+
     /// Number of distinct indexed tokens.
     pub fn num_lists(&self) -> usize {
         self.lists.len()
@@ -317,7 +337,10 @@ impl<'c> InvertedIndex<'c> {
     /// What all weight-sorted lists would occupy compressed on disk
     /// (delta + varint blocks; see [`PostingList::compressed_size_bytes`]).
     pub fn compressed_lists_bytes(&self) -> usize {
-        self.lists.values().map(|l| l.compressed_size_bytes()).sum()
+        self.lists
+            .values()
+            .map(PostingList::compressed_size_bytes)
+            .sum()
     }
 
     /// Index size breakdown in bytes:
@@ -408,7 +431,7 @@ mod tests {
         // gram set and therefore a distinct length.
         let seq = "abcdefghijklmnopqrstuvwxyz".repeat(4);
         let texts: Vec<String> = (3..90).map(|i| seq[..i].to_string()).collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let (c, o) = index_of(&refs, IndexOptions::default());
         let idx = InvertedIndex::build(&c, o);
         // Token "abc" occurs in every string; pick its list.
@@ -505,7 +528,7 @@ mod tests {
     #[test]
     fn compressed_lists_round_trip_and_shrink() {
         let texts: Vec<String> = (0..300).map(|i| format!("record number {i:05}")).collect();
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let (c, o) = index_of(&refs, IndexOptions::default());
         let idx = InvertedIndex::build(&c, o);
         // Round trip one list through the codec and compare.

@@ -54,6 +54,8 @@
 //! ```
 
 pub mod algorithms;
+#[cfg(feature = "audit")]
+pub mod audit;
 mod collection;
 mod index;
 pub mod measures;
@@ -70,6 +72,7 @@ pub use algorithms::{
 };
 pub use collection::{CollectionBuilder, SetCollection, SetId};
 pub use index::{IndexOptions, InvertedIndex, Posting, PostingList};
+pub use properties::Tau;
 pub use query::{PreparedQuery, QueryToken};
 pub use result::{Match, SearchOutcome};
 pub use stats::SearchStats;

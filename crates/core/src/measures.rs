@@ -130,7 +130,7 @@ impl Default for Bm25 {
 }
 
 fn bm25_idf(n: usize, df: u32) -> f64 {
-    let n = n as f64;
+    let n = crate::weights::count_to_f64(n);
     let d = f64::from(df.max(1));
     ((n - d + 0.5) / (d + 0.5) + 1.0).ln()
 }
@@ -228,9 +228,10 @@ pub fn rank_all<M: Similarity>(
     // df 0; `TokenWeights` clamps them. Extend the idf table accordingly.
     let mut weights = weights.clone();
     weights.extend_for_dict(dict.len());
-    let mut out: Vec<(SetId, f64)> = (0..collection.len())
+    let mut out: Vec<(SetId, f64)> = (0u32..)
+        .take(collection.len())
         .map(|i| {
-            let id = SetId(i as u32);
+            let id = SetId(i);
             (id, measure.score(&query, collection, id, &weights))
         })
         .collect();

@@ -18,11 +18,46 @@
 
 use crate::PreparedQuery;
 
+/// A similarity threshold validated to lie in `(0, 1]`.
+///
+/// The IDF measure is normalized to `[0, 1]`, so a threshold outside
+/// `(0, 1]` can never be meaningful: `τ ≤ 0` admits every set (and
+/// divides by zero in [`length_bounds`]), `τ > 1` admits none. Code that
+/// accepts thresholds from untrusted input (CLI flags, query parsers)
+/// should go through [`Tau::new`] once at the boundary and pass the
+/// validated value inward, instead of relying on the `debug_assert!`
+/// contract of the raw-`f64` helpers below.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Tau(f64);
+
+impl Tau {
+    /// Validate `tau`, returning `None` unless `0 < tau ≤ 1` and finite.
+    pub fn new(tau: f64) -> Option<Self> {
+        (tau > 0.0 && tau <= 1.0 && tau.is_finite()).then_some(Self(tau))
+    }
+
+    /// The validated threshold value.
+    #[inline]
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
 /// Theorem 1: the inclusive `len(s)` window `[τ·len(q), len(q)/τ]` any
 /// qualifying set must fall in. The bounds are tight (cases `q∩s = q` and
 /// `q∩s = s` attain them).
+///
+/// # Contract
+/// `tau` must lie in `(0, 1]` ([`Tau::new`] checks this); outside that
+/// range the window is meaningless — `tau = 0` divides by zero — and
+/// debug builds panic.
 #[inline]
 pub fn length_bounds(tau: f64, len_q: f64) -> (f64, f64) {
+    debug_assert!(
+        tau > 0.0 && tau <= 1.0 && tau.is_finite(),
+        "length_bounds requires tau in (0, 1], got {tau}"
+    );
     (tau * len_q, len_q / tau)
 }
 
@@ -38,7 +73,16 @@ pub fn max_score(idf_sq_sum: f64, len_s: f64, len_q: f64) -> f64 {
 /// descending idf order, `λᵢ = Σ_{j ≥ i} idf(qʲ)² / (τ·len(q))` is the
 /// largest length a *new* candidate first discovered in list `i` can have.
 /// Monotonically non-increasing; `λ₁ = len(q)/τ`.
+///
+/// # Contract
+/// `tau` must lie in `(0, 1]` ([`Tau::new`] checks this); `tau = 0`
+/// would divide by zero and `tau` outside `(0, 1]` yields cutoffs with
+/// no pruning meaning. Debug builds panic on violation.
 pub fn lambda_cutoffs(query: &PreparedQuery, tau: f64) -> Vec<f64> {
+    debug_assert!(
+        tau > 0.0 && tau <= 1.0 && tau.is_finite(),
+        "lambda_cutoffs requires tau in (0, 1], got {tau}"
+    );
     let suffix = query.idf_sq_suffix_sums();
     suffix[..query.num_lists()]
         .iter()
@@ -107,5 +151,31 @@ mod tests {
     #[test]
     fn max_score_decreases_with_length() {
         assert!(max_score(10.0, 2.0, 1.0) > max_score(10.0, 4.0, 1.0));
+    }
+
+    #[test]
+    fn tau_constructor_accepts_only_unit_interval() {
+        assert!(Tau::new(0.5).is_some());
+        assert!(Tau::new(1.0).is_some());
+        assert!(Tau::new(f64::MIN_POSITIVE).is_some());
+        assert_eq!(Tau::new(0.75).map(Tau::get), Some(0.75));
+        for bad in [0.0, -0.1, 1.0 + 1e-9, f64::NAN, f64::INFINITY, -1.0] {
+            assert!(Tau::new(bad).is_none(), "Tau::new({bad}) should reject");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires tau in (0, 1]")]
+    #[cfg(debug_assertions)]
+    fn length_bounds_rejects_zero_tau_in_debug() {
+        let _ = length_bounds(0.0, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires tau in (0, 1]")]
+    #[cfg(debug_assertions)]
+    fn lambda_cutoffs_rejects_oversized_tau_in_debug() {
+        let pq = q(&[2.0, 1.0]);
+        let _ = lambda_cutoffs(&pq, 1.5);
     }
 }

@@ -82,9 +82,9 @@ impl TfSfAlgorithm {
         let mut cands: Vec<Cand> = Vec::new();
         for i in 0..n {
             stats.rounds += 1;
-            let list = index
-                .list(query.tokens[i].token)
-                .expect("prepared query token has a list");
+            let Some(list) = index.list(query.tokens[i].token) else {
+                unreachable!("prepared tf-query tokens always have lists")
+            };
             let postings = list.postings();
             stats.total_list_elements += postings.len() as u64;
             let start = list.seek_norm(lo_seek);
@@ -266,7 +266,7 @@ mod tests {
             .map(|i| format!("filler{i:03} word {}", "pad ".repeat(3 + i % 20)))
             .collect();
         texts.push("needle word".into());
-        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let refs: Vec<&str> = texts.iter().map(std::string::String::as_str).collect();
         let c = words(&refs);
         let idx = TfIndex::build(&c);
         let q = idx.prepare_query_str("needle word");

@@ -1,6 +1,20 @@
 use crate::SetCollection;
 use setsim_tokenize::{Token, TokenSet};
 
+/// Exact conversion of a corpus-scale count to `f64`.
+///
+/// Set counts are bounded by the `u32` id space and posting totals by
+/// addressable memory, both far below 2⁵³ — the range in which every
+/// integer has an exact `f64` representation — so the cast cannot round.
+#[inline]
+pub(crate) fn count_to_f64(n: usize) -> f64 {
+    debug_assert!(
+        n < (1usize << 53),
+        "count exceeds the f64 exact-integer range"
+    );
+    n as f64 // lint: allow — exact below 2^53, guarded by the debug_assert above
+}
+
 /// Per-token idf weights and document statistics for a collection.
 ///
 /// `idf(t) = log2(1 + N / N(t))` where `N` is the number of sets in the
@@ -36,7 +50,7 @@ impl TokenWeights {
             avg_set_size: if n_sets == 0 {
                 0.0
             } else {
-                total_size as f64 / n_sets as f64
+                count_to_f64(total_size) / count_to_f64(n_sets)
             },
         }
     }
@@ -49,7 +63,7 @@ impl TokenWeights {
     /// grams scores below 1, which is the desired semantics.
     #[inline]
     pub fn idf_formula(n_sets: usize, df: u32) -> f64 {
-        (1.0 + n_sets as f64 / f64::from(df.max(1))).log2()
+        (1.0 + count_to_f64(n_sets) / f64::from(df.max(1))).log2()
     }
 
     /// idf of token `t` (`t` must belong to the collection's dictionary).

@@ -1,0 +1,250 @@
+//! Offline microbenchmark shim for the setsim workspace.
+//!
+//! Reimplements the **subset** of the external `criterion` crate the
+//! workspace's benches use, so `cargo bench` works with no network access
+//! and no third-party code: [`criterion_group!`] / [`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple — warm up, then time batches until a
+//! fixed measurement budget elapses and report the mean wall-clock time
+//! per iteration. No statistics, plots, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Drives one benchmark body: `b.iter(|| work())`.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`iter`](Self::iter).
+    ns_per_iter: f64,
+    iters: u64,
+    measure: Duration,
+}
+
+impl Bencher {
+    fn new(measure: Duration) -> Self {
+        Self {
+            ns_per_iter: 0.0,
+            iters: 0,
+            measure,
+        }
+    }
+
+    /// Run `body` repeatedly and record its mean wall-clock duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up: one untimed run (JIT-free Rust, but touches caches).
+        std::hint::black_box(body());
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            std::hint::black_box(body());
+            iters += 1;
+            if start.elapsed() >= self.measure {
+                break;
+            }
+        }
+        let total = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `new("SF", "tau=0.8")`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter, e.g. `from_parameter(0.8)`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks, printed under a common heading.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    measure: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion knob kept for API compatibility; this shim's measurement
+    /// budget is time-based, so the requested sample count only scales the
+    /// budget down for expensive benches (criterion's `sample_size(10)`
+    /// idiom).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        if samples <= 10 {
+            self.measure = self.criterion.measure / 2;
+        }
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.measure);
+        f(&mut b);
+        report(&self.name, &id.label, &b);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    // By-value `id` mirrors the external criterion signature so call
+    // sites compile unchanged against either implementation.
+    #[allow(clippy::needless_pass_by_value)]
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.measure);
+        f(&mut b, input);
+        report(&self.name, &id.label, &b);
+        self
+    }
+
+    /// End the group (printing is immediate; this is a no-op for
+    /// criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+fn report(group: &str, label: &str, b: &Bencher) {
+    let ns = b.ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("{group}/{label:<32} {human:>12}/iter  ({} iters)", b.iters);
+}
+
+/// Top-level benchmark driver; one per bench binary.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small budget: these benches exist for relative comparisons and
+        // CI compile coverage, not publication-grade statistics.
+        Self {
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            measure: self.measure,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measure);
+        f(&mut b);
+        report("bench", id, &b);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, criterion-style:
+/// `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| std::hint::black_box((0..1000u64).sum::<u64>()));
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("SF", "tau=0.8").label, "SF/tau=0.8");
+        assert_eq!(BenchmarkId::from_parameter(0.8).label, "0.8");
+    }
+
+    #[test]
+    fn groups_run_all_benches() {
+        let mut c = Criterion {
+            measure: Duration::from_millis(2),
+        };
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group
+            .bench_function("a", |b| {
+                b.iter(|| std::hint::black_box(1 + 1));
+            })
+            .bench_with_input(BenchmarkId::new("b", 3), &3, |b, &x| {
+                b.iter(|| std::hint::black_box(x * 2));
+            });
+        ran += 2;
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+}

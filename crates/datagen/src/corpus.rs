@@ -1,6 +1,5 @@
 use crate::Vocabulary;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use setsim_prng::{Rng, StdRng};
 
 /// Configuration for synthetic corpus generation.
 ///

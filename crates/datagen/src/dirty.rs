@@ -1,6 +1,5 @@
 use crate::{Corpus, CorpusConfig, ErrorModel};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use setsim_prng::StdRng;
 
 /// Configuration for a dirty-duplicate dataset.
 #[derive(Debug, Clone)]

@@ -1,4 +1,4 @@
-use rand::Rng;
+use setsim_prng::Rng;
 
 /// A single character-level modification, as applied to the paper's query
 /// workloads ("a fixed number of random letter insertions, deletions and
@@ -121,8 +121,7 @@ fn random_letter<R: Rng + ?Sized>(rng: &mut R) -> char {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use setsim_prng::StdRng;
 
     #[test]
     fn zero_modifications_is_identity() {

@@ -1,5 +1,5 @@
 use crate::Zipf;
-use rand::Rng;
+use setsim_prng::Rng;
 use std::collections::HashSet;
 
 /// Rough English letter frequencies used to make generated words look like
@@ -121,8 +121,7 @@ impl Vocabulary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use setsim_prng::StdRng;
 
     #[test]
     fn generates_distinct_words_in_range() {

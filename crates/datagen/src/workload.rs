@@ -1,7 +1,5 @@
 use crate::ErrorModel;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use setsim_prng::{SliceRandom, StdRng};
 
 /// A query-size bucket expressed in 3-gram counts, as in Section VIII-A
 /// ("randomly extracting words between lengths 1–5, 6–10, 11–15, and 16–20

@@ -1,4 +1,4 @@
-use rand::Rng;
+use setsim_prng::Rng;
 
 /// A Zipfian sampler over ranks `0..n`.
 ///
@@ -66,8 +66,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use setsim_prng::StdRng;
 
     #[test]
     fn pmf_sums_to_one() {

@@ -1,0 +1,301 @@
+//! Deterministic pseudo-random number generation for the setsim workspace.
+//!
+//! A minimal, dependency-free replacement for the subset of the `rand`
+//! crate the workspace used: a seedable generator ([`StdRng`], built on
+//! xoshiro256++), a [`Rng`] trait with uniform-range and standard-value
+//! sampling, and a [`SliceRandom`] extension for shuffling and choosing.
+//!
+//! Everything here is deterministic given a seed — there is no entropy
+//! source — which is exactly what reproducible experiments, data
+//! generators, and property tests want.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Types that can be sampled uniformly from a closed integer interval.
+///
+/// Implemented for the integer widths the workspace samples; the sampling
+/// uses 64-bit modulo reduction, whose bias is negligible (< 2⁻³²) for the
+/// small spans data generators use.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a value in `[lo, hi]` (inclusive on both ends).
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The largest value strictly below `self`, used to convert exclusive
+    /// upper bounds. Saturates at the type minimum.
+    fn prev(self) -> Self;
+    /// Smallest representable value (used for unbounded starts).
+    const MIN_VALUE: Self;
+    /// Largest representable value (used for unbounded ends).
+    const MAX_VALUE: Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            // `as` casts are deliberate: the macro covers signed and
+            // unsigned widths, and not every width has `From<$t> for i128`
+            // (usize/isize); widening to i128 is lossless for all of them.
+            #[allow(clippy::cast_lossless, clippy::cast_possible_truncation)]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sampling range");
+                // Work in i128 offset space so signed types are handled too.
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+            fn prev(self) -> Self {
+                if self == <$t>::MIN { self } else { self - 1 }
+            }
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Values samplable from the "standard" distribution: the full range for
+/// integers, `[0, 1)` for floats, a fair coin for `bool`.
+pub trait Standard {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// A source of pseudo-random values, mirroring the parts of `rand::Rng`
+/// the workspace uses (`gen`, `gen_range`, `gen_bool`).
+pub trait Rng {
+    /// The primitive draw every other method is built on.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a standard-distribution value (`rng.gen::<f64>()` etc.).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draw uniformly from an integer range (`0..n`, `lo..=hi`, …).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform, B: RangeBounds<T>>(&mut self, range: B) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(_) => {
+                unreachable!("exclusive start bounds are not produced by range syntax")
+            }
+            Bound::Unbounded => T::MIN_VALUE,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x.prev(),
+            Bound::Unbounded => T::MAX_VALUE,
+        };
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+/// The workspace's standard generator: xoshiro256++ seeded via splitmix64.
+///
+/// Fast, passes standard statistical test batteries, and — unlike the
+/// external `rand::rngs::StdRng` it replaces — guaranteed stable across
+/// toolchain upgrades because the implementation lives in this repository.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Construct from a 64-bit seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 expansion, the canonical way to seed xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna, 2018).
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Shuffling and random choice over slices (the used subset of
+/// `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u8 = rng.gen_range(0..26u8);
+            assert!(w < 26);
+            let x: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 2000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let heads = (0..2000).filter(|_| rng.gen::<bool>()).count();
+        assert!((800..1200).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_from_slices() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let one = [7u32];
+        assert_eq!(one.choose(&mut rng), Some(&7));
+        let many = [1u32, 2, 3];
+        for _ in 0..10 {
+            assert!(many.contains(many.choose(&mut rng).unwrap()));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((380..620).contains(&hits), "p=0.25 gave {hits}/2000");
+    }
+}

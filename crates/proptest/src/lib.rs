@@ -1,0 +1,510 @@
+//! Offline property-testing shim for the setsim workspace.
+//!
+//! This crate reimplements the **subset** of the external `proptest` crate
+//! that the workspace's tests use, so that the repository builds and tests
+//! with no network access and no third-party code. It is deliberately
+//! small:
+//!
+//! * [`proptest!`] — the test-harness macro (`fn name(x in strategy) { … }`),
+//!   including `#![proptest_config(…)]` and doc/`#[test]` attributes;
+//! * [`Strategy`] — value generators: integer ranges, tuples, [`Just`],
+//!   [`collection::vec`], `prop_map`, [`prop_oneof!`], [`any`], simple
+//!   string patterns (`"[a-z]{1,20}"`, `".{0,30}"`), and
+//!   [`sample::Index`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] —
+//!   assertions that report the generated inputs on failure.
+//!
+//! Differences from real proptest, by design: generation is seeded
+//! deterministically from the test's module path and case number (every
+//! run explores the same cases), there is **no shrinking** (the failing
+//! case's inputs are printed instead), and the default case count is 64.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use setsim_prng::{Rng, SampleUniform, StdRng};
+
+pub mod collection;
+pub mod sample;
+pub mod string;
+
+/// Mirror of proptest's `prop` path: `prop::collection::vec(…)`,
+/// `prop::sample::Index`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::string;
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// The RNG handed to strategies by the [`proptest!`] harness.
+pub type TestRng = StdRng;
+
+/// Deterministic per-case RNG: seeded from an FNV-1a hash of the test path
+/// mixed with the case number, so each test explores a stable but
+/// test-specific sequence of cases.
+#[must_use]
+pub fn rng_for_case(test_path: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Harness configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property assertion, carrying its message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Construct a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A generator of test values.
+///
+/// Object safe; combinator methods live in the blanket extension so that
+/// `Box<dyn Strategy<Value = V>>` works for [`prop_oneof!`].
+pub trait Strategy {
+    /// The generated value type.
+    type Value: fmt::Debug + Clone;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (proptest's `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: fmt::Debug + Clone,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V: fmt::Debug + Clone> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: fmt::Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: fmt::Debug + Clone,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + fmt::Debug + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + fmt::Debug + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}
+
+/// Types with a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized + fmt::Debug + Clone {
+    /// The strategy type [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range integer strategy used by [`any`].
+#[derive(Debug, Clone)]
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy generating any value of `A`: `any::<u64>()`,
+/// `any::<prop::sample::Index>()`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Uniform choice between strategies of a common value type
+/// (proptest's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// The strategy built by [`prop_oneof!`].
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: fmt::Debug + Clone> OneOf<V> {
+    /// Build from a non-empty set of alternatives.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<V: fmt::Debug + Clone> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// `&str` patterns as string strategies, supporting the workspace's two
+/// forms: `".{lo,hi}"` (any chars) and `"[a-z]{lo,hi}"` (a char class).
+/// See [`string::pattern`] for the accepted grammar.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        string::pattern(self).sample(rng)
+    }
+}
+
+/// The property-test harness macro.
+///
+/// Accepts the same shape the external crate does for the workspace's
+/// tests: an optional `#![proptest_config(expr)]` header followed by
+/// `#[test]`-attributed functions whose arguments are `name in strategy`
+/// bindings. Each function body may use `prop_assert*` (which return
+/// `Err(TestCaseError)`) or plain `assert!`/early `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut rng = $crate::rng_for_case(path, case);
+                    let values = ($($crate::Strategy::sample(&($strategy), &mut rng),)+);
+                    let inputs = format!(
+                        concat!("(", $(stringify!($arg), ", ",)+ ") = {:#?}"),
+                        &values
+                    );
+                    let ($($arg,)+) = values;
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name), case, config.cases, e, inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion: on failure, returns a [`TestCaseError`] so the
+/// harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property equality assertion; prints both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Property inequality assertion; prints both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::rng_for_case("ranges", 0);
+        for _ in 0..200 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (10u32..=12).sample(&mut rng);
+            assert!((10..=12).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let strat = prop::collection::vec(prop_oneof![Just('x'), Just('y')], 2..5)
+            .prop_map(|v| v.into_iter().collect::<String>());
+        let mut rng = crate::rng_for_case("compose", 1);
+        for _ in 0..100 {
+            let s = strat.sample(&mut rng);
+            assert!(s.len() >= 2 && s.len() < 5);
+            assert!(s.chars().all(|c| c == 'x' || c == 'y'));
+        }
+    }
+
+    #[test]
+    fn tuples_and_any() {
+        let strat = (0u8..3, 0i64..64, any::<u32>());
+        let mut rng = crate::rng_for_case("tuples", 2);
+        for _ in 0..100 {
+            let (a, b, _c) = strat.sample(&mut rng);
+            assert!(a < 3);
+            assert!((0..64).contains(&b));
+        }
+    }
+
+    #[test]
+    fn sample_index_stays_in_slice() {
+        let mut rng = crate::rng_for_case("index", 3);
+        let data = [10, 20, 30];
+        for _ in 0..50 {
+            let idx = any::<prop::sample::Index>().sample(&mut rng);
+            assert!(data.contains(idx.get(&data)));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = crate::rng_for_case("patterns", 4);
+        for _ in 0..100 {
+            let s = "[a-z]{1,20}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 20);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = ".{0,30}".sample(&mut rng);
+            assert!(t.chars().count() <= 30);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let strat = prop::collection::vec(0u32..100, 0..10);
+        let a: Vec<Vec<u32>> = (0..5)
+            .map(|c| strat.sample(&mut crate::rng_for_case("det", c)))
+            .collect();
+        let b: Vec<Vec<u32>> = (0..5)
+            .map(|c| strat.sample(&mut crate::rng_for_case("det", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    mod harness {
+        use crate::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Doc comments and early returns must both be accepted.
+            #[test]
+            fn macro_accepts_full_shape(xs in prop::collection::vec(0u32..50, 0..8), k in 1usize..4) {
+                if xs.is_empty() {
+                    return Ok(());
+                }
+                prop_assert!(k >= 1);
+                prop_assert_eq!(xs.len(), xs.len());
+                prop_assert_ne!(k, 0);
+                for &x in &xs {
+                    prop_assert!(x < 50, "x = {x} out of range");
+                }
+            }
+        }
+
+        proptest! {
+            // No #[test] attribute: expands to a plain fn the test below
+            // drives through catch_unwind.
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {v}");
+            }
+        }
+
+        #[test]
+        fn failing_property_panics_with_inputs() {
+            let result = std::panic::catch_unwind(always_fails);
+            let err = result.expect_err("property must fail");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("always_fails"), "message: {msg}");
+            assert!(msg.contains("inputs: (v, )"), "inputs missing: {msg}");
+        }
+    }
+}

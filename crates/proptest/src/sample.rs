@@ -1,0 +1,44 @@
+//! Sampling helpers: `prop::sample::Index`.
+
+use crate::{Arbitrary, Strategy, TestRng};
+use setsim_prng::Rng;
+
+/// An index into a slice whose length is unknown at generation time:
+/// `any::<Index>()` then `idx.get(&slice)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Resolve against a concrete slice.
+    ///
+    /// # Panics
+    /// Panics if `slice` is empty.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "Index::get on an empty slice");
+        &slice[self.raw % slice.len()]
+    }
+}
+
+/// The strategy behind `any::<Index>()`.
+#[derive(Debug, Clone)]
+pub struct IndexStrategy;
+
+impl Strategy for IndexStrategy {
+    type Value = Index;
+
+    fn sample(&self, rng: &mut TestRng) -> Index {
+        Index {
+            raw: rng.gen_range(0..usize::MAX),
+        }
+    }
+}
+
+impl Arbitrary for Index {
+    type Strategy = IndexStrategy;
+
+    fn arbitrary() -> IndexStrategy {
+        IndexStrategy
+    }
+}

@@ -1,0 +1,139 @@
+//! String strategies from simple patterns.
+//!
+//! Real proptest compiles full regexes into generators; this shim supports
+//! exactly the grammar the workspace's tests use:
+//!
+//! ```text
+//! pattern := atom '{' lo ',' hi '}'
+//! atom    := '.'                       (any non-surrogate scalar value)
+//!          | '[' lo_char '-' hi_char ']'  (an inclusive char range)
+//! ```
+//!
+//! e.g. `".{0,30}"` or `"[a-z]{1,20}"`. Anything else panics with a
+//! message pointing here.
+
+use crate::{Strategy, TestRng};
+use setsim_prng::Rng;
+
+/// Which characters a [`Pattern`] draws from.
+#[derive(Debug, Clone, Copy)]
+enum CharClass {
+    /// Any Unicode scalar value (surrogates excluded by construction).
+    Any,
+    /// An inclusive code-point range, e.g. `a..=z`.
+    Range(char, char),
+}
+
+/// A compiled string pattern; see the module docs for the grammar.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    class: CharClass,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Strategy for Pattern {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let n = rng.gen_range(self.min_len..=self.max_len);
+        (0..n).map(|_| self.sample_char(rng)).collect()
+    }
+}
+
+impl Pattern {
+    fn sample_char(&self, rng: &mut TestRng) -> char {
+        match self.class {
+            CharClass::Range(lo, hi) => {
+                // Ranges used in tests are ASCII; sample code points
+                // directly and retry the (rare) inner surrogate gap.
+                loop {
+                    let v = rng.gen_range(lo as u32..=hi as u32);
+                    if let Some(c) = char::from_u32(v) {
+                        return c;
+                    }
+                }
+            }
+            CharClass::Any => loop {
+                let v = rng.gen_range(0u32..0x11_0000);
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            },
+        }
+    }
+}
+
+/// Compile `pattern` (see module docs for the accepted grammar).
+///
+/// # Panics
+/// Panics on any pattern outside the supported subset.
+#[must_use]
+pub fn pattern(pattern: &str) -> Pattern {
+    parse(pattern).unwrap_or_else(|| {
+        panic!(
+            "unsupported string pattern {pattern:?}: this offline proptest shim \
+             accepts only `.{{lo,hi}}` or `[x-y]{{lo,hi}}` (see proptest::string)"
+        )
+    })
+}
+
+fn parse(p: &str) -> Option<Pattern> {
+    let (class, rest) = if let Some(rest) = p.strip_prefix('.') {
+        (CharClass::Any, rest)
+    } else if let Some(body) = p.strip_prefix('[') {
+        let end = body.find(']')?;
+        let mut chars = body[..end].chars();
+        let lo = chars.next()?;
+        if chars.next()? != '-' {
+            return None;
+        }
+        let hi = chars.next()?;
+        if chars.next().is_some() || lo > hi {
+            return None;
+        }
+        (CharClass::Range(lo, hi), &body[end + 1..])
+    } else {
+        return None;
+    };
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let min_len: usize = lo.trim().parse().ok()?;
+    let max_len: usize = hi.trim().parse().ok()?;
+    if min_len > max_len {
+        return None;
+    }
+    Some(Pattern {
+        class,
+        min_len,
+        max_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+
+    #[test]
+    fn parses_supported_patterns() {
+        let mut rng = crate::rng_for_case("string", 0);
+        let p = pattern("[a-c]{2,4}");
+        for _ in 0..50 {
+            let s = p.sample(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+        let q = pattern(".{0,5}");
+        for _ in 0..50 {
+            assert!(q.sample(&mut rng).chars().count() <= 5);
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_patterns() {
+        assert!(std::panic::catch_unwind(|| pattern("[a-z]+")).is_err());
+        assert!(std::panic::catch_unwind(|| pattern("hello")).is_err());
+        assert!(std::panic::catch_unwind(|| pattern("[z-a]{1,2}")).is_err());
+    }
+}

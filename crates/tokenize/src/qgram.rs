@@ -53,7 +53,7 @@ impl QGramTokenizer {
             buf.extend(std::iter::repeat(p).take(self.q - 1));
         }
         if self.lowercase {
-            buf.extend(text.chars().flat_map(|c| c.to_lowercase()));
+            buf.extend(text.chars().flat_map(char::to_lowercase));
         } else {
             buf.extend(text.chars());
         }

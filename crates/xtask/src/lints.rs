@@ -1,0 +1,467 @@
+//! The repo's custom lint rules, as a text-scanning engine.
+//!
+//! Three rules encode policies rustc and clippy cannot express:
+//!
+//! 1. **`no-unwrap`** — library code in `setsim-core` and
+//!    `setsim-collections` must not call `.unwrap()` or `.expect(...)`.
+//!    These crates sit under every search path; a panic site hidden in a
+//!    combinator chain is an availability bug. Test modules
+//!    (`#[cfg(test)]`) are exempt, as is any line carrying a
+//!    `lint: allow` marker with its justification.
+//! 2. **`no-lossy-cast`** — the scoring arithmetic (`measures.rs`,
+//!    `weights.rs`, `properties.rs`) must not use `as` casts between
+//!    numeric types. A silently-truncating cast in score computation
+//!    corrupts ranking rather than crashing, which is the worst way for
+//!    arithmetic to be wrong. Use `From`/`f64::from`, or confine a
+//!    provably-exact cast to one `lint: allow`-marked line with its
+//!    contract spelled out.
+//! 3. **`paper-ref`** — every public item in `crates/core/src/algorithms/`
+//!    must be documented, and its doc comment (or the file's module
+//!    header) must cite the paper location it implements (a section,
+//!    algorithm, theorem, equation, or figure). The crate exists to
+//!    reproduce a paper; unlocatable public API is unreviewable.
+//!
+//! The engine is deliberately text-based (no `syn` — the workspace builds
+//! offline with zero external dependencies) and deliberately simple:
+//! line-oriented, comment-stripping, with an explicit escape hatch. Rules
+//! run on the source as committed; generated code is out of scope.
+
+use std::fmt;
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Finding {
+    /// Repo-relative path of the offending file.
+    pub(crate) file: String,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    /// Which rule fired (`no-unwrap`, `no-lossy-cast`, `paper-ref`).
+    pub(crate) rule: &'static str,
+    /// What went wrong and how to fix it.
+    pub(crate) message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Marker that exempts a single line from every rule. Must be accompanied
+/// by a justification on the same line or the one above.
+pub(crate) const ALLOW_MARKER: &str = "lint: allow";
+
+/// Classify each line of `source` as test code or not, by tracking
+/// `#[cfg(test)]`-attributed blocks (and, transitively, everything inside
+/// them). Returns one flag per line, `true` = inside a test region.
+fn test_region_mask(source: &str) -> Vec<bool> {
+    let mut mask = Vec::new();
+    // Once a #[cfg(test)] attribute is seen, the next block that opens a
+    // brace is the gated item; skip until its braces balance.
+    let mut pending_attr = false;
+    let mut depth = 0usize;
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        let in_test = depth > 0 || pending_attr;
+        if depth > 0 {
+            // Inside the gated block: update the balance.
+            depth = update_depth(depth, line);
+        } else if pending_attr {
+            // The attribute applies to this item; if it opens a block,
+            // start tracking. An item without braces on this line (e.g.
+            // a multi-line signature) keeps the attribute pending.
+            let opened = update_depth(0, line);
+            if opened > 0 {
+                depth = opened;
+                pending_attr = false;
+            } else if trimmed.ends_with(';') {
+                // `#[cfg(test)] use ...;` style one-liner.
+                pending_attr = false;
+            }
+        } else if trimmed.starts_with("#[cfg(test)]") {
+            pending_attr = true;
+            mask.push(true);
+            continue;
+        }
+        mask.push(in_test);
+    }
+    mask
+}
+
+/// Apply `line`'s braces to `depth`, ignoring braces inside comments,
+/// strings, and char literals (a heuristic lexer — good enough for
+/// rustfmt-formatted code).
+fn update_depth(mut depth: usize, line: &str) -> usize {
+    let chars: Vec<char> = line.chars().collect();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\\' if in_str => i += 1,
+            '"' => in_str = !in_str,
+            '\'' if !in_str => {
+                // Char literal iff it closes within the next few chars
+                // (`'a'`, `'\n'`); otherwise it is a lifetime (`'static`)
+                // and consumes nothing.
+                if chars.get(i + 1) == Some(&'\\') && chars.get(i + 3) == Some(&'\'') {
+                    i += 3;
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    i += 2;
+                }
+            }
+            '/' if !in_str && chars.get(i + 1) == Some(&'/') => break,
+            '{' if !in_str => depth += 1,
+            '}' if !in_str => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        i += 1;
+    }
+    depth
+}
+
+/// Strip a trailing `// ...` comment (not inside a string literal).
+fn strip_line_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Rule `no-unwrap`: flag `.unwrap()` / `.expect(` outside test regions.
+pub(crate) fn check_no_unwrap(file: &str, source: &str) -> Vec<Finding> {
+    let mask = test_region_mask(source);
+    let mut findings = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) || line.contains(ALLOW_MARKER) {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        for needle in [".unwrap()", ".expect("] {
+            if code.contains(needle) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "no-unwrap",
+                    message: format!(
+                        "`{needle}` in library code; return an error, use a \
+                         combinator with a total fallback, or panic explicitly \
+                         with a documented `# Panics` contract"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Numeric types an `as` cast can target; a cast to any of these in
+/// scoring arithmetic is treated as potentially lossy.
+const NUMERIC_TYPES: [&str; 13] = [
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "isize",
+];
+
+/// Rule `no-lossy-cast`: flag `as <numeric>` outside test regions.
+pub(crate) fn check_no_lossy_casts(file: &str, source: &str) -> Vec<Finding> {
+    let mask = test_region_mask(source);
+    let mut findings = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) || line.contains(ALLOW_MARKER) {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        for part in code.split(" as ").skip(1) {
+            let target: String = part
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if NUMERIC_TYPES.contains(&target.as_str()) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "no-lossy-cast",
+                    message: format!(
+                        "`as {target}` in scoring arithmetic; use `From`/`try_from`, \
+                         or isolate a provably-exact cast behind a `{ALLOW_MARKER}` \
+                         marker with its contract"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Words that locate an item in the source paper.
+const PAPER_LOCATORS: [&str; 9] = [
+    "Section",
+    "Theorem",
+    "Algorithm",
+    "Equation",
+    "Figure",
+    "Table",
+    "paper",
+    "Property 1",
+    "Property 2",
+];
+
+fn has_paper_locator(text: &str) -> bool {
+    PAPER_LOCATORS.iter().any(|w| text.contains(w))
+}
+
+/// Rule `paper-ref`: every public item in an algorithms source file must
+/// carry a doc comment, and that comment — or the file's `//!` header —
+/// must cite where in the paper the item comes from.
+pub(crate) fn check_paper_refs(file: &str, source: &str) -> Vec<Finding> {
+    let mask = test_region_mask(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let header: String = lines
+        .iter()
+        .take_while(|l| l.trim_start().starts_with("//!") || l.trim().is_empty())
+        .copied()
+        .collect::<Vec<_>>()
+        .join("\n");
+    let header_located = has_paper_locator(&header);
+    let mut findings = Vec::new();
+    let mut depth = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let at_top_level = depth == 0;
+        depth = update_depth(depth, line);
+        if mask.get(i).copied().unwrap_or(false) || !at_top_level {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let is_pub_item = trimmed.strip_prefix("pub ").is_some_and(|rest| {
+            [
+                "fn ", "struct ", "enum ", "trait ", "type ", "const ", "mod ",
+            ]
+            .iter()
+            .any(|kw| rest.starts_with(kw))
+        });
+        if !is_pub_item {
+            continue;
+        }
+        // Gather the contiguous doc/attribute block directly above.
+        let mut doc = String::new();
+        let mut j = i;
+        while j > 0 {
+            let above = lines[j - 1].trim_start();
+            if above.starts_with("///") || above.starts_with("#[") || above.starts_with("#![") {
+                doc.push_str(above);
+                doc.push('\n');
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if !doc.contains("///") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "paper-ref",
+                message: format!(
+                    "public item `{}` has no doc comment; document it with the \
+                     paper location it implements",
+                    trimmed.trim_end_matches('{').trim()
+                ),
+            });
+        } else if !has_paper_locator(&doc) && !header_located {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "paper-ref",
+                message: format!(
+                    "public item `{}`: neither its docs nor the module header \
+                     cite a paper location (Section/Algorithm/Theorem/…)",
+                    trimmed.trim_end_matches('{').trim()
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Which rules apply to a repo-relative path.
+pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
+    let mut rules: Vec<fn(&str, &str) -> Vec<Finding>> = Vec::new();
+    let unix = path.replace('\\', "/");
+    let in_lib_crates = (unix.starts_with("crates/core/src/")
+        || unix.starts_with("crates/collections/src/"))
+        && unix.ends_with(".rs");
+    if in_lib_crates {
+        rules.push(check_no_unwrap);
+    }
+    if [
+        "crates/core/src/measures.rs",
+        "crates/core/src/weights.rs",
+        "crates/core/src/properties.rs",
+    ]
+    .contains(&unix.as_str())
+    {
+        rules.push(check_no_lossy_casts);
+    }
+    if unix.starts_with("crates/core/src/algorithms/") && unix.ends_with(".rs") {
+        rules.push(check_paper_refs);
+    }
+    rules
+}
+
+/// Run every applicable rule on one file.
+pub(crate) fn check_file(path: &str, source: &str) -> Vec<Finding> {
+    rules_for(path)
+        .into_iter()
+        .flat_map(|rule| rule(path, source))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB_PATH: &str = "crates/core/src/example.rs";
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = check_no_unwrap(LIB_PATH, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn expect_in_lib_code_is_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n";
+        assert_eq!(check_no_unwrap(LIB_PATH, src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_inside_test_module_is_exempt() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+        assert!(check_no_unwrap(LIB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_test_module_is_flagged() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = check_no_unwrap(LIB_PATH, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 7);
+    }
+
+    #[test]
+    fn allow_marker_exempts_a_line() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // lint: allow — checked non-empty above\n}\n";
+        assert!(check_no_unwrap(LIB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_comment_is_not_flagged() {
+        let src = "// calling .unwrap() here would be wrong\nfn f() {}\n";
+        assert!(check_no_unwrap(LIB_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn lossy_cast_is_flagged() {
+        let src = "fn f(n: usize) -> f64 {\n    n as f64\n}\n";
+        let f = check_no_lossy_casts("crates/core/src/weights.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-lossy-cast");
+    }
+
+    #[test]
+    fn cast_in_test_module_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() -> u32 { 1usize as u32 }\n}\n";
+        assert!(check_no_lossy_casts("crates/core/src/weights.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_cast_use_of_as_keyword_is_ignored() {
+        let src = "use std::collections::HashMap as Map;\nfn f(m: &Map<u32, u32>) { let _ = m; }\n";
+        assert!(check_no_lossy_casts("crates/core/src/weights.rs", src).is_empty());
+    }
+
+    #[test]
+    fn undocumented_public_item_is_flagged() {
+        let src = "//! Module header with Section III context.\n\npub fn mystery() {}\n";
+        let f = check_paper_refs("crates/core/src/algorithms/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no doc comment"));
+    }
+
+    #[test]
+    fn documented_item_without_locator_passes_via_header() {
+        let src =
+            "//! Implements Section V of the paper.\n\n/// Does the thing.\npub fn thing() {}\n";
+        assert!(check_paper_refs("crates/core/src/algorithms/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn documented_item_without_any_locator_is_flagged() {
+        let src = "//! A module about stuff.\n\n/// Does the thing.\npub fn thing() {}\n";
+        let f = check_paper_refs("crates/core/src/algorithms/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("paper location"));
+    }
+
+    #[test]
+    fn item_level_locator_passes() {
+        let src = "/// The merge of Section III-B.\npub struct Merge;\n";
+        assert!(check_paper_refs("crates/core/src/algorithms/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_items_are_not_scanned_for_paper_refs() {
+        let src = "/// Algorithm 3 driver.\npub fn run() {\n    pub fn helper() {}\n}\n";
+        assert!(check_paper_refs("crates/core/src/algorithms/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rules_route_by_path() {
+        assert!(!rules_for("crates/core/src/index.rs").is_empty());
+        assert!(!rules_for("crates/collections/src/btree.rs").is_empty());
+        assert_eq!(rules_for("crates/core/src/weights.rs").len(), 2);
+        assert_eq!(rules_for("crates/core/src/algorithms/sf.rs").len(), 2);
+        assert!(rules_for("crates/datagen/src/corpus.rs").is_empty());
+        assert!(rules_for("crates/core/README.md").is_empty());
+    }
+
+    #[test]
+    fn introducing_unwrap_into_core_lib_code_fails_the_check() {
+        // The acceptance criterion stated end-to-end: take a realistic
+        // library file shape, verify it passes, introduce an unwrap,
+        // verify the check now fails.
+        let clean = "use std::collections::HashMap;\n\npub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {\n    m.get(&k).copied()\n}\n";
+        assert!(check_file("crates/core/src/example.rs", clean).is_empty());
+        let dirty = clean.replace(".copied()", ".copied().unwrap().into()");
+        let f = check_file("crates/core/src/example.rs", &dirty);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn findings_render_with_location() {
+        let f = Finding {
+            file: "crates/core/src/x.rs".to_string(),
+            line: 7,
+            rule: "no-unwrap",
+            message: "bad".to_string(),
+        };
+        assert_eq!(f.to_string(), "crates/core/src/x.rs:7: [no-unwrap] bad");
+    }
+}

@@ -11,8 +11,6 @@
 //! cargo run --release --example movie_search
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use setsim::core::algorithms::parallel::search_batch;
 use setsim::core::{
     AlgoConfig, CollectionBuilder, INraAlgorithm, IndexOptions, InvertedIndex, SelectionAlgorithm,
@@ -20,6 +18,7 @@ use setsim::core::{
 };
 use setsim::datagen::{Corpus, CorpusConfig, ErrorModel};
 use setsim::tokenize::QGramTokenizer;
+use setsim_prng::StdRng;
 use std::time::Instant;
 
 fn main() {

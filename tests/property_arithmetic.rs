@@ -1,0 +1,133 @@
+//! Property tests of the pruning arithmetic in `setsim_core::properties`,
+//! exercised directly on generated inputs (the companion end-to-end suite
+//! is `semantic_properties.rs`, which checks the same theorems on real
+//! indexes).
+
+use proptest::prelude::*;
+use setsim::core::{properties, CollectionBuilder, IndexOptions, InvertedIndex, Tau};
+use setsim::tokenize::QGramTokenizer;
+
+/// Prepare a query against a small fixed corpus so token idfs are varied
+/// but deterministic; `seed` and `word` pick which query string is used.
+fn prepared_query(word: &str) -> Option<(setsim::core::PreparedQuery, f64)> {
+    let corpus = [
+        "abcabc", "abcde", "bcdea", "cdeab", "aaaa", "bbbb", "abab", "eeee", "abcdecba", "edcba",
+    ];
+    let mut b = CollectionBuilder::new(QGramTokenizer::new(2).with_padding('#'));
+    b.extend(corpus);
+    let collection = b.build();
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let q = index.prepare_query_str(word);
+    if q.is_empty() {
+        return None;
+    }
+    let len = q.len;
+    Some((q, len))
+}
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('b'), Just('c'), Just('d'), Just('e')],
+        1..10,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// λ cutoffs are monotonically non-increasing in list index, and the
+    /// first equals the Theorem 1 upper bound `len(q)/τ` exactly.
+    #[test]
+    fn lambda_cutoffs_monotone_with_first_at_upper_bound(
+        word in word_strategy(),
+        tau_pct in 1u32..=100,
+    ) {
+        let tau = f64::from(tau_pct) / 100.0;
+        let Some((q, len_q)) = prepared_query(&word) else {
+            return Ok(());
+        };
+        let lambdas = properties::lambda_cutoffs(&q, tau);
+        prop_assert!(!lambdas.is_empty());
+        for w in lambdas.windows(2) {
+            prop_assert!(
+                w[0] >= w[1],
+                "cutoffs must be non-increasing: {} < {}",
+                w[0],
+                w[1]
+            );
+        }
+        // λ₁ = (Σ idf²)/(τ·len(q)); with len(q)² = Σ idf² over *all* query
+        // tokens this equals len(q)/τ. Tokens absent from the index
+        // contribute to len(q) but not to the list suffix sums, so in
+        // general λ₁ ≤ len(q)/τ, with equality iff every token is known.
+        let hi = len_q / tau;
+        prop_assert!(
+            lambdas[0] <= hi * (1.0 + 1e-9),
+            "lambda_1 = {} exceeds len(q)/tau = {hi}",
+            lambdas[0]
+        );
+        let known_mass: f64 = q.tokens.iter().map(|t| t.idf_sq).sum();
+        if (known_mass - len_q * len_q).abs() <= 1e-9 * len_q * len_q {
+            prop_assert!(
+                (lambdas[0] - hi).abs() <= 1e-9 * hi,
+                "fully-known query must have lambda_1 = len(q)/tau: {} vs {hi}",
+                lambdas[0]
+            );
+        }
+    }
+
+    /// The Theorem 1 window always contains `len(q)` itself (the query's
+    /// own length qualifies at any τ — a set identical to the query scores 1).
+    #[test]
+    fn length_bounds_window_contains_len_q(
+        len_q_tenths in 1u32..=2000,
+        tau_pct in 1u32..=100,
+    ) {
+        let len_q = f64::from(len_q_tenths) / 10.0;
+        let tau = f64::from(tau_pct) / 100.0;
+        let (lo, hi) = properties::length_bounds(tau, len_q);
+        prop_assert!(lo <= len_q, "lower bound {lo} above len(q) {len_q}");
+        prop_assert!(hi >= len_q, "upper bound {hi} below len(q) {len_q}");
+        // And the window degenerates to a point exactly at tau = 1.
+        if tau_pct == 100 {
+            prop_assert!((lo - hi).abs() < 1e-12);
+        }
+    }
+
+    /// `max_score` is antitone in `len_s`: a longer set can never have a
+    /// larger best-case score (the denominator grows).
+    #[test]
+    fn max_score_antitone_in_len_s(
+        idf_sq_tenths in 1u32..=10_000,
+        len_q_tenths in 1u32..=2000,
+        len_a_tenths in 1u32..=2000,
+        len_b_tenths in 1u32..=2000,
+    ) {
+        let idf_sq = f64::from(idf_sq_tenths) / 10.0;
+        let len_q = f64::from(len_q_tenths) / 10.0;
+        let (short, long) = if len_a_tenths <= len_b_tenths {
+            (len_a_tenths, len_b_tenths)
+        } else {
+            (len_b_tenths, len_a_tenths)
+        };
+        let s = properties::max_score(idf_sq, f64::from(short) / 10.0, len_q);
+        let l = properties::max_score(idf_sq, f64::from(long) / 10.0, len_q);
+        prop_assert!(
+            s >= l,
+            "max_score must not increase with len_s: {s} < {l}"
+        );
+    }
+
+    /// `Tau::new` accepts exactly the thresholds the raw helpers require.
+    #[test]
+    fn tau_validates_unit_interval(raw_pct in -50i32..=150) {
+        let raw = f64::from(raw_pct) / 100.0;
+        let validated = Tau::new(raw);
+        if raw > 0.0 && raw <= 1.0 {
+            prop_assert_eq!(validated.map(Tau::get), Some(raw));
+        } else {
+            prop_assert!(validated.is_none(), "Tau::new({raw}) should reject");
+        }
+    }
+}

@@ -159,7 +159,7 @@ fn unicode_records_work_end_to_end() {
         "日本語テスト",
     ]
     .iter()
-    .map(|s| s.to_string())
+    .map(|s| (*s).to_string())
     .collect();
     let c = build(&texts);
     let idx = InvertedIndex::build(&c, IndexOptions::default());

@@ -156,8 +156,7 @@ proptest! {
             .results
             .iter()
             .find(|m| m.id.index() == self_id)
-            .map(|m| m.score)
-            .unwrap_or(0.0);
+            .map_or(0.0, |m| m.score);
         prop_assert!((self_score - 1.0).abs() < 1e-9, "self score {self_score}");
     }
 }
