@@ -51,12 +51,10 @@ fn bench_build(c: &mut Criterion) {
     });
 
     c.bench_function("index_build_lists_only", |b| {
-        let lean = IndexOptions {
-            build_skip_lists: false,
-            build_hash_indexes: false,
-            build_id_sorted_lists: false,
-            ..IndexOptions::default()
-        };
+        let lean = IndexOptions::default()
+            .with_skip_lists(false)
+            .with_hash_indexes(false)
+            .with_id_sorted_lists(false);
         b.iter(|| black_box(InvertedIndex::build(&collection, lean.clone()).num_lists()));
     });
 }

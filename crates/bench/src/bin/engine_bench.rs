@@ -1,0 +1,262 @@
+//! Serving-layer microbenchmarks for the `QueryEngine` (the engine-PR
+//! acceptance numbers, recorded in EXPERIMENTS.md).
+//!
+//! Two measurements:
+//!
+//! 1. **Warm-scratch allocation count** — a counting global allocator
+//!    verifies that iNRA, SF, and Hybrid perform zero heap allocations per
+//!    query once their `Scratch` is warm (`engine::execute_into`), versus
+//!    the legacy allocating `search` wrapper.
+//! 2. **Skewed-batch throughput** — a 1000-query workload whose 100
+//!    expensive queries are packed contiguously at the front (the
+//!    adversarial case for static chunking). Compares the legacy chunked
+//!    `algorithms::parallel::search_batch` against the engine's
+//!    work-stealing `QueryEngine::search_batch` at several thread counts.
+//!
+//! Usage: `engine_bench [--scale small|medium|large]`
+
+use setsim_bench::{prepare_queries, scale_from_args, word_collection, workload};
+use setsim_core::algorithms::parallel;
+use setsim_core::{
+    engine, AlgorithmKind, IndexOptions, InvertedIndex, PreparedQuery, QueryEngine, Scratch,
+    SearchRequest, SelectionAlgorithm, SfAlgorithm,
+};
+use setsim_datagen::LengthBucket;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Makespan of static contiguous chunking: the busiest chunk's total cost.
+fn chunked_makespan(costs: &[u64], workers: usize) -> u64 {
+    let chunk = costs.len().div_ceil(workers);
+    costs
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Makespan of work stealing: each freed worker pulls the next query in
+/// order, i.e. greedy earliest-free-worker assignment.
+fn stealing_makespan(costs: &[u64], workers: usize) -> u64 {
+    let mut busy = vec![0u64; workers.max(1)];
+    for &c in costs {
+        if let Some(min) = busy.iter_mut().min() {
+            *min += c;
+        }
+    }
+    busy.into_iter().max().unwrap_or(0)
+}
+
+/// Allocations per query, averaged over `reps` passes of `queries`, on a
+/// warm scratch through the engine path.
+fn engine_allocs_per_query(
+    index: &InvertedIndex<'_>,
+    kind: AlgorithmKind,
+    queries: &[PreparedQuery],
+    tau: f64,
+    reps: usize,
+) -> f64 {
+    let mut scratch = Scratch::default();
+    for q in queries {
+        let req = SearchRequest::new(q).tau(tau).algorithm(kind);
+        engine::execute_into(index, &mut scratch, &req).expect("valid request");
+    }
+    let before = allocations();
+    for _ in 0..reps {
+        for q in queries {
+            let req = SearchRequest::new(q).tau(tau).algorithm(kind);
+            engine::execute_into(index, &mut scratch, &req).expect("valid request");
+        }
+    }
+    (allocations() - before) as f64 / (reps * queries.len()) as f64
+}
+
+/// Allocations per query through the legacy allocating `search` wrapper.
+fn legacy_allocs_per_query(
+    index: &InvertedIndex<'_>,
+    kind: AlgorithmKind,
+    queries: &[PreparedQuery],
+    tau: f64,
+    reps: usize,
+) -> f64 {
+    let before = allocations();
+    for _ in 0..reps {
+        for q in queries {
+            // The wrapper allocates a fresh Scratch internally.
+            let _ = match kind {
+                AlgorithmKind::INra => setsim_core::INraAlgorithm::default().search(index, q, tau),
+                AlgorithmKind::Hybrid => {
+                    setsim_core::HybridAlgorithm::default().search(index, q, tau)
+                }
+                _ => SfAlgorithm::default().search(index, q, tau),
+            };
+        }
+    }
+    (allocations() - before) as f64 / (reps * queries.len()) as f64
+}
+
+fn main() {
+    let (scale, _rest) = scale_from_args();
+    let (corpus, collection) = word_collection(scale);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    println!(
+        "# engine_bench: {} sets, {} postings",
+        collection.len(),
+        index.total_postings()
+    );
+
+    // ---- 1. Warm-scratch allocation counts -------------------------------
+    let wl = workload(&corpus, LengthBucket::PAPER[2], 1, 50, 41);
+    let queries = prepare_queries(&index, &wl);
+    println!("\n## allocations per query (tau=0.7, 50 queries x 20 reps)");
+    println!("  algorithm   warm engine   legacy search");
+    for kind in [
+        AlgorithmKind::INra,
+        AlgorithmKind::Sf,
+        AlgorithmKind::Hybrid,
+    ] {
+        let warm = engine_allocs_per_query(&index, kind, &queries, 0.7, 20);
+        let legacy = legacy_allocs_per_query(&index, kind, &queries, 0.7, 20);
+        println!("  {:<10}  {warm:>11.2}   {legacy:>13.2}", kind.name());
+    }
+
+    // ---- 2. Skewed 1k-query batch: chunked vs work stealing --------------
+    // Build an empirically skewed batch: cost every candidate query once
+    // (elements read + records scanned through SF), then pack 100 copies
+    // of the most expensive ones at the front followed by 900 of the
+    // cheapest — the pathological layout for static chunking, which traps
+    // the whole heavy block in the first worker's chunk.
+    let tau = 0.5;
+    let mut candidates: Vec<PreparedQuery> = Vec::new();
+    for (i, bucket) in LengthBucket::PAPER.iter().enumerate() {
+        let wl = workload(&corpus, *bucket, 0, 250, 50 + i as u64);
+        candidates.extend(prepare_queries(&index, &wl));
+    }
+    let mut scratch = Scratch::default();
+    let mut costed: Vec<(u64, usize)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let req = SearchRequest::new(q).tau(tau).algorithm(AlgorithmKind::Sf);
+            engine::execute_into(&index, &mut scratch, &req).expect("valid request");
+            let s = scratch.stats();
+            (s.elements_read + s.records_scanned, i)
+        })
+        .collect();
+    costed.sort_unstable_by_key(|&(cost, _)| std::cmp::Reverse(cost));
+    let heaviest = costed.first().map_or(0, |&(c, _)| c);
+    let lightest = costed.last().map_or(0, |&(c, _)| c);
+    let mut batch: Vec<PreparedQuery> = Vec::with_capacity(1000);
+    let mut batch_costs: Vec<u64> = Vec::with_capacity(1000);
+    for &(cost, i) in costed.iter().take(10).cycle().take(100) {
+        batch.push(candidates[i].clone());
+        batch_costs.push(cost);
+    }
+    for &(cost, i) in costed.iter().rev().take(costed.len() / 2).cycle().take(900) {
+        batch.push(candidates[i].clone());
+        batch_costs.push(cost);
+    }
+    println!("\nper-query cost skew: heaviest {heaviest} accesses, lightest {lightest} accesses");
+    let engine = QueryEngine::new(index);
+    let reqs: Vec<SearchRequest<'_>> = batch
+        .iter()
+        .map(|q| SearchRequest::new(q).tau(tau).algorithm(AlgorithmKind::Sf))
+        .collect();
+
+    // Scheduling model from the measured per-query costs: static chunking
+    // pins worker time at its heaviest contiguous chunk; work stealing is
+    // greedy earliest-free-worker assignment. The model isolates the
+    // load-balancing win from host core count (wall clock below cannot
+    // show it on a single-core machine).
+    println!("\n## modeled makespan (access-cost units) on the skewed batch");
+    println!("  workers   chunked   work-stealing   balance win");
+    for workers in [2usize, 4, 8] {
+        let chunked = chunked_makespan(&batch_costs, workers);
+        let stealing = stealing_makespan(&batch_costs, workers);
+        println!(
+            "  {workers:>7}   {chunked:>7}   {stealing:>13}   {:>10.2}x",
+            chunked as f64 / stealing as f64
+        );
+    }
+
+    println!("\n## skewed 1000-query batch (100 heavy-first + 900 light), SF, tau=0.5");
+    println!("  threads   chunked ms   work-stealing ms   speedup");
+    for threads in [2usize, 4, 8] {
+        // Warm both paths once, then take the best of 7 timed runs
+        // (single-core hosts schedule noisily).
+        let _ = parallel::search_batch(
+            &SfAlgorithm::default(),
+            engine.index(),
+            &batch,
+            tau,
+            threads,
+        );
+        let _ = engine.search_batch(&reqs, threads);
+        let chunked_ms = (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                let outs = parallel::search_batch(
+                    &SfAlgorithm::default(),
+                    engine.index(),
+                    &batch,
+                    tau,
+                    threads,
+                );
+                assert_eq!(outs.len(), batch.len());
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min);
+        let stealing_ms = (0..7)
+            .map(|_| {
+                let t = Instant::now();
+                let outs = engine.search_batch(&reqs, threads);
+                assert_eq!(outs.len(), reqs.len());
+                t.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "  {threads:>7}   {chunked_ms:>10.2}   {stealing_ms:>16.2}   {:>6.2}x",
+            chunked_ms / stealing_ms
+        );
+    }
+
+    // Sanity: both paths agree on every answer.
+    let a = parallel::search_batch(&SfAlgorithm::default(), engine.index(), &batch, tau, 4);
+    let b = engine.search_batch(&reqs, 4);
+    for (x, y) in a.iter().zip(&b) {
+        let y = y.as_ref().expect("valid request");
+        assert_eq!(x.ids_sorted(), y.ids_sorted(), "paths disagree");
+    }
+    println!(
+        "\nchunked and work-stealing outcomes agree on all {} queries",
+        batch.len()
+    );
+}

@@ -19,12 +19,12 @@
 
 use setsim_core::algorithms::sql::SqlBaseline;
 use setsim_core::{
-    AlgoConfig, HybridAlgorithm, INraAlgorithm, ITaAlgorithm, InvertedIndex, NraAlgorithm,
-    PreparedQuery, SearchOutcome, SearchStats, SelectionAlgorithm, SetCollection, SfAlgorithm,
-    SortByIdMerge, TaAlgorithm,
+    engine, AlgoConfig, AlgorithmKind, InvertedIndex, PreparedQuery, Scratch, SearchOutcome,
+    SearchRequest, SearchStats, SetCollection,
 };
 use setsim_datagen::{Corpus, CorpusConfig, LengthBucket, QueryWorkload};
 use setsim_tokenize::QGramTokenizer;
+use std::cell::RefCell;
 use std::time::Instant;
 
 /// Experiment scale presets.
@@ -170,6 +170,21 @@ impl Algo {
             Algo::Hybrid => "Hybrid",
         }
     }
+
+    /// Engine dispatch kind; `None` for the relational baseline, which
+    /// does not run on inverted lists.
+    pub fn kind(self) -> Option<AlgorithmKind> {
+        match self {
+            Algo::SortById => Some(AlgorithmKind::Merge),
+            Algo::Sql => None,
+            Algo::Ta => Some(AlgorithmKind::Ta),
+            Algo::Nra => Some(AlgorithmKind::Nra),
+            Algo::INra => Some(AlgorithmKind::INra),
+            Algo::ITa => Some(AlgorithmKind::ITa),
+            Algo::Sf => Some(AlgorithmKind::Sf),
+            Algo::Hybrid => Some(AlgorithmKind::Hybrid),
+        }
+    }
 }
 
 /// A context holding everything a query run needs.
@@ -178,6 +193,9 @@ pub struct Engines<'c> {
     pub index: InvertedIndex<'c>,
     /// The relational baseline (None to skip building it).
     pub sql: Option<SqlBaseline>,
+    /// Warm scratch shared across runs, so workload timings measure the
+    /// algorithms rather than per-query allocation.
+    scratch: RefCell<Scratch>,
 }
 
 impl<'c> Engines<'c> {
@@ -195,10 +213,15 @@ impl<'c> Engines<'c> {
     ) -> Self {
         let index = InvertedIndex::build(collection, options);
         let sql = with_sql.then(|| SqlBaseline::build(collection, index.weights()));
-        Self { index, sql }
+        Self {
+            index,
+            sql,
+            scratch: RefCell::new(Scratch::default()),
+        }
     }
 
-    /// Run one algorithm on one prepared query.
+    /// Run one algorithm on one prepared query (through the engine's
+    /// warm-scratch execution path; SQL runs its own relational plan).
     pub fn run(
         &self,
         algo: Algo,
@@ -206,20 +229,19 @@ impl<'c> Engines<'c> {
         q: &PreparedQuery,
         tau: f64,
     ) -> SearchOutcome {
-        match algo {
-            Algo::SortById => SortByIdMerge.search(&self.index, q, tau),
-            Algo::Sql => self
+        let Some(kind) = algo.kind() else {
+            return self
                 .sql
                 .as_ref()
                 .expect("SQL baseline not built")
-                .search(q, tau),
-            Algo::Ta => TaAlgorithm.search(&self.index, q, tau),
-            Algo::Nra => NraAlgorithm::default().search(&self.index, q, tau),
-            Algo::INra => INraAlgorithm::with_config(config).search(&self.index, q, tau),
-            Algo::ITa => ITaAlgorithm::with_config(config).search(&self.index, q, tau),
-            Algo::Sf => SfAlgorithm::with_config(config).search(&self.index, q, tau),
-            Algo::Hybrid => HybridAlgorithm::with_config(config).search(&self.index, q, tau),
-        }
+                .search(q, tau);
+        };
+        let req = SearchRequest::new(q)
+            .tau(tau)
+            .algorithm(kind)
+            .config(config);
+        let mut scratch = self.scratch.borrow_mut();
+        engine::execute(&self.index, &mut scratch, &req).expect("valid bench request")
     }
 }
 

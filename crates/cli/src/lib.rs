@@ -8,6 +8,10 @@
 //! * `setsim-cli join   -i FILE [--tau T] [--threads N]` — self-join: all
 //!   similar line pairs (duplicate detection).
 //! * `setsim-cli stats  -i FILE` — collection and index statistics.
+//! * `setsim-cli bench  -i FILE [--tau T] [--algo NAME] [--threads N]
+//!   [--repeat R]` — run every line as a query through the
+//!   [`QueryEngine`] batch executor and print its serving metrics
+//!   (latency percentiles, pruning power).
 //!
 //! Lines are tokenized into padded 3-grams by default; `--words` switches
 //! to word tokens, `--q N` changes the gram length.
@@ -15,8 +19,8 @@
 use setsim_core::algorithms::selfjoin::par_self_join;
 use setsim_core::algorithms::topk::topk_nra;
 use setsim_core::{
-    CollectionBuilder, HybridAlgorithm, INraAlgorithm, ITaAlgorithm, IndexOptions, InvertedIndex,
-    NraAlgorithm, SelectionAlgorithm, SetCollection, SfAlgorithm, SortByIdMerge, TaAlgorithm,
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, PreparedQuery, QueryEngine,
+    SearchRequest, SetCollection, SfAlgorithm,
 };
 use setsim_tokenize::{QGramTokenizer, WordTokenizer};
 use std::fmt::Write as _;
@@ -42,6 +46,8 @@ pub struct Options {
     pub threads: usize,
     /// Gram length (ignored with --words).
     pub q: usize,
+    /// Bench: repetitions of the query workload.
+    pub repeat: usize,
     /// Tokenize into words instead of q-grams.
     pub words: bool,
 }
@@ -58,6 +64,7 @@ impl Default for Options {
             limit: 20,
             threads: 1,
             q: 3,
+            repeat: 1,
             words: false,
         }
     }
@@ -68,10 +75,11 @@ pub const USAGE: &str = "\
 setsim-cli — set similarity search over the lines of a file
 
 USAGE:
-  setsim-cli query -i FILE -q TEXT [--tau T] [--algo sf|hybrid|inra|ita|ta|nra|merge] [-n N]
+  setsim-cli query -i FILE -q TEXT [--tau T] [--algo sf|hybrid|inra|ita|ta|nra|merge|scan] [-n N]
   setsim-cli topk  -i FILE -q TEXT [-k K]
   setsim-cli join  -i FILE [--tau T] [--threads N] [-n N]
   setsim-cli stats -i FILE
+  setsim-cli bench -i FILE [--tau T] [--algo NAME] [--threads N] [--repeat R]
 
 OPTIONS:
   -i, --input FILE   newline-separated records
@@ -80,9 +88,13 @@ OPTIONS:
       --algo NAME    selection algorithm (default sf)
   -k K               top-k size (default 10)
   -n, --limit N      max results to print (default 20)
-      --threads N    join parallelism (default 1)
+      --threads N    join/bench parallelism (default 1)
       --q N          gram length (default 3)
+      --repeat R     bench workload repetitions (default 1)
       --words        word tokens instead of q-grams
+
+bench runs every input line as a query through the engine's work-stealing
+batch executor and prints the aggregated serving metrics.
 ";
 
 /// Parse argv (without the program name).
@@ -90,7 +102,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     opts.command = it.next().cloned().ok_or_else(|| USAGE.to_string())?;
-    if !matches!(opts.command.as_str(), "query" | "topk" | "join" | "stats") {
+    if !matches!(
+        opts.command.as_str(),
+        "query" | "topk" | "join" | "stats" | "bench"
+    ) {
         return Err(format!("unknown command {:?}\n{USAGE}", opts.command));
     }
     while let Some(a) = it.next() {
@@ -128,6 +143,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--q expects an integer".to_string())?;
             }
+            "--repeat" => {
+                opts.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|_| "--repeat expects an integer".to_string())?;
+            }
             "--words" => opts.words = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -162,17 +182,8 @@ pub fn build_collection(lines: &[String], opts: &Options) -> SetCollection {
     builder.build()
 }
 
-fn algorithm(name: &str) -> Result<Box<dyn SelectionAlgorithm + Sync>, String> {
-    Ok(match name {
-        "sf" => Box::new(SfAlgorithm::default()),
-        "hybrid" => Box::new(HybridAlgorithm::default()),
-        "inra" => Box::new(INraAlgorithm::default()),
-        "ita" => Box::new(ITaAlgorithm::default()),
-        "ta" => Box::new(TaAlgorithm),
-        "nra" => Box::new(NraAlgorithm::default()),
-        "merge" => Box::new(SortByIdMerge),
-        other => return Err(format!("unknown algorithm {other:?}")),
-    })
+fn algorithm(name: &str) -> Result<AlgorithmKind, String> {
+    AlgorithmKind::parse(name).ok_or_else(|| format!("unknown algorithm {name:?}"))
 }
 
 /// Run a parsed command against record lines; returns printable output.
@@ -182,9 +193,13 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
     let mut out = String::new();
     match opts.command.as_str() {
         "query" => {
-            let algo = algorithm(&opts.algo)?;
-            let q = index.prepare_query_str(opts.query.as_ref().expect("validated"));
-            let results = algo.search(&index, &q, opts.tau).sorted_by_score();
+            let kind = algorithm(&opts.algo)?;
+            let mut engine = QueryEngine::new(index);
+            let q = engine.prepare_query_str(opts.query.as_ref().expect("validated"));
+            let outcome = engine
+                .search(SearchRequest::new(&q).tau(opts.tau).algorithm(kind))
+                .map_err(|e| e.to_string())?;
+            let results = outcome.sorted_by_score();
             writeln!(out, "{} match(es) at tau={}:", results.len(), opts.tau).unwrap();
             for m in results.iter().take(opts.limit) {
                 writeln!(out, "  {:5.3}  {}", m.score, collection.text(m.id).unwrap()).unwrap();
@@ -217,6 +232,30 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
                 )
                 .unwrap();
             }
+        }
+        "bench" => {
+            let kind = algorithm(&opts.algo)?;
+            let engine = QueryEngine::new(index);
+            let queries: Vec<PreparedQuery> =
+                lines.iter().map(|l| engine.prepare_query_str(l)).collect();
+            let reqs: Vec<SearchRequest<'_>> = std::iter::repeat_with(|| queries.iter())
+                .take(opts.repeat.max(1))
+                .flatten()
+                .map(|q| SearchRequest::new(q).tau(opts.tau).algorithm(kind))
+                .collect();
+            let results = engine.search_batch(&reqs, opts.threads);
+            let errors = results.iter().filter(|r| r.is_err()).count();
+            writeln!(
+                out,
+                "bench: {} queries ({} error(s)), algo {}, {} thread(s)",
+                reqs.len(),
+                errors,
+                kind.name(),
+                opts.threads.max(1)
+            )
+            .unwrap();
+            out.push_str(&engine.metrics().render());
+            out.push('\n');
         }
         "stats" => {
             let (lists, skips, hash) = index.size_bytes();
@@ -295,7 +334,7 @@ mod tests {
 
     #[test]
     fn every_algorithm_name_resolves() {
-        for name in ["sf", "hybrid", "inra", "ita", "ta", "nra", "merge"] {
+        for name in ["sf", "hybrid", "inra", "ita", "ta", "nra", "merge", "scan"] {
             let mut o = parse_args(&argv("query -i x -q y")).unwrap();
             o.algo = name.into();
             o.query = Some("main street".into());
@@ -317,6 +356,15 @@ mod tests {
         let o = parse_args(&argv("join -i x --tau 0.5 --threads 2")).unwrap();
         let out = run(&o, &lines()).unwrap();
         assert!(out.contains("pair"), "{out}");
+    }
+
+    #[test]
+    fn bench_end_to_end() {
+        let o = parse_args(&argv("bench -i x --tau 0.5 --threads 2 --repeat 3")).unwrap();
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.contains("bench: 12 queries (0 error(s))"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("pruning"), "{out}");
     }
 
     #[test]

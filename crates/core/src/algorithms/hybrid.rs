@@ -1,9 +1,6 @@
-use crate::algorithms::{assert_query_width, AlgoConfig, SelectionAlgorithm};
-use crate::{
-    properties, safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome,
-    SearchStats, SetId,
-};
-use std::collections::HashMap;
+use crate::algorithms::{assert_query_width, AlgoConfig, SelectionAlgorithm, MAX_QUERY_LISTS};
+use crate::engine::{PoolCand, SearchCtx};
+use crate::{properties, safely_below, Match, SearchStatus, SetId};
 
 /// The Hybrid algorithm (Section VII, Algorithm 4).
 ///
@@ -24,7 +21,8 @@ use std::collections::HashMap;
 /// append-only vectors (each sorted by length by construction, since
 /// lists are scanned in increasing length order) plus a hash table on set
 /// ids, so `max_len(C)` is read off the tails and pruning pops dead
-/// entries from the backs.
+/// entries from the backs. That pool lives in the engine scratch
+/// ([`crate::engine::Scratch`]) so repeated queries reuse its allocations.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct HybridAlgorithm {
     /// Property toggles (Figures 8 and 9 ablations).
@@ -38,125 +36,55 @@ impl HybridAlgorithm {
     }
 }
 
-struct PoolCand {
-    id: u32,
-    len: f64,
-    lower: f64,
-    seen: u128,
-    dead: bool,
-}
-
-/// The paper's candidate organization: one length-sorted append-only list
-/// per inverted list, plus a hash table for id access.
-struct Pool {
-    per_list: Vec<Vec<PoolCand>>,
-    index: HashMap<u32, (u32, u32)>,
-    alive: usize,
-}
-
-impl Pool {
-    fn new(n: usize) -> Self {
-        Self {
-            per_list: (0..n).map(|_| Vec::new()).collect(),
-            index: HashMap::new(),
-            alive: 0,
-        }
-    }
-
-    fn get_mut(&mut self, id: u32) -> Option<&mut PoolCand> {
-        let &(l, p) = self.index.get(&id)?;
-        let c = &mut self.per_list[l as usize][p as usize];
-        debug_assert!(!c.dead);
-        Some(c)
-    }
-
-    fn insert(&mut self, list: usize, cand: PoolCand) {
-        let v = &mut self.per_list[list];
-        debug_assert!(v
-            .last()
-            .map_or(true, |last| last.dead || last.len <= cand.len));
-        self.index.insert(cand.id, (list as u32, v.len() as u32));
-        v.push(cand);
-        self.alive += 1;
-    }
-
-    /// Largest length among live candidates, reading only list tails
-    /// (dead tail entries are popped on the way — the paper's
-    /// back-pruning).
-    fn max_len(&mut self) -> f64 {
-        let mut max = f64::NEG_INFINITY;
-        for v in &mut self.per_list {
-            while v.last().is_some_and(|c| c.dead) {
-                v.pop();
-            }
-            if let Some(c) = v.last() {
-                max = max.max(c.len);
-            }
-        }
-        max
-    }
-
-    fn kill_at(&mut self, list: usize, pos: usize) {
-        let c = &mut self.per_list[list][pos];
-        if !c.dead {
-            c.dead = true;
-            self.index.remove(&c.id);
-            self.alive -= 1;
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.alive == 0
-    }
-}
-
 impl SelectionAlgorithm for HybridAlgorithm {
     fn name(&self) -> &'static str {
         "Hybrid"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        assert_query_width(query);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return;
         }
+        assert_query_width(query);
 
-        let lists: Vec<&[crate::Posting]> = query
-            .tokens
-            .iter()
-            .map(|qt| index.query_list(qt.token).postings())
-            .collect();
-        let n = lists.len();
+        // Stack-allocated list table (see iNRA): no per-query heap
+        // allocation on a warm scratch.
+        let mut lists_buf: [&[crate::Posting]; MAX_QUERY_LISTS] = [&[]; MAX_QUERY_LISTS];
+        let n = query.num_lists();
+        for (slot, qt) in lists_buf.iter_mut().zip(&query.tokens) {
+            *slot = index.query_list(qt.token).postings();
+        }
+        let lists = &lists_buf[..n];
         let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
         let hi_cut = len_hi * (1.0 + crate::EPS_REL);
-        let lambdas: Vec<f64> = properties::lambda_cutoffs(query, tau)
-            .into_iter()
-            .map(|l| l * (1.0 + crate::EPS_REL))
-            .collect();
-        let suffix = query.idf_sq_suffix_sums();
+        query.idf_sq_suffix_sums_into(&mut scratch.suffix);
+        properties::lambda_cutoffs_into(query, tau, &scratch.suffix, &mut scratch.lambdas);
+        for l in &mut scratch.lambdas {
+            *l *= 1.0 + crate::EPS_REL;
+        }
 
-        let mut pos: Vec<usize> = (0..n)
-            .map(|i| {
-                if self.config.length_bounding {
-                    index.query_list(query.tokens[i].token).seek_len(
-                        len_lo * (1.0 - crate::EPS_REL),
-                        self.config.use_skip_lists,
-                        &mut stats,
-                    )
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let mut closed: Vec<bool> = (0..n).map(|i| pos[i] >= lists[i].len()).collect();
-        let mut resting = vec![false; n];
-        let mut pool = Pool::new(n);
+        scratch.pos.resize(n, 0);
+        scratch.closed.resize(n, false);
+        scratch.resting.resize(n, false);
+        for (i, list) in lists.iter().enumerate() {
+            scratch.pos[i] = if self.config.length_bounding {
+                index.query_list(query.tokens[i].token).seek_len(
+                    len_lo * (1.0 - crate::EPS_REL),
+                    self.config.use_skip_lists,
+                    &mut scratch.stats,
+                )
+            } else {
+                0
+            };
+            scratch.closed[i] = scratch.pos[i] >= list.len();
+        }
+        scratch.pool.prepare(n);
         let mut f_star = f64::INFINITY;
 
         // Next unread length per list (∞ when closed/exhausted).
@@ -169,35 +97,39 @@ impl SelectionAlgorithm for HybridAlgorithm {
         };
 
         loop {
-            stats.rounds += 1;
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                return;
+            }
+            scratch.stats.rounds += 1;
             let mut any_read = false;
             for i in 0..n {
-                if closed[i] {
+                if scratch.closed[i] {
                     continue;
                 }
-                if resting[i] {
+                if scratch.resting[i] {
                     // Resume if a tracked candidate may still appear here.
-                    let head = next_len(&pos, &closed, i);
-                    let bound = pool.max_len().max(lambdas[i]);
+                    let head = next_len(&scratch.pos, &scratch.closed, i);
+                    let bound = scratch.pool.max_len().max(scratch.lambdas[i]);
                     if head <= bound {
-                        resting[i] = false;
+                        scratch.resting[i] = false;
                     } else {
                         continue;
                     }
                 }
-                let p = lists[i][pos[i]];
-                pos[i] += 1;
-                stats.elements_read += 1;
+                let p = lists[i][scratch.pos[i]];
+                scratch.pos[i] += 1;
+                scratch.stats.elements_read += 1;
                 any_read = true;
-                if pos[i] >= lists[i].len() {
-                    closed[i] = true;
+                if scratch.pos[i] >= lists[i].len() {
+                    scratch.closed[i] = true;
                 }
                 if self.config.length_bounding && p.len > hi_cut {
-                    closed[i] = true;
+                    scratch.closed[i] = true;
                     continue;
                 }
                 let w = query.tokens[i].idf_sq / (p.len * query.len);
-                if let Some(c) = pool.get_mut(p.id.0) {
+                if let Some(c) = scratch.pool.get_mut(p.id.0) {
                     c.lower += w;
                     c.seen |= 1u128 << i;
                 } else {
@@ -207,8 +139,8 @@ impl SelectionAlgorithm for HybridAlgorithm {
                             tau,
                         );
                     if admissible {
-                        stats.candidates_inserted += 1;
-                        pool.insert(
+                        scratch.stats.candidates_inserted += 1;
+                        scratch.pool.insert(
                             i,
                             PoolCand {
                                 id: p.id.0,
@@ -223,35 +155,39 @@ impl SelectionAlgorithm for HybridAlgorithm {
                 // SF-style stop: beyond λᵢ nothing new viable can be first
                 // discovered here, and beyond max_len(C) no tracked
                 // candidate can still appear here.
-                if !closed[i] && p.len > lambdas[i] && p.len > pool.max_len() {
-                    resting[i] = true;
+                if !scratch.closed[i]
+                    && p.len > scratch.lambdas[i]
+                    && p.len > scratch.pool.max_len()
+                {
+                    scratch.resting[i] = true;
                 }
             }
 
-            let all_closed = closed.iter().all(|&c| c);
+            let all_closed = scratch.closed.iter().all(|&c| c);
             // Unseen-set bound via Magnitude Boundedness: a set first
             // discovered in list j has len ≥ that list's head, so its best
             // score is suffix(j) / (head·len(q)); the max over lists bounds
             // every unseen set (tighter than NRA's frontier sum).
             f_star = (0..n)
-                .filter(|&j| !closed[j])
+                .filter(|&j| !scratch.closed[j])
                 .map(|j| {
-                    let head = next_len(&pos, &closed, j).max(len_lo.max(f64::MIN_POSITIVE));
-                    suffix[j] / (head * query.len)
+                    let head = next_len(&scratch.pos, &scratch.closed, j)
+                        .max(len_lo.max(f64::MIN_POSITIVE));
+                    scratch.suffix[j] / (head * query.len)
                 })
                 .fold(0.0f64, f64::max);
 
             if safely_below(f_star, tau) || all_closed || !any_read {
                 for li in 0..n {
-                    for pi in 0..pool.per_list[li].len() {
+                    for pi in 0..scratch.pool.per_list[li].len() {
                         let (id, len, lower, seen, dead) = {
-                            let c = &pool.per_list[li][pi];
+                            let c = &scratch.pool.per_list[li][pi];
                             (c.id, c.len, c.lower, c.seen, c.dead)
                         };
                         if dead {
                             continue;
                         }
-                        stats.candidate_scan_steps += 1;
+                        scratch.stats.candidate_scan_steps += 1;
                         let mut upper = lower;
                         let mut complete = true;
                         for i in 0..n {
@@ -261,7 +197,8 @@ impl SelectionAlgorithm for HybridAlgorithm {
                             // Resolved absent: list fully consumed for this
                             // length range (Order Preservation on the next
                             // unread posting).
-                            if closed[i] || len < next_len(&pos, &closed, i) {
+                            if scratch.closed[i] || len < next_len(&scratch.pos, &scratch.closed, i)
+                            {
                                 continue;
                             }
                             complete = false;
@@ -269,14 +206,14 @@ impl SelectionAlgorithm for HybridAlgorithm {
                         }
                         if complete {
                             if crate::passes(lower, tau) {
-                                results.push(Match {
+                                scratch.results.push(Match {
                                     id: SetId(id),
                                     score: lower,
                                 });
                             }
-                            pool.kill_at(li, pi);
+                            scratch.pool.kill_at(li, pi);
                         } else if safely_below(upper, tau) {
-                            pool.kill_at(li, pi);
+                            scratch.pool.kill_at(li, pi);
                         }
                     }
                 }
@@ -285,21 +222,19 @@ impl SelectionAlgorithm for HybridAlgorithm {
             if all_closed {
                 break;
             }
-            if pool.is_empty() && safely_below(f_star, tau) {
+            if scratch.pool.is_empty() && safely_below(f_star, tau) {
                 break;
             }
             if !any_read {
-                if pool.is_empty() {
+                if scratch.pool.is_empty() {
                     break;
                 }
                 // Defensive: all lists rest yet candidates remain (cannot
                 // happen — resting implies frontier > max_len(C), which
                 // resolves every candidate). Force progress.
-                resting.fill(false);
+                scratch.resting.fill(false);
             }
         }
-
-        SearchOutcome { results, stats }
     }
 }
 
@@ -307,7 +242,7 @@ impl SelectionAlgorithm for HybridAlgorithm {
 mod tests {
     use super::*;
     use crate::algorithms::{FullScan, INraAlgorithm, SfAlgorithm};
-    use crate::{CollectionBuilder, IndexOptions};
+    use crate::{CollectionBuilder, IndexOptions, InvertedIndex};
     use setsim_tokenize::QGramTokenizer;
 
     fn setup(texts: &[&str]) -> crate::SetCollection {

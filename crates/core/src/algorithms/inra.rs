@@ -1,9 +1,6 @@
-use crate::algorithms::{assert_query_width, AlgoConfig, SelectionAlgorithm};
-use crate::{
-    properties, safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome,
-    SearchStats, SetId,
-};
-use std::collections::HashMap;
+use crate::algorithms::{assert_query_width, AlgoConfig, SelectionAlgorithm, MAX_QUERY_LISTS};
+use crate::engine::{CandCell, SearchCtx};
+use crate::{properties, safely_below, Match, SearchStatus, SetId};
 
 /// The improved NRA algorithm (Algorithm 2, "iNRA").
 ///
@@ -37,80 +34,80 @@ impl INraAlgorithm {
     }
 }
 
-struct Cand {
-    lower: f64,
-    len: f64,
-    seen: u128,
-}
-
 impl SelectionAlgorithm for INraAlgorithm {
     fn name(&self) -> &'static str {
         "iNRA"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        assert_query_width(query);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return;
         }
+        assert_query_width(query);
 
-        let lists: Vec<&[crate::Posting]> = query
-            .tokens
-            .iter()
-            .map(|qt| index.query_list(qt.token).postings())
-            .collect();
-        let n = lists.len();
+        // Stack-allocated list table: keeps the warm-scratch hot path free
+        // of per-query heap allocation (width is capped by
+        // assert_query_width / the engine's QueryTooWide check).
+        let mut lists_buf: [&[crate::Posting]; MAX_QUERY_LISTS] = [&[]; MAX_QUERY_LISTS];
+        let n = query.num_lists();
+        for (slot, qt) in lists_buf.iter_mut().zip(&query.tokens) {
+            *slot = index.query_list(qt.token).postings();
+        }
+        let lists = &lists_buf[..n];
         let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
         let hi_cut = len_hi * (1.0 + crate::EPS_REL);
 
-        let mut pos: Vec<usize> = (0..n)
-            .map(|i| {
-                if self.config.length_bounding {
-                    index.query_list(query.tokens[i].token).seek_len(
-                        len_lo * (1.0 - crate::EPS_REL),
-                        self.config.use_skip_lists,
-                        &mut stats,
-                    )
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let mut closed: Vec<bool> = (0..n).map(|i| pos[i] >= lists[i].len()).collect();
+        scratch.pos.resize(n, 0);
+        scratch.closed.resize(n, false);
         // Frontier length per list (last posting read by sorted access).
-        let mut frontier: Vec<f64> = vec![0.0; n];
-        let mut candidates: HashMap<u32, Cand> = HashMap::new();
+        scratch.frontier.resize(n, 0.0);
+        for (i, list) in lists.iter().enumerate() {
+            scratch.pos[i] = if self.config.length_bounding {
+                index.query_list(query.tokens[i].token).seek_len(
+                    len_lo * (1.0 - crate::EPS_REL),
+                    self.config.use_skip_lists,
+                    &mut scratch.stats,
+                )
+            } else {
+                0
+            };
+            scratch.closed[i] = scratch.pos[i] >= list.len();
+        }
         // F from the previous round; sound for gating new insertions since
         // frontier weights only decrease.
         let mut f_bound = f64::INFINITY;
 
         loop {
-            stats.rounds += 1;
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                return;
+            }
+            scratch.stats.rounds += 1;
             let mut any_read = false;
             for i in 0..n {
-                if closed[i] {
+                if scratch.closed[i] {
                     continue;
                 }
-                let p = lists[i][pos[i]];
-                pos[i] += 1;
-                stats.elements_read += 1;
+                let p = lists[i][scratch.pos[i]];
+                scratch.pos[i] += 1;
+                scratch.stats.elements_read += 1;
                 any_read = true;
-                frontier[i] = p.len;
-                if pos[i] >= lists[i].len() {
-                    closed[i] = true;
+                scratch.frontier[i] = p.len;
+                if scratch.pos[i] >= lists[i].len() {
+                    scratch.closed[i] = true;
                 }
                 if self.config.length_bounding && p.len > hi_cut {
-                    closed[i] = true;
+                    scratch.closed[i] = true;
                     continue;
                 }
                 let w = query.tokens[i].idf_sq / (p.len * query.len);
-                if let Some(c) = candidates.get_mut(&p.id.0) {
+                if let Some(c) = scratch.candidates.get_mut(&p.id.0) {
                     c.lower += w;
                     c.seen |= 1u128 << i;
                     continue;
@@ -123,10 +120,10 @@ impl SelectionAlgorithm for INraAlgorithm {
                 if safely_below(best, tau) {
                     continue;
                 }
-                stats.candidates_inserted += 1;
-                candidates.insert(
+                scratch.stats.candidates_inserted += 1;
+                scratch.candidates.insert(
                     p.id.0,
-                    Cand {
+                    CandCell {
                         lower: w,
                         len: p.len,
                         seen: 1u128 << i,
@@ -134,13 +131,13 @@ impl SelectionAlgorithm for INraAlgorithm {
                 );
             }
 
-            let all_closed = closed.iter().all(|&c| c);
+            let all_closed = scratch.closed.iter().all(|&c| c);
             f_bound = (0..n)
                 .map(|i| {
-                    if closed[i] {
+                    if scratch.closed[i] {
                         0.0
                     } else {
-                        query.tokens[i].idf_sq / (frontier[i] * query.len)
+                        query.tokens[i].idf_sq / (scratch.frontier[i] * query.len)
                     }
                 })
                 .sum();
@@ -148,9 +145,9 @@ impl SelectionAlgorithm for INraAlgorithm {
             // The search cannot terminate while F ≥ τ, so candidate scans
             // before that point are wasted work (Section V).
             if safely_below(f_bound, tau) || all_closed {
-                let mut to_remove = Vec::new();
-                for (&id, c) in &candidates {
-                    stats.candidate_scan_steps += 1;
+                scratch.to_remove.clear();
+                for (&id, c) in &scratch.candidates {
+                    scratch.stats.candidate_scan_steps += 1;
                     let mut upper = c.lower;
                     let mut complete = true;
                     for i in 0..n {
@@ -159,7 +156,7 @@ impl SelectionAlgorithm for INraAlgorithm {
                         }
                         // Order Preservation: the frontier passed this
                         // set's length, so it cannot be in list i.
-                        if closed[i] || c.len < frontier[i] {
+                        if scratch.closed[i] || c.len < scratch.frontier[i] {
                             continue;
                         }
                         complete = false;
@@ -169,35 +166,33 @@ impl SelectionAlgorithm for INraAlgorithm {
                     }
                     if complete {
                         if crate::passes(c.lower, tau) {
-                            results.push(Match {
+                            scratch.results.push(Match {
                                 id: SetId(id),
                                 score: c.lower,
                             });
                         }
-                        to_remove.push(id);
+                        scratch.to_remove.push(id);
                     } else if safely_below(upper, tau) {
-                        to_remove.push(id);
+                        scratch.to_remove.push(id);
                     } else if !all_closed {
                         break; // early scan exit at the first survivor
                     }
                 }
-                for id in to_remove {
-                    candidates.remove(&id);
+                for id in &scratch.to_remove {
+                    scratch.candidates.remove(id);
                 }
             }
 
             if all_closed {
                 break;
             }
-            if candidates.is_empty() && safely_below(f_bound, tau) {
+            if scratch.candidates.is_empty() && safely_below(f_bound, tau) {
                 break;
             }
             if !any_read {
                 break;
             }
         }
-
-        SearchOutcome { results, stats }
     }
 }
 
@@ -205,7 +200,7 @@ impl SelectionAlgorithm for INraAlgorithm {
 mod tests {
     use super::*;
     use crate::algorithms::{FullScan, NraAlgorithm};
-    use crate::{CollectionBuilder, IndexOptions};
+    use crate::{CollectionBuilder, IndexOptions, InvertedIndex};
     use setsim_tokenize::QGramTokenizer;
 
     fn setup(texts: &[&str]) -> crate::SetCollection {

@@ -1,9 +1,6 @@
 use crate::algorithms::{AlgoConfig, SelectionAlgorithm};
-use crate::{
-    properties, safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome,
-    SearchStats,
-};
-use std::collections::HashSet;
+use crate::engine::SearchCtx;
+use crate::{properties, safely_below, Match, SearchStatus};
 
 /// The improved Threshold Algorithm (Section V's "iTA").
 ///
@@ -37,15 +34,15 @@ impl SelectionAlgorithm for ITaAlgorithm {
         "iTA"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return;
         }
 
         let lists: Vec<&crate::index::PostingList> = query
@@ -57,45 +54,47 @@ impl SelectionAlgorithm for ITaAlgorithm {
         let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
         let hi_cut = len_hi * (1.0 + crate::EPS_REL);
 
-        let mut pos: Vec<usize> = lists
-            .iter()
-            .map(|l| {
-                if self.config.length_bounding {
-                    l.seek_len(
-                        len_lo * (1.0 - crate::EPS_REL),
-                        self.config.use_skip_lists,
-                        &mut stats,
-                    )
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let mut closed: Vec<bool> = (0..n).map(|i| pos[i] >= lists[i].len()).collect();
-        let mut frontier_len = vec![0.0f64; n];
-        let mut seen: HashSet<u32> = HashSet::new();
+        scratch.pos.resize(n, 0);
+        scratch.closed.resize(n, false);
+        scratch.frontier.resize(n, 0.0);
+        for (i, l) in lists.iter().enumerate() {
+            scratch.pos[i] = if self.config.length_bounding {
+                l.seek_len(
+                    len_lo * (1.0 - crate::EPS_REL),
+                    self.config.use_skip_lists,
+                    &mut scratch.stats,
+                )
+            } else {
+                0
+            };
+            scratch.closed[i] = scratch.pos[i] >= l.len();
+        }
 
         loop {
-            stats.rounds += 1;
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                return;
+            }
+            scratch.stats.rounds += 1;
             let mut any_read = false;
             for i in 0..n {
-                if closed[i] {
+                if scratch.closed[i] {
                     continue;
                 }
                 let postings = lists[i].postings();
-                let p = postings[pos[i]];
-                pos[i] += 1;
-                stats.elements_read += 1;
+                let p = postings[scratch.pos[i]];
+                scratch.pos[i] += 1;
+                scratch.stats.elements_read += 1;
                 any_read = true;
-                frontier_len[i] = p.len;
-                if pos[i] >= postings.len() {
-                    closed[i] = true;
+                scratch.frontier[i] = p.len;
+                if scratch.pos[i] >= postings.len() {
+                    scratch.closed[i] = true;
                 }
                 if self.config.length_bounding && p.len > hi_cut {
-                    closed[i] = true;
+                    scratch.closed[i] = true;
                     continue;
                 }
-                if !seen.insert(p.id.0) {
+                if !scratch.seen.insert(p.id.0) {
                     continue;
                 }
                 // Magnitude Boundedness: exact best case before probing.
@@ -105,13 +104,13 @@ impl SelectionAlgorithm for ITaAlgorithm {
                 }
                 let mut dot = query.tokens[i].idf_sq;
                 for (j, l) in lists.iter().enumerate() {
-                    if j != i && l.contains_id(p.id, &mut stats) {
+                    if j != i && l.contains_id(p.id, &mut scratch.stats) {
                         dot += query.tokens[j].idf_sq;
                     }
                 }
                 let score = dot / (p.len * query.len);
                 if crate::passes(score, tau) {
-                    results.push(Match { id: p.id, score });
+                    scratch.results.push(Match { id: p.id, score });
                 }
             }
             if !any_read {
@@ -119,10 +118,10 @@ impl SelectionAlgorithm for ITaAlgorithm {
             }
             let f: f64 = (0..n)
                 .map(|i| {
-                    if closed[i] {
+                    if scratch.closed[i] {
                         0.0
                     } else {
-                        query.tokens[i].idf_sq / (frontier_len[i] * query.len)
+                        query.tokens[i].idf_sq / (scratch.frontier[i] * query.len)
                     }
                 })
                 .sum();
@@ -130,8 +129,6 @@ impl SelectionAlgorithm for ITaAlgorithm {
                 break;
             }
         }
-
-        SearchOutcome { results, stats }
     }
 }
 
@@ -139,7 +136,7 @@ impl SelectionAlgorithm for ITaAlgorithm {
 mod tests {
     use super::*;
     use crate::algorithms::{FullScan, TaAlgorithm};
-    use crate::{CollectionBuilder, IndexOptions};
+    use crate::{CollectionBuilder, IndexOptions, InvertedIndex};
     use setsim_tokenize::QGramTokenizer;
 
     fn setup(texts: &[&str]) -> crate::SetCollection {

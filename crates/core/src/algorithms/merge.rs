@@ -1,7 +1,7 @@
 use crate::algorithms::SelectionAlgorithm;
-use crate::{validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats};
+use crate::engine::SearchCtx;
+use crate::{Match, SearchStatus};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Multiway merge over **id-sorted** inverted lists (Section III-B's
 /// "sort-by-id" baseline).
@@ -19,15 +19,15 @@ impl SelectionAlgorithm for SortByIdMerge {
         "sort-by-id"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return;
         }
 
         let lists: Vec<&[crate::Posting]> = query
@@ -44,8 +44,9 @@ impl SelectionAlgorithm for SortByIdMerge {
             .collect();
 
         // Heap of (Reverse(id), list index); positions track each cursor.
-        let mut heap: BinaryHeap<(Reverse<u32>, usize)> = BinaryHeap::new();
-        let mut pos = vec![0usize; lists.len()];
+        let heap = &mut scratch.heap;
+        scratch.pos.resize(lists.len(), 0);
+        let pos = &mut scratch.pos;
         for (i, l) in lists.iter().enumerate() {
             if !l.is_empty() {
                 heap.push((Reverse(l[0].id.0), i));
@@ -53,6 +54,10 @@ impl SelectionAlgorithm for SortByIdMerge {
         }
 
         while let Some(&(Reverse(id), _)) = heap.peek() {
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                return;
+            }
             // Drain every list whose head is `id`, accumulating its score.
             let mut dot = 0.0;
             let mut len_s = 0.0;
@@ -62,7 +67,7 @@ impl SelectionAlgorithm for SortByIdMerge {
                 }
                 heap.pop();
                 let p = lists[i][pos[i]];
-                stats.elements_read += 1;
+                scratch.stats.elements_read += 1;
                 dot += query.tokens[i].idf_sq;
                 len_s = p.len;
                 pos[i] += 1;
@@ -72,14 +77,12 @@ impl SelectionAlgorithm for SortByIdMerge {
             }
             let score = dot / (len_s * query.len);
             if crate::passes(score, tau) {
-                results.push(Match {
+                scratch.results.push(Match {
                     id: crate::SetId(id),
                     score,
                 });
             }
         }
-
-        SearchOutcome { results, stats }
     }
 }
 
@@ -87,7 +90,7 @@ impl SelectionAlgorithm for SortByIdMerge {
 mod tests {
     use super::*;
     use crate::algorithms::FullScan;
-    use crate::{CollectionBuilder, IndexOptions};
+    use crate::{CollectionBuilder, IndexOptions, InvertedIndex};
     use setsim_tokenize::QGramTokenizer;
 
     fn setup(texts: &[&str]) -> crate::SetCollection {

@@ -48,11 +48,15 @@ pub use scan::FullScan;
 pub use sf::SfAlgorithm;
 pub use ta::TaAlgorithm;
 
-use crate::{InvertedIndex, PreparedQuery, SearchOutcome};
+use crate::engine::{ArmedBudget, Scratch, SearchCtx};
+use crate::{validate_tau, InvertedIndex, PreparedQuery, SearchOutcome};
 
 /// Toggles for the property-based optimizations, matching the ablations of
-/// Figures 8 (Length Bounding) and 9 (skip lists).
+/// Figures 8 (Length Bounding) and 9 (skip lists). `#[non_exhaustive]` so
+/// future toggles are non-breaking; construct via the named presets or
+/// [`Default`] plus the builder setters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct AlgoConfig {
     /// Apply Theorem 1: seek lists to `τ·len(q)` and stop them past
     /// `len(q)/τ`. Disabling reproduces the "NLB" variants of Figure 8.
@@ -93,6 +97,20 @@ impl AlgoConfig {
             use_skip_lists: false,
         }
     }
+
+    /// Toggle Length Bounding (Theorem 1, the Figure 8 ablation).
+    #[must_use]
+    pub fn with_length_bounding(mut self, on: bool) -> Self {
+        self.length_bounding = on;
+        self
+    }
+
+    /// Toggle skip-list seeks (the Figure 9 ablation).
+    #[must_use]
+    pub fn with_skip_lists(mut self, on: bool) -> Self {
+        self.use_skip_lists = on;
+        self
+    }
 }
 
 /// A set similarity selection algorithm: given a prepared query and a
@@ -101,17 +119,41 @@ pub trait SelectionAlgorithm {
     /// Display name used in experiment output ("SF", "iNRA", …).
     fn name(&self) -> &'static str;
 
-    /// Run the selection. Implementations must be exact: no false
-    /// negatives, no false positives, exact scores in the result.
+    /// Run the selection against the reusable scratch state carried by
+    /// `ctx` — the hot-path entry point used by [`crate::engine`].
+    ///
+    /// Implementations must be exact when they run to completion: no
+    /// false negatives, no false positives, exact scores in the result.
+    /// They must honor the request budget by polling
+    /// [`SearchCtx::budget_exhausted`] at progress checkpoints and
+    /// stopping when it trips, emitting only fully-scored matches (a
+    /// truncated result must be an exact subset of the true answer).
+    /// `ctx.tau()` is pre-validated to lie in `(0, 1]`.
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>);
+
+    /// Run the selection standalone, allocating fresh scratch state — a
+    /// thin wrapper over [`search_with`](Self::search_with) kept for
+    /// tests, the audit suite, and one-off calls. Serving code should go
+    /// through [`crate::engine::QueryEngine`] instead (enforced for the
+    /// CLI by `cargo xtask check`).
     ///
     /// # Panics
-    /// Panics if `tau` is outside `(0, 1]`.
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome;
+    /// Panics if `tau` is outside `(0, 1]`. (The engine path reports
+    /// `SearchError::InvalidTau` instead.)
+    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
+        validate_tau(tau);
+        let mut scratch = Scratch::default();
+        let mut ctx = SearchCtx::new(index, query, tau, ArmedBudget::unlimited(), &mut scratch);
+        self.search_with(&mut ctx);
+        scratch.take_outcome()
+    }
 }
 
-/// Bitset over query lists; queries are words decomposed into q-grams, so
+/// Bitset width over query lists, the cap enforced by the algorithms that
+/// track per-list membership in a `u128` (NRA, iNRA, Hybrid; Section V's
+/// candidate bookkeeping). Queries are words decomposed into q-grams, so
 /// 128 lists is far beyond anything the paper's workloads produce.
-pub(crate) const MAX_QUERY_LISTS: usize = 128;
+pub const MAX_QUERY_LISTS: usize = 128;
 
 pub(crate) fn assert_query_width(query: &PreparedQuery) {
     assert!(

@@ -1,9 +1,6 @@
 use crate::algorithms::{assert_query_width, SelectionAlgorithm};
-use crate::{
-    safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats,
-    SetId,
-};
-use std::collections::HashMap;
+use crate::engine::{CandCell, SearchCtx};
+use crate::{safely_below, Match, SearchStatus, SetId};
 
 /// The classic No-Random-Access algorithm (Algorithm 1).
 ///
@@ -48,28 +45,25 @@ impl NraAlgorithm {
 }
 
 // Classic NRA tracks no set length: its upper bounds use frontier weights
-// only (that blindness is exactly what iNRA fixes).
-struct Cand {
-    lower: f64,
-    seen: u128,
-}
+// only (that blindness is exactly what iNRA fixes); the scratch CandCell's
+// len field stays unused here.
 
 impl SelectionAlgorithm for NraAlgorithm {
     fn name(&self) -> &'static str {
         "NRA"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        assert_query_width(query);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return;
         }
+        assert_query_width(query);
 
         let lists: Vec<&[crate::Posting]> = query
             .tokens
@@ -77,94 +71,97 @@ impl SelectionAlgorithm for NraAlgorithm {
             .map(|qt| index.query_list(qt.token).postings())
             .collect();
         let n = lists.len();
-        let mut pos = vec![0usize; n];
-        let mut frontier_w = vec![f64::INFINITY; n]; // wᵢ(fᵢ); 0 when exhausted
-        let mut candidates: HashMap<u32, Cand> = HashMap::new();
+        scratch.pos.resize(n, 0);
+        scratch.frontier.resize(n, f64::INFINITY); // wᵢ(fᵢ); 0 when exhausted
+        scratch.closed.resize(n, false); // exhaustion flags, refreshed per round
 
         loop {
-            stats.rounds += 1;
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                return;
+            }
+            scratch.stats.rounds += 1;
             let mut any_read = false;
             for i in 0..n {
-                if pos[i] >= lists[i].len() {
-                    frontier_w[i] = 0.0;
+                if scratch.pos[i] >= lists[i].len() {
+                    scratch.frontier[i] = 0.0;
                     continue;
                 }
-                let p = lists[i][pos[i]];
-                pos[i] += 1;
-                stats.elements_read += 1;
+                let p = lists[i][scratch.pos[i]];
+                scratch.pos[i] += 1;
+                scratch.stats.elements_read += 1;
                 any_read = true;
-                frontier_w[i] = query.tokens[i].idf_sq / (p.len * query.len);
-                if pos[i] >= lists[i].len() {
-                    // Keep the frontier weight until the round's bound is
-                    // computed; it becomes 0 next round via the guard above.
-                }
                 let w = query.tokens[i].idf_sq / (p.len * query.len);
-                let e = candidates.entry(p.id.0).or_insert_with(|| {
-                    stats.candidates_inserted += 1;
-                    Cand {
-                        lower: 0.0,
-                        seen: 0,
-                    }
+                scratch.frontier[i] = w;
+                let e = scratch.candidates.entry(p.id.0).or_insert_with(|| {
+                    scratch.stats.candidates_inserted += 1;
+                    CandCell::default()
                 });
                 e.lower += w;
                 e.seen |= 1u128 << i;
             }
 
-            let exhausted: Vec<bool> = (0..n).map(|i| pos[i] >= lists[i].len()).collect();
-            let all_exhausted = exhausted.iter().all(|&e| e);
+            for (i, list) in lists.iter().enumerate() {
+                scratch.closed[i] = scratch.pos[i] >= list.len();
+            }
+            let all_exhausted = scratch.closed.iter().all(|&e| e);
             // Best possible score of an unseen set.
             let f: f64 = (0..n)
-                .map(|i| if exhausted[i] { 0.0 } else { frontier_w[i] })
+                .map(|i| {
+                    if scratch.closed[i] {
+                        0.0
+                    } else {
+                        scratch.frontier[i]
+                    }
+                })
                 .sum();
 
             let must_scan = !self.lazy_scans || safely_below(f, tau) || all_exhausted;
             if must_scan {
-                let mut to_remove = Vec::new();
-                for (&id, c) in &candidates {
-                    stats.candidate_scan_steps += 1;
+                scratch.to_remove.clear();
+                for (&id, c) in &scratch.candidates {
+                    scratch.stats.candidate_scan_steps += 1;
                     let mut upper = c.lower;
                     let mut complete = true;
                     for i in 0..n {
                         if c.seen & (1u128 << i) != 0 {
                             continue;
                         }
-                        if exhausted[i] {
+                        if scratch.closed[i] {
                             continue; // resolved: not in list i
                         }
                         complete = false;
-                        upper += frontier_w[i];
+                        upper += scratch.frontier[i];
                     }
                     if complete {
                         if crate::passes(c.lower, tau) {
-                            results.push(Match {
+                            scratch.results.push(Match {
                                 id: SetId(id),
                                 score: c.lower,
                             });
                         }
-                        to_remove.push(id);
+                        scratch.to_remove.push(id);
                     } else if safely_below(upper, tau) {
-                        to_remove.push(id);
+                        scratch.to_remove.push(id);
                     } else if self.early_scan_exit && !all_exhausted {
                         break; // a viable candidate survives; stop scanning
                     }
                 }
-                for id in to_remove {
-                    candidates.remove(&id);
+                for id in &scratch.to_remove {
+                    scratch.candidates.remove(id);
                 }
             }
 
             if all_exhausted {
                 break; // final scan above resolved every candidate
             }
-            if candidates.is_empty() && safely_below(f, tau) {
+            if scratch.candidates.is_empty() && safely_below(f, tau) {
                 break;
             }
             if !any_read {
                 break; // defensive: nothing left to read
             }
         }
-
-        SearchOutcome { results, stats }
     }
 }
 
@@ -172,7 +169,7 @@ impl SelectionAlgorithm for NraAlgorithm {
 mod tests {
     use super::*;
     use crate::algorithms::FullScan;
-    use crate::{CollectionBuilder, IndexOptions};
+    use crate::{CollectionBuilder, IndexOptions, InvertedIndex};
     use setsim_tokenize::QGramTokenizer;
 
     fn setup(texts: &[&str]) -> crate::SetCollection {

@@ -8,10 +8,15 @@
 use crate::algorithms::SelectionAlgorithm;
 use crate::{InvertedIndex, PreparedQuery, SearchOutcome};
 
-/// Run `algo` over every query in `queries` using `num_threads` workers.
+/// Run `algo` over every query in `queries` using `num_threads` workers,
+/// splitting the batch into **static contiguous chunks**.
 ///
 /// Outcomes are returned in the order of `queries`. With `num_threads`
 /// of 0 or 1, runs inline on the caller's thread.
+///
+/// Static chunking idles a whole chunk behind one straggler query; the
+/// work-stealing executor in [`crate::QueryEngine::search_batch`] avoids
+/// that (this function is kept as the comparison baseline).
 pub fn search_batch<A>(
     algo: &A,
     index: &InvertedIndex<'_>,

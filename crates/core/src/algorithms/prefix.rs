@@ -106,7 +106,7 @@ impl PrefixFilterIndex {
         };
         let mut results = Vec::new();
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return SearchOutcome::complete(results, stats);
         }
         let mut candidates: Vec<SetId> = Vec::new();
         for qt in &query.tokens {
@@ -124,7 +124,7 @@ impl PrefixFilterIndex {
                 results.push(Match { id, score });
             }
         }
-        SearchOutcome { results, stats }
+        SearchOutcome::complete(results, stats)
     }
 }
 

@@ -1,5 +1,6 @@
 use crate::algorithms::SelectionAlgorithm;
-use crate::{validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats, SetId};
+use crate::engine::SearchCtx;
+use crate::{InvertedIndex, Match, PreparedQuery, SearchStatus, SetId};
 
 /// Exhaustive scan: scores every database set directly from the base
 /// table. `O(N · |q|)`, no index structures used.
@@ -16,19 +17,25 @@ impl SelectionAlgorithm for FullScan {
         "scan"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let collection = index.collection();
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() || query.len == 0.0 {
-            return SearchOutcome { results, stats };
+            return;
         }
-        for (id, set) in collection.iter_sets() {
-            stats.elements_read += 1;
+        for (id, set) in index.collection().iter_sets() {
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                return;
+            }
+            // Base-table access, not a sorted list read: counted in
+            // records_scanned so the pruning invariant
+            // elements_read ≤ total_list_elements holds.
+            scratch.stats.records_scanned += 1;
             let len_s = index.set_len(id);
             if len_s == 0.0 {
                 continue;
@@ -41,10 +48,9 @@ impl SelectionAlgorithm for FullScan {
             }
             let score = dot / (len_s * query.len);
             if crate::passes(score, tau) {
-                results.push(Match { id, score });
+                scratch.results.push(Match { id, score });
             }
         }
-        SearchOutcome { results, stats }
     }
 }
 

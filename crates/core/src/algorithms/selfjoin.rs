@@ -8,6 +8,7 @@
 //! embarrassingly parallel.
 
 use crate::algorithms::SelectionAlgorithm;
+use crate::engine::{ArmedBudget, Scratch, SearchCtx};
 use crate::{validate_tau, InvertedIndex, SearchStats, SetId};
 
 /// One joined pair: `a < b` and `I(a, b) ≥ τ`.
@@ -40,11 +41,15 @@ pub fn self_join<A: SelectionAlgorithm>(
     validate_tau(tau);
     let mut out = JoinOutcome::default();
     let collection = index.collection();
+    // One warm scratch for the whole join: every probe reuses the same
+    // candidate structures instead of reallocating per set.
+    let mut scratch = Scratch::default();
     for (id, set) in collection.iter_sets() {
         let query = index.prepare_query(set, 0);
-        let probe = algo.search(index, &query, tau);
-        out.stats.merge(&probe.stats);
-        for m in probe.results {
+        let mut ctx = SearchCtx::new(index, &query, tau, ArmedBudget::unlimited(), &mut scratch);
+        algo.search_with(&mut ctx);
+        out.stats.merge(scratch.stats());
+        for m in scratch.results() {
             // Keep each unordered pair once, from its smaller endpoint.
             if m.id > id {
                 out.pairs.push(JoinPair {
@@ -81,12 +86,16 @@ pub fn par_self_join<A: SelectionAlgorithm + Sync>(
     std::thread::scope(|scope| {
         for (ids_chunk, slot) in ids.chunks(chunk).zip(partials.iter_mut()) {
             scope.spawn(move || {
+                // One warm scratch per worker (never shared, never locked).
+                let mut scratch = Scratch::default();
                 for &raw in ids_chunk {
                     let id = SetId(raw);
                     let query = index.prepare_query(index.collection().set(id), 0);
-                    let probe = algo.search(index, &query, tau);
-                    slot.stats.merge(&probe.stats);
-                    for m in probe.results {
+                    let mut ctx =
+                        SearchCtx::new(index, &query, tau, ArmedBudget::unlimited(), &mut scratch);
+                    algo.search_with(&mut ctx);
+                    slot.stats.merge(scratch.stats());
+                    for m in scratch.results() {
                         if m.id > id {
                             slot.pairs.push(JoinPair {
                                 a: id,

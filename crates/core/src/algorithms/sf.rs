@@ -1,8 +1,6 @@
 use crate::algorithms::{AlgoConfig, SelectionAlgorithm};
-use crate::{
-    properties, safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome,
-    SearchStats, SetId,
-};
+use crate::engine::{SearchCtx, SfCand};
+use crate::{properties, safely_below, Match, SearchStatus, SetId};
 
 /// The Shortest-First algorithm (Algorithm 3, "SF").
 ///
@@ -39,13 +37,6 @@ impl SfAlgorithm {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Cand {
-    id: SetId,
-    len: f64,
-    lower: f64,
-}
-
 /// Ordering key shared by candidate list and inverted lists.
 #[inline]
 fn key(len: f64, id: SetId) -> (u64, u32) {
@@ -57,15 +48,15 @@ impl SelectionAlgorithm for SfAlgorithm {
         "SF"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return;
         }
 
         let n = query.num_lists();
@@ -73,22 +64,30 @@ impl SelectionAlgorithm for SfAlgorithm {
         let lo_seek = len_lo * (1.0 - crate::EPS_REL);
         let hi_cut = len_hi * (1.0 + crate::EPS_REL);
         // λᵢ cutoffs (query tokens are already in descending idf order).
-        let lambdas = properties::lambda_cutoffs(query, tau);
-        let suffix = query.idf_sq_suffix_sums();
+        query.idf_sq_suffix_sums_into(&mut scratch.suffix);
+        properties::lambda_cutoffs_into(query, tau, &scratch.suffix, &mut scratch.lambdas);
 
-        // Candidate list, kept sorted by (len, id).
-        let mut cands: Vec<Cand> = Vec::new();
+        // Candidate list, kept sorted by (len, id). `sf_cands` holds the
+        // survivors of the previous list; `sf_merged` receives this list's
+        // merge output, then the buffers swap.
+        scratch.sf_cands.clear();
 
         for i in 0..n {
-            stats.rounds += 1;
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                // Partial lower-bound sums are not exact scores: a
+                // truncated SF run must not emit them.
+                return;
+            }
+            scratch.stats.rounds += 1;
             let list = index.query_list(query.tokens[i].token);
             let postings = list.postings();
             let start = if self.config.length_bounding {
-                list.seek_len(lo_seek, self.config.use_skip_lists, &mut stats)
+                list.seek_len(lo_seek, self.config.use_skip_lists, &mut scratch.stats)
             } else {
                 0
             };
-            let lambda_i = lambdas[i] * (1.0 + crate::EPS_REL);
+            let lambda_i = scratch.lambdas[i] * (1.0 + crate::EPS_REL);
             // µᵢ: no new candidate beyond λᵢ; nothing qualifies beyond
             // len(q)/τ. (λᵢ ≤ len(q)/τ always, but keep the min for the
             // no-length-bounding ablation where hi_cut is disabled.)
@@ -98,16 +97,16 @@ impl SelectionAlgorithm for SfAlgorithm {
                 lambda_i
             };
 
-            let mut merged: Vec<Cand> = Vec::with_capacity(cands.len());
-            let mut ci = 0usize; // cursor into cands
+            scratch.sf_merged.clear();
+            let mut ci = 0usize; // cursor into sf_cands
             let mut pos = start;
             loop {
                 // Reading bound: the deepest point any existing candidate
                 // or admissible new candidate can sit at. Only the
                 // not-yet-merged tail of C matters; new insertions sit
                 // below λᵢ ≤ µ already.
-                let tail_max = if ci < cands.len() {
-                    cands[cands.len() - 1].len
+                let tail_max = if ci < scratch.sf_cands.len() {
+                    scratch.sf_cands[scratch.sf_cands.len() - 1].len
                 } else {
                     f64::NEG_INFINITY
                 };
@@ -115,35 +114,43 @@ impl SelectionAlgorithm for SfAlgorithm {
                 if pos >= postings.len() {
                     break;
                 }
+                if budget.exceeded(&scratch.stats) {
+                    scratch.status = SearchStatus::BudgetExceeded;
+                    return;
+                }
                 let p = postings[pos];
                 if p.len > bound {
                     break;
                 }
                 pos += 1;
-                stats.elements_read += 1;
+                scratch.stats.elements_read += 1;
 
                 // Merge step: flush candidates ordered before this posting;
                 // they did not appear in list i.
-                while ci < cands.len() && key(cands[ci].len, cands[ci].id) < key(p.len, p.id) {
-                    let c = cands[ci];
+                while ci < scratch.sf_cands.len()
+                    && key(scratch.sf_cands[ci].len, scratch.sf_cands[ci].id) < key(p.len, p.id)
+                {
+                    let c = scratch.sf_cands[ci];
                     ci += 1;
-                    stats.candidate_scan_steps += 1;
-                    let upper = c.lower + suffix[i + 1] / (c.len * query.len);
+                    scratch.stats.candidate_scan_steps += 1;
+                    let upper = c.lower + scratch.suffix[i + 1] / (c.len * query.len);
                     if !safely_below(upper, tau) {
-                        merged.push(c);
+                        scratch.sf_merged.push(c);
                     }
                 }
                 let w = query.tokens[i].idf_sq / (p.len * query.len);
-                if ci < cands.len() && key(cands[ci].len, cands[ci].id) == key(p.len, p.id) {
+                if ci < scratch.sf_cands.len()
+                    && key(scratch.sf_cands[ci].len, scratch.sf_cands[ci].id) == key(p.len, p.id)
+                {
                     // Existing candidate found in list i.
-                    let mut c = cands[ci];
+                    let mut c = scratch.sf_cands[ci];
                     ci += 1;
                     c.lower += w;
-                    merged.push(c);
+                    scratch.sf_merged.push(c);
                 } else if p.len <= lambda_i {
                     // New candidate admissible in list i.
-                    stats.candidates_inserted += 1;
-                    merged.push(Cand {
+                    scratch.stats.candidates_inserted += 1;
+                    scratch.sf_merged.push(SfCand {
                         id: p.id,
                         len: p.len,
                         lower: w,
@@ -152,17 +159,17 @@ impl SelectionAlgorithm for SfAlgorithm {
             }
             // Flush candidates beyond the last posting read: skipped in
             // list i as well.
-            while ci < cands.len() {
-                let c = cands[ci];
+            while ci < scratch.sf_cands.len() {
+                let c = scratch.sf_cands[ci];
                 ci += 1;
-                stats.candidate_scan_steps += 1;
-                let upper = c.lower + suffix[i + 1] / (c.len * query.len);
+                scratch.stats.candidate_scan_steps += 1;
+                let upper = c.lower + scratch.suffix[i + 1] / (c.len * query.len);
                 if !safely_below(upper, tau) {
-                    merged.push(c);
+                    scratch.sf_merged.push(c);
                 }
             }
-            cands = merged;
-            if cands.is_empty() && i + 1 < n {
+            std::mem::swap(&mut scratch.sf_cands, &mut scratch.sf_merged);
+            if scratch.sf_cands.is_empty() && i + 1 < n {
                 // No candidate survives; later lists cannot create viable
                 // new ones deeper than their own λ, so continue — λ keeps
                 // shrinking and scans stay shallow.
@@ -170,16 +177,15 @@ impl SelectionAlgorithm for SfAlgorithm {
             }
         }
 
-        for c in cands {
+        for ci in 0..scratch.sf_cands.len() {
+            let c = scratch.sf_cands[ci];
             if crate::passes(c.lower, tau) {
-                results.push(Match {
+                scratch.results.push(Match {
                     id: c.id,
                     score: c.lower,
                 });
             }
         }
-
-        SearchOutcome { results, stats }
     }
 }
 
@@ -187,7 +193,7 @@ impl SelectionAlgorithm for SfAlgorithm {
 mod tests {
     use super::*;
     use crate::algorithms::FullScan;
-    use crate::{CollectionBuilder, IndexOptions};
+    use crate::{CollectionBuilder, IndexOptions, InvertedIndex};
     use setsim_tokenize::QGramTokenizer;
 
     fn setup(texts: &[&str]) -> crate::SetCollection {

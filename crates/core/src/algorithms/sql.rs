@@ -83,7 +83,7 @@ impl SqlBaseline {
         let mut stats = SearchStats::default();
         let mut results = Vec::new();
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return SearchOutcome::complete(results, stats);
         }
         let (len_lo, len_hi) = properties::length_bounds(tau, query.len);
         let lo = len_lo * (1.0 - crate::EPS_REL);
@@ -126,7 +126,7 @@ impl SqlBaseline {
                 });
             }
         }
-        SearchOutcome { results, stats }
+        SearchOutcome::complete(results, stats)
     }
 
     /// Rows in the q-gram table.

@@ -1,8 +1,6 @@
 use crate::algorithms::SelectionAlgorithm;
-use crate::{
-    safely_below, validate_tau, InvertedIndex, Match, PreparedQuery, SearchOutcome, SearchStats,
-};
-use std::collections::HashSet;
+use crate::engine::SearchCtx;
+use crate::{safely_below, Match, SearchStatus};
 
 /// The classic Threshold Algorithm (Fagin et al.) adapted to selection
 /// queries.
@@ -24,15 +22,15 @@ impl SelectionAlgorithm for TaAlgorithm {
         "TA"
     }
 
-    fn search(&self, index: &InvertedIndex<'_>, query: &PreparedQuery, tau: f64) -> SearchOutcome {
-        validate_tau(tau);
-        let mut stats = SearchStats {
-            total_list_elements: index.query_list_elements(query),
-            ..Default::default()
-        };
-        let mut results = Vec::new();
+    fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
+        let index = ctx.index;
+        let query = ctx.query;
+        let tau = ctx.tau;
+        let budget = ctx.budget;
+        let scratch = &mut *ctx.scratch;
+        scratch.stats.total_list_elements = index.query_list_elements(query);
         if query.is_empty() {
-            return SearchOutcome { results, stats };
+            return;
         }
 
         let lists: Vec<&crate::index::PostingList> = query
@@ -41,36 +39,39 @@ impl SelectionAlgorithm for TaAlgorithm {
             .map(|qt| index.query_list(qt.token))
             .collect();
         let n = lists.len();
-        let mut pos = vec![0usize; n];
-        let mut frontier_len = vec![0.0f64; n];
-        let mut seen: HashSet<u32> = HashSet::new();
+        scratch.pos.resize(n, 0);
+        scratch.frontier.resize(n, 0.0);
 
         loop {
-            stats.rounds += 1;
+            if budget.exceeded(&scratch.stats) {
+                scratch.status = SearchStatus::BudgetExceeded;
+                return;
+            }
+            scratch.stats.rounds += 1;
             let mut any_read = false;
             for i in 0..n {
                 let postings = lists[i].postings();
-                if pos[i] >= postings.len() {
+                if scratch.pos[i] >= postings.len() {
                     continue;
                 }
-                let p = postings[pos[i]];
-                pos[i] += 1;
-                stats.elements_read += 1;
+                let p = postings[scratch.pos[i]];
+                scratch.pos[i] += 1;
+                scratch.stats.elements_read += 1;
                 any_read = true;
-                frontier_len[i] = p.len;
-                if !seen.insert(p.id.0) {
+                scratch.frontier[i] = p.len;
+                if !scratch.seen.insert(p.id.0) {
                     continue;
                 }
                 // Complete the score by probing every other list.
                 let mut dot = query.tokens[i].idf_sq;
                 for (j, l) in lists.iter().enumerate() {
-                    if j != i && l.contains_id(p.id, &mut stats) {
+                    if j != i && l.contains_id(p.id, &mut scratch.stats) {
                         dot += query.tokens[j].idf_sq;
                     }
                 }
                 let score = dot / (p.len * query.len);
                 if crate::passes(score, tau) {
-                    results.push(Match { id: p.id, score });
+                    scratch.results.push(Match { id: p.id, score });
                 }
             }
             if !any_read {
@@ -79,10 +80,10 @@ impl SelectionAlgorithm for TaAlgorithm {
             // Best possible score of a yet unseen set.
             let f: f64 = (0..n)
                 .map(|i| {
-                    if pos[i] >= lists[i].len() {
+                    if scratch.pos[i] >= lists[i].len() {
                         0.0
                     } else {
-                        query.tokens[i].idf_sq / (frontier_len[i] * query.len)
+                        query.tokens[i].idf_sq / (scratch.frontier[i] * query.len)
                     }
                 })
                 .sum();
@@ -90,8 +91,6 @@ impl SelectionAlgorithm for TaAlgorithm {
                 break;
             }
         }
-
-        SearchOutcome { results, stats }
     }
 }
 
@@ -99,7 +98,7 @@ impl SelectionAlgorithm for TaAlgorithm {
 mod tests {
     use super::*;
     use crate::algorithms::FullScan;
-    use crate::{CollectionBuilder, IndexOptions};
+    use crate::{CollectionBuilder, IndexOptions, InvertedIndex};
     use setsim_tokenize::QGramTokenizer;
 
     fn setup(texts: &[&str]) -> crate::SetCollection {

@@ -45,10 +45,7 @@ pub fn topk_nra(index: &InvertedIndex<'_>, query: &PreparedQuery, k: usize) -> S
         ..Default::default()
     };
     if query.is_empty() || k == 0 {
-        return SearchOutcome {
-            results: Vec::new(),
-            stats,
-        };
+        return SearchOutcome::complete(Vec::new(), stats);
     }
 
     struct Cand {
@@ -163,10 +160,7 @@ pub fn topk_nra(index: &InvertedIndex<'_>, query: &PreparedQuery, k: usize) -> S
         }
     }
 
-    SearchOutcome {
-        results: best,
-        stats,
-    }
+    SearchOutcome::complete(best, stats)
 }
 
 /// SF-based top-k: geometric threshold descent. Starts at `tau_guess`,
@@ -184,22 +178,18 @@ pub fn topk_sf(
     );
     let mut stats = SearchStats::default();
     if query.is_empty() || k == 0 {
-        return SearchOutcome {
-            results: Vec::new(),
-            stats,
-        };
+        return SearchOutcome::complete(Vec::new(), stats);
     }
     let sf = SfAlgorithm::default();
     let mut tau = tau_guess;
     loop {
         let out = sf.search(index, query, tau);
         stats.merge(&out.stats);
-        stats.total_list_elements = out.stats.total_list_elements;
         if out.results.len() >= k || tau <= 1e-6 {
             let mut results = out.results;
             results.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.id.cmp(&b.id)));
             results.truncate(k);
-            return SearchOutcome { results, stats };
+            return SearchOutcome::complete(results, stats);
         }
         tau *= 0.5;
     }

@@ -18,7 +18,12 @@ pub struct Posting {
 }
 
 /// Build options for [`InvertedIndex`].
+///
+/// Marked non-exhaustive so new knobs can be added without breaking
+/// downstream builds: construct via [`IndexOptions::default`] and the
+/// `with_*` setters (or functional update syntax off `default()`).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct IndexOptions {
     /// Build a sparse skip list per weight-sorted list (enables O(log n)
     /// length seeks; Figure 9 ablates this).
@@ -45,6 +50,43 @@ impl Default for IndexOptions {
             hash_bucket_capacity: 64,
             build_id_sorted_lists: true,
         }
+    }
+}
+
+impl IndexOptions {
+    /// Toggle skip-list construction.
+    #[must_use]
+    pub fn with_skip_lists(mut self, on: bool) -> Self {
+        self.build_skip_lists = on;
+        self
+    }
+
+    /// Set the skip-list stride (postings per skip entry).
+    #[must_use]
+    pub fn with_skip_stride(mut self, stride: usize) -> Self {
+        self.skip_stride = stride;
+        self
+    }
+
+    /// Toggle extendible-hash id indexes (needed by TA/iTA probes).
+    #[must_use]
+    pub fn with_hash_indexes(mut self, on: bool) -> Self {
+        self.build_hash_indexes = on;
+        self
+    }
+
+    /// Set the extendible-hash bucket page capacity.
+    #[must_use]
+    pub fn with_hash_bucket_capacity(mut self, capacity: usize) -> Self {
+        self.hash_bucket_capacity = capacity;
+        self
+    }
+
+    /// Toggle the id-sorted list copies (needed by sort-by-id merge).
+    #[must_use]
+    pub fn with_id_sorted_lists(mut self, on: bool) -> Self {
+        self.build_id_sorted_lists = on;
+        self
     }
 }
 

@@ -19,7 +19,12 @@
 //!   baseline in [`algorithms::sql`];
 //! * extensions the paper lists as future work: **top-k** variants
 //!   ([`algorithms::topk`]) and **parallel batch execution**
-//!   ([`algorithms::parallel`]).
+//!   ([`algorithms::parallel`]);
+//! * a **serving layer** ([`engine`]): a persistent [`QueryEngine`] that
+//!   reuses per-worker scratch memory across queries, executes batches
+//!   with a work-stealing thread pool, enforces per-query budgets
+//!   (deadline / max element accesses), and aggregates latency and
+//!   pruning metrics — all behind the [`SearchRequest`] builder API.
 //!
 //! # The problem
 //!
@@ -35,8 +40,8 @@
 //! # Quickstart
 //!
 //! ```
-//! use setsim_core::{CollectionBuilder, IndexOptions, InvertedIndex,
-//!                   SelectionAlgorithm, SfAlgorithm};
+//! use setsim_core::{AlgorithmKind, CollectionBuilder, IndexOptions,
+//!                   InvertedIndex, QueryEngine, SearchRequest};
 //! use setsim_tokenize::QGramTokenizer;
 //!
 //! let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
@@ -45,8 +50,11 @@
 //! }
 //! let collection = b.build();
 //! let index = InvertedIndex::build(&collection, IndexOptions::default());
-//! let query = index.prepare_query_str("main street");
-//! let out = SfAlgorithm::default().search(&index, &query, 0.5);
+//! let mut engine = QueryEngine::new(index);
+//! let query = engine.prepare_query_str("main street");
+//! let out = engine
+//!     .search(SearchRequest::new(&query).tau(0.5).algorithm(AlgorithmKind::Sf))
+//!     .expect("valid request");
 //! assert!(out
 //!     .results
 //!     .iter()
@@ -57,6 +65,7 @@ pub mod algorithms;
 #[cfg(feature = "audit")]
 pub mod audit;
 mod collection;
+pub mod engine;
 mod index;
 pub mod measures;
 pub mod properties;
@@ -68,13 +77,17 @@ mod weights;
 
 pub use algorithms::{
     AlgoConfig, FullScan, HybridAlgorithm, INraAlgorithm, ITaAlgorithm, NraAlgorithm,
-    SelectionAlgorithm, SfAlgorithm, SortByIdMerge, TaAlgorithm,
+    SelectionAlgorithm, SfAlgorithm, SortByIdMerge, TaAlgorithm, MAX_QUERY_LISTS,
 };
 pub use collection::{CollectionBuilder, SetCollection, SetId};
+pub use engine::{
+    AlgorithmKind, Budget, EngineMetrics, MetricsSnapshot, QueryEngine, Scratch, SearchError,
+    SearchRequest, SearchView,
+};
 pub use index::{IndexOptions, InvertedIndex, Posting, PostingList};
 pub use properties::Tau;
 pub use query::{PreparedQuery, QueryToken};
-pub use result::{Match, SearchOutcome};
+pub use result::{Match, SearchOutcome, SearchStatus};
 pub use stats::SearchStats;
 pub use weights::TokenWeights;
 

@@ -79,15 +79,31 @@ pub fn max_score(idf_sq_sum: f64, len_s: f64, len_q: f64) -> f64 {
 /// would divide by zero and `tau` outside `(0, 1]` yields cutoffs with
 /// no pruning meaning. Debug builds panic on violation.
 pub fn lambda_cutoffs(query: &PreparedQuery, tau: f64) -> Vec<f64> {
+    let suffix = query.idf_sq_suffix_sums();
+    let mut out = Vec::with_capacity(query.num_lists());
+    lambda_cutoffs_into(query, tau, &suffix, &mut out);
+    out
+}
+
+/// Allocation-free λᵢ computation from precomputed suffix sums (see
+/// [`crate::PreparedQuery::idf_sq_suffix_sums_into`]): fills `out`
+/// (cleared first) reusing its capacity. Used by the engine's
+/// reusable-scratch search path.
+///
+/// # Contract
+/// Same as [`lambda_cutoffs`]; additionally `suffix` must have at least
+/// `query.num_lists()` entries.
+pub fn lambda_cutoffs_into(query: &PreparedQuery, tau: f64, suffix: &[f64], out: &mut Vec<f64>) {
     debug_assert!(
         tau > 0.0 && tau <= 1.0 && tau.is_finite(),
         "lambda_cutoffs requires tau in (0, 1], got {tau}"
     );
-    let suffix = query.idf_sq_suffix_sums();
-    suffix[..query.num_lists()]
-        .iter()
-        .map(|&s| s / (tau * query.len))
-        .collect()
+    out.clear();
+    out.extend(
+        suffix[..query.num_lists()]
+            .iter()
+            .map(|&s| s / (tau * query.len)),
+    );
 }
 
 #[cfg(test)]

@@ -67,11 +67,22 @@ impl PreparedQuery {
     /// `suffix(0) = idf_sq_total`. Used for the λᵢ cutoffs of SF/Hybrid and
     /// for Magnitude Boundedness.
     pub fn idf_sq_suffix_sums(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.tokens.len() + 1];
+        let mut out = Vec::new();
+        self.idf_sq_suffix_sums_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`idf_sq_suffix_sums`]: fills `out`
+    /// (cleared first) reusing its capacity. Used by the engine's
+    /// reusable-scratch search path.
+    ///
+    /// [`idf_sq_suffix_sums`]: Self::idf_sq_suffix_sums
+    pub fn idf_sq_suffix_sums_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.tokens.len() + 1, 0.0);
         for i in (0..self.tokens.len()).rev() {
             out[i] = out[i + 1] + self.tokens[i].idf_sq;
         }
-        out
     }
 }
 

@@ -9,6 +9,31 @@ pub struct Match {
     pub score: f64,
 }
 
+/// Whether a search ran to completion or was cut short by a per-query
+/// budget (see [`crate::engine::Budget`]).
+///
+/// A truncated search is still *sound*: every reported match passed its
+/// exact score test, so the results are a subset of the true answer —
+/// never a silently wrong "exact" result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SearchStatus {
+    /// The algorithm terminated normally; results are exact and complete.
+    #[default]
+    Complete,
+    /// A deadline or access budget expired mid-search; results are an
+    /// exact-but-partial subset of the true answer.
+    BudgetExceeded,
+}
+
+impl SearchStatus {
+    /// True if the search ran to completion.
+    #[must_use]
+    pub fn is_complete(self) -> bool {
+        matches!(self, SearchStatus::Complete)
+    }
+}
+
 /// The outcome of one selection query: qualifying sets plus access
 /// statistics. Result order is unspecified (algorithms emit matches as
 /// their scores complete); sort by score or id as needed.
@@ -18,9 +43,23 @@ pub struct SearchOutcome {
     pub results: Vec<Match>,
     /// Access counters for this query.
     pub stats: SearchStats,
+    /// Completion status (always [`SearchStatus::Complete`] outside the
+    /// budgeted engine path).
+    pub status: SearchStatus,
 }
 
 impl SearchOutcome {
+    /// A completed (non-truncated) outcome — the common case for direct
+    /// algorithm entry points that do not run under a budget.
+    #[must_use]
+    pub fn complete(results: Vec<Match>, stats: SearchStats) -> Self {
+        Self {
+            results,
+            stats,
+            status: SearchStatus::Complete,
+        }
+    }
+
     /// Results sorted by descending score (ties by ascending id).
     pub fn sorted_by_score(mut self) -> Vec<Match> {
         self.results
@@ -58,6 +97,7 @@ mod tests {
                 },
             ],
             stats: SearchStats::default(),
+            status: SearchStatus::Complete,
         };
         let sorted = out.sorted_by_score();
         let ids: Vec<u32> = sorted.iter().map(|m| m.id.0).collect();
@@ -78,6 +118,7 @@ mod tests {
                 },
             ],
             stats: SearchStats::default(),
+            status: SearchStatus::default(),
         };
         assert_eq!(out.ids_sorted(), vec![SetId(2), SetId(9)]);
     }

@@ -21,6 +21,11 @@ pub struct SearchStats {
     /// Round-robin rounds (breadth-first algorithms) or lists processed
     /// (depth-first algorithms).
     pub rounds: u64,
+    /// Base-table records scored directly (full scans and relational
+    /// baselines). Kept separate from `elements_read`, which counts only
+    /// inverted-list accesses: mixing the two silently broke the pruning
+    /// invariant `elements_read ≤ total_list_elements`.
+    pub records_scanned: u64,
     /// Total postings across the query's inverted lists — the pruning
     /// denominator.
     pub total_list_elements: u64,
@@ -29,12 +34,22 @@ pub struct SearchStats {
 impl SearchStats {
     /// Percentage of list elements *not* read by sorted access, the
     /// paper's pruning-power metric. 100 means nothing was read.
+    ///
+    /// Sorted reads can never exceed the denominator; an algorithm that
+    /// over-counts (e.g. by charging base-table records to
+    /// `elements_read`) is a bug, not something to clamp away.
     pub fn pruning_pct(&self) -> f64 {
+        debug_assert!(
+            self.elements_read <= self.total_list_elements,
+            "elements_read ({}) exceeds total_list_elements ({}): \
+             an algorithm is over-counting sorted accesses",
+            self.elements_read,
+            self.total_list_elements
+        );
         if self.total_list_elements == 0 {
             return 100.0;
         }
-        let read = self.elements_read.min(self.total_list_elements);
-        100.0 * (1.0 - read as f64 / self.total_list_elements as f64)
+        100.0 * (1.0 - self.elements_read as f64 / self.total_list_elements as f64)
     }
 
     /// Merge counters from another search (for workload aggregation).
@@ -45,6 +60,7 @@ impl SearchStats {
         self.candidates_inserted += other.candidates_inserted;
         self.candidate_scan_steps += other.candidate_scan_steps;
         self.rounds += other.rounds;
+        self.records_scanned += other.records_scanned;
         self.total_list_elements += other.total_list_elements;
     }
 }
@@ -98,11 +114,25 @@ mod tests {
             candidates_inserted: 4,
             candidate_scan_steps: 5,
             rounds: 6,
+            records_scanned: 8,
             total_list_elements: 7,
         };
         a.merge(&a.clone());
         assert_eq!(a.elements_read, 2);
         assert_eq!(a.random_probes, 4);
+        assert_eq!(a.records_scanned, 16);
         assert_eq!(a.total_list_elements, 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-counting")]
+    #[cfg(debug_assertions)]
+    fn pruning_pct_rejects_overcounted_reads_in_debug() {
+        let s = SearchStats {
+            elements_read: 101,
+            total_list_elements: 100,
+            ..Default::default()
+        };
+        let _ = s.pruning_pct();
     }
 }

@@ -7,12 +7,14 @@ pub fn tf_scan(index: &TfIndex<'_>, query: &TfQuery, tau: f64) -> SearchOutcome 
     let mut stats = SearchStats::default();
     let mut results = Vec::new();
     if query.is_empty() || query.norm == 0.0 {
-        return SearchOutcome { results, stats };
+        return SearchOutcome::complete(results, stats);
     }
     let collection = index.collection();
     for i in 0..collection.len() {
         let id = SetId(i as u32);
-        stats.elements_read += 1;
+        // Base-table access, not a sorted list read: counted in
+        // records_scanned so elements_read ≤ total_list_elements holds.
+        stats.records_scanned += 1;
         let norm_s = index.norm(id);
         if norm_s == 0.0 {
             continue;
@@ -31,7 +33,7 @@ pub fn tf_scan(index: &TfIndex<'_>, query: &TfQuery, tau: f64) -> SearchOutcome 
             results.push(Match { id, score });
         }
     }
-    SearchOutcome { results, stats }
+    SearchOutcome::complete(results, stats)
 }
 
 /// Shortest-First selection for TF/IDF cosine, with every bound boosted by
@@ -66,7 +68,7 @@ impl TfSfAlgorithm {
         let mut stats = SearchStats::default();
         let mut results = Vec::new();
         if query.is_empty() || query.norm == 0.0 {
-            return SearchOutcome { results, stats };
+            return SearchOutcome::complete(results, stats);
         }
         let n = query.num_lists();
         let (norm_lo, norm_hi) = query.norm_bounds(tau);
@@ -155,7 +157,7 @@ impl TfSfAlgorithm {
                 });
             }
         }
-        SearchOutcome { results, stats }
+        SearchOutcome::complete(results, stats)
     }
 }
 

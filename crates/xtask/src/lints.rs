@@ -1,6 +1,6 @@
 //! The repo's custom lint rules, as a text-scanning engine.
 //!
-//! Three rules encode policies rustc and clippy cannot express:
+//! Four rules encode policies rustc and clippy cannot express:
 //!
 //! 1. **`no-unwrap`** — library code in `setsim-core` and
 //!    `setsim-collections` must not call `.unwrap()` or `.expect(...)`.
@@ -20,6 +20,15 @@
 //!    header) must cite the paper location it implements (a section,
 //!    algorithm, theorem, equation, or figure). The crate exists to
 //!    reproduce a paper; unlocatable public API is unreviewable.
+//! 4. **`engine-api`** — code outside `setsim-core` itself, the bench
+//!    crate (which measures the legacy path as a baseline), and test
+//!    suites must not call the three-argument
+//!    `SelectionAlgorithm::search(&index, &query, tau)` directly; it goes
+//!    through [`QueryEngine`]/`SearchRequest` (or `engine::execute`),
+//!    which validates instead of panicking and reuses scratch memory.
+//!    Detected textually as a `.search(` call whose argument list holds
+//!    two or more top-level commas, so `engine.search(req)` and the SQL
+//!    baseline's `sql.search(q, tau)` stay legal.
 //!
 //! The engine is deliberately text-based (no `syn` — the workspace builds
 //! offline with zero external dependencies) and deliberately simple:
@@ -296,6 +305,72 @@ pub(crate) fn check_paper_refs(file: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule `engine-api`: flag direct three-argument
+/// `SelectionAlgorithm::search(index, query, tau)` calls. The scan is
+/// whole-source (a call's arguments may span lines): each `.search(`
+/// occurrence is followed to its matching close paren, counting commas at
+/// bracket depth 1. Two or more top-level commas means the legacy
+/// three-argument form; fewer is an engine (`search(req)`) or SQL
+/// (`search(q, tau)`) call and passes.
+pub(crate) fn check_engine_api(file: &str, source: &str) -> Vec<Finding> {
+    let mask = test_region_mask(source);
+    let lines: Vec<&str> = source.lines().collect();
+    // Comment-stripped copy with line structure intact, so doc-comment
+    // examples don't trip the scan and offsets still map to line numbers.
+    let joined = lines
+        .iter()
+        .map(|l| strip_line_comment(l))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let needle = b".search(";
+    let bytes = joined.as_bytes();
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i + needle.len() <= bytes.len() {
+        if &bytes[i..i + needle.len()] != needle {
+            i += 1;
+            continue;
+        }
+        let line_idx = joined[..i].bytes().filter(|b| *b == b'\n').count();
+        // Walk the argument list: commas at depth 1 are top-level.
+        let mut depth = 1usize;
+        let mut commas = 0usize;
+        let mut in_str = false;
+        let mut j = i + needle.len();
+        while j < bytes.len() && depth > 0 {
+            match bytes[j] {
+                b'\\' if in_str => j += 1,
+                b'"' => in_str = !in_str,
+                b'(' | b'[' | b'{' if !in_str => depth += 1,
+                b')' | b']' | b'}' if !in_str => depth = depth.saturating_sub(1),
+                b',' if !in_str && depth == 1 => commas += 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        // The allow marker may sit on the call line or the line above
+        // (multi-line calls push the justification onto its own line).
+        let exempt = mask.get(line_idx).copied().unwrap_or(false)
+            || lines
+                .get(line_idx)
+                .is_some_and(|l| l.contains(ALLOW_MARKER))
+            || (line_idx > 0 && lines[line_idx - 1].contains(ALLOW_MARKER));
+        if commas >= 2 && !exempt {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line_idx + 1,
+                rule: "engine-api",
+                message: "direct `SelectionAlgorithm::search(index, query, tau)` call; \
+                          go through `QueryEngine::search(SearchRequest::new(..))` (or \
+                          `engine::execute`) so validation is typed and scratch is reused"
+                    .to_string(),
+            });
+        }
+        i += needle.len();
+    }
+    findings
+}
+
 /// Which rules apply to a repo-relative path.
 pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     let mut rules: Vec<fn(&str, &str) -> Vec<Finding>> = Vec::new();
@@ -317,6 +392,17 @@ pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     }
     if unix.starts_with("crates/core/src/algorithms/") && unix.ends_with(".rs") {
         rules.push(check_paper_refs);
+    }
+    // engine-api: everywhere EXCEPT setsim-core (defines the trait and the
+    // engine), the bench crate (keeps the legacy path as its measured
+    // baseline), xtask itself, and test suites (the audit/oracle suites
+    // deliberately exercise the legacy wrapper).
+    let engine_exempt = unix.starts_with("crates/core/")
+        || unix.starts_with("crates/bench/")
+        || unix.starts_with("crates/xtask/")
+        || unix.contains("tests/");
+    if unix.ends_with(".rs") && !engine_exempt {
+        rules.push(check_engine_api);
     }
     rules
 }
@@ -437,8 +523,74 @@ mod tests {
         assert!(!rules_for("crates/collections/src/btree.rs").is_empty());
         assert_eq!(rules_for("crates/core/src/weights.rs").len(), 2);
         assert_eq!(rules_for("crates/core/src/algorithms/sf.rs").len(), 2);
-        assert!(rules_for("crates/datagen/src/corpus.rs").is_empty());
+        // engine-api only, everywhere outside the exempt crates.
+        assert_eq!(rules_for("crates/datagen/src/corpus.rs").len(), 1);
+        assert_eq!(rules_for("crates/cli/src/lib.rs").len(), 1);
+        assert_eq!(rules_for("examples/quickstart.rs").len(), 1);
+        assert_eq!(rules_for("src/lib.rs").len(), 1);
+        // Exempt: core/bench/xtask and every test suite.
+        assert!(rules_for("crates/bench/src/lib.rs").is_empty());
+        assert!(rules_for("crates/xtask/src/lints.rs").is_empty());
+        assert!(rules_for("tests/oracle_equivalence.rs").is_empty());
+        assert!(rules_for("crates/cli/tests/e2e.rs").is_empty());
         assert!(rules_for("crates/core/README.md").is_empty());
+    }
+
+    #[test]
+    fn legacy_three_arg_search_is_flagged() {
+        let src =
+            "fn f() {\n    let out = SfAlgorithm::default().search(&index, &query, 0.7);\n}\n";
+        let f = check_engine_api("examples/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].rule, "engine-api");
+    }
+
+    #[test]
+    fn multiline_three_arg_search_is_flagged_at_call_line() {
+        let src = "fn f() {\n    let out = algo\n        .search(\n            &index,\n            &query,\n            0.7,\n        );\n}\n";
+        let f = check_engine_api("examples/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn engine_and_sql_search_calls_pass() {
+        let src = "fn f() {\n    let a = engine.search(SearchRequest::new(&q).tau(0.7))?;\n    let b = sql.search(&q, 0.7);\n}\n";
+        assert!(check_engine_api("examples/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_commas_do_not_count_as_top_level() {
+        // Commas inside a nested call or tuple stay at depth > 1.
+        let src = "fn f() {\n    let a = engine.search(req(&q, 0.7, cfg));\n}\n";
+        assert!(check_engine_api("examples/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn engine_api_respects_tests_and_allow_marker() {
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = a.search(&i, &q, 0.5); }\n}\n";
+        assert!(check_engine_api("examples/x.rs", in_test).is_empty());
+        let marked = "fn f() {\n    let _ = a.search(&i, &q, 0.5); // lint: allow — TF subsystem has no engine path\n}\n";
+        assert!(check_engine_api("examples/x.rs", marked).is_empty());
+        let in_doc = "//! ```\n//! let _ = a.search(&i, &q, 0.5);\n//! ```\nfn f() {}\n";
+        assert!(check_engine_api("examples/x.rs", in_doc).is_empty());
+    }
+
+    #[test]
+    fn injected_legacy_search_fails_the_check() {
+        // The satellite's acceptance test, end to end: a clean engine-path
+        // file passes; injecting a direct legacy call makes check_file fail.
+        let clean = "fn f() {\n    let out = engine.search(SearchRequest::new(&q).tau(0.7));\n}\n";
+        assert!(check_file("crates/cli/src/extra.rs", clean).is_empty());
+        let dirty = clean.replace(
+            "engine.search(SearchRequest::new(&q).tau(0.7))",
+            "SfAlgorithm::default().search(&index, &q, 0.7)",
+        );
+        let f = check_file("crates/cli/src/extra.rs", &dirty);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "engine-api");
     }
 
     #[test]

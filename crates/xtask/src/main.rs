@@ -91,12 +91,16 @@ fn run_clippy(root: &Path) -> bool {
     )
 }
 
-/// Walk the repo's `crates/*/src` trees and apply the custom rules.
+/// Directories scanned by the custom lints: every crate, plus the root
+/// facade and its examples (the `engine-api` rule polices those too).
+const LINT_ROOTS: [&str; 3] = ["crates", "src", "examples"];
+
+/// Walk the lint roots and apply the custom rules.
 fn run_custom_lints(root: &Path) -> bool {
-    println!("==> custom lints (no-unwrap, no-lossy-cast, paper-ref)");
+    println!("==> custom lints (no-unwrap, no-lossy-cast, paper-ref, engine-api)");
     let mut findings = Vec::new();
     let mut files_scanned = 0usize;
-    for file in rust_sources(&root.join("crates")) {
+    for file in LINT_ROOTS.iter().flat_map(|d| rust_sources(&root.join(d))) {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(&file)
@@ -159,7 +163,7 @@ mod tests {
             root.display()
         );
         let mut all = Vec::new();
-        for file in rust_sources(&root.join("crates")) {
+        for file in LINT_ROOTS.iter().flat_map(|d| rust_sources(&root.join(d))) {
             let rel = file
                 .strip_prefix(&root)
                 .unwrap_or(&file)

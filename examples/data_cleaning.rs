@@ -12,7 +12,7 @@
 //! ```
 
 use setsim::core::{
-    CollectionBuilder, IndexOptions, InvertedIndex, SelectionAlgorithm, SfAlgorithm,
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, QueryEngine, SearchRequest,
 };
 use setsim::datagen::{DirtyConfig, DirtyDataset};
 use setsim::tokenize::QGramTokenizer;
@@ -32,7 +32,7 @@ fn main() {
     }
     let collection = builder.build();
     let index = InvertedIndex::build(&collection, IndexOptions::default());
-    let sf = SfAlgorithm::default();
+    let mut engine = QueryEngine::new(index);
 
     println!(
         "database: {} records ({} clean x {} copies)",
@@ -50,8 +50,11 @@ fn main() {
         let mut fndu = 0usize;
         let mut total_matches = 0usize;
         for (k, clean) in dataset.clean().iter().enumerate().take(100) {
-            let query = index.prepare_query_str(clean);
-            let out = sf.search(&index, &query, tau);
+            let query = engine.prepare_query_str(clean);
+            let req = SearchRequest::new(&query)
+                .tau(tau)
+                .algorithm(AlgorithmKind::Sf);
+            let out = engine.search(req).expect("tau is valid");
             total_matches += out.results.len();
             let mut found = vec![false; collection.len()];
             for m in &out.results {
@@ -76,8 +79,15 @@ fn main() {
 
     // Show one concrete cluster retrieval.
     let k = 7;
-    let query = index.prepare_query_str(&dataset.clean()[k]);
-    let results = sf.search(&index, &query, 0.6).sorted_by_score();
+    let query = engine.prepare_query_str(&dataset.clean()[k]);
+    let results = engine
+        .search(
+            SearchRequest::new(&query)
+                .tau(0.6)
+                .algorithm(AlgorithmKind::Sf),
+        )
+        .expect("tau is valid")
+        .sorted_by_score();
     println!(
         "\nexample: duplicates of {:?} at tau=0.6:",
         dataset.clean()[k]

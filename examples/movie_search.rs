@@ -11,10 +11,8 @@
 //! cargo run --release --example movie_search
 //! ```
 
-use setsim::core::algorithms::parallel::search_batch;
 use setsim::core::{
-    AlgoConfig, CollectionBuilder, INraAlgorithm, IndexOptions, InvertedIndex, SelectionAlgorithm,
-    SfAlgorithm, SortByIdMerge,
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, QueryEngine, SearchRequest,
 };
 use setsim::datagen::{Corpus, CorpusConfig, ErrorModel};
 use setsim::tokenize::QGramTokenizer;
@@ -37,23 +35,28 @@ fn main() {
         builder.add(w);
     }
     let collection = builder.build();
-    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(InvertedIndex::build(&collection, IndexOptions::default()));
     println!(
         "indexed {} word occurrences ({} postings)",
         collection.len(),
-        index.total_postings()
+        engine.index().total_postings()
     );
 
     // Misspell a few real words and search for them.
     let em = ErrorModel::paper();
     let mut rng = StdRng::seed_from_u64(3);
     let originals: Vec<&str> = corpus.words().filter(|w| w.len() >= 8).take(3).collect();
-    let sf = SfAlgorithm::default();
     for original in &originals {
         let misspelled = em.apply(original, 1, &mut rng);
-        let query = index.prepare_query_str(&misspelled);
+        let query = engine.prepare_query_str(&misspelled);
         let start = Instant::now();
-        let out = sf.search(&index, &query, 0.6);
+        let out = engine
+            .search(
+                SearchRequest::new(&query)
+                    .tau(0.6)
+                    .algorithm(AlgorithmKind::Sf),
+            )
+            .expect("tau is valid");
         let elapsed = start.elapsed();
         println!(
             "\nquery {misspelled:?} (misspelling of {original:?}), tau=0.6: \
@@ -72,32 +75,36 @@ fn main() {
         }
     }
 
-    // The same queries as a parallel batch (the paper's future-work item).
+    // The same queries as a work-stealing parallel batch (the paper's
+    // future-work item, served by the engine).
     let queries: Vec<_> = originals
         .iter()
-        .map(|w| index.prepare_query_str(w))
+        .map(|w| engine.prepare_query_str(w))
         .collect();
-    let outs = search_batch(&sf, &index, &queries, 0.6, 3);
+    let reqs: Vec<_> = queries
+        .iter()
+        .map(|q| SearchRequest::new(q).tau(0.6).algorithm(AlgorithmKind::Sf))
+        .collect();
+    let outs = engine.search_batch(&reqs, 3);
     println!(
         "\nparallel batch of {} exact queries returned {} total matches",
         queries.len(),
-        outs.iter().map(|o| o.results.len()).sum::<usize>()
+        outs.iter()
+            .map(|o| o.as_ref().map_or(0, |o| o.results.len()))
+            .sum::<usize>()
     );
 
     // Contrast access costs: SF vs iNRA vs the no-pruning merge.
-    let q = index.prepare_query_str(originals[0]);
+    let q = engine.prepare_query_str(originals[0]);
     println!("\naccess statistics for {:?} at tau=0.8:", originals[0]);
     println!("  algorithm   elements read   pruned");
-    for (name, out) in [
-        ("SF", SfAlgorithm::default().search(&index, &q, 0.8)),
-        (
-            "iNRA",
-            INraAlgorithm::with_config(AlgoConfig::full()).search(&index, &q, 0.8),
-        ),
-        ("sort-by-id", SortByIdMerge.search(&index, &q, 0.8)),
-    ] {
+    for kind in [AlgorithmKind::Sf, AlgorithmKind::INra, AlgorithmKind::Merge] {
+        let out = engine
+            .search(SearchRequest::new(&q).tau(0.8).algorithm(kind))
+            .expect("tau is valid");
         println!(
-            "  {name:<10}  {:>13}   {:>5.1}%",
+            "  {:<10}  {:>13}   {:>5.1}%",
+            kind.name(),
             out.stats.elements_read,
             out.stats.pruning_pct()
         );

@@ -5,7 +5,7 @@
 //! ```
 
 use setsim::core::{
-    CollectionBuilder, IndexOptions, InvertedIndex, SelectionAlgorithm, SfAlgorithm,
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, QueryEngine, SearchRequest,
 };
 use setsim::tokenize::QGramTokenizer;
 
@@ -24,18 +24,22 @@ fn main() {
     let collection = builder.build();
 
     // 2. Build the inverted index (weight-sorted lists + skip lists +
-    //    extendible hashing, all on by default).
+    //    extendible hashing, all on by default) and wrap it in an engine,
+    //    which reuses one scratch allocation across all the queries below.
     let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
 
     // 3. Run selections with the Shortest-First algorithm.
-    let sf = SfAlgorithm::default();
     for (query_text, tau) in [
         ("Main Street", 0.5),
         ("Florham Prak", 0.4),
         ("Main St", 0.6),
     ] {
-        let query = index.prepare_query_str(query_text);
-        let results = sf.search(&index, &query, tau).sorted_by_score();
+        let query = engine.prepare_query_str(query_text);
+        let req = SearchRequest::new(&query)
+            .tau(tau)
+            .algorithm(AlgorithmKind::Sf);
+        let results = engine.search(req).expect("tau is valid").sorted_by_score();
         println!("query {query_text:?} (tau = {tau}):");
         if results.is_empty() {
             println!("  no matches");
@@ -48,4 +52,7 @@ fn main() {
             );
         }
     }
+
+    // 4. The engine kept serving metrics for everything it ran.
+    println!("\nserving metrics:\n{}", engine.metrics().render());
 }

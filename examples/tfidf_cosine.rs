@@ -42,6 +42,7 @@ fn main() {
 
     for tau in [0.9, 0.6, 0.3] {
         let t = Instant::now();
+        // lint: allow — the TF/IDF subsystem has its own index and no engine path.
         let out = TfSfAlgorithm.search(&index, &query, tau);
         let elapsed = t.elapsed();
         let results = out.sorted_by_score();
@@ -63,6 +64,7 @@ fn main() {
 
     // IDF (set semantics) cannot tell these apart; TF/IDF can.
     let a = index.prepare_query_str("do be do be do");
+    // lint: allow — the TF/IDF subsystem has its own index and no engine path.
     let out = TfSfAlgorithm.search(&index, &a, 0.99).sorted_by_score();
     println!(
         "\nself-query of {:?} at tau=0.99 finds only itself: {:?}",

@@ -13,14 +13,17 @@
 //! * [`storage`] — simulated paged disk, LRU buffer pool, paged compressed
 //!   posting storage (for the physical I/O experiments).
 //! * [`datagen`] — synthetic corpora, error models, and query workloads.
-//! * [`core`] — similarity measures, the inverted index, and the
-//!   TA/NRA-family selection algorithms (TA, NRA, iTA, iNRA, SF, Hybrid).
+//! * [`core`] — similarity measures, the inverted index, the
+//!   TA/NRA-family selection algorithms (TA, NRA, iTA, iNRA, SF, Hybrid),
+//!   and the serving layer: a persistent `QueryEngine` with reusable
+//!   scratch memory, work-stealing batches, per-query budgets, and
+//!   latency/pruning metrics behind the `SearchRequest` builder API.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use setsim::core::{CollectionBuilder, IndexOptions, InvertedIndex, SfAlgorithm,
-//!                    SelectionAlgorithm};
+//! use setsim::core::{AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex,
+//!                    QueryEngine, SearchRequest};
 //! use setsim::tokenize::QGramTokenizer;
 //!
 //! let tok = QGramTokenizer::new(3).with_padding('#');
@@ -31,9 +34,12 @@
 //! let collection = builder.build();
 //! let index = InvertedIndex::build(&collection, IndexOptions::default());
 //!
-//! let query = index.prepare_query_str("main street");
-//! let mut results = SfAlgorithm::default().search(&index, &query, 0.5).results;
-//! results.sort_by(|a, b| b.score.total_cmp(&a.score));
+//! let mut engine = QueryEngine::new(index);
+//! let query = engine.prepare_query_str("main street");
+//! let out = engine
+//!     .search(SearchRequest::new(&query).tau(0.5).algorithm(AlgorithmKind::Sf))
+//!     .expect("valid request");
+//! let results = out.sorted_by_score();
 //! assert_eq!(collection.text(results[0].id), Some("main street"));
 //! assert!((results[0].score - 1.0).abs() < 1e-9);
 //! ```

@@ -1,0 +1,130 @@
+//! Zero-allocation guarantee of the warm-scratch serving path.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! pass, repeated `QueryEngine::search_view` calls for iNRA, SF, and
+//! Hybrid (the paper's recommended algorithms) must perform **zero** heap
+//! allocations — the whole point of the engine's reusable `Scratch`.
+
+use setsim::core::{
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, QueryEngine, SearchRequest,
+    SetCollection,
+};
+use setsim::tokenize::QGramTokenizer;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation; frees are not counted (a
+/// steady-state query must not free either, but allocation is the signal).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn corpus() -> SetCollection {
+    let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    for i in 0..400 {
+        b.add(&format!("main street number {i}"));
+        b.add(&format!("park avenue {}", i % 40));
+        b.add(&format!("madison square garden {i}"));
+    }
+    b.build()
+}
+
+#[test]
+fn warm_scratch_queries_allocate_nothing_for_inra_sf_hybrid() {
+    let collection = corpus();
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    let queries = [
+        engine.prepare_query_str("main street number 17"),
+        engine.prepare_query_str("park avenue 3"),
+        engine.prepare_query_str("madison square gardens"),
+    ];
+    for kind in [
+        AlgorithmKind::INra,
+        AlgorithmKind::Sf,
+        AlgorithmKind::Hybrid,
+    ] {
+        // Warm-up: let the scratch grow to each query's high-water mark.
+        for q in &queries {
+            for tau in [0.4, 0.7] {
+                let view = engine
+                    .search_view(SearchRequest::new(q).tau(tau).algorithm(kind))
+                    .expect("valid request");
+                assert!(view.status.is_complete());
+            }
+        }
+        // Measured: the same workload on the warm scratch, many times.
+        let before = allocations();
+        let mut total_matches = 0usize;
+        for _ in 0..20 {
+            for q in &queries {
+                for tau in [0.4, 0.7] {
+                    let view = engine
+                        .search_view(SearchRequest::new(q).tau(tau).algorithm(kind))
+                        .expect("valid request");
+                    total_matches += view.results.len();
+                }
+            }
+        }
+        let delta = allocations() - before;
+        assert!(total_matches > 0, "workload must actually match something");
+        assert_eq!(
+            delta,
+            0,
+            "{}: {delta} heap allocations on a warm scratch",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn owned_outcome_path_allocates_at_most_the_result_move() {
+    // `search` (the owning path) moves results out of the scratch: that is
+    // a bounded handful of allocations per query (the moved-out buffers),
+    // not per-candidate or per-element growth.
+    let collection = corpus();
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    let q = engine.prepare_query_str("main street number 17");
+    for _ in 0..3 {
+        let _ = engine
+            .search(SearchRequest::new(&q).tau(0.7))
+            .expect("valid request");
+    }
+    let before = allocations();
+    let runs = 50u64;
+    for _ in 0..runs {
+        let out = engine
+            .search(SearchRequest::new(&q).tau(0.7))
+            .expect("valid request");
+        assert!(!out.results.is_empty());
+    }
+    let delta = allocations() - before;
+    assert!(
+        delta <= 2 * runs,
+        "owning path should cost O(1) allocations per query, measured {delta} over {runs}"
+    );
+}

@@ -1,0 +1,310 @@
+//! The serving layer returns exactly what the algorithms return.
+//!
+//! Every `AlgorithmKind` × `AlgoConfig` ablation, routed through
+//! `QueryEngine::search`, must match both the legacy direct
+//! `SelectionAlgorithm::search` path and the `FullScan` oracle; scratch
+//! reuse must leak nothing between queries; work-stealing batches must
+//! come back in request order under adversarially skewed query costs; and
+//! budgets must produce typed, sound partial outcomes — never panics.
+
+use setsim::core::{
+    AlgoConfig, AlgorithmKind, Budget, CollectionBuilder, FullScan, HybridAlgorithm, INraAlgorithm,
+    ITaAlgorithm, IndexOptions, InvertedIndex, NraAlgorithm, PreparedQuery, QueryEngine,
+    SearchError, SearchOutcome, SearchRequest, SearchStatus, SelectionAlgorithm, SetCollection,
+    SfAlgorithm, SortByIdMerge, TaAlgorithm,
+};
+use setsim::tokenize::QGramTokenizer;
+
+fn build(texts: &[&str]) -> SetCollection {
+    let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    b.extend(texts.iter().copied());
+    b.build()
+}
+
+fn street_corpus() -> Vec<String> {
+    let mut texts: Vec<String> = Vec::new();
+    for i in 0..80 {
+        texts.push(format!("main street number {i}"));
+        texts.push(format!("park avenue {i}"));
+        texts.push(format!("maine st {}", i % 7));
+    }
+    texts.push("main street".into());
+    texts.push("completely unrelated".into());
+    texts
+}
+
+/// The legacy path the engine must agree with.
+fn direct(
+    kind: AlgorithmKind,
+    cfg: AlgoConfig,
+    index: &InvertedIndex<'_>,
+    q: &PreparedQuery,
+    tau: f64,
+) -> SearchOutcome {
+    match kind {
+        AlgorithmKind::Scan => FullScan.search(index, q, tau),
+        AlgorithmKind::Merge => SortByIdMerge.search(index, q, tau),
+        AlgorithmKind::Ta => TaAlgorithm.search(index, q, tau),
+        AlgorithmKind::Nra => NraAlgorithm::default().search(index, q, tau),
+        AlgorithmKind::ITa => ITaAlgorithm::with_config(cfg).search(index, q, tau),
+        AlgorithmKind::INra => INraAlgorithm::with_config(cfg).search(index, q, tau),
+        AlgorithmKind::Sf => SfAlgorithm::with_config(cfg).search(index, q, tau),
+        AlgorithmKind::Hybrid => HybridAlgorithm::with_config(cfg).search(index, q, tau),
+        other => panic!("unhandled kind {other:?}"),
+    }
+}
+
+#[test]
+fn engine_matches_direct_path_and_oracle_for_every_kind_and_ablation() {
+    let texts = street_corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let collection = build(&refs);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    let configs = [
+        AlgoConfig::full(),
+        AlgoConfig::no_length_bounding(),
+        AlgoConfig::no_skip_lists(),
+    ];
+    for qtext in ["main street", "park avenue 3", "mane stret", "xyzzy"] {
+        let q = engine.prepare_query_str(qtext);
+        for tau in [0.35, 0.7, 1.0] {
+            let oracle = FullScan.search(engine.index(), &q, tau).ids_sorted();
+            for kind in AlgorithmKind::ALL {
+                for cfg in configs {
+                    let via_direct = direct(kind, cfg, engine.index(), &q, tau).ids_sorted();
+                    let via_engine = engine
+                        .search(SearchRequest::new(&q).tau(tau).algorithm(kind).config(cfg))
+                        .expect("valid request");
+                    assert_eq!(via_engine.status, SearchStatus::Complete);
+                    assert_eq!(
+                        via_engine.ids_sorted(),
+                        via_direct,
+                        "engine vs direct: {} cfg={cfg:?} q={qtext:?} tau={tau}",
+                        kind.name()
+                    );
+                    assert_eq!(
+                        via_engine.ids_sorted(),
+                        oracle,
+                        "engine vs oracle: {} cfg={cfg:?} q={qtext:?} tau={tau}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scratch_reuse_leaks_nothing_between_disjoint_queries() {
+    let texts = street_corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let collection = build(&refs);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    // Two queries with disjoint result sets, run back to back on the same
+    // warm scratch, for every algorithm.
+    let q_main = engine.prepare_query_str("main street");
+    let q_park = engine.prepare_query_str("park avenue");
+    for kind in AlgorithmKind::ALL {
+        let first = engine
+            .search(SearchRequest::new(&q_main).tau(0.6).algorithm(kind))
+            .expect("valid request");
+        let second = engine
+            .search(SearchRequest::new(&q_park).tau(0.6).algorithm(kind))
+            .expect("valid request");
+        // The second answer must equal a cold-scratch run, and must not
+        // contain any carryover from the first.
+        let fresh = direct(kind, AlgoConfig::full(), engine.index(), &q_park, 0.6).ids_sorted();
+        assert_eq!(
+            second.ids_sorted(),
+            fresh,
+            "stale scratch for {}",
+            kind.name()
+        );
+        for m in &second.results {
+            assert!(
+                !first.results.iter().any(|f| f.id == m.id
+                    && collection.text(m.id).is_some_and(|t| t.starts_with("main"))),
+                "{}: main-street candidate leaked into park-avenue results",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn work_stealing_batch_returns_in_request_order_under_skewed_costs() {
+    // Adversarial skew: the heavy queries (broad, low-tau, long strings)
+    // are all packed at the front, where static chunking would trap them
+    // in one worker's chunk. Work stealing must still return every outcome
+    // at the index of its request.
+    let texts = street_corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let collection = build(&refs);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+
+    let mut queries: Vec<(PreparedQuery, f64)> = Vec::new();
+    for i in 0..40 {
+        // Heavy: long query text, permissive threshold.
+        queries.push((
+            engine.prepare_query_str(&format!("main street number {i}")),
+            0.3,
+        ));
+    }
+    for i in 0..160 {
+        // Light: short query, strict threshold.
+        queries.push((engine.prepare_query_str(&format!("park {}", i % 9)), 0.9));
+    }
+    let reqs: Vec<SearchRequest<'_>> = queries
+        .iter()
+        .map(|(q, tau)| SearchRequest::new(q).tau(*tau))
+        .collect();
+
+    let batch = engine.search_batch(&reqs, 4);
+    assert_eq!(batch.len(), reqs.len());
+    for (i, (res, (q, tau))) in batch.iter().zip(&queries).enumerate() {
+        let serial = engine
+            .search(SearchRequest::new(q).tau(*tau))
+            .expect("valid request");
+        let got = res.as_ref().expect("valid batch request");
+        assert_eq!(
+            got.ids_sorted(),
+            serial.ids_sorted(),
+            "slot {i} does not hold its own request's answer"
+        );
+    }
+}
+
+#[test]
+fn zero_element_budget_returns_typed_partial_outcome_for_every_kind() {
+    let texts = street_corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let collection = build(&refs);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    let q = engine.prepare_query_str("main street");
+    for kind in AlgorithmKind::ALL {
+        let out = engine
+            .search(
+                SearchRequest::new(&q)
+                    .tau(0.5)
+                    .algorithm(kind)
+                    .budget(Budget::unlimited().with_max_elements_read(0)),
+            )
+            .expect("a zero budget is a valid request, not an error");
+        assert_eq!(
+            out.status,
+            SearchStatus::BudgetExceeded,
+            "{} must trip a zero-element budget before any access",
+            kind.name()
+        );
+        assert_eq!(
+            out.stats.elements_read + out.stats.records_scanned,
+            0,
+            "{} performed accesses past a zero budget",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn budget_truncated_results_are_a_sound_subset_of_the_oracle() {
+    let texts = street_corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let collection = build(&refs);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    let q = engine.prepare_query_str("main street");
+    let oracle = FullScan.search(engine.index(), &q, 0.4);
+    for kind in AlgorithmKind::ALL {
+        for cap in [1, 8, 64, 512] {
+            let out = engine
+                .search(
+                    SearchRequest::new(&q)
+                        .tau(0.4)
+                        .algorithm(kind)
+                        .budget(Budget::unlimited().with_max_elements_read(cap)),
+                )
+                .expect("valid request");
+            // Whether or not the cap tripped, every reported match must be
+            // a true match with its exact score.
+            for m in &out.results {
+                let reference = oracle
+                    .results
+                    .iter()
+                    .find(|o| o.id == m.id)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{} cap={cap}: reported {:?} which the oracle rejects",
+                            kind.name(),
+                            m.id
+                        )
+                    });
+                assert!(
+                    (m.score - reference.score).abs() < 1e-9,
+                    "{} cap={cap}: inexact score under truncation",
+                    kind.name()
+                );
+            }
+            if out.status == SearchStatus::Complete {
+                assert_eq!(out.ids_sorted(), oracle.ids_sorted());
+            }
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_returns_typed_partial_outcome() {
+    let texts = street_corpus();
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let collection = build(&refs);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    let q = engine.prepare_query_str("main street");
+    let out = engine
+        .search(
+            SearchRequest::new(&q)
+                .tau(0.5)
+                .budget(Budget::unlimited().with_time_limit(std::time::Duration::ZERO)),
+        )
+        .expect("valid request");
+    assert_eq!(out.status, SearchStatus::BudgetExceeded);
+}
+
+#[test]
+fn invalid_tau_is_a_typed_error_not_a_panic() {
+    let collection = build(&["main street", "park avenue"]);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let mut engine = QueryEngine::new(index);
+    let q = engine.prepare_query_str("main street");
+    for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+        match engine.search(SearchRequest::new(&q).tau(bad)) {
+            Err(SearchError::InvalidTau(t)) => {
+                assert!(t.is_nan() == bad.is_nan() && (bad.is_nan() || t == bad));
+            }
+            other => panic!("tau={bad}: expected InvalidTau, got {other:?}"),
+        }
+    }
+    // The error renders the same contract message the legacy panic carried.
+    let msg = SearchError::InvalidTau(0.0).to_string();
+    assert!(msg.contains("(0, 1]"), "unexpected message: {msg}");
+}
+
+#[test]
+fn batch_surfaces_per_request_errors_without_failing_the_batch() {
+    let collection = build(&["main street", "park avenue"]);
+    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    let engine = QueryEngine::new(index);
+    let q = engine.prepare_query_str("main street");
+    let reqs = [
+        SearchRequest::new(&q).tau(0.5),
+        SearchRequest::new(&q).tau(0.0),
+        SearchRequest::new(&q).tau(0.9),
+    ];
+    let outs = engine.search_batch(&reqs, 2);
+    assert!(outs[0].is_ok());
+    assert!(matches!(outs[1], Err(SearchError::InvalidTau(_))));
+    assert!(outs[2].is_ok());
+}

@@ -105,11 +105,9 @@ fn lean_index_supports_sequential_algorithms() {
     // SF/iNRA must run on an index without hash or id-sorted structures
     // (the SF/Hybrid storage story of Figure 5).
     let (corpus, collection) = corpus_and_collection();
-    let lean = IndexOptions {
-        build_hash_indexes: false,
-        build_id_sorted_lists: false,
-        ..IndexOptions::default()
-    };
+    let lean = IndexOptions::default()
+        .with_hash_indexes(false)
+        .with_id_sorted_lists(false);
     let index = InvertedIndex::build(&collection, lean);
     let qtext = corpus.words().next().unwrap();
     let q = index.prepare_query_str(qtext);
@@ -139,12 +137,10 @@ fn index_size_reporting_is_consistent() {
     let full = InvertedIndex::build(&collection, IndexOptions::default());
     let lean = InvertedIndex::build(
         &collection,
-        IndexOptions {
-            build_skip_lists: false,
-            build_hash_indexes: false,
-            build_id_sorted_lists: false,
-            ..IndexOptions::default()
-        },
+        IndexOptions::default()
+            .with_skip_lists(false)
+            .with_hash_indexes(false)
+            .with_id_sorted_lists(false),
     );
     let (fl, fs, fh) = full.size_bytes();
     let (ll, ls, lh) = lean.size_bytes();

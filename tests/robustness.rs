@@ -47,17 +47,13 @@ proptest! {
             FullScan.search(&idx, &q, tau).ids_sorted()
         };
         let variants = [
-            IndexOptions {
-                skip_stride: stride,
-                hash_bucket_capacity: bucket_cap,
-                ..IndexOptions::default()
-            },
-            IndexOptions {
-                build_skip_lists: false,
-                build_hash_indexes: false,
-                build_id_sorted_lists: false,
-                ..IndexOptions::default()
-            },
+            IndexOptions::default()
+                .with_skip_stride(stride)
+                .with_hash_bucket_capacity(bucket_cap),
+            IndexOptions::default()
+                .with_skip_lists(false)
+                .with_hash_indexes(false)
+                .with_id_sorted_lists(false),
         ];
         for opts in variants {
             let idx = InvertedIndex::build(&collection, opts.clone());
