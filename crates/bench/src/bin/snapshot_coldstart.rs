@@ -1,0 +1,113 @@
+//! Cold-start experiment — snapshot load vs full index rebuild.
+//!
+//! A serving process that restarts has two ways back to a working
+//! [`QueryEngine`]: re-tokenize and re-build the inverted index from the
+//! raw records, or `QueryEngine::open` a persisted snapshot. This binary
+//! measures both paths on the standard word-occurrence database, plus the
+//! one-time cost of writing the snapshot, and sanity-checks that the
+//! loaded engine answers a probe query identically to the built one.
+//!
+//! Usage: `snapshot_coldstart [--scale small|medium|large]`
+
+use setsim_bench::{print_table, scale_from_args, word_collection};
+use setsim_core::{
+    AlgorithmKind, IndexOptions, InvertedIndex, QueryEngine, SearchRequest, SetCollection,
+};
+use std::time::Instant;
+
+fn ms(d: std::time::Duration) -> String {
+    format!("{:.1} ms", d.as_secs_f64() * 1e3)
+}
+
+fn build(collection: &SetCollection) -> InvertedIndex<'_> {
+    InvertedIndex::build(collection, IndexOptions::default())
+}
+
+fn main() {
+    let (scale, _) = scale_from_args();
+    let (_corpus, collection) = word_collection(scale);
+
+    let t0 = Instant::now();
+    let index = build(&collection);
+    let build_time = t0.elapsed();
+
+    let path = std::env::temp_dir().join(format!("setsim-coldstart-{}.snap", std::process::id()));
+    let t0 = Instant::now();
+    index.save(&path).expect("snapshot save");
+    let save_time = t0.elapsed();
+    let file_len = std::fs::metadata(&path).expect("snapshot metadata").len();
+
+    // Best-of-3 for the two cold-start paths: timings at small scales are
+    // noisy, and the minimum is the least contaminated by scheduling.
+    let rebuild_time = (0..3).map(|_| {
+        let t0 = Instant::now();
+        let idx = build(&collection);
+        std::hint::black_box(&idx);
+        t0.elapsed()
+    });
+    let rebuild_time = rebuild_time.min().expect("three runs");
+    let load_time = (0..3).map(|_| {
+        let t0 = Instant::now();
+        let engine = QueryEngine::open(&path).expect("snapshot load");
+        std::hint::black_box(&engine);
+        t0.elapsed()
+    });
+    let load_time = load_time.min().expect("three runs");
+
+    // The loaded engine must serve the same answers as the built index.
+    let mut engine = QueryEngine::open(&path).expect("snapshot load");
+    let probe = collection.text(setsim_core::SetId(0)).unwrap_or("probe");
+    let q_loaded = engine.prepare_query_str(probe);
+    let loaded = engine
+        .search(
+            SearchRequest::new(&q_loaded)
+                .tau(0.5)
+                .algorithm(AlgorithmKind::Sf),
+        )
+        .expect("loaded search");
+    let q_built = index.prepare_query_str(probe);
+    let mut built_engine = QueryEngine::new(index);
+    let built = built_engine
+        .search(
+            SearchRequest::new(&q_built)
+                .tau(0.5)
+                .algorithm(AlgorithmKind::Sf),
+        )
+        .expect("built search");
+    assert_eq!(
+        loaded.ids_sorted(),
+        built.ids_sorted(),
+        "loaded engine disagrees with built index"
+    );
+
+    println!("# Cold start: snapshot load vs index rebuild");
+    println!(
+        "# {} sets, {} distinct tokens, {} postings, snapshot {:.2} MB",
+        collection.len(),
+        collection.dict().len(),
+        built_engine.index().total_postings(),
+        file_len as f64 / (1024.0 * 1024.0)
+    );
+    print_table(
+        "Cold-start paths (best of 3)",
+        &["time".into()],
+        &[
+            ("build (first, unwarmed)".into(), vec![ms(build_time)]),
+            ("snapshot save (one-time)".into(), vec![ms(save_time)]),
+            ("rebuild from records".into(), vec![ms(rebuild_time)]),
+            ("QueryEngine::open(snapshot)".into(), vec![ms(load_time)]),
+            (
+                "speedup (rebuild / load)".into(),
+                vec![format!(
+                    "{:.2}x",
+                    rebuild_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9)
+                )],
+            ),
+        ],
+    );
+    println!("\n# Expectation: the two paths are of the same order — load trades the");
+    println!("# tokenize+sort work of a rebuild for page reads, checksums, and varint");
+    println!("# decoding — but load needs only the snapshot file, not the raw records.");
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -12,6 +12,13 @@
 //!   [--repeat R]` — run every line as a query through the
 //!   [`QueryEngine`] batch executor and print its serving metrics
 //!   (latency percentiles, pruning power).
+//! * `setsim-cli snapshot save   -i FILE -s SNAP` — build the index and
+//!   persist it as a checksummed snapshot file.
+//! * `setsim-cli snapshot load   -s SNAP [-q TEXT]` — cold-start a
+//!   [`QueryEngine`] from a snapshot (no rebuild) and optionally serve a
+//!   query from it.
+//! * `setsim-cli snapshot verify -s SNAP` — check every page checksum and
+//!   the logical consistency of a snapshot without serving from it.
 //!
 //! Lines are tokenized into padded 3-grams by default; `--words` switches
 //! to word tokens, `--q N` changes the gram length.
@@ -28,10 +35,13 @@ use std::fmt::Write as _;
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
-    /// Subcommand: query | topk | join | stats.
+    /// Subcommand: query | topk | join | stats | bench | snapshot-save |
+    /// snapshot-load | snapshot-verify.
     pub command: String,
     /// Input file of newline-separated records.
     pub input: Option<String>,
+    /// Snapshot file path (snapshot subcommands).
+    pub snapshot: Option<String>,
     /// Query text (query/topk).
     pub query: Option<String>,
     /// Threshold.
@@ -57,6 +67,7 @@ impl Default for Options {
         Self {
             command: String::new(),
             input: None,
+            snapshot: None,
             query: None,
             tau: 0.7,
             algo: "sf".into(),
@@ -80,9 +91,13 @@ USAGE:
   setsim-cli join  -i FILE [--tau T] [--threads N] [-n N]
   setsim-cli stats -i FILE
   setsim-cli bench -i FILE [--tau T] [--algo NAME] [--threads N] [--repeat R]
+  setsim-cli snapshot save   -i FILE -s SNAP
+  setsim-cli snapshot load   -s SNAP [-q TEXT] [--tau T] [--algo NAME] [-n N]
+  setsim-cli snapshot verify -s SNAP
 
 OPTIONS:
   -i, --input FILE   newline-separated records
+  -s, --snapshot F   snapshot file (snapshot subcommands)
   -q, --query TEXT   query string
       --tau T        similarity threshold in (0, 1] (default 0.7)
       --algo NAME    selection algorithm (default sf)
@@ -95,6 +110,11 @@ OPTIONS:
 
 bench runs every input line as a query through the engine's work-stealing
 batch executor and prints the aggregated serving metrics.
+
+snapshot save builds the index from FILE and persists it as a
+page-structured, CRC-checksummed snapshot; load cold-starts a serving
+engine from the snapshot without rebuilding; verify checks every page
+checksum and the logical consistency of the file.
 ";
 
 /// Parse argv (without the program name).
@@ -102,7 +122,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.iter();
     opts.command = it.next().cloned().ok_or_else(|| USAGE.to_string())?;
-    if !matches!(
+    if opts.command == "snapshot" {
+        let sub = it
+            .next()
+            .ok_or_else(|| format!("snapshot requires save|load|verify\n{USAGE}"))?;
+        if !matches!(sub.as_str(), "save" | "load" | "verify") {
+            return Err(format!("unknown snapshot subcommand {sub:?}\n{USAGE}"));
+        }
+        opts.command = format!("snapshot-{sub}");
+    } else if !matches!(
         opts.command.as_str(),
         "query" | "topk" | "join" | "stats" | "bench"
     ) {
@@ -116,6 +144,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match a.as_str() {
             "-i" | "--input" => opts.input = Some(value("--input")?),
+            "-s" | "--snapshot" => opts.snapshot = Some(value("--snapshot")?),
             "-q" | "--query" => opts.query = Some(value("--query")?),
             "--tau" => {
                 opts.tau = value("--tau")?
@@ -153,8 +182,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
     }
-    if opts.input.is_none() {
+    let needs_input = !matches!(opts.command.as_str(), "snapshot-load" | "snapshot-verify");
+    if needs_input && opts.input.is_none() {
         return Err("missing --input FILE".to_string());
+    }
+    if opts.command.starts_with("snapshot-") && opts.snapshot.is_none() {
+        return Err(format!("{} requires --snapshot FILE", opts.command));
     }
     if matches!(opts.command.as_str(), "query" | "topk") && opts.query.is_none() {
         return Err(format!("{} requires --query TEXT", opts.command));
@@ -188,9 +221,57 @@ fn algorithm(name: &str) -> Result<AlgorithmKind, String> {
 
 /// Run a parsed command against record lines; returns printable output.
 pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
+    let mut out = String::new();
+    // Snapshot load/verify serve from the snapshot file alone — no input
+    // records, no index rebuild.
+    match opts.command.as_str() {
+        "snapshot-load" => {
+            let path = std::path::Path::new(opts.snapshot.as_ref().expect("validated"));
+            let mut engine = QueryEngine::open(path).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "loaded snapshot: {} record(s), {} list(s), {} posting(s)",
+                engine.index().collection().len(),
+                engine.index().num_lists(),
+                engine.index().total_postings()
+            )
+            .unwrap();
+            if let Some(text) = &opts.query {
+                let kind = algorithm(&opts.algo)?;
+                let q = engine.prepare_query_str(text);
+                let outcome = engine
+                    .search(SearchRequest::new(&q).tau(opts.tau).algorithm(kind))
+                    .map_err(|e| e.to_string())?;
+                let results = outcome.sorted_by_score();
+                writeln!(out, "{} match(es) at tau={}:", results.len(), opts.tau).unwrap();
+                for m in results.iter().take(opts.limit) {
+                    let text = engine.index().collection().text(m.id).expect("valid id");
+                    writeln!(out, "  {:5.3}  {text}", m.score).unwrap();
+                }
+            }
+            return Ok(out);
+        }
+        "snapshot-verify" => {
+            let path = std::path::Path::new(opts.snapshot.as_ref().expect("validated"));
+            let s = setsim_core::snapshot::verify(path).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "snapshot OK: {} page(s) of {} B, {} B total",
+                s.pages, s.page_size, s.file_len
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "records: {}  tokens: {}  postings: {}",
+                s.records, s.tokens, s.postings
+            )
+            .unwrap();
+            return Ok(out);
+        }
+        _ => {}
+    }
     let collection = build_collection(lines, opts);
     let index = InvertedIndex::build(&collection, IndexOptions::default());
-    let mut out = String::new();
     match opts.command.as_str() {
         "query" => {
             let kind = algorithm(&opts.algo)?;
@@ -256,6 +337,18 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
             .unwrap();
             out.push_str(&engine.metrics().render());
             out.push('\n');
+        }
+        "snapshot-save" => {
+            let path = std::path::Path::new(opts.snapshot.as_ref().expect("validated"));
+            index.save(path).map_err(|e| e.to_string())?;
+            let bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+            writeln!(
+                out,
+                "saved snapshot: {} record(s), {} posting(s), {bytes} B",
+                collection.len(),
+                index.total_postings()
+            )
+            .unwrap();
         }
         "stats" => {
             let (lists, skips, hash) = index.size_bytes();
@@ -372,6 +465,84 @@ mod tests {
         let o = parse_args(&argv("stats -i x")).unwrap();
         let out = run(&o, &lines()).unwrap();
         assert!(out.contains("records:          4"), "{out}");
+    }
+
+    fn temp_snap(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("setsim-cli-{}-{tag}-{n}.snap", std::process::id()))
+    }
+
+    struct TempFile(std::path::PathBuf);
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn parse_snapshot_commands() {
+        let o = parse_args(&argv("snapshot save -i f.txt -s idx.snap")).unwrap();
+        assert_eq!(o.command, "snapshot-save");
+        assert_eq!(o.snapshot.as_deref(), Some("idx.snap"));
+        let o = parse_args(&argv("snapshot load -s idx.snap")).unwrap();
+        assert_eq!(o.command, "snapshot-load");
+        assert!(o.input.is_none(), "load needs no input file");
+        let o = parse_args(&argv("snapshot verify -s idx.snap")).unwrap();
+        assert_eq!(o.command, "snapshot-verify");
+
+        assert!(parse_args(&argv("snapshot")).is_err(), "missing subcommand");
+        assert!(parse_args(&argv("snapshot frob -s x")).is_err());
+        assert!(
+            parse_args(&argv("snapshot save -i f.txt")).is_err(),
+            "missing snapshot path"
+        );
+        assert!(
+            parse_args(&argv("snapshot save -s x")).is_err(),
+            "save still needs input"
+        );
+    }
+
+    #[test]
+    fn snapshot_save_load_verify_end_to_end() {
+        let t = TempFile(temp_snap("e2e"));
+        let snap = t.0.to_string_lossy().into_owned();
+
+        let o = parse_args(&argv(&format!("snapshot save -i x -s {snap}"))).unwrap();
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.contains("saved snapshot: 4 record(s)"), "{out}");
+
+        let o = parse_args(&argv(&format!("snapshot verify -s {snap}"))).unwrap();
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("snapshot OK"), "{out}");
+        assert!(out.contains("records: 4"), "{out}");
+
+        let mut o = parse_args(&argv(&format!("snapshot load -s {snap} --tau 0.4"))).unwrap();
+        o.query = Some("main street".into());
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("loaded snapshot: 4 record(s)"), "{out}");
+        assert!(out.contains("main street"), "{out}");
+        assert!(out.contains("1.000"), "{out}");
+    }
+
+    #[test]
+    fn snapshot_verify_rejects_damage_without_panicking() {
+        let t = TempFile(temp_snap("damage"));
+        let snap = t.0.to_string_lossy().into_owned();
+        let o = parse_args(&argv(&format!("snapshot save -i x -s {snap}"))).unwrap();
+        run(&o, &lines()).unwrap();
+
+        let mut bytes = std::fs::read(&t.0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&t.0, &bytes).unwrap();
+
+        let o = parse_args(&argv(&format!("snapshot verify -s {snap}"))).unwrap();
+        let err = run(&o, &[]).unwrap_err();
+        assert!(err.contains("checksum") || err.contains("corrupt"), "{err}");
+        let o = parse_args(&argv(&format!("snapshot load -s {snap}"))).unwrap();
+        assert!(run(&o, &[]).is_err(), "damaged snapshot must not serve");
     }
 
     #[test]

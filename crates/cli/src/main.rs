@@ -11,20 +11,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let path = opts.input.as_ref().expect("validated by parse_args");
-    let content = match std::fs::read_to_string(path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot read {path:?}: {e}");
-            return ExitCode::from(1);
-        }
+    // snapshot load/verify take no input file; every other command has one
+    // (validated by parse_args).
+    let lines: Vec<String> = match opts.input.as_ref() {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(c) => c
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot read {path:?}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => Vec::new(),
     };
-    let lines: Vec<String> = content
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty())
-        .map(str::to_string)
-        .collect();
     match setsim_cli::run(&opts, &lines) {
         Ok(out) => {
             print!("{out}");

@@ -39,6 +39,61 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
     }
 }
 
+/// Append `value` as 4 fixed little-endian bytes (header/trailer fields
+/// that must be locatable at fixed offsets, unlike varints).
+pub fn write_u32_le(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Decode 4 little-endian bytes at `pos`, advancing it. `None` on
+/// truncation.
+pub fn read_u32_le(buf: &[u8], pos: &mut usize) -> Option<u32> {
+    let bytes: [u8; 4] = buf.get(*pos..*pos + 4)?.try_into().ok()?;
+    *pos += 4;
+    Some(u32::from_le_bytes(bytes))
+}
+
+/// Append `value` as 8 fixed little-endian bytes.
+pub fn write_u64_le(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Decode 8 little-endian bytes at `pos`, advancing it. `None` on
+/// truncation.
+pub fn read_u64_le(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let bytes: [u8; 8] = buf.get(*pos..*pos + 8)?.try_into().ok()?;
+    *pos += 8;
+    Some(u64::from_le_bytes(bytes))
+}
+
+/// Append a varint-length-prefixed byte run (the framing used for every
+/// variable-length field of the snapshot footer).
+pub fn write_bytes(out: &mut Vec<u8>, data: &[u8]) {
+    write_varint(out, data.len() as u64);
+    out.extend_from_slice(data);
+}
+
+/// Decode a varint-length-prefixed byte run at `pos`, advancing it.
+/// `None` on truncation or on a length that exceeds the remaining buffer.
+pub fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let len = read_varint(buf, pos)?;
+    let len = usize::try_from(len).ok()?;
+    let run = buf.get(*pos..pos.checked_add(len)?)?;
+    *pos += len;
+    Some(run)
+}
+
+/// Append a varint-length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_bytes(out, s.as_bytes());
+}
+
+/// Decode a varint-length-prefixed UTF-8 string at `pos`, advancing it.
+/// `None` on truncation or invalid UTF-8.
+pub fn read_str<'a>(buf: &'a [u8], pos: &mut usize) -> Option<&'a str> {
+    std::str::from_utf8(read_bytes(buf, pos)?).ok()
+}
+
 /// One compressed entry: a `(key, id)` pair where keys ascend (ties broken
 /// by ascending id). For weight-sorted posting lists the key is the
 /// posting length's order-preserving bit pattern.
@@ -292,6 +347,57 @@ mod tests {
         let (from, _) = c.seek(1.5f64.to_bits());
         assert_eq!(from.len(), 4);
         assert_eq!(f64::from_bits(from[0].key), 1.5);
+    }
+
+    #[test]
+    fn fixed_ints_round_trip() {
+        let mut buf = Vec::new();
+        write_u32_le(&mut buf, 0xDEAD_BEEF);
+        write_u64_le(&mut buf, u64::MAX - 7);
+        let mut pos = 0;
+        assert_eq!(read_u32_le(&buf, &mut pos), Some(0xDEAD_BEEF));
+        assert_eq!(read_u64_le(&buf, &mut pos), Some(u64::MAX - 7));
+        assert_eq!(pos, buf.len());
+        // Truncated reads fail without advancing past the end.
+        let mut pos = 0;
+        assert_eq!(read_u64_le(&buf[..3], &mut pos), None);
+    }
+
+    #[test]
+    fn framed_bytes_round_trip() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, b"");
+        write_bytes(&mut buf, b"payload");
+        write_str(&mut buf, "grüße");
+        let mut pos = 0;
+        assert_eq!(read_bytes(&buf, &mut pos), Some(&b""[..]));
+        assert_eq!(read_bytes(&buf, &mut pos), Some(&b"payload"[..]));
+        assert_eq!(read_str(&buf, &mut pos), Some("grüße"));
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn framed_bytes_reject_overlong_length() {
+        // A length prefix claiming more bytes than remain must fail, not
+        // slice out of bounds.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000);
+        buf.extend_from_slice(b"short");
+        let mut pos = 0;
+        assert_eq!(read_bytes(&buf, &mut pos), None);
+        // Same for a length that overflows usize arithmetic.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_bytes(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn framed_str_rejects_invalid_utf8() {
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, &[0xFF, 0xFE]);
+        let mut pos = 0;
+        assert_eq!(read_str(&buf, &mut pos), None);
     }
 
     proptest! {

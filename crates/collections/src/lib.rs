@@ -24,6 +24,7 @@
 //! lists are actually laid out on disk: delta + varint encoded blocks with
 //! per-block skip keys ([`CompressedList`]).
 
+pub mod checksum;
 pub mod codec;
 
 mod btree;
@@ -31,6 +32,7 @@ mod extendible;
 mod skiplist;
 
 pub use btree::BPlusTree;
+pub use checksum::crc32;
 pub use codec::{CodecEntry, CompressedList};
 pub use extendible::ExtendibleHashMap;
 pub use skiplist::SkipList;

@@ -449,6 +449,32 @@ impl<'i, 'c> AuditedIndex<'i, 'c> {
     }
 }
 
+/// Cold-start integrity audit: load the snapshot at `path` and verify it
+/// *serves correctly*, not merely that its checksums pass. Each query
+/// runs through the Shortest-First algorithm (the serving default) under
+/// the full invariant audit — including the naive-scan differential
+/// oracle, re-derived from the loaded collection itself — so an index
+/// that loads but would return wrong answers is caught here.
+///
+/// Returns one [`Report`] per query; load failures surface as the usual
+/// typed [`SnapshotError`](crate::SnapshotError).
+pub fn audit_snapshot(
+    path: &std::path::Path,
+    queries: &[&str],
+    tau: f64,
+) -> Result<Vec<Report>, crate::SnapshotError> {
+    let index = InvertedIndex::load(path)?;
+    let audited = AuditedIndex::new(&index);
+    let algo = crate::SfAlgorithm::default();
+    let mut reports = Vec::with_capacity(queries.len());
+    for q in queries {
+        let prepared = index.prepare_query_str(q);
+        let (_, report) = audited.search_audited(&algo, &prepared, tau);
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

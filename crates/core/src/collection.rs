@@ -93,6 +93,39 @@ pub struct SetCollection {
 }
 
 impl SetCollection {
+    /// Reassemble a collection from its serialized parts (the snapshot
+    /// load path). `multisets[i]` must be the tokenization of `texts[i]`
+    /// under `tokenizer`/`dict`; the derived token sets are recomputed
+    /// exactly as [`CollectionBuilder::build`] does.
+    pub(crate) fn from_parts(
+        tokenizer: Box<dyn Tokenizer + Send + Sync>,
+        dict: Dictionary,
+        texts: Vec<String>,
+        multisets: Vec<TokenMultiSet>,
+    ) -> Self {
+        let sets = multisets
+            .iter()
+            .map(setsim_tokenize::TokenMultiSet::to_set)
+            .collect();
+        Self {
+            tokenizer,
+            dict,
+            texts,
+            multisets,
+            sets,
+        }
+    }
+
+    /// All record texts in id order (snapshot save path).
+    pub(crate) fn texts(&self) -> &[String] {
+        &self.texts
+    }
+
+    /// All record multisets in id order (snapshot save path).
+    pub(crate) fn multisets(&self) -> &[TokenMultiSet] {
+        &self.multisets
+    }
+
     /// Number of sets.
     pub fn len(&self) -> usize {
         self.sets.len()

@@ -358,6 +358,22 @@ pub struct QueryEngine<'c> {
     scratch_pool: Mutex<Vec<Scratch>>,
 }
 
+impl QueryEngine<'static> {
+    /// Cold-start an engine from an index snapshot on disk (written by
+    /// [`InvertedIndex::save`]): the `load → serve` path that skips
+    /// re-tokenizing and re-indexing the corpus. The loaded index owns
+    /// its collection, so the engine has no outstanding borrows and can
+    /// be moved anywhere.
+    ///
+    /// Every failure is a typed [`SnapshotError`](crate::SnapshotError)
+    /// — bad magic, unsupported version, checksum mismatch, truncation,
+    /// or malformed contents. A file that fails validation never
+    /// produces an engine.
+    pub fn open(path: &std::path::Path) -> Result<Self, crate::SnapshotError> {
+        Ok(QueryEngine::new(InvertedIndex::load(path)?))
+    }
+}
+
 impl<'c> QueryEngine<'c> {
     /// Wrap an index in an engine.
     #[must_use]

@@ -198,6 +198,67 @@ impl PostingList {
     }
 }
 
+/// How an [`InvertedIndex`] holds its collection: borrowed from the
+/// caller (the in-memory build path) or owned outright (the snapshot
+/// load path, which has no caller to borrow from).
+enum CollectionHandle<'c> {
+    Borrowed(&'c SetCollection),
+    Owned(Box<SetCollection>),
+}
+
+impl CollectionHandle<'_> {
+    #[inline]
+    fn get(&self) -> &SetCollection {
+        match self {
+            CollectionHandle::Borrowed(c) => c,
+            CollectionHandle::Owned(c) => c,
+        }
+    }
+}
+
+/// Derive the auxiliary structures of one list from its `(len, id)`-sorted
+/// postings. Shared by [`InvertedIndex::build`] and the snapshot load
+/// path so both produce bit-identical lists: the id-sorted copy, the skip
+/// list (seeded per token, one entry per stride), and the extendible-hash
+/// id index are all functions of the sorted postings alone.
+fn assemble_list(token: Token, by_len: Vec<Posting>, options: &IndexOptions) -> PostingList {
+    let by_id = if options.build_id_sorted_lists {
+        let mut v = by_len.clone();
+        v.sort_by_key(|p| p.id);
+        v
+    } else {
+        Vec::new()
+    };
+    let skip = if options.build_skip_lists {
+        let mut sl = SkipList::with_seed(0x51c1_f1ed ^ u64::from(token.0));
+        for (off, p) in by_len
+            .iter()
+            .enumerate()
+            .step_by(options.skip_stride.max(1))
+        {
+            sl.insert((p.len.to_bits(), p.id.0), off as u32);
+        }
+        Some(sl)
+    } else {
+        None
+    };
+    let hash = if options.build_hash_indexes {
+        let mut h = ExtendibleHashMap::new(options.hash_bucket_capacity);
+        for p in &by_len {
+            h.insert(p.id.0, ());
+        }
+        Some(h)
+    } else {
+        None
+    };
+    PostingList {
+        by_len,
+        by_id,
+        skip,
+        hash,
+    }
+}
+
 /// The inverted-list index of Section III-B.
 ///
 /// One [`PostingList`] per token, each sorted by increasing set length —
@@ -205,7 +266,7 @@ impl PostingList {
 /// decreasing contribution order `w`, making the lists directly usable by
 /// TA/NRA-style algorithms.
 pub struct InvertedIndex<'c> {
-    collection: &'c SetCollection,
+    collection: CollectionHandle<'c>,
     options: IndexOptions,
     weights: TokenWeights,
     lengths: Vec<f64>,
@@ -234,49 +295,12 @@ impl<'c> InvertedIndex<'c> {
         let mut lists = HashMap::with_capacity(raw.len());
         for (token, mut postings) in raw {
             total_postings += postings.len() as u64;
-            let by_id = if options.build_id_sorted_lists {
-                let mut v = postings.clone();
-                v.sort_by_key(|p| p.id);
-                v
-            } else {
-                Vec::new()
-            };
             postings.sort_by(|a, b| a.len.total_cmp(&b.len).then(a.id.cmp(&b.id)));
-            let skip = if options.build_skip_lists {
-                let mut sl = SkipList::with_seed(0x51c1_f1ed ^ u64::from(token.0));
-                for (off, p) in postings
-                    .iter()
-                    .enumerate()
-                    .step_by(options.skip_stride.max(1))
-                {
-                    sl.insert((p.len.to_bits(), p.id.0), off as u32);
-                }
-                Some(sl)
-            } else {
-                None
-            };
-            let hash = if options.build_hash_indexes {
-                let mut h = ExtendibleHashMap::new(options.hash_bucket_capacity);
-                for p in &postings {
-                    h.insert(p.id.0, ());
-                }
-                Some(h)
-            } else {
-                None
-            };
-            lists.insert(
-                token,
-                PostingList {
-                    by_len: postings,
-                    by_id,
-                    skip,
-                    hash,
-                },
-            );
+            lists.insert(token, assemble_list(token, postings, &options));
         }
 
         Self {
-            collection,
+            collection: CollectionHandle::Borrowed(collection),
             options,
             weights,
             lengths,
@@ -285,9 +309,81 @@ impl<'c> InvertedIndex<'c> {
         }
     }
 
+    /// Reassemble an index around an owned collection from decoded
+    /// `(len, id)`-sorted posting lists (the snapshot load path).
+    /// Weights, set lengths, and every per-list auxiliary structure are
+    /// recomputed with the same deterministic code the build path uses,
+    /// so a loaded index is bit-identical to the one that was saved.
+    pub(crate) fn assemble_owned(
+        collection: Box<SetCollection>,
+        options: IndexOptions,
+        sorted_lists: Vec<(Token, Vec<Posting>)>,
+    ) -> InvertedIndex<'static> {
+        let weights = TokenWeights::compute(&collection);
+        let lengths: Vec<f64> = collection
+            .iter_sets()
+            .map(|(_, s)| weights.set_length(s))
+            .collect();
+        let mut total_postings = 0u64;
+        let mut lists = HashMap::with_capacity(sorted_lists.len());
+        for (token, postings) in sorted_lists {
+            total_postings += postings.len() as u64;
+            lists.insert(token, assemble_list(token, postings, &options));
+        }
+        InvertedIndex {
+            collection: CollectionHandle::Owned(collection),
+            options,
+            weights,
+            lengths,
+            lists,
+            total_postings,
+        }
+    }
+
+    /// Persist this index as a page-structured, checksummed snapshot file
+    /// (see `setsim-storage::snapshot` for the container layout and
+    /// DESIGN.md §10 for the full format). Load it back with
+    /// [`InvertedIndex::load`] or serve it directly via
+    /// [`QueryEngine::open`](crate::QueryEngine::open).
+    ///
+    /// Fails with [`SnapshotError::Unsupported`] if the collection's
+    /// tokenizer has no serializable [`TokenizerSpec`]
+    /// (see [`setsim_tokenize::Tokenizer::spec`]).
+    ///
+    /// [`SnapshotError::Unsupported`]: crate::SnapshotError::Unsupported
+    /// [`TokenizerSpec`]: setsim_tokenize::TokenizerSpec
+    pub fn save(&self, path: &std::path::Path) -> Result<(), crate::SnapshotError> {
+        crate::snapshot::save_index(self, path, crate::snapshot::DEFAULT_PAGE_SIZE)
+    }
+
+    /// Like [`save`](Self::save) with an explicit page size (tests and
+    /// experiments; the default is
+    /// [`DEFAULT_PAGE_SIZE`](crate::snapshot::DEFAULT_PAGE_SIZE)).
+    pub fn save_with_page_size(
+        &self,
+        path: &std::path::Path,
+        page_size: usize,
+    ) -> Result<(), crate::SnapshotError> {
+        crate::snapshot::save_index(self, path, page_size)
+    }
+
+    /// Load an index previously written by [`save`](Self::save). The
+    /// returned index owns its collection (`'static`), so it can outlive
+    /// the call site — the cold-start path behind
+    /// [`QueryEngine::open`](crate::QueryEngine::open).
+    ///
+    /// Every failure mode is a typed [`SnapshotError`]
+    /// (bad magic, version mismatch, checksum failure, truncation,
+    /// malformed contents); hostile bytes never panic.
+    ///
+    /// [`SnapshotError`]: crate::SnapshotError
+    pub fn load(path: &std::path::Path) -> Result<InvertedIndex<'static>, crate::SnapshotError> {
+        crate::snapshot::load_index(path)
+    }
+
     /// The collection this index covers.
-    pub fn collection(&self) -> &'c SetCollection {
-        self.collection
+    pub fn collection(&self) -> &SetCollection {
+        self.collection.get()
     }
 
     /// Build options used.
@@ -326,6 +422,12 @@ impl<'c> InvertedIndex<'c> {
         list
     }
 
+    /// Iterate `(token, list)` pairs in unspecified order (snapshot save
+    /// sorts by token id for a deterministic file).
+    pub(crate) fn iter_lists(&self) -> impl Iterator<Item = (Token, &PostingList)> {
+        self.lists.iter().map(|(t, l)| (*t, l))
+    }
+
     /// Number of distinct indexed tokens.
     pub fn num_lists(&self) -> usize {
         self.lists.len()
@@ -361,7 +463,7 @@ impl<'c> InvertedIndex<'c> {
 
     /// Tokenize `text` with the collection's tokenizer and prepare it.
     pub fn prepare_query_str(&self, text: &str) -> PreparedQuery {
-        let (known, unknown) = self.collection.tokenize_query(text);
+        let (known, unknown) = self.collection.get().tokenize_query(text);
         self.prepare_query(&known, unknown)
     }
 

@@ -24,7 +24,12 @@
 //!   reuses per-worker scratch memory across queries, executes batches
 //!   with a work-stealing thread pool, enforces per-query budgets
 //!   (deadline / max element accesses), and aggregates latency and
-//!   pruning metrics — all behind the [`SearchRequest`] builder API.
+//!   pruning metrics — all behind the [`SearchRequest`] builder API;
+//! * **persistent snapshots** ([`snapshot`]): `InvertedIndex::save` /
+//!   `InvertedIndex::load` serialize the index into a page-structured,
+//!   CRC-checksummed file, and [`QueryEngine::open`] cold-starts a
+//!   serving engine from one with typed [`SnapshotError`]s — never a
+//!   panic — on damaged files.
 //!
 //! # The problem
 //!
@@ -71,6 +76,7 @@ pub mod measures;
 pub mod properties;
 mod query;
 mod result;
+pub mod snapshot;
 mod stats;
 pub mod tfsearch;
 mod weights;
@@ -88,6 +94,7 @@ pub use index::{IndexOptions, InvertedIndex, Posting, PostingList};
 pub use properties::Tau;
 pub use query::{PreparedQuery, QueryToken};
 pub use result::{Match, SearchOutcome, SearchStatus};
+pub use setsim_storage::{SnapshotError, SnapshotRegion};
 pub use stats::SearchStats;
 pub use weights::TokenWeights;
 

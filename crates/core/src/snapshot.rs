@@ -1,0 +1,827 @@
+//! Serialization of an [`InvertedIndex`] into the page-structured
+//! snapshot container of `setsim-storage`.
+//!
+//! The container (`setsim_storage::snapshot`) supplies the physical
+//! layer: header, CRC-sealed pages, footer, trailer. This module supplies
+//! the logical layer on top:
+//!
+//! * **Posting pages** — each weight-sorted list is split into blocks no
+//!   larger than one page, delta+varint encoded exactly like
+//!   [`setsim_storage::PagedPostings`]: the block's first `len`-bits key
+//!   absolute, subsequent keys as deltas (nonnegative, because lists are
+//!   sorted by ascending `len`), ids raw. Blocks are packed back to back
+//!   into pages — the directory records each block's `(page, offset)` —
+//!   so the many short lists of a q-gram index share pages instead of
+//!   wasting a page each; a block never straddles a page boundary.
+//! * **The footer** — everything needed to rebuild the serving state:
+//!   the tokenizer's [`TokenizerSpec`], the dictionary strings in id
+//!   order, record texts and token multisets, the [`IndexOptions`], and
+//!   a per-list directory of `(first len → page, count)` block entries —
+//!   the fence keys that preserve the Length Boundedness seek pattern on
+//!   disk.
+//!
+//! Loading recomputes IDF weights, set lengths, id-sorted list copies,
+//! skip lists, and hash indexes with the same deterministic code the
+//! build path uses, so a loaded index answers every query bit-identically
+//! to the index that was saved (`tests/snapshot_equivalence.rs` enforces
+//! this across all eight algorithms). Decoded postings are cross-checked
+//! against the recomputed lengths: a file that checksums correctly but
+//! is internally inconsistent is rejected as
+//! [`SnapshotError::Corrupt`], never served.
+
+use crate::{IndexOptions, InvertedIndex, Posting, SetCollection, SetId};
+use setsim_collections::codec::{
+    read_str, read_u32_le, read_u64_le, read_varint, write_str, write_u32_le, write_u64_le,
+    write_varint,
+};
+use setsim_storage::{SnapshotError, SnapshotReader, SnapshotWriter};
+use setsim_tokenize::{Dictionary, Token, TokenMultiSet, TokenizerSpec};
+use std::path::Path;
+
+/// Default snapshot page size in bytes (one OS page).
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+const SPEC_TAG_QGRAM: u8 = 0;
+const SPEC_TAG_WORD: u8 = 1;
+
+fn corrupt(detail: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+fn encode_spec(out: &mut Vec<u8>, spec: &TokenizerSpec) {
+    match *spec {
+        TokenizerSpec::QGram { q, pad, lowercase } => {
+            out.push(SPEC_TAG_QGRAM);
+            write_varint(out, q as u64);
+            match pad {
+                Some(c) => {
+                    out.push(1);
+                    write_u32_le(out, c as u32);
+                }
+                None => out.push(0),
+            }
+            out.push(u8::from(lowercase));
+        }
+        TokenizerSpec::Word {
+            lowercase,
+            keep_digits,
+        } => {
+            out.push(SPEC_TAG_WORD);
+            out.push(u8::from(lowercase));
+            out.push(u8::from(keep_digits));
+        }
+    }
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> Option<u8> {
+    let b = *buf.get(*pos)?;
+    *pos = pos.checked_add(1)?;
+    Some(b)
+}
+
+fn read_bool(buf: &[u8], pos: &mut usize) -> Result<bool, SnapshotError> {
+    match read_u8(buf, pos) {
+        Some(0) => Ok(false),
+        Some(1) => Ok(true),
+        Some(b) => Err(corrupt(format!("invalid boolean byte {b}"))),
+        None => Err(corrupt("footer ends inside a boolean")),
+    }
+}
+
+fn decode_spec(buf: &[u8], pos: &mut usize) -> Result<TokenizerSpec, SnapshotError> {
+    match read_u8(buf, pos) {
+        Some(SPEC_TAG_QGRAM) => {
+            let q = read_varint(buf, pos).ok_or_else(|| corrupt("tokenizer q missing"))?;
+            let q = usize::try_from(q).map_err(|_| corrupt("tokenizer q overflows usize"))?;
+            if q == 0 {
+                return Err(corrupt("tokenizer q must be positive"));
+            }
+            let pad = if read_bool(buf, pos)? {
+                let raw = read_u32_le(buf, pos).ok_or_else(|| corrupt("tokenizer pad missing"))?;
+                Some(
+                    char::from_u32(raw)
+                        .ok_or_else(|| corrupt(format!("invalid pad character scalar {raw:#x}")))?,
+                )
+            } else {
+                None
+            };
+            let lowercase = read_bool(buf, pos)?;
+            Ok(TokenizerSpec::QGram { q, pad, lowercase })
+        }
+        Some(SPEC_TAG_WORD) => {
+            let lowercase = read_bool(buf, pos)?;
+            let keep_digits = read_bool(buf, pos)?;
+            Ok(TokenizerSpec::Word {
+                lowercase,
+                keep_digits,
+            })
+        }
+        Some(tag) => Err(corrupt(format!("unknown tokenizer spec tag {tag}"))),
+        None => Err(corrupt("footer ends before tokenizer spec")),
+    }
+}
+
+fn encode_options(out: &mut Vec<u8>, o: &IndexOptions) {
+    out.push(u8::from(o.build_skip_lists));
+    write_varint(out, o.skip_stride as u64);
+    out.push(u8::from(o.build_hash_indexes));
+    write_varint(out, o.hash_bucket_capacity as u64);
+    out.push(u8::from(o.build_id_sorted_lists));
+}
+
+fn decode_options(buf: &[u8], pos: &mut usize) -> Result<IndexOptions, SnapshotError> {
+    let build_skip_lists = read_bool(buf, pos)?;
+    let skip_stride = read_varint(buf, pos).ok_or_else(|| corrupt("skip stride missing"))?;
+    let build_hash_indexes = read_bool(buf, pos)?;
+    let hash_bucket_capacity =
+        read_varint(buf, pos).ok_or_else(|| corrupt("hash bucket capacity missing"))?;
+    let build_id_sorted_lists = read_bool(buf, pos)?;
+    Ok(IndexOptions::default()
+        .with_skip_lists(build_skip_lists)
+        .with_skip_stride(
+            usize::try_from(skip_stride).map_err(|_| corrupt("skip stride overflows usize"))?,
+        )
+        .with_hash_indexes(build_hash_indexes)
+        .with_hash_bucket_capacity(
+            usize::try_from(hash_bucket_capacity)
+                .map_err(|_| corrupt("hash bucket capacity overflows usize"))?,
+        )
+        .with_id_sorted_lists(build_id_sorted_lists))
+}
+
+/// One block of a serialized list: `(first len-bits key, page, offset,
+/// count)`. `offset` locates the block inside its (shared) page.
+struct BlockRef {
+    first_key: u64,
+    page: u32,
+    offset: u32,
+    count: u32,
+}
+
+/// Per-list directory entry in the footer.
+struct ListRef {
+    token: Token,
+    postings: u64,
+    blocks: Vec<BlockRef>,
+}
+
+/// Packs encoded blocks back to back into sealed pages. A page is flushed
+/// only once the next block no longer fits, so short lists share pages; a
+/// block never straddles a page boundary.
+struct PagePacker<'w> {
+    writer: &'w mut SnapshotWriter,
+    buf: Vec<u8>,
+}
+
+impl<'w> PagePacker<'w> {
+    fn new(writer: &'w mut SnapshotWriter) -> Self {
+        let cap = writer.page_capacity();
+        Self {
+            writer,
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.writer.page_capacity()
+    }
+
+    /// Append one block, flushing the current page first if it would not
+    /// fit; returns the `(page, offset)` the block will occupy.
+    fn place(&mut self, block: &[u8]) -> Result<(u32, u32), SnapshotError> {
+        if self.buf.len() + block.len() > self.capacity() {
+            self.flush()?;
+        }
+        let page =
+            u32::try_from(self.writer.pages_written()).map_err(|_| SnapshotError::Unsupported {
+                detail: "snapshot exceeds u32 page count".to_string(),
+            })?;
+        let offset = self.buf.len() as u32;
+        self.buf.extend_from_slice(block);
+        Ok((page, offset))
+    }
+
+    /// Seal any buffered bytes as a final (padded) page.
+    fn flush(&mut self) -> Result<(), SnapshotError> {
+        if !self.buf.is_empty() {
+            self.writer.write_page(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+}
+
+/// Split one `(len, id)`-sorted list into delta+varint blocks of at most
+/// one page and hand them to the packer. Mirrors the block layout of
+/// `setsim_storage::PagedPostings::build`.
+fn write_list_pages(
+    packer: &mut PagePacker<'_>,
+    postings: &[Posting],
+) -> Result<Vec<BlockRef>, SnapshotError> {
+    let capacity = packer.capacity();
+    let mut blocks = Vec::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(capacity);
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut block_first: Option<u64> = None;
+    let mut block_count = 0u32;
+    let mut prev_key = 0u64;
+    for p in postings {
+        let key = p.len.to_bits();
+        scratch.clear();
+        match block_first {
+            None => write_varint(&mut scratch, key),
+            Some(_) => write_varint(&mut scratch, key - prev_key),
+        }
+        write_varint(&mut scratch, u64::from(p.id.0));
+        if scratch.len() > capacity {
+            return Err(SnapshotError::Unsupported {
+                detail: format!("page capacity {capacity} below one posting"),
+            });
+        }
+        if buf.len() + scratch.len() > capacity {
+            // Close the current block and restart with an absolute key.
+            if let Some(first_key) = block_first {
+                let (page, offset) = packer.place(&buf)?;
+                blocks.push(BlockRef {
+                    first_key,
+                    page,
+                    offset,
+                    count: block_count,
+                });
+            }
+            buf.clear();
+            block_first = None;
+            block_count = 0;
+            scratch.clear();
+            write_varint(&mut scratch, key);
+            write_varint(&mut scratch, u64::from(p.id.0));
+        }
+        if block_first.is_none() {
+            block_first = Some(key);
+        }
+        buf.extend_from_slice(&scratch);
+        block_count += 1;
+        prev_key = key;
+    }
+    if let Some(first_key) = block_first {
+        let (page, offset) = packer.place(&buf)?;
+        blocks.push(BlockRef {
+            first_key,
+            page,
+            offset,
+            count: block_count,
+        });
+    }
+    Ok(blocks)
+}
+
+fn encode_footer(
+    index: &InvertedIndex<'_>,
+    spec: &TokenizerSpec,
+    directory: &[ListRef],
+) -> Vec<u8> {
+    let collection = index.collection();
+    let mut out = Vec::new();
+    encode_spec(&mut out, spec);
+
+    write_varint(&mut out, collection.dict().len() as u64);
+    for (_, s) in collection.dict().iter() {
+        write_str(&mut out, s);
+    }
+
+    write_varint(&mut out, collection.texts().len() as u64);
+    for t in collection.texts() {
+        write_str(&mut out, t);
+    }
+
+    write_varint(&mut out, collection.multisets().len() as u64);
+    for ms in collection.multisets() {
+        write_varint(&mut out, ms.distinct_len() as u64);
+        let mut prev = 0u64;
+        for (i, (token, freq)) in ms.iter().enumerate() {
+            let t = u64::from(token.0);
+            // Tokens ascend strictly; delta-encode like the posting pages.
+            if i == 0 {
+                write_varint(&mut out, t);
+            } else {
+                write_varint(&mut out, t - prev);
+            }
+            prev = t;
+            write_varint(&mut out, u64::from(freq));
+        }
+    }
+
+    encode_options(&mut out, index.options());
+
+    write_varint(&mut out, directory.len() as u64);
+    for list in directory {
+        write_varint(&mut out, u64::from(list.token.0));
+        write_varint(&mut out, list.postings);
+        write_varint(&mut out, list.blocks.len() as u64);
+        for b in &list.blocks {
+            write_u64_le(&mut out, b.first_key);
+            write_u32_le(&mut out, b.page);
+            write_varint(&mut out, u64::from(b.offset));
+            write_varint(&mut out, u64::from(b.count));
+        }
+    }
+    out
+}
+
+/// Serialize `index` to `path`. See the module docs for the layout.
+pub(crate) fn save_index(
+    index: &InvertedIndex<'_>,
+    path: &Path,
+    page_size: usize,
+) -> Result<(), SnapshotError> {
+    let spec = index
+        .collection()
+        .tokenizer()
+        .spec()
+        .ok_or_else(|| SnapshotError::Unsupported {
+            detail: "the collection's tokenizer has no serializable spec \
+                     (Tokenizer::spec returned None)"
+                .to_string(),
+        })?;
+
+    let mut writer = SnapshotWriter::create(path, page_size)?;
+
+    // Token order makes the file deterministic for identical indexes.
+    let mut lists: Vec<_> = index.iter_lists().collect();
+    lists.sort_by_key(|(t, _)| *t);
+
+    let mut directory = Vec::with_capacity(lists.len());
+    {
+        let mut packer = PagePacker::new(&mut writer);
+        for (token, list) in lists {
+            let blocks = write_list_pages(&mut packer, list.postings())?;
+            directory.push(ListRef {
+                token,
+                postings: list.len() as u64,
+                blocks,
+            });
+        }
+        packer.flush()?;
+    }
+
+    let footer = encode_footer(index, &spec, &directory);
+    writer.finish(&footer)?;
+    Ok(())
+}
+
+/// Everything the footer describes, in decode order: tokenizer spec,
+/// interned dictionary, record texts, token multisets, index options,
+/// and the posting-list directory.
+type DecodedFooter = (
+    TokenizerSpec,
+    Dictionary,
+    Vec<String>,
+    Vec<TokenMultiSet>,
+    IndexOptions,
+    Vec<ListRef>,
+);
+
+fn decode_footer(buf: &[u8]) -> Result<DecodedFooter, SnapshotError> {
+    let mut pos = 0usize;
+    let spec = decode_spec(buf, &mut pos)?;
+
+    let dict_len = read_varint(buf, &mut pos).ok_or_else(|| corrupt("dictionary count missing"))?;
+    let dict_len =
+        usize::try_from(dict_len).map_err(|_| corrupt("dictionary count overflows usize"))?;
+    let mut dict = Dictionary::with_capacity(dict_len);
+    for i in 0..dict_len {
+        let s = read_str(buf, &mut pos)
+            .ok_or_else(|| corrupt(format!("dictionary entry {i} malformed")))?;
+        dict.intern(s);
+        if dict.len() != i + 1 {
+            return Err(corrupt(format!("duplicate dictionary entry {s:?}")));
+        }
+    }
+
+    let num_texts = read_varint(buf, &mut pos).ok_or_else(|| corrupt("text count missing"))?;
+    let num_texts =
+        usize::try_from(num_texts).map_err(|_| corrupt("text count overflows usize"))?;
+    let mut texts = Vec::with_capacity(num_texts.min(1 << 20));
+    for i in 0..num_texts {
+        let s = read_str(buf, &mut pos).ok_or_else(|| corrupt(format!("text {i} malformed")))?;
+        texts.push(s.to_string());
+    }
+
+    let num_ms = read_varint(buf, &mut pos).ok_or_else(|| corrupt("multiset count missing"))?;
+    let num_ms = usize::try_from(num_ms).map_err(|_| corrupt("multiset count overflows usize"))?;
+    if num_ms != num_texts {
+        return Err(corrupt(format!("{num_ms} multisets for {num_texts} texts")));
+    }
+    let mut multisets = Vec::with_capacity(num_ms.min(1 << 20));
+    for i in 0..num_ms {
+        let distinct =
+            read_varint(buf, &mut pos).ok_or_else(|| corrupt(format!("multiset {i} truncated")))?;
+        let distinct =
+            usize::try_from(distinct).map_err(|_| corrupt("multiset size overflows usize"))?;
+        let mut entries = Vec::with_capacity(distinct.min(1 << 20));
+        let mut prev = 0u64;
+        for j in 0..distinct {
+            let delta = read_varint(buf, &mut pos)
+                .ok_or_else(|| corrupt(format!("multiset {i} entry {j} truncated")))?;
+            let t = if j == 0 {
+                delta
+            } else {
+                prev.checked_add(delta)
+                    .ok_or_else(|| corrupt("multiset token id overflows"))?
+            };
+            prev = t;
+            let freq = read_varint(buf, &mut pos)
+                .ok_or_else(|| corrupt(format!("multiset {i} entry {j} truncated")))?;
+            let token = u32::try_from(t).map_err(|_| corrupt("token id overflows u32"))?;
+            if (token as usize) >= dict.len() {
+                return Err(corrupt(format!(
+                    "multiset {i} references token {token} outside the dictionary"
+                )));
+            }
+            let freq = u32::try_from(freq).map_err(|_| corrupt("frequency overflows u32"))?;
+            entries.push((Token(token), freq));
+        }
+        let ms = TokenMultiSet::from_entries(entries)
+            .ok_or_else(|| corrupt(format!("multiset {i} entries not sorted/positive")))?;
+        multisets.push(ms);
+    }
+
+    let options = decode_options(buf, &mut pos)?;
+
+    let num_lists = read_varint(buf, &mut pos).ok_or_else(|| corrupt("list count missing"))?;
+    let num_lists =
+        usize::try_from(num_lists).map_err(|_| corrupt("list count overflows usize"))?;
+    let mut directory = Vec::with_capacity(num_lists.min(1 << 20));
+    let mut prev_token: Option<u32> = None;
+    for i in 0..num_lists {
+        let token =
+            read_varint(buf, &mut pos).ok_or_else(|| corrupt(format!("list {i} truncated")))?;
+        let token = u32::try_from(token).map_err(|_| corrupt("list token overflows u32"))?;
+        if (token as usize) >= dict.len() {
+            return Err(corrupt(format!(
+                "directory references token {token} outside the dictionary"
+            )));
+        }
+        if prev_token.is_some_and(|p| p >= token) {
+            return Err(corrupt("directory tokens not strictly increasing"));
+        }
+        prev_token = Some(token);
+        let postings =
+            read_varint(buf, &mut pos).ok_or_else(|| corrupt(format!("list {i} truncated")))?;
+        let num_blocks =
+            read_varint(buf, &mut pos).ok_or_else(|| corrupt(format!("list {i} truncated")))?;
+        let num_blocks =
+            usize::try_from(num_blocks).map_err(|_| corrupt("block count overflows usize"))?;
+        let mut blocks = Vec::with_capacity(num_blocks.min(1 << 20));
+        for j in 0..num_blocks {
+            let first_key = read_u64_le(buf, &mut pos)
+                .ok_or_else(|| corrupt(format!("list {i} block {j} truncated")))?;
+            let page = read_u32_le(buf, &mut pos)
+                .ok_or_else(|| corrupt(format!("list {i} block {j} truncated")))?;
+            let offset = read_varint(buf, &mut pos)
+                .ok_or_else(|| corrupt(format!("list {i} block {j} truncated")))?;
+            let offset =
+                u32::try_from(offset).map_err(|_| corrupt("block offset overflows u32"))?;
+            let count = read_varint(buf, &mut pos)
+                .ok_or_else(|| corrupt(format!("list {i} block {j} truncated")))?;
+            let count = u32::try_from(count).map_err(|_| corrupt("block count overflows u32"))?;
+            blocks.push(BlockRef {
+                first_key,
+                page,
+                offset,
+                count,
+            });
+        }
+        directory.push(ListRef {
+            token: Token(token),
+            postings,
+            blocks,
+        });
+    }
+    if pos != buf.len() {
+        return Err(corrupt(format!(
+            "{} unexpected trailing footer bytes",
+            buf.len() - pos
+        )));
+    }
+    Ok((spec, dict, texts, multisets, options, directory))
+}
+
+/// Single-page read cache: consecutive blocks of the directory usually
+/// live on the same (shared) page, so one page is fetched and
+/// checksum-verified once instead of once per block.
+struct PageCache<'r> {
+    reader: &'r mut SnapshotReader,
+    last: Option<(u32, Vec<u8>)>,
+}
+
+impl PageCache<'_> {
+    fn page(&mut self, id: u32) -> Result<&[u8], SnapshotError> {
+        let stale = !matches!(&self.last, Some((p, _)) if *p == id);
+        if stale {
+            let payload = self.reader.page(id)?;
+            self.last = Some((id, payload));
+        }
+        match &self.last {
+            Some((_, payload)) => Ok(payload),
+            None => unreachable!("just populated"),
+        }
+    }
+}
+
+/// Decode one list's postings from its block pages.
+fn read_list_postings(
+    cache: &mut PageCache<'_>,
+    list: &ListRef,
+    num_sets: usize,
+) -> Result<Vec<Posting>, SnapshotError> {
+    let total =
+        usize::try_from(list.postings).map_err(|_| corrupt("posting count overflows usize"))?;
+    let mut postings = Vec::with_capacity(total.min(1 << 20));
+    for b in &list.blocks {
+        let payload = cache.page(b.page)?;
+        let mut pos = b.offset as usize;
+        if pos > payload.len() {
+            return Err(corrupt(format!(
+                "block offset {pos} outside page {} payload",
+                b.page
+            )));
+        }
+        let mut key = 0u64;
+        for j in 0..b.count {
+            let delta = read_varint(payload, &mut pos)
+                .ok_or_else(|| corrupt(format!("page {} block entry {j} malformed", b.page)))?;
+            key = if j == 0 {
+                delta
+            } else {
+                key.checked_add(delta)
+                    .ok_or_else(|| corrupt("posting key overflows"))?
+            };
+            if j == 0 && key != b.first_key {
+                return Err(corrupt(format!(
+                    "page {} first key disagrees with directory",
+                    b.page
+                )));
+            }
+            let id = read_varint(payload, &mut pos)
+                .ok_or_else(|| corrupt(format!("page {} block entry {j} malformed", b.page)))?;
+            let id = u32::try_from(id).map_err(|_| corrupt("set id overflows u32"))?;
+            if (id as usize) >= num_sets {
+                return Err(corrupt(format!(
+                    "posting references set {id} outside the collection ({num_sets} sets)"
+                )));
+            }
+            postings.push(Posting {
+                id: SetId(id),
+                len: f64::from_bits(key),
+            });
+        }
+    }
+    if postings.len() != total {
+        return Err(corrupt(format!(
+            "list for token {} has {} postings, directory says {total}",
+            list.token.0,
+            postings.len()
+        )));
+    }
+    let ordered = postings
+        .windows(2)
+        .all(|w| (w[0].len, w[0].id) < (w[1].len, w[1].id));
+    if !ordered {
+        return Err(corrupt(format!(
+            "list for token {} not strictly (len, id)-sorted",
+            list.token.0
+        )));
+    }
+    Ok(postings)
+}
+
+/// Load an index from `path`. See [`InvertedIndex::load`].
+pub(crate) fn load_index(path: &Path) -> Result<InvertedIndex<'static>, SnapshotError> {
+    let mut reader = SnapshotReader::open(path)?;
+    let (spec, dict, texts, multisets, options, directory) = decode_footer(reader.footer())?;
+    let num_sets = texts.len();
+
+    let mut sorted_lists = Vec::with_capacity(directory.len());
+    let mut cache = PageCache {
+        reader: &mut reader,
+        last: None,
+    };
+    for list in &directory {
+        let postings = read_list_postings(&mut cache, list, num_sets)?;
+        sorted_lists.push((list.token, postings));
+    }
+
+    let collection = Box::new(SetCollection::from_parts(
+        spec.build(),
+        dict,
+        texts,
+        multisets,
+    ));
+    let index = InvertedIndex::assemble_owned(collection, options, sorted_lists);
+
+    // Cross-check the decoded postings against the recomputed per-set
+    // lengths: IDF weights are a deterministic function of the multisets,
+    // so any disagreement means the file is internally inconsistent
+    // (pages from one index with the footer of another, say) even though
+    // every checksum passed.
+    for (token, list) in index.iter_lists() {
+        for p in list.postings() {
+            if p.len.to_bits() != index.set_len(p.id).to_bits() {
+                return Err(corrupt(format!(
+                    "stored length of {} in list {} disagrees with the collection",
+                    p.id, token.0
+                )));
+            }
+        }
+    }
+    Ok(index)
+}
+
+/// What [`verify`] found in a checksum-clean, logically consistent snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// Number of sealed posting pages.
+    pub pages: u64,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Records in the serialized collection.
+    pub records: usize,
+    /// Distinct tokens in the serialized dictionary.
+    pub tokens: usize,
+    /// Total postings across all lists.
+    pub postings: u64,
+}
+
+/// Fully verify the snapshot at `path`: container structure, every page
+/// checksum, and logical consistency (the file must load into a working
+/// index). Returns a [`SnapshotSummary`] on success and the first typed
+/// [`SnapshotError`] otherwise.
+pub fn verify(path: &Path) -> Result<SnapshotSummary, SnapshotError> {
+    let mut reader = SnapshotReader::open(path)?;
+    let pages = reader.verify_all_pages()?;
+    let layout = reader.layout();
+    let index = load_index(path)?;
+    Ok(SnapshotSummary {
+        pages,
+        page_size: layout.page_size,
+        file_len: layout.file_len,
+        records: index.collection().len(),
+        tokens: index.collection().dict().len(),
+        postings: index.total_postings(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CollectionBuilder;
+    use setsim_tokenize::{QGramTokenizer, Tokenizer};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "setsim-core-snap-{}-{tag}-{n}.snap",
+            std::process::id()
+        ))
+    }
+
+    struct TempFile(PathBuf);
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn collection(texts: &[&str]) -> SetCollection {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_index_shape() {
+        let c = collection(&["main street", "main st", "maine", "park avenue"]);
+        let built = InvertedIndex::build(&c, IndexOptions::default());
+        let t = TempFile(temp_path("shape"));
+        built.save(&t.0).expect("save");
+        let loaded = InvertedIndex::load(&t.0).expect("load");
+        assert_eq!(loaded.num_lists(), built.num_lists());
+        assert_eq!(loaded.total_postings(), built.total_postings());
+        assert_eq!(loaded.collection().len(), c.len());
+        for (token, list) in built.iter_lists() {
+            let l = loaded.list(token).expect("token survives");
+            assert_eq!(l.postings(), list.postings(), "token {token:?}");
+            assert_eq!(l.postings_by_id(), list.postings_by_id());
+        }
+        for id in 0..c.len() as u32 {
+            let id = SetId(id);
+            assert_eq!(loaded.collection().text(id), c.text(id));
+            assert_eq!(loaded.set_len(id).to_bits(), built.set_len(id).to_bits());
+        }
+    }
+
+    #[test]
+    fn tiny_pages_straddle_blocks() {
+        // With the minimum page size every block holds only a couple of
+        // postings, so multi-page lists (block straddling) are exercised.
+        let texts: Vec<String> = (0..40).map(|i| format!("record {i:03}")).collect();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let c = collection(&refs);
+        let built = InvertedIndex::build(&c, IndexOptions::default());
+        let t = TempFile(temp_path("tiny"));
+        built
+            .save_with_page_size(&t.0, setsim_storage::snapshot::MIN_PAGE_SIZE)
+            .expect("save");
+        let loaded = InvertedIndex::load(&t.0).expect("load");
+        for (token, list) in built.iter_lists() {
+            assert_eq!(
+                loaded.list(token).expect("token").postings(),
+                list.postings()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_token_indexes_round_trip() {
+        for texts in [&[][..], &["aaa"][..]] {
+            let c = collection(texts);
+            let built = InvertedIndex::build(&c, IndexOptions::default());
+            let t = TempFile(temp_path("small"));
+            built.save(&t.0).expect("save");
+            let loaded = InvertedIndex::load(&t.0).expect("load");
+            assert_eq!(loaded.num_lists(), built.num_lists());
+            assert_eq!(loaded.collection().len(), texts.len());
+        }
+    }
+
+    #[test]
+    fn unsupported_tokenizer_is_a_typed_save_error() {
+        struct Opaque;
+        impl Tokenizer for Opaque {
+            fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
+                out.push(text.to_string());
+            }
+        }
+        let mut b = CollectionBuilder::new(Opaque);
+        b.add("whole-string-token");
+        let c = b.build();
+        let idx = InvertedIndex::build(&c, IndexOptions::default());
+        let t = TempFile(temp_path("opaque"));
+        assert!(matches!(
+            idx.save(&t.0),
+            Err(SnapshotError::Unsupported { .. })
+        ));
+        assert!(
+            !t.0.exists() || std::fs::metadata(&t.0).map_or(0, |m| m.len()) == 0 || {
+                // Save may have created the file before discovering the
+                // tokenizer is unsupported; whatever remains must not load.
+                InvertedIndex::load(&t.0).is_err()
+            }
+        );
+    }
+
+    #[test]
+    fn verify_reports_summary_and_rejects_damage() {
+        let c = collection(&["main street", "main st", "park avenue"]);
+        let built = InvertedIndex::build(&c, IndexOptions::default());
+        let t = TempFile(temp_path("verify"));
+        built.save(&t.0).expect("save");
+        let summary = verify(&t.0).expect("clean snapshot verifies");
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.tokens, c.dict().len());
+        assert_eq!(summary.postings, built.total_postings());
+        assert_eq!(
+            summary.file_len,
+            std::fs::metadata(&t.0).expect("meta").len()
+        );
+
+        // Any single flipped byte must turn verify into a typed error.
+        let mut bytes = std::fs::read(&t.0).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&t.0, &bytes).expect("rewrite");
+        assert!(verify(&t.0).is_err());
+    }
+
+    #[test]
+    fn garbage_file_is_a_typed_load_error() {
+        let t = TempFile(temp_path("garbage"));
+        std::fs::write(&t.0, b"definitely not a snapshot").expect("write");
+        assert!(matches!(
+            InvertedIndex::load(&t.0),
+            Err(SnapshotError::Truncated { .. } | SnapshotError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            InvertedIndex::load(Path::new("/nonexistent/setsim.snap")),
+            Err(SnapshotError::Io(_))
+        ));
+    }
+}

@@ -112,7 +112,7 @@ impl SimulatedDisk {
         );
         let mut page = vec![0u8; self.page_size].into_boxed_slice();
         page[..data.len()].copy_from_slice(data);
-        let id = PageId(u32::try_from(self.pages.len()).expect("disk overflow"));
+        let id = PageId(u32::try_from(self.pages.len()).expect("disk overflow")); // lint: allow — in-memory Vec length, not fallible I/O
         self.pages.push(page);
         self.stats.writes += 1;
         id
@@ -129,6 +129,26 @@ impl SimulatedDisk {
         }
         self.last_read = Some(id.0);
         &self.pages[id.0 as usize]
+    }
+
+    /// Replace the contents of an existing page (zero-padded), without
+    /// charging a read. Used by rewriting structures and by tests that
+    /// inject corruption under a [`BufferPool`](crate::BufferPool).
+    ///
+    /// # Panics
+    /// Panics on an unallocated page id or if `data` exceeds the page
+    /// size.
+    pub fn overwrite_page(&mut self, id: PageId, data: &[u8]) {
+        assert!(
+            data.len() <= self.page_size,
+            "page overflow: {} > {}",
+            data.len(),
+            self.page_size
+        );
+        let page = &mut self.pages[id.0 as usize];
+        page.fill(0);
+        page[..data.len()].copy_from_slice(data);
+        self.stats.writes += 1;
     }
 
     /// Access tallies so far.

@@ -17,11 +17,17 @@
 //!   delta+varint blocks of `setsim_collections::codec`, one block per
 //!   page, with an in-memory `(first key → page)` directory so the Length
 //!   Boundedness seek touches only the pages inside the window.
+//! * [`snapshot`] — the real-file counterpart: a versioned, page-structured
+//!   snapshot container ([`SnapshotWriter`] / [`SnapshotReader`]) with
+//!   per-page CRC32 checksums and typed [`SnapshotError`]s, backing
+//!   `Index::save` / `Index::load` in `setsim-core`.
 
 mod disk;
 mod paged;
 mod pool;
+pub mod snapshot;
 
 pub use disk::{CostModel, DiskStats, PageId, SimulatedDisk};
 pub use paged::PagedPostings;
 pub use pool::BufferPool;
+pub use snapshot::{SnapshotError, SnapshotLayout, SnapshotReader, SnapshotRegion, SnapshotWriter};

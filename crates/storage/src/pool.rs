@@ -1,3 +1,4 @@
+use crate::snapshot::{page_checksum_ok, SnapshotError, SnapshotRegion};
 use crate::{PageId, SimulatedDisk};
 use std::collections::HashMap;
 
@@ -8,12 +9,20 @@ use std::collections::HashMap;
 /// Hits are free; misses read through to the disk (charging it a
 /// sequential or random access) and evict the least recently used frame
 /// when full.
+///
+/// Pages sealed with an embedded CRC (see
+/// [`seal_page`](crate::snapshot::seal_page)) can be fetched through
+/// [`get_verified`](Self::get_verified), which checks the checksum on
+/// every access. A resident frame that fails verification is **not** a
+/// hit: it is evicted and the page re-read from disk as a miss, so the
+/// hit ratio never counts reads that had to fall back to the disk.
 pub struct BufferPool {
     capacity: usize,
     frames: HashMap<PageId, Frame>,
     clock: u64,
     hits: u64,
     misses: u64,
+    checksum_evictions: u64,
 }
 
 struct Frame {
@@ -34,7 +43,34 @@ impl BufferPool {
             clock: 0,
             hits: 0,
             misses: 0,
+            checksum_evictions: 0,
         }
+    }
+
+    fn evict_if_full(&mut self) {
+        if self.frames.len() >= self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(id, _)| *id);
+            if let Some(victim) = victim {
+                self.frames.remove(&victim);
+            }
+        }
+    }
+
+    /// Read `id` from disk into a frame, evicting first if needed.
+    fn admit(&mut self, disk: &mut SimulatedDisk, id: PageId, clock: u64) {
+        self.evict_if_full();
+        let data: Box<[u8]> = disk.read_page(id).into();
+        self.frames.insert(
+            id,
+            Frame {
+                data,
+                last_used: clock,
+            },
+        );
     }
 
     /// Fetch a page through the cache. On a miss the disk is charged and
@@ -44,29 +80,82 @@ impl BufferPool {
         let clock = self.clock;
         if self.frames.contains_key(&id) {
             self.hits += 1;
-            let f = self.frames.get_mut(&id).expect("checked");
-            f.last_used = clock;
-            return &f.data;
+        } else {
+            self.misses += 1;
+            self.admit(disk, id, clock);
         }
-        self.misses += 1;
-        if self.frames.len() >= self.capacity {
-            let victim = *self
-                .frames
-                .iter()
-                .min_by_key(|(_, f)| f.last_used)
-                .map(|(id, _)| id)
-                .expect("pool non-empty");
-            self.frames.remove(&victim);
+        // Present on both paths; the fallback arm is unreachable.
+        let f = self.frames.entry(id).or_insert_with(|| Frame {
+            data: Box::new([]),
+            last_used: clock,
+        });
+        f.last_used = clock;
+        &f.data
+    }
+
+    /// Fetch a CRC-sealed page through the cache, verifying the embedded
+    /// checksum on every access.
+    ///
+    /// A resident frame that fails verification does **not** count as a
+    /// hit: the stale frame is evicted (tallied in
+    /// [`checksum_evictions`](Self::checksum_evictions)) and the page is
+    /// re-read from disk as a miss. If the disk copy itself fails
+    /// verification, nothing is cached and a typed
+    /// [`SnapshotError::ChecksumMismatch`] is returned.
+    pub fn get_verified(
+        &mut self,
+        disk: &mut SimulatedDisk,
+        id: PageId,
+    ) -> Result<&[u8], SnapshotError> {
+        self.clock += 1;
+        let clock = self.clock;
+        let resident = self.frames.get(&id).map(|f| page_checksum_ok(&f.data));
+        match resident {
+            Some(true) => self.hits += 1,
+            Some(false) => {
+                // The frame went bad while cached. Before the fix this
+                // path counted a hit and served the damaged bytes.
+                self.checksum_evictions += 1;
+                self.frames.remove(&id);
+                self.misses += 1;
+                self.admit(disk, id, clock);
+            }
+            None => {
+                self.misses += 1;
+                self.admit(disk, id, clock);
+            }
         }
-        let data: Box<[u8]> = disk.read_page(id).into();
-        self.frames.insert(
-            id,
-            Frame {
-                data,
-                last_used: clock,
-            },
-        );
-        &self.frames[&id].data
+        let admitted_ok = self
+            .frames
+            .get(&id)
+            .is_some_and(|f| page_checksum_ok(&f.data));
+        if !admitted_ok {
+            // The authoritative disk copy is damaged: drop it so the
+            // bad bytes cannot later be served as a "verified" hit.
+            self.frames.remove(&id);
+            return Err(SnapshotError::ChecksumMismatch {
+                region: SnapshotRegion::Page(id.0),
+            });
+        }
+        let f = self.frames.entry(id).or_insert_with(|| Frame {
+            data: Box::new([]),
+            last_used: clock,
+        });
+        f.last_used = clock;
+        Ok(&f.data)
+    }
+
+    /// Corrupt a resident frame in place (fault injection for tests and
+    /// cache-integrity experiments). Returns `false` if `id` is not
+    /// resident.
+    pub fn poison_resident(&mut self, id: PageId) -> bool {
+        match self.frames.get_mut(&id) {
+            Some(f) if !f.data.is_empty() => {
+                f.data[0] ^= 0xFF;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Cache hits so far.
@@ -77,6 +166,12 @@ impl BufferPool {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Resident frames evicted because their checksum no longer
+    /// verified.
+    pub fn checksum_evictions(&self) -> u64 {
+        self.checksum_evictions
     }
 
     /// Fraction of accesses served from the cache.
@@ -99,6 +194,7 @@ impl BufferPool {
         self.frames.clear();
         self.hits = 0;
         self.misses = 0;
+        self.checksum_evictions = 0;
         self.clock = 0;
     }
 }
@@ -106,10 +202,19 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::seal_page;
 
     fn disk_with(n: u8) -> (SimulatedDisk, Vec<PageId>) {
         let mut d = SimulatedDisk::new(8);
         let ids = (0..n).map(|i| d.write_page(&[i])).collect();
+        (d, ids)
+    }
+
+    fn sealed_disk_with(n: u8) -> (SimulatedDisk, Vec<PageId>) {
+        let mut d = SimulatedDisk::new(64);
+        let ids = (0..n)
+            .map(|i| d.write_page(&seal_page(&[i; 16], 64)))
+            .collect();
         (d, ids)
     }
 
@@ -169,11 +274,86 @@ mod tests {
         pool.clear();
         assert_eq!(pool.resident(), 0);
         assert_eq!(pool.hits() + pool.misses(), 0);
+        assert_eq!(pool.checksum_evictions(), 0);
     }
 
     #[test]
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_panics() {
         let _ = BufferPool::new(0);
+    }
+
+    #[test]
+    fn verified_get_serves_sealed_pages() {
+        let (mut d, ids) = sealed_disk_with(3);
+        d.reset_stats();
+        let mut pool = BufferPool::new(2);
+        let page = pool.get_verified(&mut d, ids[1]).expect("clean page");
+        assert_eq!(page[0], 1);
+        assert_eq!(pool.misses(), 1);
+        let page = pool.get_verified(&mut d, ids[1]).expect("cached page");
+        assert_eq!(page[0], 1);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(d.stats().total_reads(), 1);
+    }
+
+    #[test]
+    fn checksum_failed_resident_frame_is_not_a_hit() {
+        // Regression test: a resident frame whose checksum no longer
+        // verifies used to be counted as a hit and served as-is. It must
+        // instead be evicted, re-read from disk, and counted as a miss.
+        let (mut d, ids) = sealed_disk_with(2);
+        let mut pool = BufferPool::new(2);
+        pool.get_verified(&mut d, ids[0]).expect("clean load");
+        assert_eq!((pool.hits(), pool.misses()), (0, 1));
+
+        assert!(pool.poison_resident(ids[0]));
+        d.reset_stats();
+        let page = pool
+            .get_verified(&mut d, ids[0])
+            .expect("disk copy is clean");
+        assert_eq!(page[0], 0, "served bytes come from the clean disk copy");
+        assert_eq!(pool.hits(), 0, "a checksum-failed frame must not be a hit");
+        assert_eq!(pool.misses(), 2, "the fallback read is a miss");
+        assert_eq!(pool.checksum_evictions(), 1);
+        assert_eq!(d.stats().total_reads(), 1, "page re-read from disk");
+
+        // And the healed frame is a genuine hit afterwards.
+        pool.get_verified(&mut d, ids[0]).expect("healed frame");
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn corrupt_disk_copy_is_a_typed_error_and_not_cached() {
+        let (mut d, ids) = sealed_disk_with(2);
+        let mut bad = vec![0u8; 64];
+        bad[5] = 7; // no valid embedded CRC
+        d.overwrite_page(ids[0], &bad);
+        let mut pool = BufferPool::new(2);
+        let err = pool.get_verified(&mut d, ids[0]).expect_err("corrupt page");
+        assert!(matches!(
+            err,
+            SnapshotError::ChecksumMismatch {
+                region: SnapshotRegion::Page(n)
+            } if n == ids[0].0
+        ));
+        assert_eq!(pool.resident(), 0, "damaged bytes must not stay cached");
+        // The clean sibling page still loads fine.
+        assert!(pool.get_verified(&mut d, ids[1]).is_ok());
+    }
+
+    #[test]
+    fn unverified_get_still_serves_poisoned_frames() {
+        // get() is the checksum-oblivious path; only get_verified()
+        // re-reads. This pins the behavioural difference.
+        let (mut d, ids) = sealed_disk_with(1);
+        let mut pool = BufferPool::new(1);
+        pool.get(&mut d, ids[0]);
+        pool.poison_resident(ids[0]);
+        d.reset_stats();
+        let page = pool.get(&mut d, ids[0]);
+        assert_eq!(page[0], 0xFF, "unverified path serves the cached bytes");
+        assert_eq!(d.stats().total_reads(), 0);
+        assert_eq!(pool.hits(), 1);
     }
 }

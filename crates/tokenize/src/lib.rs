@@ -28,12 +28,14 @@ mod dictionary;
 mod multiset;
 mod qgram;
 mod set;
+mod spec;
 mod word;
 
 pub use dictionary::{Dictionary, Token};
 pub use multiset::TokenMultiSet;
 pub use qgram::QGramTokenizer;
 pub use set::TokenSet;
+pub use spec::TokenizerSpec;
 pub use word::WordTokenizer;
 
 /// A tokenizer decomposes a string into a sequence of token strings.
@@ -51,6 +53,16 @@ pub trait Tokenizer {
         let mut out = Vec::new();
         self.tokenize_into(text, &mut out);
         out
+    }
+
+    /// A serializable description of this tokenizer, if it has one.
+    ///
+    /// Index snapshots persist this so a loaded index tokenizes queries
+    /// exactly as the builder did. The default is `None`: custom
+    /// tokenizers are usable in memory but make the index unsnapshotable
+    /// (saving fails with a typed error rather than guessing).
+    fn spec(&self) -> Option<TokenizerSpec> {
+        None
     }
 }
 

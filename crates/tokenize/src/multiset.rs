@@ -28,6 +28,24 @@ impl TokenMultiSet {
         Self { entries, total }
     }
 
+    /// Build a multiset directly from `(token, frequency)` pairs, without
+    /// expanding frequencies (the snapshot load path). Returns `None`
+    /// unless the entries are strictly increasing by token with nonzero
+    /// frequencies — the invariant [`from_tokens`](Self::from_tokens)
+    /// guarantees — so a deserialized multiset can never violate the
+    /// representation other code relies on.
+    pub fn from_entries(entries: Vec<(Token, u32)>) -> Option<Self> {
+        let sorted_distinct = entries.windows(2).all(|w| w[0].0 < w[1].0);
+        if !sorted_distinct || entries.iter().any(|&(_, n)| n == 0) {
+            return None;
+        }
+        let mut total = 0u32;
+        for &(_, n) in &entries {
+            total = total.checked_add(n)?;
+        }
+        Some(Self { entries, total })
+    }
+
     /// Tokenize `text` with `tok`, interning tokens in `dict`.
     pub fn tokenize<T: Tokenizer + ?Sized>(text: &str, tok: &T, dict: &mut Dictionary) -> Self {
         let mut buf = Vec::new();
@@ -110,6 +128,21 @@ mod tests {
         let m = mset(&[5, 5, 5, 2]);
         let s = m.to_set();
         assert_eq!(s.as_slice(), &[Token(2), Token(5)]);
+    }
+
+    #[test]
+    fn from_entries_round_trips_and_validates() {
+        let m = mset(&[5, 5, 5, 2]);
+        let entries: Vec<(Token, u32)> = m.iter().collect();
+        let rebuilt = TokenMultiSet::from_entries(entries).unwrap();
+        assert_eq!(rebuilt, m);
+        // Out-of-order, duplicate, and zero-frequency entries are rejected.
+        assert!(TokenMultiSet::from_entries(vec![(Token(3), 1), (Token(1), 1)]).is_none());
+        assert!(TokenMultiSet::from_entries(vec![(Token(1), 1), (Token(1), 2)]).is_none());
+        assert!(TokenMultiSet::from_entries(vec![(Token(1), 0)]).is_none());
+        // Frequency overflow is rejected rather than wrapped.
+        assert!(TokenMultiSet::from_entries(vec![(Token(0), u32::MAX), (Token(1), 1)]).is_none());
+        assert!(TokenMultiSet::from_entries(Vec::new()).is_some());
     }
 
     #[test]

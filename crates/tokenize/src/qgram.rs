@@ -64,6 +64,14 @@ impl QGramTokenizer {
 }
 
 impl Tokenizer for QGramTokenizer {
+    fn spec(&self) -> Option<crate::TokenizerSpec> {
+        Some(crate::TokenizerSpec::QGram {
+            q: self.q,
+            pad: self.pad,
+            lowercase: self.lowercase,
+        })
+    }
+
     fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
         let mut chars = Vec::new();
         self.collect_chars(text, &mut chars);

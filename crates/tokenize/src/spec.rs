@@ -1,0 +1,117 @@
+use crate::{QGramTokenizer, Tokenizer, WordTokenizer};
+
+/// A serializable description of a tokenizer's configuration.
+///
+/// A [`crate::TokenSet`]'s meaning depends on how it was tokenized, so an
+/// index snapshot must record the tokenizer alongside the sets: loading a
+/// q=3 index and querying it with a q=2 tokenizer would silently return
+/// garbage. `TokenizerSpec` is the value the snapshot footer stores —
+/// plain data, reconstructable into a working tokenizer with
+/// [`build`](Self::build).
+///
+/// Tokenizers carrying state that cannot be captured this way (e.g. a
+/// closure-based custom tokenizer) return `None` from
+/// [`Tokenizer::spec`], which the snapshot layer turns into a typed
+/// "unsupported" save error rather than writing an ambiguous file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenizerSpec {
+    /// [`QGramTokenizer`] configuration.
+    QGram {
+        /// Gram length.
+        q: usize,
+        /// Boundary padding character, if enabled.
+        pad: Option<char>,
+        /// Whether input is folded to lowercase first.
+        lowercase: bool,
+    },
+    /// [`WordTokenizer`] configuration.
+    Word {
+        /// Whether words are folded to lowercase.
+        lowercase: bool,
+        /// Whether digits count as word characters.
+        keep_digits: bool,
+    },
+}
+
+impl TokenizerSpec {
+    /// Reconstruct a working tokenizer from this description.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Tokenizer + Send + Sync> {
+        match *self {
+            TokenizerSpec::QGram { q, pad, lowercase } => {
+                let mut t = QGramTokenizer::new(q);
+                if let Some(p) = pad {
+                    t = t.with_padding(p);
+                }
+                if lowercase {
+                    t = t.with_lowercase();
+                }
+                Box::new(t)
+            }
+            TokenizerSpec::Word {
+                lowercase,
+                keep_digits,
+            } => {
+                let mut t = WordTokenizer::new();
+                if lowercase {
+                    t = t.with_lowercase();
+                }
+                if !keep_digits {
+                    t = t.without_digits();
+                }
+                Box::new(t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qgram_spec_round_trips_through_build() {
+        let original = QGramTokenizer::new(3).with_padding('#').with_lowercase();
+        let spec = original.spec().expect("qgram is snapshotable");
+        assert_eq!(
+            spec,
+            TokenizerSpec::QGram {
+                q: 3,
+                pad: Some('#'),
+                lowercase: true
+            }
+        );
+        let rebuilt = spec.build();
+        for s in ["Main Street", "", "ab", "naïve"] {
+            assert_eq!(rebuilt.tokenize(s), original.tokenize(s), "input {s:?}");
+        }
+        assert_eq!(rebuilt.spec().as_ref(), Some(&spec), "spec is a fixpoint");
+    }
+
+    #[test]
+    fn word_spec_round_trips_through_build() {
+        let original = WordTokenizer::new().with_lowercase().without_digits();
+        let spec = original.spec().expect("word is snapshotable");
+        assert_eq!(
+            spec,
+            TokenizerSpec::Word {
+                lowercase: true,
+                keep_digits: false
+            }
+        );
+        let rebuilt = spec.build();
+        for s in ["Main St. 66", "route 66", ""] {
+            assert_eq!(rebuilt.tokenize(s), original.tokenize(s), "input {s:?}");
+        }
+        assert_eq!(rebuilt.spec().as_ref(), Some(&spec), "spec is a fixpoint");
+    }
+
+    #[test]
+    fn default_spec_is_none() {
+        struct Opaque;
+        impl Tokenizer for Opaque {
+            fn tokenize_into(&self, _text: &str, _out: &mut Vec<String>) {}
+        }
+        assert!(Opaque.spec().is_none());
+    }
+}

@@ -38,6 +38,13 @@ impl WordTokenizer {
 }
 
 impl Tokenizer for WordTokenizer {
+    fn spec(&self) -> Option<crate::TokenizerSpec> {
+        Some(crate::TokenizerSpec::Word {
+            lowercase: self.lowercase,
+            keep_digits: self.keep_digits,
+        })
+    }
+
     fn tokenize_into(&self, text: &str, out: &mut Vec<String>) {
         let mut current = String::new();
         for c in text.chars() {

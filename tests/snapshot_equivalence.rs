@@ -1,0 +1,160 @@
+//! Differential snapshot-equivalence suite: an index loaded from a
+//! snapshot must be indistinguishable from the index it was saved from.
+//!
+//! A generated corpus is indexed, saved, and reloaded cold; then every
+//! one of the eight selection algorithms is run over a τ grid on both
+//! engines, and the result sets, the reported scores (to the bit), and
+//! the `SearchStatus` must match exactly. The snapshot layer recomputes
+//! weights, skip lists, and hash indexes at load, so any nondeterminism
+//! or decode drift shows up here as a query-visible diff.
+
+use setsim::core::{
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, QueryEngine, SearchRequest,
+    SearchStatus, SetCollection,
+};
+use setsim::datagen::{Corpus, CorpusConfig};
+use setsim::tokenize::QGramTokenizer;
+use std::path::PathBuf;
+
+fn temp_snap(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "setsim-snapeq-{}-{tag}-{n}.snap",
+        std::process::id()
+    ))
+}
+
+struct TempFile(PathBuf);
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn corpus_collection() -> (Corpus, SetCollection) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_records: 1_500,
+        vocab_size: 700,
+        words_per_record: (1, 4),
+        word_len: (3, 12),
+        zipf_s: 1.0,
+        seed: 99,
+    });
+    let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    b.extend(corpus.records().iter().map(String::as_str));
+    let collection = b.build();
+    (corpus, collection)
+}
+
+/// `(id, score-bits)` fingerprint of an outcome, order-normalized.
+fn fingerprint(
+    engine: &mut QueryEngine<'_>,
+    text: &str,
+    tau: f64,
+    kind: AlgorithmKind,
+) -> (Vec<(u32, u64)>, SearchStatus) {
+    let q = engine.prepare_query_str(text);
+    let out = engine
+        .search(SearchRequest::new(&q).tau(tau).algorithm(kind))
+        .expect("valid request");
+    let mut v: Vec<(u32, u64)> = out
+        .results
+        .iter()
+        .map(|m| (m.id.0, m.score.to_bits()))
+        .collect();
+    v.sort_unstable();
+    (v, out.status)
+}
+
+#[test]
+fn all_eight_algorithms_agree_between_built_and_loaded_index() {
+    let (corpus, collection) = corpus_collection();
+    let built = InvertedIndex::build(&collection, IndexOptions::default());
+    let t = TempFile(temp_snap("all8"));
+    built.save(&t.0).expect("save");
+
+    let mut built_engine = QueryEngine::new(built);
+    let mut loaded_engine = QueryEngine::open(&t.0).expect("cold-start open");
+
+    // Queries: records from the database (guaranteed hits), their
+    // prefixes (partial overlap), and a miss.
+    let mut queries: Vec<String> = corpus.records().iter().take(12).cloned().collect();
+    queries.extend(
+        corpus
+            .records()
+            .iter()
+            .skip(40)
+            .take(6)
+            .map(|r| r.chars().take(r.chars().count().div_ceil(2)).collect()),
+    );
+    queries.push("zzz qqq xxyyzz".to_string());
+
+    let mut nonempty = 0usize;
+    for tau in [0.5, 0.75, 0.95] {
+        for kind in AlgorithmKind::ALL {
+            for text in &queries {
+                let (b_ids, b_status) = fingerprint(&mut built_engine, text, tau, kind);
+                let (l_ids, l_status) = fingerprint(&mut loaded_engine, text, tau, kind);
+                assert_eq!(
+                    b_ids,
+                    l_ids,
+                    "result set or scores diverge: {} tau={tau} query={text:?}",
+                    kind.name()
+                );
+                assert_eq!(b_status, l_status, "{} tau={tau}", kind.name());
+                nonempty += usize::from(!b_ids.is_empty());
+            }
+        }
+    }
+    assert!(
+        nonempty > 0,
+        "workload degenerate: every query returned empty on every algorithm"
+    );
+}
+
+#[test]
+fn loaded_collection_is_textually_identical() {
+    let (_, collection) = corpus_collection();
+    let built = InvertedIndex::build(&collection, IndexOptions::default());
+    let t = TempFile(temp_snap("texts"));
+    built.save(&t.0).expect("save");
+    let loaded = InvertedIndex::load(&t.0).expect("load");
+    assert_eq!(loaded.collection().len(), collection.len());
+    for id in 0..collection.len() as u32 {
+        let id = setsim::core::SetId(id);
+        assert_eq!(loaded.collection().text(id), collection.text(id));
+        assert_eq!(
+            loaded.set_len(id).to_bits(),
+            built.set_len(id).to_bits(),
+            "normalized length drifted for {id:?}"
+        );
+    }
+}
+
+#[test]
+fn empty_and_single_record_indexes_serve_after_reload() {
+    for texts in [&[][..], &["main street"][..]] {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        b.extend(texts.iter().copied());
+        let collection = b.build();
+        let built = InvertedIndex::build(&collection, IndexOptions::default());
+        let t = TempFile(temp_snap("degenerate"));
+        built.save(&t.0).expect("save");
+        let mut engine = QueryEngine::open(&t.0).expect("open");
+        for kind in AlgorithmKind::ALL {
+            let q = engine.prepare_query_str("main street");
+            let out = engine
+                .search(SearchRequest::new(&q).tau(0.5).algorithm(kind))
+                .expect("valid request");
+            assert_eq!(
+                out.results.len(),
+                usize::from(!texts.is_empty()),
+                "{} over {} record(s)",
+                kind.name(),
+                texts.len()
+            );
+        }
+    }
+}
