@@ -1,139 +1,231 @@
 //! Figure 6 — wall-clock time of all algorithms as a function of
 //! (a) threshold, (b) query size, and (c) modifications per query word.
 //!
-//! Usage: `fig6_time [--scale ...] [threshold|querysize|modifications]`
+//! Usage: `fig6_time [--scale ...] [--json] [threshold|querysize|modifications]`
 //! (no sweep argument runs all three).
+//!
+//! Measurements go through [`setsim_bench::report::measure_workload`] —
+//! the same warmup / min-of-k / counter pipeline as `setsim-bench
+//! harness` — so the text tables and the `--json` report are two views
+//! of one schema ([`BenchReport`]). With `--json`, stdout carries one
+//! JSON document and nothing else; the tables move to stderr-free
+//! silence.
 
-use setsim_bench::{
-    prepare_queries, print_table, run_workload, scale_from_args, word_collection, workload, Algo,
-    Engines,
+use setsim_bench::report::{
+    measure_workload, print_figure, BenchReport, EnvFingerprint, Metric, Passes, WorkloadReport,
+    SCHEMA_VERSION,
 };
+use setsim_bench::{prepare_queries, scale_from_args, word_collection, workload, Algo, Engines};
 use setsim_core::AlgoConfig;
 use setsim_datagen::LengthBucket;
 
 const QUERIES: usize = 100;
+/// Base query-workload seed; the sweeps derive their per-column seeds
+/// from it exactly as the pre-report version did (61, 62+bucket, 66+mods)
+/// so the measured workloads are unchanged.
+const FIG_SEED: u64 = 61;
+const WARMUP: usize = 1;
+const REPS: usize = 3;
 
-/// Modeled disk time per query in ms: the paper's indexes are disk
-/// resident, where TA's per-element random probes dominate. In-memory
-/// wall clock hides that, so we also report a modeled cost with
-/// 2008-era constants: 0.2 µs per sequential posting (streamed pages),
-/// 100 µs per random probe (partially cached seeks).
-fn modeled_ms(r: &setsim_bench::WorkloadResult, queries: usize) -> f64 {
-    let n = queries.max(1) as f64;
-    (r.stats.elements_read as f64 * 0.0002 + r.stats.random_probes as f64 * 0.1) / n
+/// A workload report minus one algorithm row — used to drop SQL from the
+/// modeled-disk table, whose constants describe inverted-list I/O.
+fn without(w: &WorkloadReport, name: &str) -> WorkloadReport {
+    let mut filtered = w.clone();
+    filtered.algos.retain(|a| a.name != name);
+    filtered
 }
 
-fn sweep_threshold(engines: &Engines<'_>, corpus: &setsim_datagen::Corpus) {
+fn result_counts(columns: &[WorkloadReport]) -> String {
+    columns
+        .iter()
+        .map(|w| {
+            w.algo(Algo::Sf.name()).map_or_else(
+                || "-".to_string(),
+                // lint: allow — counters well below 2^53.
+                |a| format!("{:.0}", a.counters.matches as f64 / w.queries.max(1) as f64),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+fn sweep_threshold(engines: &Engines<'_>, corpus: &setsim_datagen::Corpus) -> Vec<WorkloadReport> {
     // 11-15 grams, 0 modifications, tau in {0.6, 0.7, 0.8, 0.9}.
-    let wl = workload(corpus, LengthBucket::PAPER[2], 0, QUERIES, 61);
+    let wl = workload(corpus, LengthBucket::PAPER[2], 0, QUERIES, FIG_SEED);
     let queries = prepare_queries(&engines.index, &wl);
-    let taus = [0.6, 0.7, 0.8, 0.9];
-    let mut rows = Vec::new();
-    let mut rows_model = Vec::new();
-    let mut result_counts = Vec::new();
-    for algo in Algo::ALL {
-        let mut cells = Vec::new();
-        let mut model_cells = Vec::new();
-        for &tau in &taus {
-            let r = run_workload(engines, algo, AlgoConfig::default(), &queries, tau);
-            if algo == Algo::Sf {
-                result_counts.push(format!("{:.0}", r.avg_results));
-            }
-            cells.push(format!("{:.3}", r.avg_ms));
-            model_cells.push(format!("{:.3}", modeled_ms(&r, queries.len())));
-        }
-        rows.push((algo.name().to_string(), cells));
-        if algo != Algo::Sql {
-            rows_model.push((algo.name().to_string(), model_cells));
-        }
-    }
-    print_table(
-        "Figure 6(a): avg wall-clock ms/query vs threshold (11-15 grams, 0 mods)",
-        &taus.iter().map(|t| format!("tau={t}")).collect::<Vec<_>>(),
-        &rows,
+    [0.6, 0.7, 0.8, 0.9]
+        .iter()
+        .map(|&tau| {
+            measure_workload(
+                engines,
+                &Algo::ALL,
+                AlgoConfig::default(),
+                &queries,
+                tau,
+                &format!("tau={tau} 11-15g 0mods"),
+                Passes {
+                    warmup: WARMUP,
+                    reps: REPS,
+                },
+            )
+        })
+        .collect()
+}
+
+fn print_threshold(columns: &[WorkloadReport]) {
+    let labels: Vec<String> = columns.iter().map(|w| format!("tau={}", w.tau)).collect();
+    let refs: Vec<&WorkloadReport> = columns.iter().collect();
+    print_figure(
+        "Figure 6(a): min wall-clock ms/query vs threshold (11-15 grams, 0 mods)",
+        &refs,
+        &labels,
+        Metric::MinMs,
     );
-    println!("avg results/query: {}", result_counts.join("  "));
-    print_table(
+    println!("avg results/query: {}", result_counts(columns));
+    let modeled: Vec<WorkloadReport> = columns.iter().map(|w| without(w, "SQL")).collect();
+    let refs: Vec<&WorkloadReport> = modeled.iter().collect();
+    print_figure(
         "Figure 6(a'): modeled disk ms/query (0.2us/seq element, 100us/random probe)",
-        &taus.iter().map(|t| format!("tau={t}")).collect::<Vec<_>>(),
-        &rows_model,
+        &refs,
+        &labels,
+        Metric::ModeledDiskMs,
     );
 }
 
-fn sweep_querysize(engines: &Engines<'_>, corpus: &setsim_datagen::Corpus) {
+fn sweep_querysize(engines: &Engines<'_>, corpus: &setsim_datagen::Corpus) -> Vec<WorkloadReport> {
     // tau = 0.8, 0 modifications, the four gram buckets.
-    let mut rows: Vec<(String, Vec<String>)> = Algo::ALL
+    LengthBucket::PAPER
         .iter()
-        .map(|a| (a.name().to_string(), Vec::new()))
-        .collect();
-    let mut result_counts = Vec::new();
-    for (bi, bucket) in LengthBucket::PAPER.iter().enumerate() {
-        let wl = workload(corpus, *bucket, 0, QUERIES, 62 + bi as u64);
-        let queries = prepare_queries(&engines.index, &wl);
-        for (ai, algo) in Algo::ALL.iter().enumerate() {
-            let r = run_workload(engines, *algo, AlgoConfig::default(), &queries, 0.8);
-            if *algo == Algo::Sf {
-                result_counts.push(format!("{:.0}", r.avg_results));
-            }
-            rows[ai].1.push(format!("{:.3}", r.avg_ms));
-        }
-    }
-    print_table(
-        "Figure 6(b): avg wall-clock ms/query vs query size (tau=0.8, 0 mods)",
-        &LengthBucket::PAPER
-            .iter()
-            .map(setsim_datagen::LengthBucket::label)
-            .collect::<Vec<_>>(),
-        &rows,
-    );
-    println!("avg results/query: {}", result_counts.join("  "));
+        .enumerate()
+        .map(|(bi, bucket)| {
+            let wl = workload(corpus, *bucket, 0, QUERIES, FIG_SEED + 1 + bi as u64);
+            let queries = prepare_queries(&engines.index, &wl);
+            measure_workload(
+                engines,
+                &Algo::ALL,
+                AlgoConfig::default(),
+                &queries,
+                0.8,
+                &format!("tau=0.8 {} 0mods", bucket.label()),
+                Passes {
+                    warmup: WARMUP,
+                    reps: REPS,
+                },
+            )
+        })
+        .collect()
 }
 
-fn sweep_modifications(engines: &Engines<'_>, corpus: &setsim_datagen::Corpus) {
-    // tau = 0.6, 11-15 grams, modifications in {0, 1, 2, 3}.
-    let mods = [0usize, 1, 2, 3];
-    let mut rows: Vec<(String, Vec<String>)> = Algo::ALL
+fn print_querysize(columns: &[WorkloadReport]) {
+    let labels: Vec<String> = LengthBucket::PAPER
         .iter()
-        .map(|a| (a.name().to_string(), Vec::new()))
+        .map(setsim_datagen::LengthBucket::label)
         .collect();
-    let mut result_counts = Vec::new();
-    for &m in &mods {
-        let wl = workload(corpus, LengthBucket::PAPER[2], m, QUERIES, 66 + m as u64);
-        let queries = prepare_queries(&engines.index, &wl);
-        for (ai, algo) in Algo::ALL.iter().enumerate() {
-            let r = run_workload(engines, *algo, AlgoConfig::default(), &queries, 0.6);
-            if *algo == Algo::Sf {
-                result_counts.push(format!("{:.0}", r.avg_results));
-            }
-            rows[ai].1.push(format!("{:.3}", r.avg_ms));
-        }
-    }
-    print_table(
-        "Figure 6(c): avg wall-clock ms/query vs modifications (tau=0.6, 11-15 grams)",
-        &mods.iter().map(|m| format!("{m} mods")).collect::<Vec<_>>(),
-        &rows,
+    let refs: Vec<&WorkloadReport> = columns.iter().collect();
+    print_figure(
+        "Figure 6(b): min wall-clock ms/query vs query size (tau=0.8, 0 mods)",
+        &refs,
+        &labels,
+        Metric::MinMs,
     );
-    println!("avg results/query: {}", result_counts.join("  "));
+    println!("avg results/query: {}", result_counts(columns));
+}
+
+fn sweep_modifications(
+    engines: &Engines<'_>,
+    corpus: &setsim_datagen::Corpus,
+) -> Vec<WorkloadReport> {
+    // tau = 0.6, 11-15 grams, modifications in {0, 1, 2, 3}.
+    [0usize, 1, 2, 3]
+        .iter()
+        .map(|&m| {
+            let wl = workload(
+                corpus,
+                LengthBucket::PAPER[2],
+                m,
+                QUERIES,
+                FIG_SEED + 5 + m as u64,
+            );
+            let queries = prepare_queries(&engines.index, &wl);
+            measure_workload(
+                engines,
+                &Algo::ALL,
+                AlgoConfig::default(),
+                &queries,
+                0.6,
+                &format!("tau=0.6 11-15g {m}mods"),
+                Passes {
+                    warmup: WARMUP,
+                    reps: REPS,
+                },
+            )
+        })
+        .collect()
+}
+
+fn print_modifications(columns: &[WorkloadReport]) {
+    let labels: Vec<String> = [0, 1, 2, 3].iter().map(|m| format!("{m} mods")).collect();
+    let refs: Vec<&WorkloadReport> = columns.iter().collect();
+    print_figure(
+        "Figure 6(c): min wall-clock ms/query vs modifications (tau=0.6, 11-15 grams)",
+        &refs,
+        &labels,
+        Metric::MinMs,
+    );
+    println!("avg results/query: {}", result_counts(columns));
 }
 
 fn main() {
     let (scale, rest) = scale_from_args();
+    let json = rest.iter().any(|a| a == "--json");
+    let which = rest
+        .iter()
+        .find(|a| *a != "--json")
+        .map_or("all", String::as_str);
     let (corpus, collection) = word_collection(scale);
     let engines = Engines::build(&collection);
-    println!(
-        "# Figure 6: wall-clock time ({} sets, {} postings)",
-        collection.len(),
-        engines.index.total_postings()
-    );
-    let which = rest.first().map_or("all", std::string::String::as_str);
+    if !json {
+        println!(
+            "# Figure 6: wall-clock time ({} sets, {} postings)",
+            collection.len(),
+            engines.index.total_postings()
+        );
+    }
+    let mut all = Vec::new();
     if which == "threshold" || which == "all" {
-        sweep_threshold(&engines, &corpus);
+        let columns = sweep_threshold(&engines, &corpus);
+        if !json {
+            print_threshold(&columns);
+        }
+        all.extend(columns);
     }
     if which == "querysize" || which == "all" {
-        sweep_querysize(&engines, &corpus);
+        let columns = sweep_querysize(&engines, &corpus);
+        if !json {
+            print_querysize(&columns);
+        }
+        all.extend(columns);
     }
     if which == "modifications" || which == "all" {
-        sweep_modifications(&engines, &corpus);
+        let columns = sweep_modifications(&engines, &corpus);
+        if !json {
+            print_modifications(&columns);
+        }
+        all.extend(columns);
+    }
+    if json {
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            label: "fig6".to_string(),
+            scale: setsim_bench::Scale::name(scale).to_string(),
+            seed: FIG_SEED,
+            warmup: WARMUP as u64,
+            reps: REPS as u64,
+            env: EnvFingerprint::capture(),
+            workloads: all,
+        };
+        print!("{}", report.to_json_string());
+        return;
     }
     println!("\n# Expectation (paper): SF fastest overall; SQL/iNRA/Hybrid close behind;");
     println!("# sort-by-id flat and slow; TA/NRA uncompetitive; Length-Bounded algorithms");

@@ -1,0 +1,141 @@
+//! `setsim-bench` — the machine-readable benchmark harness driver.
+//!
+//! ```text
+//! setsim-bench harness [--scale small|medium|large] [--seed N]
+//!                      [--queries N] [--warmup W] [--reps K]
+//!                      [--label L] [--out FILE] [--stdout]
+//! ```
+//!
+//! Runs the deterministic seeded workload grid of
+//! [`setsim_bench::harness`] through every roster algorithm and writes
+//! the versioned report as `BENCH_<label>.json` (default label: the
+//! scale name). The counter sections of the report are byte-identical
+//! across runs with the same `--scale`/`--seed`; the latency sections
+//! and env fingerprint are machine-dependent. Compare two reports with
+//! `cargo xtask bench-diff`.
+
+use setsim_bench::harness::{self, HarnessConfig};
+use setsim_bench::report::Metric;
+use setsim_bench::Scale;
+
+const USAGE: &str = "\
+setsim-bench — machine-readable benchmark harness
+
+USAGE:
+  setsim-bench harness [OPTIONS]
+
+OPTIONS:
+  --scale small|medium|large   corpus scale (default small)
+  --seed N                     master seed (default 42)
+  --queries N                  queries per workload (default per scale)
+  --warmup W                   untimed passes per cell (default 1)
+  --reps K                     timed passes per cell (default 3)
+  --label L                    report label (default: scale name)
+  --out FILE                   output path (default BENCH_<label>.json)
+  --stdout                     print the JSON instead of writing a file
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("harness") => run_harness(&args[1..]),
+        Some("-h" | "--help") => println!("{USAGE}"),
+        Some(other) => fail(&format!("unknown subcommand {other:?}")),
+        None => fail("missing subcommand"),
+    }
+}
+
+fn run_harness(args: &[String]) {
+    let mut config = HarnessConfig::new(Scale::Small, 42);
+    let mut out_path: Option<String> = None;
+    let mut to_stdout = false;
+    let mut label_set = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match a.as_str() {
+            "--scale" => {
+                let v = value("--scale");
+                let scale = Scale::parse(&v).unwrap_or_else(|| {
+                    fail(&format!("unknown scale {v:?}; use small|medium|large"))
+                });
+                let seed = config.seed;
+                let keep_label = label_set.then(|| config.label.clone());
+                config = HarnessConfig::new(scale, seed);
+                if let Some(l) = keep_label {
+                    config.label = l;
+                }
+            }
+            "--seed" => config.seed = parse_num(&value("--seed"), "--seed"),
+            "--queries" => config.queries = parse_num(&value("--queries"), "--queries"),
+            "--warmup" => config.warmup = parse_num(&value("--warmup"), "--warmup"),
+            "--reps" => {
+                config.reps = parse_num(&value("--reps"), "--reps");
+                if config.reps == 0 {
+                    fail("--reps must be at least 1");
+                }
+            }
+            "--label" => {
+                config.label = value("--label");
+                label_set = true;
+            }
+            "--out" => out_path = Some(value("--out")),
+            "--stdout" => to_stdout = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+
+    eprintln!(
+        "harness: scale={} seed={} queries/workload={} warmup={} reps={}",
+        Scale::name(config.scale),
+        config.seed,
+        config.queries,
+        config.warmup,
+        config.reps
+    );
+    let report = harness::run(&config);
+    let json = report.to_json_string();
+    if to_stdout {
+        print!("{json}");
+    } else {
+        let path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", config.label));
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    // Terse human summary on stderr: min-of-k ms/query per cell.
+    for w in &report.workloads {
+        eprintln!("  workload {}", w.label);
+        for a in &w.algos {
+            eprintln!(
+                "    {:10} min {:>9.3} ms/q  median {:>9.3} ±{:.3}  pruning {:>5.1}%",
+                a.name,
+                a.latency.min_ms_per_query,
+                a.latency.median_ms_per_query,
+                a.latency.mad_ms_per_query,
+                Metric::PruningPct.of(a),
+            );
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| fail(&format!("{flag} expects a number, got {s:?}")))
+}

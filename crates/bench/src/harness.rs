@@ -1,0 +1,178 @@
+//! The reproduction-grade benchmark harness behind `setsim-bench harness`.
+//!
+//! [`run`] executes a fixed grid of deterministic seeded workloads
+//! (corpus and queries both derive from one master seed through
+//! `setsim-datagen` / `setsim-prng`) through the [`Engines`] execution
+//! path — every roster algorithm, explicit warmup passes, min-of-k wall
+//! clock with median/MAD — and returns a [`BenchReport`] ready to write
+//! as `BENCH_<label>.json`.
+//!
+//! Determinism contract: everything except the `latency` sections and
+//! the `env` fingerprint is a pure function of
+//! ([`HarnessConfig::scale`], [`HarnessConfig::seed`], the workload
+//! grid). `BenchReport::counters_json` extracts exactly that slice;
+//! `cargo xtask bench-diff` fails on *any* counter drift while treating
+//! latency as a banded advisory signal. See EXPERIMENTS.md
+//! "Methodology".
+
+use crate::report::{measure_workload, BenchReport, EnvFingerprint, Passes, SCHEMA_VERSION};
+use crate::{prepare_queries, word_collection_seeded, workload, Algo, Engines, Scale};
+use setsim_core::AlgoConfig;
+use setsim_datagen::LengthBucket;
+
+/// Harness parameters. `scale` and `seed` select the deterministic
+/// workload; the rest control measurement quality and labeling.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Corpus scale (drives record count and vocabulary size).
+    pub scale: Scale,
+    /// Master seed: corpus generation and every workload derive from it.
+    pub seed: u64,
+    /// Queries per workload (defaults per scale via [`HarnessConfig::new`]).
+    pub queries: usize,
+    /// Untimed passes per (workload, algorithm) before measurement.
+    pub warmup: usize,
+    /// Timed passes per (workload, algorithm); min/median/MAD reduce them.
+    pub reps: usize,
+    /// Report label — the file becomes `BENCH_<label>.json`.
+    pub label: String,
+}
+
+impl HarnessConfig {
+    /// Defaults for a scale: 1 warmup pass, 3 timed reps, and a query
+    /// count sized so the harness stays in CI-friendly territory.
+    #[must_use]
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let queries = match scale {
+            Scale::Small => 50,
+            Scale::Medium => 100,
+            Scale::Large => 100,
+        };
+        Self {
+            scale,
+            seed,
+            queries,
+            warmup: 1,
+            reps: 3,
+            label: Scale::name(scale).to_string(),
+        }
+    }
+}
+
+/// The harness workload grid: three regimes that jointly exercise every
+/// pruning mechanism (threshold pruning, length bounding, dirty-query
+/// candidate management). Kept deliberately small and *stable*: the grid
+/// is part of the schema — changing a row invalidates stored baselines,
+/// so additions append new labels rather than altering existing ones.
+const GRID: [GridRow; 3] = [
+    // Selective regime: high τ on the paper's 11–15 gram bucket.
+    GridRow {
+        label: "tau=0.8 11-15g 0mods",
+        bucket_idx: 2,
+        tau: 0.8,
+        modifications: 0,
+    },
+    // Permissive regime: low τ widens candidate sets.
+    GridRow {
+        label: "tau=0.6 11-15g 0mods",
+        bucket_idx: 2,
+        tau: 0.6,
+        modifications: 0,
+    },
+    // Dirty regime: shorter queries with one edit each.
+    GridRow {
+        label: "tau=0.7 6-10g 1mod",
+        bucket_idx: 1,
+        tau: 0.7,
+        modifications: 1,
+    },
+];
+
+struct GridRow {
+    label: &'static str,
+    bucket_idx: usize,
+    tau: f64,
+    modifications: usize,
+}
+
+/// Run the full harness: build the seeded corpus and index once, then
+/// measure every [`Algo`] on every grid workload.
+#[must_use]
+pub fn run(config: &HarnessConfig) -> BenchReport {
+    let (corpus, collection) = word_collection_seeded(config.scale, config.seed);
+    let engines = Engines::build(&collection);
+    let mut workloads = Vec::with_capacity(GRID.len());
+    for (i, row) in GRID.iter().enumerate() {
+        let wl = workload(
+            &corpus,
+            LengthBucket::PAPER[row.bucket_idx],
+            row.modifications,
+            config.queries,
+            // Distinct per-row streams derived from the master seed.
+            config.seed ^ (0x9e37_79b9 + i as u64),
+        );
+        let queries = prepare_queries(&engines.index, &wl);
+        workloads.push(measure_workload(
+            &engines,
+            &Algo::ALL,
+            AlgoConfig::default(),
+            &queries,
+            row.tau,
+            row.label,
+            Passes {
+                warmup: config.warmup,
+                reps: config.reps,
+            },
+        ));
+    }
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        label: config.label.clone(),
+        scale: Scale::name(config.scale).to_string(),
+        seed: config.seed,
+        warmup: config.warmup as u64,
+        reps: config.reps as u64,
+        env: EnvFingerprint::capture(),
+        workloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_produces_full_grid() {
+        let mut config = HarnessConfig::new(Scale::Small, 42);
+        config.queries = 5;
+        config.warmup = 0;
+        config.reps = 1;
+        let report = run(&config);
+        assert_eq!(report.workloads.len(), GRID.len());
+        for w in &report.workloads {
+            assert_eq!(w.algos.len(), Algo::ALL.len());
+            assert_eq!(w.queries, 5);
+            for a in &w.algos {
+                assert_eq!(a.counters.queries, 5);
+                assert!(a.latency.min_ms_per_query >= 0.0);
+            }
+            // The exhaustive baselines do real work on every workload.
+            let merge = w.algo("sort-by-id").expect("merge in roster");
+            assert!(merge.counters.elements_read > 0, "{}", w.label);
+            let sql = w.algo("SQL").expect("sql in roster");
+            assert!(sql.counters.elements_read > 0, "{}", w.label);
+        }
+        // The report survives its own serialization.
+        let back = BenchReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn grid_labels_are_unique() {
+        for (i, a) in GRID.iter().enumerate() {
+            for b in &GRID[i + 1..] {
+                assert_ne!(a.label, b.label);
+            }
+        }
+    }
+}

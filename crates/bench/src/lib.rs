@@ -16,6 +16,17 @@
 //! rendering. Scale is tunable with `--scale small|medium|large` (the
 //! binaries default to `medium`, laptop-friendly while preserving the
 //! paper's relative trends).
+//!
+//! Beyond the figure binaries, the crate hosts the machine-readable perf
+//! trajectory: [`json`] (a dependency-free JSON writer/parser), [`report`]
+//! (the versioned `BENCH_*.json` schema), [`harness`] (the deterministic
+//! seeded workload runner behind `setsim-bench harness`), and [`diff`]
+//! (the noise-aware comparator behind `cargo xtask bench-diff`).
+
+pub mod diff;
+pub mod harness;
+pub mod json;
+pub mod report;
 
 use setsim_core::algorithms::sql::SqlBaseline;
 use setsim_core::{
@@ -49,8 +60,15 @@ impl Scale {
         }
     }
 
-    /// Corpus configuration for this scale.
+    /// Corpus configuration for this scale (the figure binaries' fixed
+    /// seed 42).
     pub fn corpus_config(self) -> CorpusConfig {
+        self.corpus_config_seeded(42)
+    }
+
+    /// Corpus configuration for this scale with an explicit seed (the
+    /// harness threads its master seed through here).
+    pub fn corpus_config_seeded(self, seed: u64) -> CorpusConfig {
         let (records, vocab) = match self {
             Scale::Small => (2_000, 1_200),
             Scale::Medium => (25_000, 9_000),
@@ -62,7 +80,16 @@ impl Scale {
             words_per_record: (1, 4),
             word_len: (3, 18),
             zipf_s: 1.0,
-            seed: 42,
+            seed,
+        }
+    }
+
+    /// Lower-case name, as used in `--scale` and the BENCH JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
         }
     }
 }
@@ -90,7 +117,12 @@ pub fn scale_from_args() -> (Scale, Vec<String>) {
 /// corpus is tokenized into words, and **every word occurrence** becomes
 /// one record (a 3-gram set) with its own id.
 pub fn word_collection(scale: Scale) -> (Corpus, SetCollection) {
-    let corpus = Corpus::generate(&scale.corpus_config());
+    word_collection_seeded(scale, 42)
+}
+
+/// [`word_collection`] with an explicit corpus seed (harness runs).
+pub fn word_collection_seeded(scale: Scale, seed: u64) -> (Corpus, SetCollection) {
+    let corpus = Corpus::generate(&scale.corpus_config_seeded(seed));
     let mut builder = setsim_core::CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
     for w in corpus.words() {
         builder.add(w);

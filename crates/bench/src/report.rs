@@ -1,0 +1,781 @@
+//! The versioned, schema-stable benchmark report.
+//!
+//! One [`BenchReport`] is the unit of the repo's perf trajectory: the
+//! harness (`setsim-bench harness`) writes one as `BENCH_<label>.json`,
+//! CI caches the previous run's file, and `cargo xtask bench-diff`
+//! compares two of them (see [`crate::diff`]). The figure binaries
+//! (`fig6_time --json`, `fig7_pruning --json`) emit the same schema, so
+//! paper figures and the regression gate share one representation
+//! instead of two ad-hoc printers.
+//!
+//! Layout (schema version [`SCHEMA_VERSION`]):
+//!
+//! ```text
+//! { "schema_version": 1,
+//!   "label": "seed", "scale": "small", "seed": 42,
+//!   "warmup": 1, "reps": 3,
+//!   "env": { host, os, arch, rev, profile },
+//!   "workloads": [
+//!     { "label": "tau=0.8 11-15g 0mods", "tau": 0.8, "queries": 50,
+//!       "algos": [
+//!         { "name": "SF",
+//!           "counters": { queries, matches, elements_read, … },
+//!           "latency": { reps, min_ms_per_query, median_ms_per_query,
+//!                        mad_ms_per_query } } ] } ] }
+//! ```
+//!
+//! The **counters section is deterministic**: it aggregates
+//! [`SearchStats`] access counts, which depend only on (scale, seed,
+//! workload, algorithm) — never on machine load. Two runs with the same
+//! parameters produce byte-identical counter sections
+//! ([`BenchReport::counters_json`]), which is why counters are the
+//! primary regression signal and wall clock is advisory. Versioning
+//! rule: any key rename, removal, or semantic change bumps
+//! [`SCHEMA_VERSION`]; adding new keys is allowed within a version
+//! (readers ignore unknown keys).
+
+use crate::json::Json;
+use crate::{Algo, Engines};
+use setsim_core::{AlgoConfig, PreparedQuery, SearchStats};
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` layout. Bump on any incompatible key
+/// change; `bench-diff` refuses to compare across versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Where a report was produced: recorded so a comparison across hosts,
+/// revisions, or build profiles is visibly apples-to-oranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// Hostname (from `$HOSTNAME`, else "unknown").
+    pub host: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Git revision (`$SETSIM_REV`, else `git rev-parse --short HEAD`,
+    /// else "unknown").
+    pub rev: String,
+    /// Build profile of the harness binary: "release" or "debug".
+    pub profile: String,
+}
+
+impl EnvFingerprint {
+    /// Capture the current environment.
+    #[must_use]
+    pub fn capture() -> Self {
+        let rev = std::env::var("SETSIM_REV").ok().or_else(git_rev);
+        Self {
+            host: std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".to_string()),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            rev: rev.unwrap_or_else(|| "unknown".to_string()),
+            profile: if cfg!(debug_assertions) {
+                "debug".to_string()
+            } else {
+                "release".to_string()
+            },
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("host", self.host.as_str())
+            .field("os", self.os.as_str())
+            .field("arch", self.arch.as_str())
+            .field("rev", self.rev.as_str())
+            .field("profile", self.profile.as_str())
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            host: str_field(v, "env.host")?,
+            os: str_field(v, "env.os")?,
+            arch: str_field(v, "env.arch")?,
+            rev: str_field(v, "env.rev")?,
+            profile: str_field(v, "env.profile")?,
+        })
+    }
+}
+
+fn git_rev() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?;
+    let rev = rev.trim();
+    (!rev.is_empty()).then(|| rev.to_string())
+}
+
+/// The deterministic access counters of one (workload, algorithm) cell:
+/// the [`SearchStats`] sums plus result counts. These are exact integers
+/// independent of machine speed — the regression gate's primary signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSection {
+    /// Queries executed (workload size).
+    pub queries: u64,
+    /// Matches returned across the workload.
+    pub matches: u64,
+    /// Σ postings read by sorted access.
+    pub elements_read: u64,
+    /// Σ random-access probes.
+    pub random_probes: u64,
+    /// Σ postings stepped over by skip-list seeks.
+    pub elements_skipped: u64,
+    /// Σ candidates inserted into candidate sets.
+    pub candidates_inserted: u64,
+    /// Σ candidate-set bookkeeping steps.
+    pub candidate_scan_steps: u64,
+    /// Σ rounds / lists processed.
+    pub rounds: u64,
+    /// Σ base-table records scored directly.
+    pub records_scanned: u64,
+    /// Σ pruning denominators (total postings across query lists).
+    pub total_list_elements: u64,
+}
+
+/// Field names of [`CounterSection`], in serialization order; `bench-diff`
+/// iterates this list so a new counter is automatically gated.
+pub const COUNTER_FIELDS: [&str; 10] = [
+    "queries",
+    "matches",
+    "elements_read",
+    "random_probes",
+    "elements_skipped",
+    "candidates_inserted",
+    "candidate_scan_steps",
+    "rounds",
+    "records_scanned",
+    "total_list_elements",
+];
+
+impl CounterSection {
+    /// Build from merged workload stats plus result/query counts.
+    #[must_use]
+    pub fn from_stats(stats: &SearchStats, queries: u64, matches: u64) -> Self {
+        Self {
+            queries,
+            matches,
+            elements_read: stats.elements_read,
+            random_probes: stats.random_probes,
+            elements_skipped: stats.elements_skipped,
+            candidates_inserted: stats.candidates_inserted,
+            candidate_scan_steps: stats.candidate_scan_steps,
+            rounds: stats.rounds,
+            records_scanned: stats.records_scanned,
+            total_list_elements: stats.total_list_elements,
+        }
+    }
+
+    /// Field access by [`COUNTER_FIELDS`] name (drives `bench-diff`).
+    #[must_use]
+    pub fn get(&self, field: &str) -> Option<u64> {
+        Some(match field {
+            "queries" => self.queries,
+            "matches" => self.matches,
+            "elements_read" => self.elements_read,
+            "random_probes" => self.random_probes,
+            "elements_skipped" => self.elements_skipped,
+            "candidates_inserted" => self.candidates_inserted,
+            "candidate_scan_steps" => self.candidate_scan_steps,
+            "rounds" => self.rounds,
+            "records_scanned" => self.records_scanned,
+            "total_list_elements" => self.total_list_elements,
+            _ => return None,
+        })
+    }
+
+    /// Pruning power over the workload, the paper's Figure 7 metric.
+    #[must_use]
+    pub fn pruning_pct(&self) -> f64 {
+        if self.total_list_elements == 0 {
+            return 100.0;
+        }
+        // lint: allow — counters well below 2^53, exact in f64.
+        100.0 * (1.0 - self.elements_read as f64 / self.total_list_elements as f64)
+    }
+
+    /// Modeled disk milliseconds per query with the 2008-era constants of
+    /// `fig6_time` (0.2 µs per sequential posting, 100 µs per random
+    /// probe) — counter-derived, hence deterministic.
+    #[must_use]
+    pub fn modeled_disk_ms_per_query(&self) -> f64 {
+        // lint: allow — counters well below 2^53, exact in f64.
+        let (seq, rnd) = (self.elements_read as f64, self.random_probes as f64);
+        // lint: allow — query count below 2^53.
+        (seq * 0.0002 + rnd * 0.1) / self.queries.max(1) as f64
+    }
+
+    fn to_json(self) -> Json {
+        let mut obj = Json::obj();
+        for field in COUNTER_FIELDS {
+            obj = obj.field(field, self.get(field).unwrap_or(0));
+        }
+        obj
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            queries: u64_field(v, "queries")?,
+            matches: u64_field(v, "matches")?,
+            elements_read: u64_field(v, "elements_read")?,
+            random_probes: u64_field(v, "random_probes")?,
+            elements_skipped: u64_field(v, "elements_skipped")?,
+            candidates_inserted: u64_field(v, "candidates_inserted")?,
+            candidate_scan_steps: u64_field(v, "candidate_scan_steps")?,
+            rounds: u64_field(v, "rounds")?,
+            records_scanned: u64_field(v, "records_scanned")?,
+            total_list_elements: u64_field(v, "total_list_elements")?,
+        })
+    }
+}
+
+/// Wall-clock statistics over the measured repetitions of one workload:
+/// min-of-k (the robust point estimate — the least-interfered-with run)
+/// plus median and MAD (median absolute deviation) to expose spread.
+/// Noisy by nature; `bench-diff` treats drift here as advisory within a
+/// band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySection {
+    /// Measured repetitions (after warmup).
+    pub reps: u64,
+    /// Minimum over reps of mean milliseconds per query.
+    pub min_ms_per_query: f64,
+    /// Median over reps of mean milliseconds per query.
+    pub median_ms_per_query: f64,
+    /// Median absolute deviation of the per-rep means.
+    pub mad_ms_per_query: f64,
+}
+
+impl LatencySection {
+    /// Reduce per-repetition mean-ms-per-query samples. Panics on an
+    /// empty sample set (the harness always runs ≥ 1 rep).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "at least one measured rep required");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let med = median_of_sorted(&sorted);
+        let mut devs: Vec<f64> = sorted.iter().map(|s| (s - med).abs()).collect();
+        devs.sort_by(f64::total_cmp);
+        Self {
+            reps: samples.len() as u64,
+            min_ms_per_query: sorted[0],
+            median_ms_per_query: med,
+            mad_ms_per_query: median_of_sorted(&devs),
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj()
+            .field("reps", self.reps)
+            .field("min_ms_per_query", self.min_ms_per_query)
+            .field("median_ms_per_query", self.median_ms_per_query)
+            .field("mad_ms_per_query", self.mad_ms_per_query)
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            reps: u64_field(v, "reps")?,
+            min_ms_per_query: f64_field(v, "min_ms_per_query")?,
+            median_ms_per_query: f64_field(v, "median_ms_per_query")?,
+            mad_ms_per_query: f64_field(v, "mad_ms_per_query")?,
+        })
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// One algorithm's measurement on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoReport {
+    /// Paper display name (`SF`, `iNRA`, …).
+    pub name: String,
+    /// Deterministic access counters — the gated signal.
+    pub counters: CounterSection,
+    /// Wall-clock statistics — the advisory signal.
+    pub latency: LatencySection,
+}
+
+impl AlgoReport {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("name", self.name.as_str())
+            .field("counters", self.counters.to_json())
+            .field("latency", self.latency.to_json())
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Self {
+            name: str_field(v, "name")?,
+            counters: CounterSection::from_json(
+                v.get("counters").ok_or("algo missing `counters`")?,
+            )?,
+            latency: LatencySection::from_json(v.get("latency").ok_or("algo missing `latency`")?)?,
+        })
+    }
+}
+
+/// One workload (a query set at one threshold) measured across the
+/// algorithm roster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadReport {
+    /// Stable identifier, e.g. `tau=0.8 11-15g 0mods` — `bench-diff`
+    /// matches workloads across reports by this label.
+    pub label: String,
+    /// Selection threshold.
+    pub tau: f64,
+    /// Queries in the workload.
+    pub queries: u64,
+    /// Per-algorithm measurements, roster order.
+    pub algos: Vec<AlgoReport>,
+}
+
+impl WorkloadReport {
+    /// Measurement for one algorithm, by paper display name.
+    #[must_use]
+    pub fn algo(&self, name: &str) -> Option<&AlgoReport> {
+        self.algos.iter().find(|a| a.name == name)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("label", self.label.as_str())
+            .field("tau", self.tau)
+            .field("queries", self.queries)
+            .field(
+                "algos",
+                Json::Arr(self.algos.iter().map(AlgoReport::to_json).collect()),
+            )
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let algos = v
+            .get("algos")
+            .and_then(Json::as_arr)
+            .ok_or("workload missing `algos` array")?
+            .iter()
+            .map(AlgoReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            label: str_field(v, "label")?,
+            tau: f64_field(v, "tau")?,
+            queries: u64_field(v, "queries")?,
+            algos,
+        })
+    }
+}
+
+/// A complete benchmark report: fingerprint, parameters, measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Layout version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u64,
+    /// Report label (`BENCH_<label>.json`).
+    pub label: String,
+    /// Experiment scale (`small` / `medium` / `large`).
+    pub scale: String,
+    /// Master seed for corpus and workload generation.
+    pub seed: u64,
+    /// Untimed warmup repetitions per (workload, algorithm).
+    pub warmup: u64,
+    /// Timed repetitions per (workload, algorithm).
+    pub reps: u64,
+    /// Where and on what the report was produced.
+    pub env: EnvFingerprint,
+    /// The measured workloads.
+    pub workloads: Vec<WorkloadReport>,
+}
+
+impl BenchReport {
+    /// Full JSON document (pretty-printed, trailing newline).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Full JSON value.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("schema_version", self.schema_version)
+            .field("label", self.label.as_str())
+            .field("scale", self.scale.as_str())
+            .field("seed", self.seed)
+            .field("warmup", self.warmup)
+            .field("reps", self.reps)
+            .field("env", self.env.to_json())
+            .field(
+                "workloads",
+                Json::Arr(self.workloads.iter().map(WorkloadReport::to_json).collect()),
+            )
+    }
+
+    /// Parse a report from JSON text, validating the schema version.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema_version = u64_field(&v, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let workloads = v
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .ok_or("report missing `workloads` array")?
+            .iter()
+            .map(WorkloadReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            schema_version,
+            label: str_field(&v, "label")?,
+            scale: str_field(&v, "scale")?,
+            seed: u64_field(&v, "seed")?,
+            warmup: u64_field(&v, "warmup")?,
+            reps: u64_field(&v, "reps")?,
+            env: EnvFingerprint::from_json(v.get("env").ok_or("report missing `env`")?)?,
+            workloads,
+        })
+    }
+
+    /// Only the deterministic slice of the report — parameters plus every
+    /// counter section, no env, no latency. Two harness runs with the
+    /// same (scale, seed, workload grid) produce **byte-identical**
+    /// output here; the determinism test and the CI gate both rely on it.
+    #[must_use]
+    pub fn counters_json(&self) -> String {
+        Json::obj()
+            .field("schema_version", self.schema_version)
+            .field("scale", self.scale.as_str())
+            .field("seed", self.seed)
+            .field(
+                "workloads",
+                Json::Arr(
+                    self.workloads
+                        .iter()
+                        .map(|w| {
+                            Json::obj()
+                                .field("label", w.label.as_str())
+                                .field("tau", w.tau)
+                                .field("queries", w.queries)
+                                .field(
+                                    "algos",
+                                    Json::Arr(
+                                        w.algos
+                                            .iter()
+                                            .map(|a| {
+                                                Json::obj()
+                                                    .field("name", a.name.as_str())
+                                                    .field("counters", a.counters.to_json())
+                                            })
+                                            .collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+            .pretty()
+    }
+}
+
+/// A column of numbers derivable from one [`AlgoReport`] — what the
+/// figure binaries print and what `--json` replaces with the full report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Min-of-k mean wall-clock ms/query (Figure 6 primary).
+    MinMs,
+    /// Counter-modeled disk ms/query (Figure 6 companion).
+    ModeledDiskMs,
+    /// Pruning power % (Figure 7).
+    PruningPct,
+}
+
+impl Metric {
+    /// Extract this metric's value from one measurement.
+    #[must_use]
+    pub fn of(self, algo: &AlgoReport) -> f64 {
+        match self {
+            Metric::MinMs => algo.latency.min_ms_per_query,
+            Metric::ModeledDiskMs => algo.counters.modeled_disk_ms_per_query(),
+            Metric::PruningPct => algo.counters.pruning_pct(),
+        }
+    }
+
+    /// Table-cell formatting for this metric.
+    #[must_use]
+    pub fn format(self, value: f64) -> String {
+        match self {
+            Metric::MinMs | Metric::ModeledDiskMs => format!("{value:.3}"),
+            Metric::PruningPct => format!("{value:.1}%"),
+        }
+    }
+}
+
+/// Render a figure-style text table — algorithms × workload columns — of
+/// one metric, through the shared [`crate::print_table`] layout. The
+/// same `WorkloadReport` values serialize to JSON via [`BenchReport`],
+/// so the figures' text and JSON outputs are two views of one schema.
+pub fn print_figure(title: &str, columns: &[&WorkloadReport], col_labels: &[String], m: Metric) {
+    let Some(first) = columns.first() else {
+        return;
+    };
+    let rows: Vec<(String, Vec<String>)> = first
+        .algos
+        .iter()
+        .map(|a| {
+            let cells = columns
+                .iter()
+                .map(|w| {
+                    w.algo(&a.name)
+                        .map_or_else(|| "-".to_string(), |r| m.format(m.of(r)))
+                })
+                .collect();
+            (a.name.clone(), cells)
+        })
+        .collect();
+    crate::print_table(title, col_labels, &rows);
+}
+
+/// Pass counts for one measured cell: `warmup` untimed passes followed
+/// by `reps` timed passes (clamped to ≥ 1).
+#[derive(Debug, Clone, Copy)]
+pub struct Passes {
+    /// Untimed passes run first to settle caches and allocators.
+    pub warmup: usize,
+    /// Timed passes that feed [`LatencySection::from_samples`].
+    pub reps: usize,
+}
+
+/// Measure `algos` over one prepared workload: `passes.warmup` untimed
+/// passes, then `passes.reps` timed passes per algorithm. Counters come
+/// from the final pass (they are identical across passes — that
+/// determinism is asserted by `tests/harness_determinism.rs`); latency
+/// reduces all timed passes.
+pub fn measure_workload(
+    engines: &Engines<'_>,
+    algos: &[Algo],
+    config: AlgoConfig,
+    queries: &[PreparedQuery],
+    tau: f64,
+    label: &str,
+    passes: Passes,
+) -> WorkloadReport {
+    let (warmup, reps) = (passes.warmup, passes.reps.max(1));
+    let mut reports = Vec::with_capacity(algos.len());
+    for &algo in algos {
+        for _ in 0..warmup {
+            run_pass(engines, algo, config, queries, tau);
+        }
+        let mut samples = Vec::with_capacity(reps);
+        let mut last = PassResult::default();
+        for _ in 0..reps {
+            let start = Instant::now();
+            last = run_pass(engines, algo, config, queries, tau);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            // lint: allow — workload sizes well below 2^53.
+            samples.push(elapsed_ms / queries.len().max(1) as f64);
+        }
+        reports.push(AlgoReport {
+            name: algo.name().to_string(),
+            counters: CounterSection::from_stats(
+                &last.stats,
+                queries.len() as u64,
+                last.matches as u64,
+            ),
+            latency: LatencySection::from_samples(&samples),
+        });
+    }
+    WorkloadReport {
+        label: label.to_string(),
+        tau,
+        queries: queries.len() as u64,
+        algos: reports,
+    }
+}
+
+#[derive(Default)]
+struct PassResult {
+    stats: SearchStats,
+    matches: usize,
+}
+
+fn run_pass(
+    engines: &Engines<'_>,
+    algo: Algo,
+    config: AlgoConfig,
+    queries: &[PreparedQuery],
+    tau: f64,
+) -> PassResult {
+    let mut pass = PassResult::default();
+    for q in queries {
+        let out = engines.run(algo, config, q, tau);
+        pass.matches += out.results.len();
+        pass.stats.merge(&out.stats);
+    }
+    pass
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    // Nested keys in error labels ("env.host") address the outer object.
+    let leaf = key.rsplit('.').next().unwrap_or(key);
+    v.get(leaf)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_report() -> BenchReport {
+        let counters = CounterSection {
+            queries: 10,
+            matches: 12,
+            elements_read: 500,
+            random_probes: 20,
+            elements_skipped: 100,
+            candidates_inserted: 50,
+            candidate_scan_steps: 75,
+            rounds: 30,
+            records_scanned: 0,
+            total_list_elements: 2000,
+        };
+        let latency = LatencySection::from_samples(&[0.5, 0.4, 0.6]);
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            label: "test".to_string(),
+            scale: "small".to_string(),
+            seed: 42,
+            warmup: 1,
+            reps: 3,
+            env: EnvFingerprint {
+                host: "h".to_string(),
+                os: "linux".to_string(),
+                arch: "x86_64".to_string(),
+                rev: "abc1234".to_string(),
+                profile: "release".to_string(),
+            },
+            workloads: vec![WorkloadReport {
+                label: "tau=0.8 11-15g 0mods".to_string(),
+                tau: 0.8,
+                queries: 10,
+                algos: vec![AlgoReport {
+                    name: "SF".to_string(),
+                    counters,
+                    latency,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unsupported_schema_version_is_rejected() {
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = BenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("schema_version 999"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_a_readable_error() {
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"elements_read\": 500,", "");
+        let err = BenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("elements_read"), "{err}");
+    }
+
+    #[test]
+    fn latency_reduction_is_min_median_mad() {
+        let l = LatencySection::from_samples(&[3.0, 1.0, 2.0, 10.0]);
+        assert_eq!(l.reps, 4);
+        assert_eq!(l.min_ms_per_query, 1.0);
+        assert_eq!(l.median_ms_per_query, 2.5);
+        // Deviations from 2.5: sorted [0.5, 0.5, 1.5, 7.5] → median 1.0.
+        assert_eq!(l.mad_ms_per_query, 1.0);
+    }
+
+    #[test]
+    fn counter_fields_cover_every_counter() {
+        let c = CounterSection {
+            queries: 1,
+            matches: 2,
+            elements_read: 3,
+            random_probes: 4,
+            elements_skipped: 5,
+            candidates_inserted: 6,
+            candidate_scan_steps: 7,
+            rounds: 8,
+            records_scanned: 9,
+            total_list_elements: 10,
+        };
+        let values: Vec<u64> = COUNTER_FIELDS
+            .iter()
+            .map(|f| c.get(f).expect("known field"))
+            .collect();
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(c.get("bogus"), None);
+    }
+
+    #[test]
+    fn counters_json_excludes_env_and_latency() {
+        let text = sample_report().counters_json();
+        assert!(text.contains("elements_read"), "{text}");
+        assert!(!text.contains("min_ms_per_query"), "{text}");
+        assert!(!text.contains("host"), "{text}");
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample_report();
+        let a = &r.workloads[0].algos[0];
+        assert!((Metric::PruningPct.of(a) - 75.0).abs() < 1e-9);
+        // 500 seq × 0.2µs + 20 probes × 100µs = 0.1ms + 2ms over 10 q.
+        assert!((Metric::ModeledDiskMs.of(a) - 0.21).abs() < 1e-9);
+        assert_eq!(Metric::MinMs.of(a), 0.4);
+        assert_eq!(Metric::PruningPct.format(75.0), "75.0%");
+    }
+
+    #[test]
+    fn env_capture_is_well_formed() {
+        let env = EnvFingerprint::capture();
+        assert!(!env.os.is_empty());
+        assert!(!env.arch.is_empty());
+        assert!(env.profile == "debug" || env.profile == "release");
+    }
+}

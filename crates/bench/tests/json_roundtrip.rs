@@ -1,0 +1,125 @@
+//! Property tests for the hand-rolled JSON layer (`setsim_bench::json`):
+//! any value the writer can emit must parse back to an identical tree,
+//! across escaping, numbers (integer fast path and shortest-round-trip
+//! floats), nesting, and both render modes.
+
+use proptest::prelude::*;
+use setsim_bench::json::Json;
+
+/// Recursive generator for arbitrary JSON trees. The shim's [`Strategy`]
+/// trait is object-safe and sample-based, so recursion is a plain struct
+/// that bounds its own depth: scalars at the leaves, arrays and objects
+/// (with possibly-escaped keys) above them.
+#[derive(Debug, Clone)]
+struct JsonTree {
+    depth: u32,
+}
+
+const MAX_BREADTH: usize = 4;
+
+fn scalar(rng: &mut TestRng) -> Json {
+    match (0u8..5u8).sample(rng) {
+        0 => Json::Null,
+        1 => Json::Bool((0u8..2).sample(rng) == 1),
+        // Exact integers exercise the writer's i64 fast path.
+        2 => Json::Num((-1_000_000i64..1_000_000).sample(rng) as f64),
+        3 => {
+            // Finite floats of widely varying magnitude.
+            let mantissa = (-1_000_000i64..1_000_000).sample(rng) as f64;
+            let exp = (-12i32..12).sample(rng);
+            Json::Num(mantissa * 10f64.powi(exp))
+        }
+        _ => Json::Str(arb_string(rng)),
+    }
+}
+
+/// Strings mixing ASCII, control characters, quotes, backslashes, and
+/// astral-plane code points (surrogate-pair escapes on the wire).
+fn arb_string(rng: &mut TestRng) -> String {
+    let len = (0usize..8).sample(rng);
+    (0..len)
+        .map(|_| match (0u8..6u8).sample(rng) {
+            0 => '"',
+            1 => '\\',
+            2 => char::from_u32((0x00u32..0x20).sample(rng)).unwrap_or('\n'),
+            3 => '\u{1F600}',
+            4 => 'é',
+            _ => char::from_u32((0x20u32..0x7f).sample(rng)).unwrap_or('x'),
+        })
+        .collect()
+}
+
+impl Strategy for JsonTree {
+    type Value = Json;
+
+    fn sample(&self, rng: &mut TestRng) -> Json {
+        if self.depth == 0 {
+            return scalar(rng);
+        }
+        let child = JsonTree {
+            depth: self.depth - 1,
+        };
+        match (0u8..4u8).sample(rng) {
+            0 | 1 => scalar(rng),
+            2 => {
+                let n = (0usize..=MAX_BREADTH).sample(rng);
+                Json::Arr((0..n).map(|_| child.sample(rng)).collect())
+            }
+            _ => {
+                let n = (0usize..=MAX_BREADTH).sample(rng);
+                Json::Obj(
+                    (0..n)
+                        .map(|i| (format!("{}{i}", arb_string(rng)), child.sample(rng)))
+                        .collect(),
+                )
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Compact render → parse is the identity on the value tree.
+    #[test]
+    fn compact_render_round_trips(v in JsonTree { depth: 3 }) {
+        let text = v.render();
+        let back = Json::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed on {text:?}: {e}")))?;
+        prop_assert_eq!(&back, &v, "through {}", text);
+    }
+
+    /// Pretty render parses to the same tree as compact render.
+    #[test]
+    fn pretty_render_round_trips(v in JsonTree { depth: 3 }) {
+        let text = v.pretty();
+        let back = Json::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed on {text:?}: {e}")))?;
+        prop_assert_eq!(&back, &v, "through {}", text);
+    }
+
+    /// Rendering is deterministic: the same tree always produces the
+    /// same bytes (the property the counter-section byte-diff relies on).
+    #[test]
+    fn rendering_is_deterministic(v in JsonTree { depth: 3 }) {
+        prop_assert_eq!(v.render(), v.render());
+        prop_assert_eq!(v.pretty(), v.pretty());
+    }
+
+    /// Every finite f64 the generator produces survives the number path
+    /// exactly (integer fast path and shortest-round-trip formatting).
+    #[test]
+    fn numbers_round_trip_exactly(mantissa in -1_000_000i64..1_000_000, exp in -20i32..20) {
+        let n = mantissa as f64 * 10f64.powi(exp);
+        let v = Json::Num(n);
+        let back = Json::parse(&v.render())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        match back {
+            Json::Num(m) => prop_assert!(
+                m == n || (m.is_nan() && n.is_nan()),
+                "{n} rendered as {} parsed to {m}", v.render()
+            ),
+            other => prop_assert!(false, "expected number, got {other:?}"),
+        }
+    }
+}

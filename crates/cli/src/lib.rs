@@ -58,6 +58,8 @@ pub struct Options {
     pub q: usize,
     /// Bench: repetitions of the query workload.
     pub repeat: usize,
+    /// Bench: emit metrics as one JSON object instead of the text table.
+    pub json: bool,
     /// Tokenize into words instead of q-grams.
     pub words: bool,
 }
@@ -76,6 +78,7 @@ impl Default for Options {
             threads: 1,
             q: 3,
             repeat: 1,
+            json: false,
             words: false,
         }
     }
@@ -90,7 +93,7 @@ USAGE:
   setsim-cli topk  -i FILE -q TEXT [-k K]
   setsim-cli join  -i FILE [--tau T] [--threads N] [-n N]
   setsim-cli stats -i FILE
-  setsim-cli bench -i FILE [--tau T] [--algo NAME] [--threads N] [--repeat R]
+  setsim-cli bench -i FILE [--tau T] [--algo NAME] [--threads N] [--repeat R] [--json]
   setsim-cli snapshot save   -i FILE -s SNAP
   setsim-cli snapshot load   -s SNAP [-q TEXT] [--tau T] [--algo NAME] [-n N]
   setsim-cli snapshot verify -s SNAP
@@ -106,6 +109,7 @@ OPTIONS:
       --threads N    join/bench parallelism (default 1)
       --q N          gram length (default 3)
       --repeat R     bench workload repetitions (default 1)
+      --json         bench: print serving metrics as one JSON object
       --words        word tokens instead of q-grams
 
 bench runs every input line as a query through the engine's work-stealing
@@ -177,6 +181,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--repeat expects an integer".to_string())?;
             }
+            "--json" => opts.json = true,
             "--words" => opts.words = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
@@ -326,17 +331,25 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
                 .collect();
             let results = engine.search_batch(&reqs, opts.threads);
             let errors = results.iter().filter(|r| r.is_err()).count();
-            writeln!(
-                out,
-                "bench: {} queries ({} error(s)), algo {}, {} thread(s)",
-                reqs.len(),
-                errors,
-                kind.name(),
-                opts.threads.max(1)
-            )
-            .unwrap();
-            out.push_str(&engine.metrics().render());
-            out.push('\n');
+            if opts.json {
+                // Machine-readable path: one JSON object, nothing else on
+                // stdout, so the output pipes straight into jq or the
+                // bench tooling.
+                out.push_str(&engine.metrics().render_json());
+                out.push('\n');
+            } else {
+                writeln!(
+                    out,
+                    "bench: {} queries ({} error(s)), algo {}, {} thread(s)",
+                    reqs.len(),
+                    errors,
+                    kind.name(),
+                    opts.threads.max(1)
+                )
+                .unwrap();
+                out.push_str(&engine.metrics().render());
+                out.push('\n');
+            }
         }
         "snapshot-save" => {
             let path = std::path::Path::new(opts.snapshot.as_ref().expect("validated"));
@@ -458,6 +471,21 @@ mod tests {
         assert!(out.contains("bench: 12 queries (0 error(s))"), "{out}");
         assert!(out.contains("p50"), "{out}");
         assert!(out.contains("pruning"), "{out}");
+    }
+
+    #[test]
+    fn bench_json_is_one_json_object() {
+        let o = parse_args(&argv("bench -i x --tau 0.5 --repeat 2 --json")).unwrap();
+        assert!(o.json);
+        let out = run(&o, &lines()).unwrap();
+        let trimmed = out.trim();
+        assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "{out}");
+        assert!(trimmed.contains("\"queries\":8"), "{out}");
+        assert!(trimmed.contains("\"p50\""), "{out}");
+        assert!(
+            !trimmed.contains("bench:"),
+            "no text preamble in JSON mode: {out}"
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! semantic properties (Magnitude and Length Boundedness relative to the
 //! current threshold) prune the tail of every list.
 //!
-//! * [`topk_scan`] — exhaustive oracle.
-//! * [`topk_nra`] — NRA-style round-robin with candidate bookkeeping.
-//! * [`topk_sf`] — restarted SF: run the threshold algorithm at a guessed
+//! * [`topk_scan`](crate::algorithms::topk::topk_scan) — exhaustive oracle.
+//! * [`topk_nra`](crate::algorithms::topk::topk_nra) — NRA-style round-robin with candidate bookkeeping.
+//! * [`topk_sf`](crate::algorithms::topk::topk_sf) — restarted SF: run the threshold algorithm at a guessed
 //!   τ, halve until k results survive. Exploits SF's extremely cheap
 //!   individual runs; with a reasonable first guess it usually finishes in
 //!   one or two passes.

@@ -67,6 +67,8 @@ impl Budget {
         ArmedBudget {
             limited: !self.is_unlimited(),
             max_work: self.max_elements_read.unwrap_or(u64::MAX),
+            // A deadline budget is by definition a wall-clock feature; the
+            // clock is read once, at arm time. lint: allow no-wallclock
             deadline: self.time_limit.map(|l| Instant::now() + l),
         }
     }
@@ -107,6 +109,8 @@ impl ArmedBudget {
             return true;
         }
         match self.deadline {
+            // Deadline checkpoint, reached only when the caller explicitly
+            // asked for a time-limited search. lint: allow no-wallclock
             Some(d) => Instant::now() >= d,
             None => false,
         }

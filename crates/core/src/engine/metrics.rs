@@ -236,6 +236,37 @@ impl MetricsSnapshot {
             self.elements_skipped,
         )
     }
+
+    /// Machine-readable companion to [`render`](Self::render): one JSON
+    /// object with every counter and derived percentile, stable key
+    /// order (used by `setsim-cli bench --json` and the bench report
+    /// pipeline). Counter values are exact integers; the only float is
+    /// `mean_pruning_pct`, emitted with shortest-round-trip formatting.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mean_us = self.latency_us_sum.checked_div(self.queries).unwrap_or(0);
+        format!(
+            "{{\"queries\":{},\"budget_exceeded\":{},\"matches\":{},\
+             \"elements_read\":{},\"elements_skipped\":{},\"random_probes\":{},\
+             \"records_scanned\":{},\"total_list_elements\":{},\
+             \"mean_pruning_pct\":{},\"latency_us\":{{\"mean\":{},\"sum\":{},\
+             \"p50\":{},\"p95\":{},\"p99\":{}}}}}",
+            self.queries,
+            self.budget_exceeded,
+            self.matches,
+            self.elements_read,
+            self.elements_skipped,
+            self.random_probes,
+            self.records_scanned,
+            self.total_list_elements,
+            self.mean_pruning_pct,
+            mean_us,
+            self.latency_us_sum,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -332,6 +363,27 @@ mod tests {
         assert_eq!(s.queries, 0);
         assert_eq!(s.elements_read, 0);
         assert_eq!(s.p50_us, 0);
+    }
+
+    #[test]
+    fn render_json_carries_counters_and_percentiles() {
+        let m = EngineMetrics::default();
+        m.record(
+            &stats(10, 100),
+            SearchStatus::Complete,
+            Duration::from_micros(7),
+        );
+        m.record_matches(2);
+        let json = m.snapshot().render_json();
+        assert!(json.contains("\"queries\":1"), "{json}");
+        assert!(json.contains("\"matches\":2"), "{json}");
+        assert!(json.contains("\"elements_read\":10"), "{json}");
+        assert!(json.contains("\"mean_pruning_pct\":90"), "{json}");
+        assert!(json.contains("\"p95\":"), "{json}");
+        // Braces balance — the object is structurally closed.
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count());
+        assert_eq!(opens, 2, "outer object plus latency_us");
     }
 
     #[test]

@@ -408,6 +408,8 @@ impl<'c> QueryEngine<'c> {
     /// algorithm-struct construction: validation is typed (no panics) and
     /// the candidate structures come from the engine's warm scratch.
     pub fn search(&mut self, req: SearchRequest<'_>) -> Result<SearchOutcome, SearchError> {
+        // Serving boundary: feeds the metrics latency histogram, never
+        // the algorithm kernels. lint: allow no-wallclock
         let start = Instant::now();
         let out = execute(&self.index, &mut self.scratch, &req)?;
         self.metrics.record(&out.stats, out.status, start.elapsed());
@@ -419,6 +421,7 @@ impl<'c> QueryEngine<'c> {
     /// zero-allocation serving path (nothing is copied; the view dies at
     /// the next search).
     pub fn search_view(&mut self, req: SearchRequest<'_>) -> Result<SearchView<'_>, SearchError> {
+        // Serving boundary, as in `search`. lint: allow no-wallclock
         let start = Instant::now();
         let status = execute_into(&self.index, &mut self.scratch, &req)?;
         self.metrics
@@ -457,6 +460,8 @@ impl<'c> QueryEngine<'c> {
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(req) = reqs.get(i) else { break };
+                        // Per-request serving latency for the shared
+                        // metrics histogram. lint: allow no-wallclock
                         let start = Instant::now();
                         let res = execute(&self.index, &mut scratch, req);
                         if let Ok(out) = &res {

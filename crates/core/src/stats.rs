@@ -52,6 +52,28 @@ impl SearchStats {
         100.0 * (1.0 - self.elements_read as f64 / self.total_list_elements as f64)
     }
 
+    /// Compact JSON object of every counter, in declaration order. All
+    /// values are exact integers, so the output is byte-stable for a
+    /// given counter state — machine-readable companion to the text
+    /// rendering paths (used by the bench report pipeline and
+    /// `setsim-cli bench --json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"elements_read\":{},\"random_probes\":{},\"elements_skipped\":{},\
+             \"candidates_inserted\":{},\"candidate_scan_steps\":{},\"rounds\":{},\
+             \"records_scanned\":{},\"total_list_elements\":{}}}",
+            self.elements_read,
+            self.random_probes,
+            self.elements_skipped,
+            self.candidates_inserted,
+            self.candidate_scan_steps,
+            self.rounds,
+            self.records_scanned,
+            self.total_list_elements,
+        )
+    }
+
     /// Merge counters from another search (for workload aggregation).
     pub fn merge(&mut self, other: &SearchStats) {
         self.elements_read += other.elements_read;
@@ -103,6 +125,27 @@ mod tests {
             ..Default::default()
         };
         assert!((s.pruning_pct() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_json_is_stable_and_complete() {
+        let s = SearchStats {
+            elements_read: 1,
+            random_probes: 2,
+            elements_skipped: 3,
+            candidates_inserted: 4,
+            candidate_scan_steps: 5,
+            rounds: 6,
+            records_scanned: 7,
+            total_list_elements: 8,
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"elements_read\":1,\"random_probes\":2,\"elements_skipped\":3,\
+             \"candidates_inserted\":4,\"candidate_scan_steps\":5,\"rounds\":6,\
+             \"records_scanned\":7,\"total_list_elements\":8}"
+        );
+        assert_eq!(s.to_json(), s.to_json(), "byte-stable");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!    crate (which measures the legacy path as a baseline), and test
 //!    suites must not call the three-argument
 //!    `SelectionAlgorithm::search(&index, &query, tau)` directly; it goes
-//!    through [`QueryEngine`]/`SearchRequest` (or `engine::execute`),
+//!    through `QueryEngine`/`SearchRequest` (or `engine::execute`),
 //!    which validates instead of panicking and reuses scratch memory.
 //!    Detected textually as a `.search(` call whose argument list holds
 //!    two or more top-level commas, so `engine.search(req)` and the SQL
@@ -37,6 +37,15 @@
 //!    The few in-memory invariants that genuinely cannot fail carry a
 //!    `lint: allow` marker with their justification; test modules are
 //!    exempt as usual.
+//! 6. **`no-wallclock`** — library code in `setsim-core` must not call
+//!    `Instant::now()` / `SystemTime::now()` outside the engine's
+//!    metrics module. The bench harness gates regressions on the
+//!    *deterministic* access counters precisely because the measured
+//!    kernels contain no timing logic; a clock read hidden inside an
+//!    algorithm would both perturb what the harness measures and make
+//!    behavior machine-dependent. The serving boundary (engine latency
+//!    recording, budget deadlines) carries explicit `lint: allow`
+//!    markers — those clocks sit outside the pruning kernels.
 //!
 //! The engine is deliberately text-based (no `syn` — the workspace builds
 //! offline with zero external dependencies) and deliberately simple:
@@ -188,7 +197,7 @@ pub(crate) fn check_no_unwrap(file: &str, source: &str) -> Vec<Finding> {
 }
 
 /// Rule `no-unchecked-io`: `setsim-storage` wraps real files, so every
-/// `io::Result` must propagate (`?` into [`SnapshotError::Io`]) rather
+/// `io::Result` must propagate (`?` into `SnapshotError::Io`) rather
 /// than be unwrapped. Textually identical to `no-unwrap` but reported
 /// under its own rule so the policy and its fix are explicit.
 pub(crate) fn check_no_unchecked_io(file: &str, source: &str) -> Vec<Finding> {
@@ -210,6 +219,41 @@ pub(crate) fn check_no_unchecked_io(file: &str, source: &str) -> Vec<Finding> {
                          errors (`?` into `SnapshotError::Io`) — an in-memory \
                          invariant that truly cannot fail needs a \
                          `{ALLOW_MARKER}` marker with its justification"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Rule `no-wallclock`: flag wall-clock reads in `setsim-core` library
+/// code outside the metrics module, so timing logic cannot leak into the
+/// measured algorithm kernels (their counters must stay deterministic —
+/// they are the bench harness's primary regression signal).
+pub(crate) fn check_no_wallclock(file: &str, source: &str) -> Vec<Finding> {
+    let mask = test_region_mask(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
+        if mask.get(i).copied().unwrap_or(false) || allowed {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        for needle in ["Instant::now()", "SystemTime::now()"] {
+            if code.contains(needle) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "no-wallclock",
+                    message: format!(
+                        "`{needle}` in core library code; clocks belong at the \
+                         serving boundary (engine metrics / budget deadlines), \
+                         not in measured kernels — counters must stay \
+                         deterministic. If this site genuinely is that \
+                         boundary, add a `{ALLOW_MARKER}` marker with its \
+                         justification"
                     ),
                 });
             }
@@ -423,6 +467,14 @@ pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     if unix.starts_with("crates/storage/src/") && unix.ends_with(".rs") {
         rules.push(check_no_unchecked_io);
     }
+    // no-wallclock: all of setsim-core except the metrics module, which
+    // exists to hold the serving layer's latency instrumentation.
+    if unix.starts_with("crates/core/src/")
+        && unix.ends_with(".rs")
+        && unix != "crates/core/src/engine/metrics.rs"
+    {
+        rules.push(check_no_wallclock);
+    }
     if [
         "crates/core/src/measures.rs",
         "crates/core/src/weights.rs",
@@ -563,8 +615,12 @@ mod tests {
     fn rules_route_by_path() {
         assert!(!rules_for("crates/core/src/index.rs").is_empty());
         assert!(!rules_for("crates/collections/src/btree.rs").is_empty());
-        assert_eq!(rules_for("crates/core/src/weights.rs").len(), 2);
-        assert_eq!(rules_for("crates/core/src/algorithms/sf.rs").len(), 2);
+        // core lib code picks up no-wallclock on top of its prior rules.
+        assert_eq!(rules_for("crates/core/src/weights.rs").len(), 3);
+        assert_eq!(rules_for("crates/core/src/algorithms/sf.rs").len(), 3);
+        // ... except the metrics module, whose whole job is timing.
+        assert_eq!(rules_for("crates/core/src/engine/metrics.rs").len(), 1);
+        assert_eq!(rules_for("crates/core/src/engine/budget.rs").len(), 2);
         // storage lib code: no-unchecked-io + engine-api.
         assert_eq!(rules_for("crates/storage/src/snapshot.rs").len(), 2);
         assert_eq!(rules_for("crates/storage/src/pool.rs").len(), 2);
@@ -579,6 +635,37 @@ mod tests {
         assert!(rules_for("tests/oracle_equivalence.rs").is_empty());
         assert!(rules_for("crates/cli/tests/e2e.rs").is_empty());
         assert!(rules_for("crates/core/README.md").is_empty());
+    }
+
+    #[test]
+    fn wallclock_in_core_lib_is_flagged() {
+        let src = "pub fn f() {\n    let t = Instant::now();\n}\n";
+        let f = check_no_wallclock(LIB_PATH, src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].rule, "no-wallclock");
+    }
+
+    #[test]
+    fn wallclock_with_allow_marker_passes() {
+        let src =
+            "pub fn f() {\n    / lint: allow — serving-boundary latency measurement.\n    let t = Instant::now();\n}\n"
+                .replace("/ lint", "// lint");
+        assert!(check_no_wallclock(LIB_PATH, &src).is_empty());
+    }
+
+    #[test]
+    fn wallclock_in_tests_and_comments_passes() {
+        let src = "/ Instant::now() is banned here.\n#[cfg(test)]\nmod tests {\n    fn t() {\n        let t = Instant::now();\n    }\n}\n"
+            .replace("/ Instant", "// Instant");
+        assert!(check_no_wallclock(LIB_PATH, &src).is_empty());
+    }
+
+    #[test]
+    fn system_time_is_flagged_too() {
+        let src = "pub fn f() {\n    let t = SystemTime::now();\n}\n";
+        let f = check_no_wallclock(LIB_PATH, src);
+        assert_eq!(f.len(), 1);
     }
 
     #[test]

@@ -8,11 +8,19 @@
 //! library crates, no lossy casts in scoring arithmetic, paper citations
 //! on every public algorithm item.
 //!
+//! It also hosts the benchmark regression gate: `cargo xtask bench-diff
+//! <baseline.json> <candidate.json>` compares two `BENCH_*.json` reports
+//! produced by `setsim-bench harness`. Deterministic counter drift of any
+//! amount fails; wall-clock drift fails only beyond a configurable band
+//! (`--latency-band PCT`, default 15), or merely warns under
+//! `--latency-advisory` (for noisy shared CI runners).
+//!
 //! Subcommands:
 //! * `check` — fmt + clippy + custom lints (the CI gate)
 //! * `lint`  — custom lints only (fast, no compilation)
 //! * `fmt`   — rustfmt check only
 //! * `clippy` — clippy only
+//! * `bench-diff <baseline> <candidate> [--latency-band PCT] [--latency-advisory]`
 
 mod lints;
 
@@ -28,8 +36,11 @@ fn main() -> ExitCode {
         "lint" => run_custom_lints(&root),
         "fmt" => run_fmt(&root),
         "clippy" => run_clippy(&root),
+        "bench-diff" => run_bench_diff(&args[1..]),
         other => {
-            eprintln!("unknown xtask command `{other}`; try: check | lint | fmt | clippy");
+            eprintln!(
+                "unknown xtask command `{other}`; try: check | lint | fmt | clippy | bench-diff"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -91,13 +102,77 @@ fn run_clippy(root: &Path) -> bool {
     )
 }
 
+/// `cargo xtask bench-diff <baseline.json> <candidate.json>`: load two
+/// harness reports and apply the noise-aware gate from
+/// [`setsim_bench::diff`]. Counter drift of any amount fails; latency
+/// drift fails beyond the band unless `--latency-advisory`.
+fn run_bench_diff(args: &[String]) -> bool {
+    let mut paths = Vec::new();
+    let mut opts = setsim_bench::diff::DiffOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--latency-band" => {
+                i += 1;
+                let Some(pct) = args.get(i).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--latency-band needs a numeric percentage");
+                    return false;
+                };
+                opts.latency_band_pct = pct;
+            }
+            "--latency-advisory" => opts.latency_advisory = true,
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        eprintln!(
+            "usage: cargo xtask bench-diff <baseline.json> <candidate.json> \
+             [--latency-band PCT] [--latency-advisory]"
+        );
+        return false;
+    };
+    let load = |path: &str| -> Option<setsim_bench::report::BenchReport> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read {path}: {e}");
+                return None;
+            }
+        };
+        match setsim_bench::report::BenchReport::parse(&text) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("could not parse {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(baseline), Some(candidate)) = (load(baseline_path), load(candidate_path)) else {
+        return false;
+    };
+    match setsim_bench::diff::diff(&baseline, &candidate, &opts) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            !outcome.failed(&opts)
+        }
+        Err(e) => {
+            eprintln!("bench-diff: reports are not comparable: {e}");
+            false
+        }
+    }
+}
+
 /// Directories scanned by the custom lints: every crate, plus the root
 /// facade and its examples (the `engine-api` rule polices those too).
 const LINT_ROOTS: [&str; 3] = ["crates", "src", "examples"];
 
 /// Walk the lint roots and apply the custom rules.
 fn run_custom_lints(root: &Path) -> bool {
-    println!("==> custom lints (no-unwrap, no-lossy-cast, paper-ref, engine-api)");
+    println!(
+        "==> custom lints (no-unwrap, no-lossy-cast, paper-ref, engine-api, \
+         no-unchecked-io, no-wallclock)"
+    );
     let mut findings = Vec::new();
     let mut files_scanned = 0usize;
     for file in LINT_ROOTS.iter().flat_map(|d| rust_sources(&root.join(d))) {
