@@ -15,10 +15,18 @@
 //! latency as a banded advisory signal. See EXPERIMENTS.md
 //! "Methodology".
 
-use crate::report::{measure_workload, BenchReport, EnvFingerprint, Passes, SCHEMA_VERSION};
+use crate::report::{
+    measure_workload, AlgoReport, BenchReport, CounterSection, EnvFingerprint, LatencySection,
+    Passes, WorkloadReport, SCHEMA_VERSION,
+};
 use crate::{prepare_queries, word_collection_seeded, workload, Algo, Engines, Scale};
-use setsim_core::AlgoConfig;
-use setsim_datagen::LengthBucket;
+use setsim_core::{
+    AlgoConfig, AlgorithmKind, CollectionBuilder, DriftBudget, IndexOptions, MutableIndex,
+    MutableSearchRequest, RecordId, Scratch, SearchStats,
+};
+use setsim_datagen::{Corpus, LengthBucket};
+use setsim_tokenize::QGramTokenizer;
+use std::time::Instant;
 
 /// Harness parameters. `scale` and `seed` select the deterministic
 /// workload; the rest control measurement quality and labeling.
@@ -125,6 +133,7 @@ pub fn run(config: &HarnessConfig) -> BenchReport {
             },
         ));
     }
+    workloads.push(measure_mixed_workload(&corpus, config));
     BenchReport {
         schema_version: SCHEMA_VERSION,
         label: config.label.clone(),
@@ -135,6 +144,134 @@ pub fn run(config: &HarnessConfig) -> BenchReport {
         env: EnvFingerprint::capture(),
         workloads,
     }
+}
+
+/// Label of the mixed read/write cell (appended after the static grid).
+pub const MIXED_LABEL: &str = "tau=0.7 6-10g mixed-rw";
+
+/// Base records of the mixed cell (a corpus prefix — capped so each
+/// timed pass can rebuild its index from scratch in CI time).
+const MIXED_BASE: usize = 1024;
+/// Held-out records that feed the insert/upsert stream.
+const MIXED_INSERT_POOL: usize = 64;
+
+/// Measure the seeded mixed read/write cell: every third step mutates a
+/// [`MutableIndex`] (rotating insert / delete / upsert over a held-out
+/// record pool), every step serves one query through the delta/base
+/// search path, and the index compacts once at the schedule midpoint.
+/// Each timed pass replays the identical schedule against a fresh index,
+/// so the counter section stays a pure function of (scale, seed, grid)
+/// like every static cell. The roster is the inverted-list subset — the
+/// relational baseline has no mutable path.
+fn measure_mixed_workload(corpus: &Corpus, config: &HarnessConfig) -> WorkloadReport {
+    let tau = 0.7;
+    let texts: Vec<&str> = corpus
+        .words()
+        .take(MIXED_BASE + MIXED_INSERT_POOL)
+        .collect();
+    let split = texts.len().saturating_sub(MIXED_INSERT_POOL);
+    let (base, inserts) = texts.split_at(split);
+    let wl = workload(
+        corpus,
+        LengthBucket::PAPER[1],
+        1,
+        config.queries,
+        config.seed ^ 0x6d69_7865_645f_7277, // distinct stream for this cell
+    );
+    let queries = wl.queries();
+    let (warmup, reps) = (config.warmup, config.reps.max(1));
+    let mut algos = Vec::new();
+    for algo in Algo::ALL {
+        let Some(kind) = algo.kind() else {
+            continue;
+        };
+        for _ in 0..warmup {
+            mixed_pass(base, inserts, queries, kind, tau);
+        }
+        let mut samples = Vec::with_capacity(reps);
+        let mut stats = SearchStats::default();
+        let mut matches = 0u64;
+        for _ in 0..reps {
+            let (pass_stats, pass_matches, ms_per_query) =
+                mixed_pass(base, inserts, queries, kind, tau);
+            stats = pass_stats;
+            matches = pass_matches;
+            samples.push(ms_per_query);
+        }
+        algos.push(AlgoReport {
+            name: algo.name().to_string(),
+            counters: CounterSection::from_stats(&stats, queries.len() as u64, matches),
+            latency: LatencySection::from_samples(&samples),
+        });
+    }
+    WorkloadReport {
+        label: MIXED_LABEL.to_string(),
+        tau,
+        queries: queries.len() as u64,
+        algos,
+    }
+}
+
+/// One pass of the mixed schedule: fresh index (untimed), then the timed
+/// interleave of mutations, the midpoint compaction, and every query.
+fn mixed_pass(
+    base: &[&str],
+    inserts: &[&str],
+    queries: &[String],
+    kind: AlgorithmKind,
+    tau: f64,
+) -> (SearchStats, u64, f64) {
+    let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    for t in base {
+        builder.add(t);
+    }
+    let mut mi = MutableIndex::from_collection(Box::new(builder.build()), IndexOptions::default())
+        .expect("q-gram tokenizer has a serializable spec")
+        // One explicit compaction at the midpoint; auto-triggers would
+        // couple the schedule to the budget defaults.
+        .with_budget(DriftBudget {
+            max_rel_err: f64::INFINITY,
+            max_delta_records: usize::MAX,
+        });
+    let mut scratch = Scratch::default();
+    let mut stats = SearchStats::default();
+    let mut matches = 0u64;
+    let mut insert_ptr = 0usize;
+    // Deletes walk base ids from the front, upserts from the back: the
+    // streams never collide at this schedule length, so every mutation
+    // hits a live record and the schedule is identical across passes.
+    let mut delete_next = 0u64;
+    let mut upsert_next = base.len() as u64 - 1;
+    let start = Instant::now();
+    for (j, text) in queries.iter().enumerate() {
+        if j % 3 == 1 {
+            match (j / 3) % 3 {
+                0 => {
+                    mi.insert(inserts[insert_ptr % inserts.len()]);
+                    insert_ptr += 1;
+                }
+                1 => {
+                    mi.delete(RecordId(delete_next));
+                    delete_next += 1;
+                }
+                _ => {
+                    mi.upsert(RecordId(upsert_next), inserts[insert_ptr % inserts.len()]);
+                    insert_ptr += 1;
+                    upsert_next -= 1;
+                }
+            }
+        }
+        if j == queries.len() / 2 {
+            mi.compact();
+        }
+        let q = mi.prepare_query_str(text);
+        let req = MutableSearchRequest::new(&q).tau(tau).algorithm(kind);
+        let out = mi.search(&mut scratch, &req).expect("mixed-cell search");
+        matches += out.results.len() as u64;
+        stats.merge(&out.stats);
+    }
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    (stats, matches, elapsed_ms / queries.len().max(1) as f64)
 }
 
 #[cfg(test)]
@@ -148,8 +285,8 @@ mod tests {
         config.warmup = 0;
         config.reps = 1;
         let report = run(&config);
-        assert_eq!(report.workloads.len(), GRID.len());
-        for w in &report.workloads {
+        assert_eq!(report.workloads.len(), GRID.len() + 1);
+        for w in &report.workloads[..GRID.len()] {
             assert_eq!(w.algos.len(), Algo::ALL.len());
             assert_eq!(w.queries, 5);
             for a in &w.algos {
@@ -161,6 +298,22 @@ mod tests {
             assert!(merge.counters.elements_read > 0, "{}", w.label);
             let sql = w.algo("SQL").expect("sql in roster");
             assert!(sql.counters.elements_read > 0, "{}", w.label);
+        }
+        // The mixed read/write cell runs the inverted-list roster (the
+        // relational baseline has no mutable path) over the same query
+        // count, and its counters show real work too.
+        let mixed = report.workloads.last().expect("mixed cell present");
+        assert_eq!(mixed.label, MIXED_LABEL);
+        assert_eq!(mixed.algos.len(), Algo::LISTS_ONLY.len());
+        assert!(mixed.algo("SQL").is_none());
+        assert_eq!(mixed.queries, 5);
+        for a in &mixed.algos {
+            assert_eq!(a.counters.queries, 5);
+            assert!(
+                a.counters.records_scanned > 0,
+                "{}: the delta re-score path must run",
+                a.name
+            );
         }
         // The report survives its own serialization.
         let back = BenchReport::parse(&report.to_json_string()).unwrap();

@@ -2,8 +2,16 @@
 //!
 //! Subcommands:
 //!
-//! * `setsim-cli query  -i FILE -q TEXT [--tau T] [--algo NAME] [-n N]`
-//!   — similarity selection against the lines of FILE.
+//! * `setsim-cli query  {-i FILE | -d DIR} -q TEXT [--tau T] [--algo NAME]
+//!   [-n N]` — similarity selection against the lines of FILE, or against
+//!   a mutable segment directory built by `ingest`.
+//! * `setsim-cli ingest -d DIR [-i FILE] [--ops FILE]` — create or update
+//!   a mutable segment directory: seed it from FILE (new directories
+//!   only), then apply the mutation script in `--ops` (one op per line:
+//!   `+ TEXT` insert, `- ID` delete, `~ ID TEXT` upsert) and persist the
+//!   layered state.
+//! * `setsim-cli compact -d DIR` — fold a segment directory's delta into
+//!   a fresh base segment with exact recomputed idfs and persist it.
 //! * `setsim-cli topk   -i FILE -q TEXT [-k K]` — top-k most similar lines.
 //! * `setsim-cli join   -i FILE [--tau T] [--threads N]` — self-join: all
 //!   similar line pairs (duplicate detection).
@@ -26,11 +34,12 @@
 use setsim_core::algorithms::selfjoin::par_self_join;
 use setsim_core::algorithms::topk::topk_nra;
 use setsim_core::{
-    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, PreparedQuery, QueryEngine,
-    SearchRequest, SetCollection, SfAlgorithm,
+    AlgorithmKind, CollectionBuilder, IndexOptions, MutableIndex, MutableSearchRequest,
+    PreparedQuery, QueryEngine, RecordId, Scratch, SearchRequest, SetCollection, SfAlgorithm,
 };
 use setsim_tokenize::{QGramTokenizer, WordTokenizer};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +51,10 @@ pub struct Options {
     pub input: Option<String>,
     /// Snapshot file path (snapshot subcommands).
     pub snapshot: Option<String>,
+    /// Mutable segment directory (ingest/compact, and query -d).
+    pub dir: Option<String>,
+    /// Mutation-script file for ingest (`+ TEXT` / `- ID` / `~ ID TEXT`).
+    pub ops: Option<String>,
     /// Query text (query/topk).
     pub query: Option<String>,
     /// Threshold.
@@ -70,6 +83,8 @@ impl Default for Options {
             command: String::new(),
             input: None,
             snapshot: None,
+            dir: None,
+            ops: None,
             query: None,
             tau: 0.7,
             algo: "sf".into(),
@@ -89,7 +104,9 @@ pub const USAGE: &str = "\
 setsim-cli — set similarity search over the lines of a file
 
 USAGE:
-  setsim-cli query -i FILE -q TEXT [--tau T] [--algo sf|hybrid|inra|ita|ta|nra|merge|scan] [-n N]
+  setsim-cli query {-i FILE | -d DIR} -q TEXT [--tau T] [--algo sf|hybrid|inra|ita|ta|nra|merge|scan] [-n N]
+  setsim-cli ingest -d DIR [-i FILE] [--ops FILE]
+  setsim-cli compact -d DIR
   setsim-cli topk  -i FILE -q TEXT [-k K]
   setsim-cli join  -i FILE [--tau T] [--threads N] [-n N]
   setsim-cli stats -i FILE
@@ -101,6 +118,8 @@ USAGE:
 OPTIONS:
   -i, --input FILE   newline-separated records
   -s, --snapshot F   snapshot file (snapshot subcommands)
+  -d, --dir DIR      mutable segment directory (ingest/compact/query)
+      --ops FILE     mutation script: lines of '+ TEXT', '- ID', '~ ID TEXT'
   -q, --query TEXT   query string
       --tau T        similarity threshold in (0, 1] (default 0.7)
       --algo NAME    selection algorithm (default sf)
@@ -119,6 +138,12 @@ snapshot save builds the index from FILE and persists it as a
 page-structured, CRC-checksummed snapshot; load cold-starts a serving
 engine from the snapshot without rebuilding; verify checks every page
 checksum and the logical consistency of the file.
+
+ingest creates a mutable segment directory (seeded from FILE when new)
+and applies the --ops mutation script to it; compact folds the delta
+into a fresh base segment with exact recomputed idfs. query -d serves
+from such a directory, delta and all. The directory's base.snap is an
+ordinary snapshot: 'snapshot verify -s DIR/base.snap' checks it.
 ";
 
 /// Parse argv (without the program name).
@@ -136,7 +161,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         opts.command = format!("snapshot-{sub}");
     } else if !matches!(
         opts.command.as_str(),
-        "query" | "topk" | "join" | "stats" | "bench"
+        "query" | "topk" | "join" | "stats" | "bench" | "ingest" | "compact"
     ) {
         return Err(format!("unknown command {:?}\n{USAGE}", opts.command));
     }
@@ -149,6 +174,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "-i" | "--input" => opts.input = Some(value("--input")?),
             "-s" | "--snapshot" => opts.snapshot = Some(value("--snapshot")?),
+            "-d" | "--dir" => opts.dir = Some(value("--dir")?),
+            "--ops" => opts.ops = Some(value("--ops")?),
             "-q" | "--query" => opts.query = Some(value("--query")?),
             "--tau" => {
                 opts.tau = value("--tau")?
@@ -187,12 +214,21 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option {other:?}\n{USAGE}")),
         }
     }
-    let needs_input = !matches!(opts.command.as_str(), "snapshot-load" | "snapshot-verify");
+    let needs_input = !(matches!(
+        opts.command.as_str(),
+        "snapshot-load" | "snapshot-verify" | "ingest" | "compact"
+    ) || (opts.command == "query" && opts.dir.is_some()));
     if needs_input && opts.input.is_none() {
         return Err("missing --input FILE".to_string());
     }
     if opts.command.starts_with("snapshot-") && opts.snapshot.is_none() {
         return Err(format!("{} requires --snapshot FILE", opts.command));
+    }
+    if matches!(opts.command.as_str(), "ingest" | "compact") && opts.dir.is_none() {
+        return Err(format!("{} requires --dir DIR", opts.command));
+    }
+    if opts.command == "query" && opts.dir.is_some() && opts.input.is_some() {
+        return Err("query takes --input or --dir, not both".to_string());
     }
     if matches!(opts.command.as_str(), "query" | "topk") && opts.query.is_none() {
         return Err(format!("{} requires --query TEXT", opts.command));
@@ -273,30 +309,23 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
             .unwrap();
             return Ok(out);
         }
+        "query" => return run_query(opts, lines),
+        "ingest" => return run_ingest(opts, lines),
+        "compact" => return run_compact(opts),
         _ => {}
     }
-    let collection = build_collection(lines, opts);
-    let index = InvertedIndex::build(&collection, IndexOptions::default());
+    // Static-index commands build through the segment layer and freeze
+    // with into_base(): index construction lives in one place (the
+    // segment module) and yields the same index as a direct build.
+    let index = build_mutable(lines, opts)?.into_base();
     match opts.command.as_str() {
-        "query" => {
-            let kind = algorithm(&opts.algo)?;
-            let mut engine = QueryEngine::new(index);
-            let q = engine.prepare_query_str(opts.query.as_ref().expect("validated"));
-            let outcome = engine
-                .search(SearchRequest::new(&q).tau(opts.tau).algorithm(kind))
-                .map_err(|e| e.to_string())?;
-            let results = outcome.sorted_by_score();
-            writeln!(out, "{} match(es) at tau={}:", results.len(), opts.tau).unwrap();
-            for m in results.iter().take(opts.limit) {
-                writeln!(out, "  {:5.3}  {}", m.score, collection.text(m.id).unwrap()).unwrap();
-            }
-        }
         "topk" => {
             let q = index.prepare_query_str(opts.query.as_ref().expect("validated"));
             let top = topk_nra(&index, &q, opts.k);
             writeln!(out, "top-{}:", opts.k).unwrap();
             for m in top.results.iter().take(opts.limit) {
-                writeln!(out, "  {:5.3}  {}", m.score, collection.text(m.id).unwrap()).unwrap();
+                let text = index.collection().text(m.id).unwrap();
+                writeln!(out, "  {:5.3}  {text}", m.score).unwrap();
             }
         }
         "join" => {
@@ -313,8 +342,8 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
                     out,
                     "  {:5.3}  {:?} ~ {:?}",
                     p.score,
-                    collection.text(p.a).unwrap(),
-                    collection.text(p.b).unwrap()
+                    index.collection().text(p.a).unwrap(),
+                    index.collection().text(p.b).unwrap()
                 )
                 .unwrap();
             }
@@ -358,15 +387,15 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
             writeln!(
                 out,
                 "saved snapshot: {} record(s), {} posting(s), {bytes} B",
-                collection.len(),
+                index.collection().len(),
                 index.total_postings()
             )
             .unwrap();
         }
         "stats" => {
             let (lists, skips, hash) = index.size_bytes();
-            writeln!(out, "records:          {}", collection.len()).unwrap();
-            writeln!(out, "distinct tokens:  {}", collection.dict().len()).unwrap();
+            writeln!(out, "records:          {}", index.collection().len()).unwrap();
+            writeln!(out, "distinct tokens:  {}", index.collection().dict().len()).unwrap();
             writeln!(out, "postings:         {}", index.total_postings()).unwrap();
             writeln!(out, "inverted lists:   {lists} bytes").unwrap();
             writeln!(out, "skip lists:       {skips} bytes").unwrap();
@@ -375,6 +404,158 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
         _ => unreachable!("validated in parse_args"),
     }
     Ok(out)
+}
+
+/// Build a mutable (delta/base) index over the record lines.
+pub fn build_mutable(lines: &[String], opts: &Options) -> Result<MutableIndex, String> {
+    let collection = build_collection(lines, opts);
+    MutableIndex::from_collection(Box::new(collection), IndexOptions::default())
+        .map_err(|e| e.to_string())
+}
+
+fn run_query(opts: &Options, lines: &[String]) -> Result<String, String> {
+    let kind = algorithm(&opts.algo)?;
+    let mi = match &opts.dir {
+        Some(dir) => MutableIndex::open(Path::new(dir)).map_err(|e| e.to_string())?,
+        None => build_mutable(lines, opts)?,
+    };
+    let q = mi.prepare_query_str(opts.query.as_ref().expect("validated"));
+    let req = MutableSearchRequest::new(&q).tau(opts.tau).algorithm(kind);
+    let outcome = mi
+        .search(&mut Scratch::default(), &req)
+        .map_err(|e| e.to_string())?;
+    let results = outcome.sorted_by_score();
+    let mut out = String::new();
+    writeln!(out, "{} match(es) at tau={}:", results.len(), opts.tau).unwrap();
+    for m in results.iter().take(opts.limit) {
+        let text = mi.text(m.record).expect("result ids are live");
+        writeln!(out, "  {:5.3}  [{}] {text}", m.score, m.record).unwrap();
+    }
+    Ok(out)
+}
+
+fn run_ingest(opts: &Options, lines: &[String]) -> Result<String, String> {
+    let dir = Path::new(opts.dir.as_ref().expect("validated"));
+    let opened = MutableIndex::exists(dir);
+    if opened && opts.input.is_some() {
+        return Err(format!(
+            "segment directory {} already exists; --input only seeds new directories (use --ops to mutate this one)",
+            dir.display()
+        ));
+    }
+    let mut mi = if opened {
+        MutableIndex::open(dir).map_err(|e| e.to_string())?
+    } else {
+        build_mutable(lines, opts)?
+    };
+    let (ins, del, ups) = match &opts.ops {
+        Some(path) => {
+            let script =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            apply_ops(&mut mi, &script)?
+        }
+        None => (0, 0, 0),
+    };
+    mi.save(dir).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} segment {}: {} live record(s)",
+        if opened { "updated" } else { "created" },
+        dir.display(),
+        mi.live_len()
+    )
+    .unwrap();
+    writeln!(out, "applied ops: +{ins} -{del} ~{ups}").unwrap();
+    writeln!(
+        out,
+        "delta: {} record(s), idf drift {:.4}{}",
+        mi.delta_footprint(),
+        mi.drift_rel_err(),
+        if mi.needs_compaction() {
+            "  (compaction recommended)"
+        } else {
+            ""
+        }
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn run_compact(opts: &Options) -> Result<String, String> {
+    let dir = Path::new(opts.dir.as_ref().expect("validated"));
+    let mut mi = MutableIndex::open(dir).map_err(|e| e.to_string())?;
+    let folded = mi.delta_footprint();
+    let drift = mi.drift_rel_err();
+    mi.compact();
+    mi.save(dir).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "compacted {}: folded {folded} delta record(s) (idf drift {drift:.4}) into a fresh base of {} record(s)",
+        dir.display(),
+        mi.live_len()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// Apply a mutation script: one op per non-empty, non-`#` line —
+/// `+ TEXT` inserts, `- ID` deletes, `~ ID TEXT` upserts. Ids accept the
+/// printed form (`r7`) or a bare number. Returns (inserts, deletes,
+/// upserts) applied; any malformed line or miss on a dead/unknown id is
+/// an error naming the line.
+pub fn apply_ops(mi: &mut MutableIndex, script: &str) -> Result<(usize, usize, usize), String> {
+    let (mut ins, mut del, mut ups) = (0usize, 0usize, 0usize);
+    for (lineno, raw) in script.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let n = lineno + 1;
+        let (op, rest) = line.split_at(1);
+        let rest = rest.trim_start();
+        match op {
+            "+" => {
+                if rest.is_empty() {
+                    return Err(format!("ops line {n}: '+' needs record text"));
+                }
+                mi.insert(rest);
+                ins += 1;
+            }
+            "-" => {
+                let id = parse_record_id(rest)
+                    .ok_or_else(|| format!("ops line {n}: '-' needs a record id, got {rest:?}"))?;
+                if !mi.delete(id) {
+                    return Err(format!("ops line {n}: no live record {id}"));
+                }
+                del += 1;
+            }
+            "~" => {
+                let (id_text, text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| format!("ops line {n}: '~' needs ID TEXT"))?;
+                let id = parse_record_id(id_text)
+                    .ok_or_else(|| format!("ops line {n}: bad record id {id_text:?}"))?;
+                if !mi.upsert(id, text.trim_start()) {
+                    return Err(format!("ops line {n}: no live record {id}"));
+                }
+                ups += 1;
+            }
+            _ => {
+                return Err(format!(
+                    "ops line {n}: expected '+', '-' or '~', got {op:?}"
+                ))
+            }
+        }
+    }
+    Ok((ins, del, ups))
+}
+
+fn parse_record_id(s: &str) -> Option<RecordId> {
+    let s = s.trim();
+    let digits = s.strip_prefix('r').unwrap_or(s);
+    digits.parse().ok().map(RecordId)
 }
 
 #[cfg(test)]
@@ -571,6 +752,130 @@ mod tests {
         assert!(err.contains("checksum") || err.contains("corrupt"), "{err}");
         let o = parse_args(&argv(&format!("snapshot load -s {snap}"))).unwrap();
         assert!(run(&o, &[]).is_err(), "damaged snapshot must not serve");
+    }
+
+    struct TempSegDir(std::path::PathBuf);
+    impl TempSegDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            Self(
+                std::env::temp_dir()
+                    .join(format!("setsim-cli-seg-{}-{tag}-{n}", std::process::id())),
+            )
+        }
+        fn arg(&self) -> String {
+            self.0.to_string_lossy().into_owned()
+        }
+    }
+    impl Drop for TempSegDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn parse_ingest_and_compact_commands() {
+        let o = parse_args(&argv("ingest -d seg -i f.txt --ops ops.txt")).unwrap();
+        assert_eq!(o.command, "ingest");
+        assert_eq!(o.dir.as_deref(), Some("seg"));
+        assert_eq!(o.ops.as_deref(), Some("ops.txt"));
+        let o = parse_args(&argv("ingest -d seg")).unwrap();
+        assert!(o.input.is_none(), "ingest can open an existing directory");
+        let o = parse_args(&argv("compact -d seg")).unwrap();
+        assert_eq!(o.command, "compact");
+
+        assert!(parse_args(&argv("ingest -i f.txt")).is_err(), "needs --dir");
+        assert!(parse_args(&argv("compact")).is_err(), "needs --dir");
+        let o = parse_args(&argv("query -d seg -q x")).unwrap();
+        assert_eq!(o.dir.as_deref(), Some("seg"));
+        assert!(
+            parse_args(&argv("query -d seg -i f.txt -q x")).is_err(),
+            "query takes --input or --dir, not both"
+        );
+    }
+
+    #[test]
+    fn ingest_compact_verify_round_trip() {
+        let dir = TempSegDir::new("roundtrip");
+        let ops_file = TempFile(temp_snap("ops"));
+        std::fs::write(
+            &ops_file.0,
+            "# grow, shrink, rewrite\n+ ocean drive\n- r1\n~ r0 main street north\n",
+        )
+        .unwrap();
+
+        // Seed from lines and mutate in one ingest.
+        let mut o = parse_args(&argv(&format!("ingest -i x -d {}", dir.arg()))).unwrap();
+        o.ops = Some(ops_file.0.to_string_lossy().into_owned());
+        let out = run(&o, &lines()).unwrap();
+        assert!(out.contains("created segment"), "{out}");
+        assert!(out.contains("4 live record(s)"), "{out}");
+        assert!(out.contains("applied ops: +1 -1 ~1"), "{out}");
+
+        // Query the layered directory: upserted text is served, deleted
+        // record is gone.
+        let mut o = parse_args(&argv(&format!("query -d {} -q x --tau 0.4", dir.arg()))).unwrap();
+        o.query = Some("main street north".into());
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("main street north"), "{out}");
+        let mut o = parse_args(&argv(&format!("query -d {} -q x --tau 0.9", dir.arg()))).unwrap();
+        o.query = Some("main st".into());
+        let out = run(&o, &[]).unwrap();
+        assert!(!out.contains("main st\n"), "deleted record served: {out}");
+
+        // Compact, then verify the fresh base with the snapshot tooling.
+        let o = parse_args(&argv(&format!("compact -d {}", dir.arg()))).unwrap();
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("compacted"), "{out}");
+        assert!(out.contains("4 record(s)"), "{out}");
+        let base = dir.0.join("base.snap");
+        let o = parse_args(&argv(&format!("snapshot verify -s {}", base.display()))).unwrap();
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("snapshot OK"), "{out}");
+        assert!(out.contains("records: 4"), "{out}");
+
+        // A second ingest opens the existing directory; re-seeding it
+        // with --input is refused.
+        let o = parse_args(&argv(&format!("ingest -d {}", dir.arg()))).unwrap();
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("updated segment"), "{out}");
+        let o = parse_args(&argv(&format!("ingest -i x -d {}", dir.arg()))).unwrap();
+        assert!(run(&o, &lines()).is_err(), "re-seeding must be refused");
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_ops() {
+        let mut mi = build_mutable(&lines(), &Options::default()).unwrap();
+        assert!(apply_ops(&mut mi, "+ ok\n? bogus").is_err());
+        assert!(apply_ops(&mut mi, "- r99").is_err(), "dead id is an error");
+        assert!(apply_ops(&mut mi, "~ r0").is_err(), "upsert needs text");
+        assert!(apply_ops(&mut mi, "+").is_err(), "insert needs text");
+        let err = apply_ops(&mut mi, "+ fine\n- nonsense").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        // Counts reflect only applied ops; comments and blanks are free.
+        let (i, d, u) =
+            apply_ops(&mut mi, "# nothing\n\n+ park lane\n- 0\n~ 1 main str\n").unwrap();
+        assert_eq!((i, d, u), (1, 1, 1));
+    }
+
+    #[test]
+    fn query_from_empty_seeded_ingest() {
+        // ingest with no --input seeds an empty base; every record then
+        // lives in the delta and queries still serve.
+        let dir = TempSegDir::new("empty");
+        let ops_file = TempFile(temp_snap("emptyops"));
+        std::fs::write(&ops_file.0, "+ main street\n+ park avenue\n").unwrap();
+        let mut o = parse_args(&argv(&format!("ingest -d {}", dir.arg()))).unwrap();
+        o.ops = Some(ops_file.0.to_string_lossy().into_owned());
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("2 live record(s)"), "{out}");
+        let mut o = parse_args(&argv(&format!("query -d {} -q x --tau 0.8", dir.arg()))).unwrap();
+        o.query = Some("main street".into());
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("main street"), "{out}");
+        assert!(out.contains("1.000"), "{out}");
     }
 
     #[test]

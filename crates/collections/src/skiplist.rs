@@ -247,6 +247,22 @@ impl<K: Ord, V> SkipList<K, V> {
         }
     }
 
+    /// Remove every entry, keeping the node arena's allocation for reuse.
+    ///
+    /// A delta segment's per-token runs are rebuilt from scratch after each
+    /// compaction; clearing instead of dropping lets the caller pool the
+    /// emptied lists so the next filling cycle reuses their arenas.
+    pub fn clear(&mut self) {
+        for (i, slot) in self.nodes.iter_mut().enumerate() {
+            if slot.take().is_some() {
+                self.free.push(i as u32);
+            }
+        }
+        self.head = [NIL; MAX_LEVEL];
+        self.level = 1;
+        self.len = 0;
+    }
+
     /// Approximate heap footprint in bytes (keys, values, towers).
     pub fn size_bytes(&self) -> usize {
         let per_node = std::mem::size_of::<Option<Node<K, V>>>();
@@ -398,6 +414,26 @@ mod tests {
         }
         drop(sl);
         assert_eq!(Rc::strong_count(&shared), 1);
+    }
+
+    #[test]
+    fn clear_resets_and_recycles_arena() {
+        let mut sl = SkipList::new();
+        for k in 0..32 {
+            sl.insert(k, k);
+        }
+        sl.remove(&7); // one slot already on the free list before clearing
+        let arena = sl.nodes.len();
+        sl.clear();
+        assert!(sl.is_empty());
+        assert_eq!(sl.iter().count(), 0);
+        assert_eq!(sl.get(&3), None);
+        for k in 0..arena as i32 {
+            sl.insert(k, k + 1);
+        }
+        assert_eq!(sl.nodes.len(), arena, "cleared arena must be recycled");
+        let keys: Vec<i32> = sl.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..arena as i32).collect::<Vec<_>>());
     }
 
     #[test]

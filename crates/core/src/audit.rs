@@ -39,6 +39,8 @@ use crate::{properties, InvertedIndex, PreparedQuery, SearchOutcome, SetId};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
+pub use crate::segment::audit::{AuditedMutableIndex, MutableReport, MutableViolation};
+
 /// Relative slack for audit comparisons, matching the one-sided slack the
 /// algorithms themselves are allowed (`EPS_REL` in the crate root).
 const AUDIT_EPS: f64 = 1e-9;

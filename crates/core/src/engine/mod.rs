@@ -370,6 +370,8 @@ impl QueryEngine<'static> {
     /// or malformed contents. A file that fails validation never
     /// produces an engine.
     pub fn open(path: &std::path::Path) -> Result<Self, crate::SnapshotError> {
+        // open() IS the sanctioned single-file cold-start path; segment
+        // directories go through MutableEngine::open. lint: allow
         Ok(QueryEngine::new(InvertedIndex::load(path)?))
     }
 }

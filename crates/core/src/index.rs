@@ -309,6 +309,36 @@ impl<'c> InvertedIndex<'c> {
         }
     }
 
+    /// Build the index around an **owned** collection. The result borrows
+    /// nothing (`'static`), so it can live inside long-lived serving
+    /// structures — this is how the segment layer
+    /// ([`MutableIndex`](crate::segment::MutableIndex)) materializes its
+    /// immutable base segment. Construction is bit-identical to
+    /// [`build`](Self::build): same weight computation, same
+    /// `(len, id)`-sorted lists, same auxiliary structures.
+    pub fn build_owned(
+        collection: Box<SetCollection>,
+        options: IndexOptions,
+    ) -> InvertedIndex<'static> {
+        let weights = TokenWeights::compute(&collection);
+        let lengths: Vec<f64> = collection
+            .iter_sets()
+            .map(|(_, s)| weights.set_length(s))
+            .collect();
+        let mut raw: HashMap<Token, Vec<Posting>> = HashMap::new();
+        for (id, set) in collection.iter_sets() {
+            let len = lengths[id.index()];
+            for t in set.iter() {
+                raw.entry(t).or_default().push(Posting { id, len });
+            }
+        }
+        let mut sorted_lists: Vec<(Token, Vec<Posting>)> = raw.into_iter().collect();
+        for (_, postings) in &mut sorted_lists {
+            postings.sort_by(|a, b| a.len.total_cmp(&b.len).then(a.id.cmp(&b.id)));
+        }
+        Self::assemble_owned(collection, options, sorted_lists)
+    }
+
     /// Reassemble an index around an owned collection from decoded
     /// `(len, id)`-sorted posting lists (the snapshot load path).
     /// Weights, set lengths, and every per-list auxiliary structure are

@@ -76,6 +76,7 @@ pub mod measures;
 pub mod properties;
 mod query;
 mod result;
+pub mod segment;
 pub mod snapshot;
 mod stats;
 pub mod tfsearch;
@@ -94,6 +95,10 @@ pub use index::{IndexOptions, InvertedIndex, Posting, PostingList};
 pub use properties::Tau;
 pub use query::{PreparedQuery, QueryToken};
 pub use result::{Match, SearchOutcome, SearchStatus};
+pub use segment::{
+    DriftBudget, MutableEngine, MutableIndex, MutableMatch, MutableOutcome, MutableQuery,
+    MutableSearchRequest, RecordId,
+};
 pub use setsim_storage::{SnapshotError, SnapshotRegion};
 pub use stats::SearchStats;
 pub use weights::TokenWeights;

@@ -1,0 +1,126 @@
+//! IDF drift accounting for the delta/base segment split.
+//!
+//! The base segment's inverted lists and per-token idf weights are frozen
+//! at build time, but every insert or delete moves the live corpus away
+//! from them: `N` (the number of sets) and `N(t)` (per-token document
+//! frequencies) drift, and with them every `idf(t) = log2(1 + N/N(t))`.
+//! Searching the base segment with stale weights is still *sound* as long
+//! as the threshold it is searched at is widened by a factor that bounds
+//! how far any live score can sit above its stale counterpart — that
+//! factor is what [`DriftBounds`] computes, and [`DriftBudget`] is the
+//! configurable limit past which the index compacts instead of widening
+//! further (see DESIGN.md §12 for the derivation).
+
+/// Compaction policy: how much idf drift and delta growth the index
+/// tolerates before [`needs_compaction`] trips.
+///
+/// [`needs_compaction`]: crate::segment::MutableIndex::needs_compaction
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftBudget {
+    /// Maximum tolerated relative idf error
+    /// `max_t |idf_live(t)/idf_stale(t) − 1|` before compaction. Larger
+    /// values widen the base-segment search window (slower queries);
+    /// smaller values compact more often.
+    pub max_rel_err: f64,
+    /// Maximum delta footprint (delta records, dead or alive, plus base
+    /// tombstones) before compaction regardless of drift.
+    pub max_delta_records: usize,
+}
+
+impl Default for DriftBudget {
+    fn default() -> Self {
+        Self {
+            max_rel_err: 0.10,
+            max_delta_records: 4096,
+        }
+    }
+}
+
+/// Two-sided bounds on the live/stale idf ratio over every token class
+/// the index can encounter (all dictionary tokens plus the unseen-token
+/// class queries may introduce).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DriftBounds {
+    /// `min_t idf_live(t) / idf_stale(t)`.
+    pub rho_min: f64,
+    /// `max_t idf_live(t) / idf_stale(t)`.
+    pub rho_max: f64,
+}
+
+/// Multiplicative safety margin on the widening factor, covering the
+/// floating-point error of computing the ratio bounds themselves. Far
+/// coarser than f64 rounding, far finer than any real drift step.
+const DRIFT_SLACK: f64 = 1e-6;
+
+impl DriftBounds {
+    /// The no-drift identity bounds.
+    pub(crate) fn identity() -> Self {
+        Self {
+            rho_min: 1.0,
+            rho_max: 1.0,
+        }
+    }
+
+    /// Relative idf error `max_t |idf_live(t)/idf_stale(t) − 1|` — the
+    /// quantity [`DriftBudget::max_rel_err`] caps.
+    pub(crate) fn rel_err(self) -> f64 {
+        (self.rho_max - 1.0).max(1.0 - self.rho_min).max(0.0)
+    }
+
+    /// The threshold-widening factor `D`: for every query `q` and set `s`,
+    /// `I_live(q, s) ≤ D · I_stale(q, s)`.
+    ///
+    /// Derivation: with `ρ_t = idf_live(t)/idf_stale(t) ∈ [ρ_min, ρ_max]`,
+    /// the score numerator `Σ idf_live²` is at most `ρ_max²` times its
+    /// stale counterpart, and each length in the denominator is at least
+    /// `ρ_min` times its stale counterpart, so
+    /// `D = (ρ_max / ρ_min)²`. Searching the base segment at
+    /// `τ′ = τ / D_eff` therefore finds every set whose *live* score can
+    /// reach `τ` (`D_eff` adds [`DRIFT_SLACK`] so floating-point error in
+    /// the bounds can never cost a result).
+    pub(crate) fn widening_factor(self) -> f64 {
+        let d = (self.rho_max / self.rho_min).powi(2);
+        d.max(1.0) * (1.0 + DRIFT_SLACK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_bounds_are_neutral() {
+        let b = DriftBounds::identity();
+        assert_eq!(b.rel_err(), 0.0);
+        let d = b.widening_factor();
+        assert!((1.0..1.0 + 1e-5).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn rel_err_is_two_sided() {
+        let b = DriftBounds {
+            rho_min: 0.8,
+            rho_max: 1.05,
+        };
+        assert!((b.rel_err() - 0.2).abs() < 1e-12);
+        let b = DriftBounds {
+            rho_min: 0.99,
+            rho_max: 1.3,
+        };
+        assert!((b.rel_err() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn widening_factor_is_monotone_in_spread() {
+        let tight = DriftBounds {
+            rho_min: 0.95,
+            rho_max: 1.05,
+        };
+        let loose = DriftBounds {
+            rho_min: 0.5,
+            rho_max: 1.5,
+        };
+        assert!(loose.widening_factor() > tight.widening_factor());
+        assert!(tight.widening_factor() > 1.0);
+    }
+}

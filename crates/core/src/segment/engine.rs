@@ -1,0 +1,440 @@
+//! The concurrent serving shell around [`MutableIndex`]: reader/writer
+//! locking, swap-surviving metrics, and online compaction.
+//!
+//! Lock order (always acquired in this order, never held across heavy
+//! work):
+//!
+//! 1. `compaction` — serializes compactions; held for the whole rebuild.
+//! 2. `state` — the index `RwLock`; searches take it shared, mutations
+//!    and the final compaction install take it exclusive, and the heavy
+//!    rebuild runs with **no** lock held at all, so searches and
+//!    mutations keep flowing throughout.
+//!
+//! Metrics and the scratch pool live *outside* the `RwLock`, so an atomic
+//! segment swap can neither reset nor double-count them — the counters
+//! belong to the engine, not to any one segment generation.
+
+use super::{MutableIndex, MutableOutcome, MutableQuery, MutableSearchRequest, RecordId};
+use crate::engine::{EngineMetrics, MetricsSnapshot, Scratch, SearchError};
+use crate::segment::delta::DeltaSegment;
+use crate::SnapshotError;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError, RwLock};
+use std::time::Instant;
+
+/// A thread-safe, updatable serving engine: shared searches, exclusive
+/// mutations, and compaction that runs concurrently with both. See
+/// [`crate::segment`]'s module docs for the locking discipline.
+pub struct MutableEngine {
+    /// The current layered index; swapped wholesale by compaction.
+    state: RwLock<MutableIndex>,
+    /// Serializes compactions (the rebuild runs outside `state`).
+    compaction: Mutex<()>,
+    /// Serving counters — engine-owned, segment-swap-proof.
+    metrics: EngineMetrics,
+    /// Warm scratches shared by all searching threads.
+    scratch_pool: Mutex<Vec<Scratch>>,
+}
+
+impl MutableEngine {
+    /// Wrap an index for concurrent serving.
+    #[must_use]
+    pub fn new(index: MutableIndex) -> Self {
+        Self {
+            state: RwLock::new(index),
+            compaction: Mutex::new(()),
+            metrics: EngineMetrics::default(),
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Cold-start from a segment directory (see [`MutableIndex::open`]).
+    pub fn open(dir: &Path) -> Result<Self, SnapshotError> {
+        Ok(Self::new(MutableIndex::open(dir)?))
+    }
+
+    /// Persist the current state into a segment directory (see
+    /// [`MutableIndex::save`]). Takes the shared lock: saves can run
+    /// alongside searches.
+    pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
+        self.read().save(dir)
+    }
+
+    /// Prepare a query against the current segment state.
+    #[must_use]
+    pub fn prepare_query_str(&self, text: &str) -> MutableQuery {
+        self.read().prepare_query_str(text)
+    }
+
+    /// Run one search, recording serving metrics.
+    pub fn search(&self, req: &MutableSearchRequest<'_>) -> Result<MutableOutcome, SearchError> {
+        // Serving boundary: latency is recorded here, outside the
+        // deterministic kernels. lint: allow no-wallclock
+        let start = Instant::now();
+        let mut scratch = self.pool_pop();
+        let res = self.read().search(&mut scratch, req);
+        if let Ok(out) = &res {
+            self.metrics.record(&out.stats, out.status, start.elapsed());
+            self.metrics.record_matches(out.results.len() as u64);
+        }
+        self.pool_push(scratch);
+        res
+    }
+
+    /// Insert a record, compacting afterwards if the budget trips.
+    pub fn insert(&self, text: &str) -> RecordId {
+        let id = self.write().insert(text);
+        self.compact_if_needed();
+        id
+    }
+
+    /// Delete a record (see [`MutableIndex::delete`]), compacting
+    /// afterwards if the budget trips.
+    pub fn delete(&self, id: RecordId) -> bool {
+        let hit = self.write().delete(id);
+        if hit {
+            self.compact_if_needed();
+        }
+        hit
+    }
+
+    /// Replace a record's text keeping its id (see
+    /// [`MutableIndex::upsert`]), compacting afterwards if the budget
+    /// trips.
+    pub fn upsert(&self, id: RecordId, text: &str) -> bool {
+        let hit = self.write().upsert(id, text);
+        if hit {
+            self.compact_if_needed();
+        }
+        hit
+    }
+
+    /// Run one compaction if the drift budget is exhausted. If another
+    /// compaction is already in flight, this is a no-op rather than a
+    /// wait: the in-flight one is about to retire the same delta, and a
+    /// still-exhausted budget re-trips on the next mutation. (This also
+    /// keeps mutation → auto-compaction non-blocking, and makes mutating
+    /// from inside a compaction hook safe.)
+    pub fn compact_if_needed(&self) {
+        if !self.read().needs_compaction() {
+            return;
+        }
+        let _serialize = match self.compaction.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return,
+        };
+        self.compact_impl(|| {});
+    }
+
+    /// Compact now: merge delta + base into a fresh base segment with
+    /// exact recomputed idfs. The heavy rebuild holds no lock — searches
+    /// and mutations proceed concurrently; mutations that race the
+    /// rebuild are replayed from the op log before the atomic install.
+    pub fn compact(&self) {
+        self.compact_with_hook(|| {});
+    }
+
+    /// [`compact`](Self::compact) with a test hook invoked at the point
+    /// of maximum concurrency: after the pre-rebuild snapshot is taken
+    /// and every lock is released, before the rebuild begins. Tests use
+    /// it to interleave searches and mutations with an in-flight
+    /// compaction deterministically.
+    #[doc(hidden)]
+    pub fn compact_with_hook(&self, hook: impl FnOnce()) {
+        let _serialize = self
+            .compaction
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.compact_impl(hook);
+    }
+
+    /// The compaction body; caller holds the `compaction` mutex.
+    fn compact_impl(&self, hook: impl FnOnce()) {
+        // Snapshot the live corpus under the shared lock; searches keep
+        // running, mutations briefly queue.
+        let (live, spec, options, budget, logged) = {
+            let st = self.read();
+            if st.pristine() {
+                return;
+            }
+            (
+                st.live_records(),
+                st.spec.clone(),
+                st.options.clone(),
+                st.budget,
+                st.oplog.len(),
+            )
+        };
+        hook();
+        // The heavy part — re-tokenize, recompute exact idfs, rebuild the
+        // length-sorted lists — with no lock held.
+        let (base, ids) = super::build_base(&spec, options, &live);
+        // Install: briefly exclusive. Mutations that landed since the
+        // snapshot are exactly oplog[logged..]; replay them onto the
+        // fresh segment so nothing is lost.
+        let mut st = self.write();
+        let tail: Vec<super::DeltaOp> = st.oplog[logged..].to_vec();
+        let pool = st.delta.recycle();
+        let mut fresh = MutableIndex::assemble(base, spec, ids, st.next_id, budget);
+        fresh.delta = DeltaSegment::with_pool(pool);
+        for op in tail {
+            // Tail ops were validated when first applied; replaying them
+            // onto a segment holding the same live records cannot fail.
+            fresh
+                .replay(op)
+                .expect("compaction replay of validated op log tail"); // lint: allow
+        }
+        *st = fresh;
+    }
+
+    /// Read-only access to the current index state (shared lock held for
+    /// the duration of `f`).
+    pub fn with_index<R>(&self, f: impl FnOnce(&MutableIndex) -> R) -> R {
+        f(&self.read())
+    }
+
+    /// Serving metrics accumulated since construction (or the last
+    /// [`reset_metrics`](Self::reset_metrics)) — compactions never reset
+    /// or double-count them.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Zero the serving metrics.
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, MutableIndex> {
+        // A panicking holder cannot leave the index structurally torn in
+        // a way readers could observe unsoundly (all updates are applied
+        // under the exclusive lock, and compaction installs by whole-value
+        // swap), so recover rather than propagate.
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, MutableIndex> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn pool_pop(&self) -> Scratch {
+        let mut pool = self
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        pool.pop().unwrap_or_default()
+    }
+
+    fn pool_push(&self, scratch: Scratch) {
+        let mut pool = self
+            .scratch_pool
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        pool.push(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{DriftBudget, MutableIndex, MutableSearchRequest, RecordId};
+    use super::MutableEngine;
+    use crate::{CollectionBuilder, IndexOptions};
+    use setsim_tokenize::QGramTokenizer;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    fn mutable(texts: &[&str]) -> MutableIndex {
+        let mut b = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+        for t in texts {
+            b.add(t);
+        }
+        MutableIndex::from_collection(Box::new(b.build()), IndexOptions::default()).unwrap()
+    }
+
+    fn engine(texts: &[&str]) -> MutableEngine {
+        MutableEngine::new(mutable(texts))
+    }
+
+    /// Engine whose budget never trips: compactions happen only when a
+    /// test asks for one, so hooks always run.
+    fn engine_manual(texts: &[&str]) -> MutableEngine {
+        MutableEngine::new(mutable(texts).with_budget(DriftBudget {
+            max_rel_err: f64::INFINITY,
+            max_delta_records: usize::MAX,
+        }))
+    }
+
+    fn search_ids(eng: &MutableEngine, query: &str, tau: f64) -> Vec<RecordId> {
+        let q = eng.prepare_query_str(query);
+        let req = MutableSearchRequest::new(&q).tau(tau);
+        eng.search(&req).unwrap().ids_sorted()
+    }
+
+    const CORPUS: &[&str] = &["main street", "park avenue", "wall street", "ocean drive"];
+
+    #[test]
+    fn engine_serves_mutations_and_searches() {
+        let eng = engine(CORPUS);
+        let id = eng.insert("main street south");
+        assert!(search_ids(&eng, "main street south", 0.8).contains(&id));
+        assert!(eng.upsert(id, "main street west"));
+        assert!(eng.with_index(|mi| mi.text(id) == Some("main street west")));
+        assert!(eng.delete(id));
+        assert!(!search_ids(&eng, "main street west", 0.8).contains(&id));
+    }
+
+    /// Satellite: `EngineMetrics` counters survive the atomic segment
+    /// swap — neither reset nor double-counted by compaction.
+    #[test]
+    fn metrics_survive_compaction_swap() {
+        let eng = engine_manual(CORPUS);
+        for _ in 0..3 {
+            search_ids(&eng, "main street", 0.5);
+        }
+        eng.insert("harbor view");
+        assert_eq!(eng.metrics().queries, 3);
+        eng.compact();
+        assert!(eng.with_index(MutableIndex::pristine));
+        assert_eq!(
+            eng.metrics().queries,
+            3,
+            "compaction must not reset metrics"
+        );
+        for _ in 0..2 {
+            search_ids(&eng, "harbor view", 0.5);
+        }
+        let snap = eng.metrics();
+        assert_eq!(snap.queries, 5, "post-swap queries must keep accumulating");
+        assert!(
+            snap.matches >= 5,
+            "pre-swap match counts retained: {}",
+            snap.matches
+        );
+        eng.reset_metrics();
+        assert_eq!(eng.metrics().queries, 0);
+    }
+
+    /// Acceptance: searches issued *during* an in-flight compaction (after
+    /// the snapshot, before the install) complete and see the full corpus.
+    #[test]
+    fn searches_run_during_inflight_compaction() {
+        let eng = Arc::new(engine_manual(CORPUS));
+        let new_id = eng.insert("granite quay");
+        let eng2 = Arc::clone(&eng);
+        // Hook runs at max concurrency: rebuild pending, no locks held.
+        let saw = AtomicBool::new(false);
+        eng.compact_with_hook(|| {
+            let ids = search_ids(&eng2, "granite quay", 0.8);
+            saw.store(ids.contains(&new_id), Ordering::SeqCst);
+        });
+        assert!(
+            saw.load(Ordering::SeqCst),
+            "mid-compaction search must see the record"
+        );
+        assert!(eng.with_index(MutableIndex::pristine));
+        assert!(search_ids(&eng, "granite quay", 0.8).contains(&new_id));
+    }
+
+    /// Acceptance: a *threaded* searcher keeps querying while compaction
+    /// is in flight; compaction never blocks it.
+    #[test]
+    fn threaded_searches_overlap_compaction() {
+        let eng = Arc::new(engine_manual(CORPUS));
+        let id = eng.insert("granite quay");
+        let start = Arc::new(Barrier::new(2));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (eng2, start2, stop2) = (Arc::clone(&eng), Arc::clone(&start), Arc::clone(&stop));
+        let searcher = std::thread::spawn(move || {
+            start2.wait();
+            let mut hits = 0u64;
+            while !stop2.load(Ordering::SeqCst) {
+                if search_ids(&eng2, "granite quay", 0.8).contains(&id) {
+                    hits += 1;
+                }
+            }
+            hits
+        });
+        let (start3, stop3) = (Arc::clone(&start), Arc::clone(&stop));
+        eng.compact_with_hook(move || {
+            start3.wait();
+            // Let the searcher overlap the rebuild window for a bit.
+            for _ in 0..64 {
+                std::thread::yield_now();
+            }
+            stop3.store(false, Ordering::SeqCst);
+        });
+        stop.store(true, Ordering::SeqCst);
+        let hits = searcher.join().unwrap();
+        assert!(hits > 0, "searcher must make progress during compaction");
+        assert!(search_ids(&eng, "granite quay", 0.8).contains(&id));
+    }
+
+    /// Mutations racing an in-flight compaction are replayed onto the
+    /// fresh segment at install — nothing is lost or resurrected.
+    #[test]
+    fn racing_mutations_are_replayed_at_install() {
+        let eng = Arc::new(engine_manual(CORPUS));
+        let early = eng.insert("granite quay");
+        let eng2 = Arc::clone(&eng);
+        let mut late = RecordId(u64::MAX);
+        let late_ref = &mut late;
+        eng.compact_with_hook(|| {
+            // These land after the snapshot was taken: the rebuild cannot
+            // see them, so the install must replay them.
+            *late_ref = eng2.insert("velvet harbor");
+            assert!(eng2.delete(early));
+            assert!(eng2.upsert(RecordId(0), "main street east"));
+        });
+        assert!(
+            !eng.with_index(MutableIndex::pristine),
+            "replayed tail keeps index dirty"
+        );
+        assert!(!eng.with_index(|mi| mi.contains(early)));
+        assert!(search_ids(&eng, "velvet harbor", 0.8).contains(&late));
+        assert!(eng.with_index(|mi| mi.text(RecordId(0)) == Some("main street east")));
+        // A follow-up compaction folds the tail in for good.
+        eng.compact();
+        assert!(eng.with_index(MutableIndex::pristine));
+        assert!(search_ids(&eng, "velvet harbor", 0.8).contains(&late));
+        assert!(!eng.with_index(|mi| mi.contains(early)));
+    }
+
+    #[test]
+    fn budget_trip_autocompacts() {
+        let eng = MutableEngine::new(mutable(CORPUS).with_budget(DriftBudget {
+            max_rel_err: 10.0,
+            max_delta_records: 2,
+        }));
+        eng.insert("a1 b1");
+        eng.insert("a2 b2");
+        assert!(
+            eng.with_index(|mi| !mi.pristine()),
+            "within budget: no compaction yet"
+        );
+        eng.insert("a3 b3");
+        assert!(
+            eng.with_index(MutableIndex::pristine),
+            "third insert trips the budget"
+        );
+        assert_eq!(eng.with_index(MutableIndex::live_len), CORPUS.len() + 3);
+    }
+
+    #[test]
+    fn engine_save_open_round_trip() {
+        use std::sync::atomic::AtomicU64;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "setsim-mutable-engine-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let eng = engine(CORPUS);
+        let id = eng.insert("granite quay");
+        eng.save(&dir).unwrap();
+        let back = MutableEngine::open(&dir).unwrap();
+        assert!(search_ids(&back, "granite quay", 0.8).contains(&id));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -23,11 +23,13 @@
 //!   `Index::save` / `Index::load` in `setsim-core`.
 
 mod disk;
+pub mod manifest;
 mod paged;
 mod pool;
 pub mod snapshot;
 
 pub use disk::{CostModel, DiskStats, PageId, SimulatedDisk};
+pub use manifest::{DeltaLogOp, ManifestEntry, SegmentManifest};
 pub use paged::PagedPostings;
 pub use pool::BufferPool;
 pub use snapshot::{SnapshotError, SnapshotLayout, SnapshotReader, SnapshotRegion, SnapshotWriter};

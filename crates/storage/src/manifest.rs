@@ -1,0 +1,453 @@
+//! Multi-segment snapshot manifest for the mutable index.
+//!
+//! A mutable index on disk is a **directory**, not a single file: the
+//! immutable base segment keeps the existing page-structured snapshot
+//! format untouched, and everything the delta layer needs to be replayed
+//! on top of it — the op log and the record-id table — lives beside it,
+//! tied together by a checksummed manifest:
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST     — magic, version, file table (name + length + CRC32 of
+//!                  every referenced file), next record id, base record
+//!                  ids, whole-manifest CRC32
+//!   base.snap    — ordinary snapshot (SnapshotWriter format, §10)
+//!   delta.log    — framed op log: the mutations applied since the base
+//!                  segment was built, in order
+//! ```
+//!
+//! Loading verifies the manifest's own checksum, then the recorded
+//! length + CRC32 of each referenced file *before* handing the bytes to
+//! their decoders, so a torn or tampered directory surfaces as a typed
+//! [`SnapshotError`] — the same contract the single-file snapshot makes.
+
+use crate::snapshot::{SnapshotError, SnapshotRegion};
+use setsim_collections::checksum::crc32;
+use setsim_collections::codec::{read_u32_le, read_u64_le, write_u32_le, write_u64_le};
+use std::path::{Path, PathBuf};
+
+/// Manifest file magic.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"SSIMMANI";
+/// Delta op-log file magic.
+pub const DELTA_LOG_MAGIC: [u8; 8] = *b"SSIMDLOG";
+/// Current manifest format version. Readers reject anything else.
+pub const MANIFEST_VERSION: u32 = 1;
+/// File name of the manifest inside a segment directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// File name of the base segment snapshot inside a segment directory.
+pub const BASE_FILE: &str = "base.snap";
+/// File name of the delta op log inside a segment directory.
+pub const DELTA_FILE: &str = "delta.log";
+
+/// One file referenced by the manifest: its name relative to the segment
+/// directory, and the length + CRC32 its bytes must have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// File name relative to the manifest's directory.
+    pub name: String,
+    /// Exact byte length the file must have.
+    pub len: u64,
+    /// CRC32 over the whole file.
+    pub crc: u32,
+}
+
+impl ManifestEntry {
+    /// Describe `path` (already written) as a manifest entry named `name`.
+    pub fn describe(path: &Path, name: &str) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Ok(Self {
+            name: name.to_string(),
+            len: bytes.len() as u64,
+            crc: crc32(&bytes),
+        })
+    }
+
+    /// Read the referenced file from `dir`, verifying length and CRC32
+    /// before returning the bytes.
+    pub fn read_verified(&self, dir: &Path) -> Result<Vec<u8>, SnapshotError> {
+        let bytes = std::fs::read(dir.join(&self.name))?;
+        if bytes.len() as u64 != self.len {
+            return Err(SnapshotError::Truncated {
+                expected: self.len,
+                actual: bytes.len() as u64,
+            });
+        }
+        if crc32(&bytes) != self.crc {
+            return Err(SnapshotError::ChecksumMismatch {
+                region: SnapshotRegion::Footer,
+            });
+        }
+        Ok(bytes)
+    }
+}
+
+/// One logged mutation, as stored in the delta op log. The storage layer
+/// knows only ids and texts; their index semantics live in `setsim-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaLogOp {
+    /// A record was inserted (or re-inserted by an upsert) with this id.
+    Insert {
+        /// Stable record id.
+        id: u64,
+        /// The record's text.
+        text: String,
+    },
+    /// The record with this id was deleted.
+    Delete {
+        /// Stable record id.
+        id: u64,
+    },
+}
+
+/// The manifest tying a segment directory together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentManifest {
+    /// Base segment snapshot file.
+    pub base: ManifestEntry,
+    /// Delta op-log file.
+    pub delta: ManifestEntry,
+    /// Number of ops the delta log holds (cross-checked on read).
+    pub delta_ops: u64,
+    /// The next record id the index will assign.
+    pub next_record_id: u64,
+    /// Stable record id of each base-segment set, in `SetId` order.
+    pub base_record_ids: Vec<u64>,
+}
+
+impl SegmentManifest {
+    /// Serialize and write this manifest to `dir/MANIFEST`.
+    pub fn write(&self, dir: &Path) -> Result<(), SnapshotError> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MANIFEST_MAGIC);
+        write_u32_le(&mut out, MANIFEST_VERSION);
+        write_entry(&mut out, &self.base);
+        write_entry(&mut out, &self.delta);
+        write_u64_le(&mut out, self.delta_ops);
+        write_u64_le(&mut out, self.next_record_id);
+        write_u64_le(&mut out, self.base_record_ids.len() as u64);
+        for &id in &self.base_record_ids {
+            write_u64_le(&mut out, id);
+        }
+        let crc = crc32(&out);
+        write_u32_le(&mut out, crc);
+        std::fs::write(dir.join(MANIFEST_FILE), &out)?;
+        Ok(())
+    }
+
+    /// Read and validate `dir/MANIFEST`.
+    pub fn read(dir: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+        if bytes.len() < MANIFEST_MAGIC.len() + 8 {
+            return Err(SnapshotError::Truncated {
+                expected: (MANIFEST_MAGIC.len() + 8) as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        if bytes[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+            return Err(SnapshotError::BadMagic {
+                region: SnapshotRegion::Header,
+            });
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let mut tail = bytes.len() - 4;
+        let stored = read_u32_le(&bytes, &mut tail).ok_or_else(truncated_field)?;
+        if crc32(body) != stored {
+            return Err(SnapshotError::ChecksumMismatch {
+                region: SnapshotRegion::Header,
+            });
+        }
+        let mut pos = MANIFEST_MAGIC.len();
+        let version = read_u32_le(body, &mut pos).ok_or_else(truncated_field)?;
+        if version != MANIFEST_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: MANIFEST_VERSION,
+            });
+        }
+        let base = read_entry(body, &mut pos)?;
+        let delta = read_entry(body, &mut pos)?;
+        let delta_ops = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+        let next_record_id = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+        let n_ids = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+        let remaining = (body.len() - pos) as u64;
+        if n_ids.checked_mul(8) != Some(remaining) {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("manifest id table: {n_ids} ids, {remaining} bytes"),
+            });
+        }
+        let mut base_record_ids = Vec::with_capacity(n_ids as usize);
+        for _ in 0..n_ids {
+            base_record_ids.push(read_u64_le(body, &mut pos).ok_or_else(truncated_field)?);
+        }
+        Ok(Self {
+            base,
+            delta,
+            delta_ops,
+            next_record_id,
+            base_record_ids,
+        })
+    }
+
+    /// Absolute path of the base snapshot inside `dir`.
+    pub fn base_path(&self, dir: &Path) -> PathBuf {
+        dir.join(&self.base.name)
+    }
+}
+
+fn truncated_field() -> SnapshotError {
+    SnapshotError::Corrupt {
+        detail: "manifest field truncated".to_string(),
+    }
+}
+
+fn log_truncated() -> SnapshotError {
+    SnapshotError::Corrupt {
+        detail: "delta log field truncated".to_string(),
+    }
+}
+
+fn write_entry(out: &mut Vec<u8>, e: &ManifestEntry) {
+    write_u32_le(out, e.name.len() as u32);
+    out.extend_from_slice(e.name.as_bytes());
+    write_u64_le(out, e.len);
+    write_u32_le(out, e.crc);
+}
+
+fn read_entry(buf: &[u8], pos: &mut usize) -> Result<ManifestEntry, SnapshotError> {
+    let name_len = read_u32_le(buf, pos).ok_or_else(truncated_field)? as usize;
+    let raw = buf.get(*pos..*pos + name_len).ok_or_else(truncated_field)?;
+    *pos += name_len;
+    let name = std::str::from_utf8(raw)
+        .map_err(|_| SnapshotError::Corrupt {
+            detail: "manifest entry name is not UTF-8".to_string(),
+        })?
+        .to_string();
+    let len = read_u64_le(buf, pos).ok_or_else(truncated_field)?;
+    let crc = read_u32_le(buf, pos).ok_or_else(truncated_field)?;
+    Ok(ManifestEntry { name, len, crc })
+}
+
+/// Serialize `ops` into the framed delta-log format and write it to
+/// `dir/delta.log`, returning its manifest entry.
+pub fn write_delta_log(dir: &Path, ops: &[DeltaLogOp]) -> Result<ManifestEntry, SnapshotError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&DELTA_LOG_MAGIC);
+    write_u64_le(&mut out, ops.len() as u64);
+    for op in ops {
+        match op {
+            DeltaLogOp::Insert { id, text } => {
+                out.push(0);
+                write_u64_le(&mut out, *id);
+                write_u32_le(&mut out, text.len() as u32);
+                out.extend_from_slice(text.as_bytes());
+            }
+            DeltaLogOp::Delete { id } => {
+                out.push(1);
+                write_u64_le(&mut out, *id);
+            }
+        }
+    }
+    let crc = crc32(&out);
+    write_u32_le(&mut out, crc);
+    let path = dir.join(DELTA_FILE);
+    std::fs::write(&path, &out)?;
+    Ok(ManifestEntry {
+        name: DELTA_FILE.to_string(),
+        len: out.len() as u64,
+        crc: crc32(&out),
+    })
+}
+
+/// Decode a delta log previously written by [`write_delta_log`] from its
+/// verified bytes. `expect_ops` is the op count the manifest recorded.
+pub fn decode_delta_log(bytes: &[u8], expect_ops: u64) -> Result<Vec<DeltaLogOp>, SnapshotError> {
+    if bytes.len() < DELTA_LOG_MAGIC.len() + 12 {
+        return Err(SnapshotError::Truncated {
+            expected: (DELTA_LOG_MAGIC.len() + 12) as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    if bytes[..DELTA_LOG_MAGIC.len()] != DELTA_LOG_MAGIC {
+        return Err(SnapshotError::BadMagic {
+            region: SnapshotRegion::Footer,
+        });
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let mut tail = bytes.len() - 4;
+    let stored = read_u32_le(bytes, &mut tail).ok_or_else(truncated_field)?;
+    if crc32(body) != stored {
+        return Err(SnapshotError::ChecksumMismatch {
+            region: SnapshotRegion::Footer,
+        });
+    }
+    let mut pos = DELTA_LOG_MAGIC.len();
+    let count = read_u64_le(body, &mut pos).ok_or_else(log_truncated)?;
+    if count != expect_ops {
+        return Err(SnapshotError::Corrupt {
+            detail: format!("delta log holds {count} ops, manifest says {expect_ops}"),
+        });
+    }
+    let mut ops = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let tag = *body.get(pos).ok_or_else(log_truncated)?;
+        pos += 1;
+        let id = read_u64_le(body, &mut pos).ok_or_else(log_truncated)?;
+        match tag {
+            0 => {
+                let len = read_u32_le(body, &mut pos).ok_or_else(log_truncated)? as usize;
+                let raw = body.get(pos..pos + len).ok_or_else(log_truncated)?;
+                pos += len;
+                let text = std::str::from_utf8(raw)
+                    .map_err(|_| SnapshotError::Corrupt {
+                        detail: "delta log text is not UTF-8".to_string(),
+                    })?
+                    .to_string();
+                ops.push(DeltaLogOp::Insert { id, text });
+            }
+            1 => ops.push(DeltaLogOp::Delete { id }),
+            other => {
+                return Err(SnapshotError::Corrupt {
+                    detail: format!("unknown delta-log op tag {other}"),
+                });
+            }
+        }
+    }
+    if pos != body.len() {
+        return Err(SnapshotError::Corrupt {
+            detail: "trailing bytes after last delta-log op".to_string(),
+        });
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let p = std::env::temp_dir()
+                .join(format!("setsim-manifest-{}-{tag}-{n}", std::process::id()));
+            std::fs::create_dir_all(&p).unwrap();
+            Self(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn sample_ops() -> Vec<DeltaLogOp> {
+        vec![
+            DeltaLogOp::Insert {
+                id: 7,
+                text: "main street".to_string(),
+            },
+            DeltaLogOp::Delete { id: 2 },
+            DeltaLogOp::Insert {
+                id: 8,
+                text: String::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir = TempDir::new("roundtrip");
+        std::fs::write(dir.0.join(BASE_FILE), b"not really a snapshot").unwrap();
+        let base = ManifestEntry::describe(&dir.0.join(BASE_FILE), BASE_FILE).unwrap();
+        let delta = write_delta_log(&dir.0, &sample_ops()).unwrap();
+        let m = SegmentManifest {
+            base,
+            delta,
+            delta_ops: 3,
+            next_record_id: 9,
+            base_record_ids: vec![0, 1, 2, 5],
+        };
+        m.write(&dir.0).unwrap();
+        let back = SegmentManifest::read(&dir.0).unwrap();
+        assert_eq!(back, m);
+        let bytes = back.delta.read_verified(&dir.0).unwrap();
+        assert_eq!(decode_delta_log(&bytes, 3).unwrap(), sample_ops());
+    }
+
+    #[test]
+    fn manifest_detects_flips_everywhere() {
+        let dir = TempDir::new("flips");
+        std::fs::write(dir.0.join(BASE_FILE), b"payload bytes").unwrap();
+        let base = ManifestEntry::describe(&dir.0.join(BASE_FILE), BASE_FILE).unwrap();
+        let delta = write_delta_log(&dir.0, &sample_ops()).unwrap();
+        SegmentManifest {
+            base,
+            delta,
+            delta_ops: 3,
+            next_record_id: 9,
+            base_record_ids: vec![0, 1],
+        }
+        .write(&dir.0)
+        .unwrap();
+        let path = dir.0.join(MANIFEST_FILE);
+        let clean = std::fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                SegmentManifest::read(&dir.0).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        assert!(SegmentManifest::read(&dir.0).is_ok());
+    }
+
+    #[test]
+    fn referenced_file_damage_is_detected() {
+        let dir = TempDir::new("refdamage");
+        let delta = write_delta_log(&dir.0, &sample_ops()).unwrap();
+        // Bytes OK before damage.
+        assert!(delta.read_verified(&dir.0).is_ok());
+        let path = dir.0.join(DELTA_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            delta.read_verified(&dir.0),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        // Truncation is reported as such.
+        std::fs::write(&path, &bytes[..mid]).unwrap();
+        assert!(matches!(
+            delta.read_verified(&dir.0),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_log_decode_rejects_inconsistencies() {
+        let dir = TempDir::new("logbad");
+        let entry = write_delta_log(&dir.0, &sample_ops()).unwrap();
+        let bytes = std::fs::read(dir.0.join(DELTA_FILE)).unwrap();
+        assert_eq!(entry.len, bytes.len() as u64);
+        // Wrong expected count.
+        assert!(decode_delta_log(&bytes, 2).is_err());
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(matches!(
+            decode_delta_log(&bad, 3),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        // Flipped interior byte fails the CRC.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 2;
+        assert!(decode_delta_log(&bad, 3).is_err());
+    }
+}

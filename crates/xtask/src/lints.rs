@@ -454,6 +454,50 @@ pub(crate) fn check_engine_api(file: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule `mutable-index`: serving and CLI code must obtain indexes
+/// through the segment layer (`MutableIndex::from_collection` /
+/// `MutableEngine::open`, freezing with `into_base()` where a static
+/// index is needed) rather than constructing `InvertedIndex` directly.
+/// Direct construction bypasses record-id assignment, the delta op log,
+/// and drift accounting, so an index built that way can never be
+/// mutated or audited. The segment module itself and test regions are
+/// exempt; a deliberate exception carries the allow marker on the call
+/// line or the line above.
+pub(crate) fn check_mutable_index(file: &str, source: &str) -> Vec<Finding> {
+    let mask = test_region_mask(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER)) {
+            continue;
+        }
+        let code = strip_line_comment(line);
+        for needle in [
+            "InvertedIndex::build(",
+            "InvertedIndex::build_owned(",
+            "InvertedIndex::load(",
+        ] {
+            if code.contains(needle) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "mutable-index",
+                    message: format!(
+                        "`{needle}..)` in serving/CLI code; build through the \
+                         segment layer (`MutableIndex::from_collection` or \
+                         `MutableEngine::open`) and freeze with `into_base()` \
+                         if a static index is required"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
 /// Which rules apply to a repo-relative path.
 pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     let mut rules: Vec<fn(&str, &str) -> Vec<Finding>> = Vec::new();
@@ -497,6 +541,14 @@ pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
         || unix.contains("tests/");
     if unix.ends_with(".rs") && !engine_exempt {
         rules.push(check_engine_api);
+    }
+    // mutable-index: the CLI and the core serving layer, minus the segment
+    // module (it defines the sanctioned construction path) and test
+    // suites. Everything else may build static indexes freely.
+    let in_serving =
+        unix.starts_with("crates/cli/src/") || unix.starts_with("crates/core/src/engine/");
+    if in_serving && unix.ends_with(".rs") && !unix.contains("tests/") {
+        rules.push(check_mutable_index);
     }
     rules
 }
@@ -618,15 +670,21 @@ mod tests {
         // core lib code picks up no-wallclock on top of its prior rules.
         assert_eq!(rules_for("crates/core/src/weights.rs").len(), 3);
         assert_eq!(rules_for("crates/core/src/algorithms/sf.rs").len(), 3);
-        // ... except the metrics module, whose whole job is timing.
-        assert_eq!(rules_for("crates/core/src/engine/metrics.rs").len(), 1);
-        assert_eq!(rules_for("crates/core/src/engine/budget.rs").len(), 2);
+        // ... except the metrics module, whose whole job is timing; the
+        // engine modules also pick up mutable-index.
+        assert_eq!(rules_for("crates/core/src/engine/metrics.rs").len(), 2);
+        assert_eq!(rules_for("crates/core/src/engine/budget.rs").len(), 3);
+        // The segment module defines the sanctioned construction path, so
+        // it gets the core rules but NOT mutable-index.
+        assert_eq!(rules_for("crates/core/src/segment/mod.rs").len(), 2);
         // storage lib code: no-unchecked-io + engine-api.
         assert_eq!(rules_for("crates/storage/src/snapshot.rs").len(), 2);
         assert_eq!(rules_for("crates/storage/src/pool.rs").len(), 2);
         // engine-api only, everywhere outside the exempt crates.
         assert_eq!(rules_for("crates/datagen/src/corpus.rs").len(), 1);
-        assert_eq!(rules_for("crates/cli/src/lib.rs").len(), 1);
+        // CLI serving code: engine-api + mutable-index.
+        assert_eq!(rules_for("crates/cli/src/lib.rs").len(), 2);
+        assert_eq!(rules_for("crates/cli/src/main.rs").len(), 2);
         assert_eq!(rules_for("examples/quickstart.rs").len(), 1);
         assert_eq!(rules_for("src/lib.rs").len(), 1);
         // Exempt: core/bench/xtask and every test suite.
@@ -666,6 +724,35 @@ mod tests {
         let src = "pub fn f() {\n    let t = SystemTime::now();\n}\n";
         let f = check_no_wallclock(LIB_PATH, src);
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn direct_index_build_in_cli_is_flagged() {
+        let src = "fn f() {\n    let idx = InvertedIndex::build(&collection, IndexOptions::default());\n}\n";
+        let f = check_mutable_index("crates/cli/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[0].rule, "mutable-index");
+        let src = "fn f() {\n    let idx = InvertedIndex::load(path)?;\n}\n";
+        assert_eq!(
+            check_mutable_index("crates/core/src/engine/mod.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn segment_layer_construction_passes_mutable_index() {
+        let src = "fn f() {\n    let mi = MutableIndex::from_collection(c, o)?;\n    let idx = mi.into_base();\n}\n";
+        assert!(check_mutable_index("crates/cli/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mutable_index_allow_marker_and_tests_pass() {
+        let src = "fn f() {\n    / lint: allow mutable-index — cold-start path.\n    let idx = InvertedIndex::load(path)?;\n}\n"
+            .replace("/ lint", "// lint");
+        assert!(check_mutable_index("crates/core/src/engine/mod.rs", &src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let idx = InvertedIndex::build(&c, o);\n    }\n}\n";
+        assert!(check_mutable_index("crates/cli/src/lib.rs", src).is_empty());
     }
 
     #[test]

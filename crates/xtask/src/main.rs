@@ -171,7 +171,7 @@ const LINT_ROOTS: [&str; 3] = ["crates", "src", "examples"];
 fn run_custom_lints(root: &Path) -> bool {
     println!(
         "==> custom lints (no-unwrap, no-lossy-cast, paper-ref, engine-api, \
-         no-unchecked-io, no-wallclock)"
+         no-unchecked-io, no-wallclock, mutable-index)"
     );
     let mut findings = Vec::new();
     let mut files_scanned = 0usize;
