@@ -297,7 +297,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     fn borrow_from_left(&mut self, parent: u32, idx: usize) {
         let (left_id, child_id) = {
             let Node::Internal { children, .. } = &self.nodes[parent as usize] else {
-                unreachable!()
+                unreachable!("rebalance parent is always an internal node")
             };
             (children[idx - 1], children[idx])
         };
@@ -333,7 +333,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                 },
             ) => {
                 let Node::Internal { keys: pk, .. } = &mut self.nodes[parent as usize] else {
-                    unreachable!()
+                    unreachable!("rebalance parent is always an internal node")
                 };
                 let sep = pk[idx - 1].clone();
                 let (Some(k), Some(c)) = (lk.pop(), lc.pop()) else {
@@ -347,7 +347,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         };
         self.put2(left_id, left, child_id, child);
         let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
-            unreachable!()
+            unreachable!("rebalance parent is always an internal node")
         };
         keys[idx - 1] = new_sep;
     }
@@ -355,7 +355,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     fn borrow_from_right(&mut self, parent: u32, idx: usize) {
         let (child_id, right_id) = {
             let Node::Internal { children, .. } = &self.nodes[parent as usize] else {
-                unreachable!()
+                unreachable!("rebalance parent is always an internal node")
             };
             (children[idx], children[idx + 1])
         };
@@ -388,7 +388,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
                 },
             ) => {
                 let Node::Internal { keys: pk, .. } = &mut self.nodes[parent as usize] else {
-                    unreachable!()
+                    unreachable!("rebalance parent is always an internal node")
                 };
                 let sep = pk[idx].clone();
                 ck.push(sep);
@@ -399,7 +399,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         };
         self.put2(child_id, child, right_id, right);
         let Node::Internal { keys, .. } = &mut self.nodes[parent as usize] else {
-            unreachable!()
+            unreachable!("rebalance parent is always an internal node")
         };
         keys[idx] = new_sep;
     }
@@ -408,7 +408,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     fn merge(&mut self, parent: u32, idx: usize) {
         let (left_id, right_id, sep) = {
             let Node::Internal { keys, children } = &self.nodes[parent as usize] else {
-                unreachable!()
+                unreachable!("rebalance parent is always an internal node")
             };
             (children[idx], children[idx + 1], keys[idx].clone())
         };
@@ -449,7 +449,7 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         self.nodes[left_id as usize] = left;
         self.free.push(right_id);
         let Node::Internal { keys, children } = &mut self.nodes[parent as usize] else {
-            unreachable!()
+            unreachable!("rebalance parent is always an internal node")
         };
         keys.remove(idx);
         children.remove(idx + 1);

@@ -173,6 +173,14 @@ impl CompressedList {
         self.block_size
     }
 
+    /// Decode block `b`, appending its entries to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's varint stream is truncated. The data was
+    /// produced by [`Self::encode`] in this process (the codec is not a
+    /// persistence format), so truncation means memory corruption — not
+    /// a condition to propagate.
     fn decode_block(&self, b: usize, out: &mut Vec<CodecEntry>) {
         let (_, offset, count) = self.directory[b];
         let mut pos = offset as usize;

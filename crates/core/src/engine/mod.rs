@@ -461,7 +461,11 @@ impl<'c> QueryEngine<'c> {
                     let mut scratch = self.pool_pop();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(req) = reqs.get(i) else { break };
+                        // One bounds check covers both arrays: slots was
+                        // built with reqs.len() entries.
+                        let (Some(req), Some(slot)) = (reqs.get(i), slots.get(i)) else {
+                            break;
+                        };
                         // Per-request serving latency for the shared
                         // metrics histogram. lint: allow no-wallclock
                         let start = Instant::now();
@@ -471,7 +475,7 @@ impl<'c> QueryEngine<'c> {
                             self.metrics.record_matches(out.results.len() as u64);
                         }
                         // Each index is claimed by exactly one worker.
-                        let _ = slots[i].set(res);
+                        let _ = slot.set(res);
                     }
                     self.pool_push(scratch);
                 });

@@ -14,17 +14,30 @@
 //! segment swap can neither reset nor double-count them — the counters
 //! belong to the engine, not to any one segment generation.
 
-use super::{MutableIndex, MutableOutcome, MutableQuery, MutableSearchRequest, RecordId};
+use super::{
+    lockcheck, MutableIndex, MutableOutcome, MutableQuery, MutableSearchRequest, RecordId,
+};
 use crate::engine::{EngineMetrics, MetricsSnapshot, Scratch, SearchError};
 use crate::segment::delta::DeltaSegment;
 use crate::SnapshotError;
+use std::ops::{Deref, DerefMut};
 use std::path::Path;
-use std::sync::{Mutex, PoisonError, RwLock};
+use std::sync::{Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 /// A thread-safe, updatable serving engine: shared searches, exclusive
 /// mutations, and compaction that runs concurrently with both. See
 /// [`crate::segment`]'s module docs for the locking discipline.
+///
+/// The canonical acquisition order below is machine-checked: statically
+/// by `cargo xtask analyze` (lock-discipline pass parses these two
+/// declarations) and at runtime by [`lockcheck`] under the `audit`
+/// feature. `drift_cache` (rank 2, inside [`MutableIndex`]) sits
+/// between `state` and `scratch_pool`; it has no field here, so only
+/// the runtime checker sees its edges.
+///
+/// lock-order: compaction -> state -> scratch_pool
+/// lock-heavy: build_base, save, load, open
 pub struct MutableEngine {
     /// The current layered index; swapped wholesale by compaction.
     state: RwLock<MutableIndex>,
@@ -34,6 +47,40 @@ pub struct MutableEngine {
     metrics: EngineMetrics,
     /// Warm scratches shared by all searching threads.
     scratch_pool: Mutex<Vec<Scratch>>,
+}
+
+/// Shared-state guard: the `RwLock` read guard plus its lock-order
+/// witness, so the audit-mode checker sees release at the same instant
+/// the lock is really released.
+struct StateReadGuard<'a> {
+    guard: RwLockReadGuard<'a, MutableIndex>,
+    _held: lockcheck::HeldToken,
+}
+
+impl Deref for StateReadGuard<'_> {
+    type Target = MutableIndex;
+    fn deref(&self) -> &MutableIndex {
+        &self.guard
+    }
+}
+
+/// Exclusive-state guard: write guard plus lock-order witness.
+struct StateWriteGuard<'a> {
+    guard: RwLockWriteGuard<'a, MutableIndex>,
+    _held: lockcheck::HeldToken,
+}
+
+impl Deref for StateWriteGuard<'_> {
+    type Target = MutableIndex;
+    fn deref(&self) -> &MutableIndex {
+        &self.guard
+    }
+}
+
+impl DerefMut for StateWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut MutableIndex {
+        &mut self.guard
+    }
 }
 
 impl MutableEngine {
@@ -57,6 +104,10 @@ impl MutableEngine {
     /// [`MutableIndex::save`]). Takes the shared lock: saves can run
     /// alongside searches.
     pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
+        // The snapshot must be a consistent view, so the read guard is
+        // held across the IO by design; searches (shared) keep flowing,
+        // only mutations queue behind the save.
+        // lint: allow lock-heavy
         self.read().save(dir)
     }
 
@@ -124,6 +175,7 @@ impl MutableEngine {
             Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
             Err(std::sync::TryLockError::WouldBlock) => return,
         };
+        let _held = lockcheck::acquired(lockcheck::COMPACTION);
         self.compact_impl(|| {});
     }
 
@@ -146,6 +198,7 @@ impl MutableEngine {
             .compaction
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        let _held = lockcheck::acquired(lockcheck::COMPACTION);
         self.compact_impl(hook);
     }
 
@@ -174,7 +227,13 @@ impl MutableEngine {
         // snapshot are exactly oplog[logged..]; replay them onto the
         // fresh segment so nothing is lost.
         let mut st = self.write();
-        let tail: Vec<super::DeltaOp> = st.oplog[logged..].to_vec();
+        // `logged <= st.oplog.len()` always: only compaction truncates the
+        // op log, and the `compaction` mutex (held by our caller)
+        // serializes compactions — mutations can only have appended since
+        // the snapshot. `get` keeps the impossible case from panicking
+        // under the write guard (a panic here would poison serving for
+        // every thread).
+        let tail: Vec<super::DeltaOp> = st.oplog.get(logged..).unwrap_or_default().to_vec();
         let pool = st.delta.recycle();
         let mut fresh = MutableIndex::assemble(base, spec, ids, st.next_id, budget);
         fresh.delta = DeltaSegment::with_pool(pool);
@@ -183,7 +242,7 @@ impl MutableEngine {
             // onto a segment holding the same live records cannot fail.
             fresh
                 .replay(op)
-                .expect("compaction replay of validated op log tail"); // lint: allow
+                .expect("compaction replay of validated op log tail"); // lint: allow — failure here means the op log itself is corrupt; propagating would install a state missing acknowledged writes
         }
         *st = fresh;
     }
@@ -207,19 +266,26 @@ impl MutableEngine {
         self.metrics.reset();
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, MutableIndex> {
+    fn read(&self) -> StateReadGuard<'_> {
         // A panicking holder cannot leave the index structurally torn in
         // a way readers could observe unsoundly (all updates are applied
         // under the exclusive lock, and compaction installs by whole-value
         // swap), so recover rather than propagate.
-        self.state.read().unwrap_or_else(PoisonError::into_inner)
+        StateReadGuard {
+            guard: self.state.read().unwrap_or_else(PoisonError::into_inner),
+            _held: lockcheck::acquired(lockcheck::STATE),
+        }
     }
 
-    fn write(&self) -> std::sync::RwLockWriteGuard<'_, MutableIndex> {
-        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    fn write(&self) -> StateWriteGuard<'_> {
+        StateWriteGuard {
+            guard: self.state.write().unwrap_or_else(PoisonError::into_inner),
+            _held: lockcheck::acquired(lockcheck::STATE),
+        }
     }
 
     fn pool_pop(&self) -> Scratch {
+        let _held = lockcheck::acquired(lockcheck::SCRATCH_POOL);
         let mut pool = self
             .scratch_pool
             .lock()
@@ -228,6 +294,7 @@ impl MutableEngine {
     }
 
     fn pool_push(&self, scratch: Scratch) {
+        let _held = lockcheck::acquired(lockcheck::SCRATCH_POOL);
         let mut pool = self
             .scratch_pool
             .lock()
@@ -273,6 +340,74 @@ mod tests {
     }
 
     const CORPUS: &[&str] = &["main street", "park avenue", "wall street", "ocean drive"];
+
+    /// Satellite fix: a query prepared before a compaction swap carries
+    /// base coordinates (set-id order, frozen idf weights) of the retired
+    /// segment. The engine must serve it correctly anyway — `search`
+    /// detects the generation mismatch and transparently re-prepares from
+    /// the carried text, so stale handles return exactly what a fresh
+    /// preparation returns instead of wrong scores or an out-of-bounds
+    /// panic in the base pass.
+    #[test]
+    fn query_prepared_before_compaction_stays_valid() {
+        let eng = engine_manual(CORPUS);
+        let stale_q = eng.prepare_query_str("main street");
+        // Mutations that reshape the next base segment: new records with
+        // new tokens, plus a delete that re-sorts surviving set ids.
+        eng.insert("main street market");
+        eng.insert("granite quay");
+        let dead = eng.insert("quarry road");
+        eng.delete(dead);
+        eng.compact();
+        assert!(eng.with_index(MutableIndex::pristine));
+        let fresh_q = eng.prepare_query_str("main street");
+        let fresh = {
+            let req = MutableSearchRequest::new(&fresh_q).tau(0.5);
+            eng.search(&req).unwrap()
+        };
+        let stale = {
+            let req = MutableSearchRequest::new(&stale_q).tau(0.5);
+            eng.search(&req).unwrap()
+        };
+        assert!(!fresh.results.is_empty(), "corpus has matches at tau 0.5");
+        assert_eq!(
+            stale.ids_sorted(),
+            fresh.ids_sorted(),
+            "stale preparation must serve the same records as a fresh one"
+        );
+        let score_of = |out: &super::MutableOutcome, id| {
+            out.results.iter().find(|m| m.record == id).map(|m| m.score)
+        };
+        for m in &fresh.results {
+            assert_eq!(
+                score_of(&stale, m.record),
+                Some(m.score),
+                "stale preparation must serve current-weight scores"
+            );
+        }
+    }
+
+    /// The stale-query path also holds across *two* swaps and for a query
+    /// whose tokens only exist post-compaction (delta-only vocabulary the
+    /// retired base had never seen).
+    #[test]
+    fn stale_query_with_post_compaction_vocabulary() {
+        let eng = engine_manual(CORPUS);
+        // "granite quay" tokens are unknown to the initial base: prepared
+        // now, the stale coordinates carry pure unseen mass.
+        let q = eng.prepare_query_str("granite quay");
+        let id = eng.insert("granite quay");
+        eng.compact();
+        eng.insert("harbor view");
+        eng.compact();
+        let req = MutableSearchRequest::new(&q).tau(0.8);
+        let out = eng.search(&req).unwrap();
+        assert_eq!(
+            out.ids_sorted(),
+            vec![id],
+            "re-preparation must pick up vocabulary the old base lacked"
+        );
+    }
 
     #[test]
     fn engine_serves_mutations_and_searches() {

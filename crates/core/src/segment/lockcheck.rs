@@ -1,0 +1,146 @@
+//! Runtime lock-order checker for the segment serving layer (`audit`
+//! feature only; zero-cost otherwise).
+//!
+//! The canonical acquisition order — the same one `cargo xtask analyze`
+//! verifies statically (see DESIGN.md §13) — is:
+//!
+//! ```text
+//! compaction (0) -> state (1) -> drift_cache (2) -> scratch_pool (3)
+//! ```
+//!
+//! The static lock pass proves the order for acquisitions it can see
+//! inside one file; what it deliberately cannot see is the cross-file
+//! chain — the engine holding the `state` read guard while
+//! [`MutableIndex`](super::MutableIndex) internals take `drift_cache`.
+//! This module closes that gap at runtime: every acquisition site in the
+//! serving layer requests a [`HeldToken`] carrying its rank, and under
+//! `--features audit` a thread-local stack asserts that every lock
+//! already held by the thread has a *strictly lower* rank. Equal rank is
+//! also a violation: std's locks are not reentrant, so re-acquiring a
+//! held lock is a self-deadlock.
+//!
+//! Without the `audit` feature every function here compiles to nothing,
+//! so the serving hot path pays zero cost in release builds. The
+//! mutable-equivalence suites (and the whole workspace test run in CI's
+//! audit job) execute with the checker armed, including interleaved
+//! compaction, so a regression in the discipline fails loudly as a
+//! panic naming both ranks instead of as a rare production deadlock.
+
+#[cfg(feature = "audit")]
+use std::cell::RefCell;
+
+/// Rank of the `compaction` mutex (outermost).
+pub(crate) const COMPACTION: u8 = 0;
+/// Rank of the `state` `RwLock`.
+pub(crate) const STATE: u8 = 1;
+/// Rank of the `drift_cache` mutex (inside `MutableIndex`).
+pub(crate) const DRIFT_CACHE: u8 = 2;
+/// Rank of the `scratch_pool` mutex (innermost).
+pub(crate) const SCRATCH_POOL: u8 = 3;
+
+#[cfg(feature = "audit")]
+thread_local! {
+    /// Ranks of the locks this thread currently holds, in acquisition
+    /// order.
+    static HELD: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+#[cfg(feature = "audit")]
+fn rank_name(rank: u8) -> &'static str {
+    match rank {
+        COMPACTION => "compaction",
+        STATE => "state",
+        DRIFT_CACHE => "drift_cache",
+        SCRATCH_POOL => "scratch_pool",
+        _ => "unknown",
+    }
+}
+
+/// RAII witness of one held lock; dropping it marks the lock released.
+/// Keep it alongside the guard it describes (the engine's guard wrappers
+/// carry one), so release timing is exact.
+#[must_use = "dropping the token immediately marks the lock released"]
+pub(crate) struct HeldToken {
+    #[cfg(feature = "audit")]
+    rank: u8,
+}
+
+/// Record an acquisition of the lock with rank `rank`.
+///
+/// # Panics
+///
+/// Under `--features audit`, panics if this thread already holds a lock
+/// of equal or higher rank — the acquisition violates the canonical
+/// order and could deadlock against a thread acquiring in order.
+pub(crate) fn acquired(rank: u8) -> HeldToken {
+    // `rank` is only inspected under the audit feature.
+    let _ = rank;
+    #[cfg(feature = "audit")]
+    {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&worst) = held.iter().max() {
+                assert!(
+                    worst < rank,
+                    "lock-order violation: acquiring `{}` (rank {rank}) while \
+                     holding `{}` (rank {worst}); canonical order is \
+                     compaction -> state -> drift_cache -> scratch_pool",
+                    rank_name(rank),
+                    rank_name(worst),
+                );
+            }
+            held.push(rank);
+        });
+    }
+    HeldToken {
+        #[cfg(feature = "audit")]
+        rank,
+    }
+}
+
+#[cfg(feature = "audit")]
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(all(test, feature = "audit"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_acquisition_passes_and_releases() {
+        let c = acquired(COMPACTION);
+        let s = acquired(STATE);
+        let p = acquired(SCRATCH_POOL);
+        drop(p);
+        drop(s);
+        // Re-acquiring a released rank is fine.
+        let s2 = acquired(STATE);
+        drop(s2);
+        drop(c);
+        // Everything released: innermost-first is fresh again.
+        let p2 = acquired(SCRATCH_POOL);
+        drop(p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn inverted_acquisition_panics() {
+        let _p = acquired(SCRATCH_POOL);
+        let _s = acquired(STATE);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn reentrant_acquisition_panics() {
+        let _a = acquired(STATE);
+        let _b = acquired(STATE);
+    }
+}

@@ -38,6 +38,7 @@ pub mod audit;
 mod delta;
 mod drift;
 mod engine;
+mod lockcheck;
 mod persist;
 
 pub use drift::DriftBudget;
@@ -55,7 +56,16 @@ use delta::{DeltaRecord, DeltaSegment};
 use drift::DriftBounds;
 use setsim_tokenize::{Dictionary, Token, TokenMultiSet, TokenSet, Tokenizer, TokenizerSpec};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Process-global source of segment-state generations. Every
+/// [`MutableIndex::assemble`] stamps the fresh state from this counter,
+/// so a query prepared against any earlier state — including a state
+/// replaced by compaction, or a different index entirely — is detectably
+/// stale and can be re-prepared instead of served with wrong-coordinate
+/// weights.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(0);
 
 /// Stable identifier of a record in a [`MutableIndex`].
 ///
@@ -146,6 +156,16 @@ pub struct MutableQuery {
     /// Live coordinates: every token known to the unified dictionary with
     /// its current idf. Drives the exact re-scoring pass.
     live: PreparedQuery,
+    /// Generation of the segment state this preparation was made against.
+    /// Both coordinate systems are meaningless against any other state:
+    /// compaction re-sorts set ids and re-freezes weights, so serving a
+    /// stale preparation would score against the wrong vocabulary (or
+    /// index out of bounds). [`MutableIndex::search`] re-prepares from
+    /// [`text`](Self::text) when generations disagree.
+    generation: u64,
+    /// The original query text, kept so a stale preparation can be
+    /// transparently re-prepared against the current state.
+    text: String,
 }
 
 impl MutableQuery {
@@ -246,6 +266,10 @@ pub struct MutableIndex {
     /// Lazily computed drift bounds; invalidated by every mutation
     /// (each one moves `N`, hence every idf).
     drift_cache: Mutex<Option<DriftBounds>>,
+    /// Generation stamp from [`NEXT_GENERATION`]: unique per assembled
+    /// state, compared against [`MutableQuery::generation`] at search
+    /// time to detect preparations that predate a compaction swap.
+    generation: u64,
 }
 
 impl MutableIndex {
@@ -326,6 +350,7 @@ impl MutableIndex {
             oplog: Vec::new(),
             budget,
             drift_cache: Mutex::new(Some(DriftBounds::identity())),
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -588,12 +613,14 @@ impl MutableIndex {
     }
 
     fn invalidate_drift(&mut self) {
+        let _held = lockcheck::acquired(lockcheck::DRIFT_CACHE);
         *lock_or_recover(&self.drift_cache) = None;
     }
 
     /// Current drift bounds, recomputing the `O(vocabulary)` scan only
     /// when a mutation has invalidated the cache.
     fn drift_bounds(&self) -> DriftBounds {
+        let _held = lockcheck::acquired(lockcheck::DRIFT_CACHE);
         let mut cache = lock_or_recover(&self.drift_cache);
         if let Some(b) = *cache {
             return b;
@@ -680,7 +707,12 @@ impl MutableIndex {
             .collect();
         let unseen = TokenWeights::idf_formula(self.n_live, 0);
         let live = PreparedQuery::assemble(toks, count_to_f64(unknown) * unseen * unseen);
-        MutableQuery { stale, live }
+        MutableQuery {
+            stale,
+            live,
+            generation: self.generation,
+            text: text.to_string(),
+        }
     }
 
     /// Run one layered search. See the [module docs](self) for the
@@ -695,11 +727,22 @@ impl MutableIndex {
         if !(tau > 0.0 && tau <= 1.0 && tau.is_finite()) {
             return Err(SearchError::InvalidTau(tau));
         }
+        // A preparation from an earlier segment state carries coordinates
+        // this state cannot interpret: compaction re-sorts set ids and
+        // re-freezes the base weights, so scoring with it would be wrong
+        // (or index out of bounds). Re-prepare from the carried text.
+        let reprepared;
+        let query = if req.query.generation == self.generation {
+            req.query
+        } else {
+            reprepared = self.prepare_query_str(&req.query.text);
+            &reprepared
+        };
         // Fast path: an unmutated index is exactly its base segment, and
         // the stale preparation is bit-identical to a static one — run
         // the requested algorithm untouched (same counters, same scores).
         if self.pristine() {
-            let sreq = SearchRequest::new(&req.query.stale)
+            let sreq = SearchRequest::new(&query.stale)
                 .tau(tau)
                 .algorithm(req.algorithm)
                 .config(req.config);
@@ -718,7 +761,7 @@ impl MutableIndex {
             });
         }
         let mut outcome = MutableOutcome::default();
-        if self.n_live == 0 || req.query.live.len <= 0.0 {
+        if self.n_live == 0 || query.live.len <= 0.0 {
             return Ok(outcome);
         }
         let tau_wide = tau / self.drift_bounds().widening_factor();
@@ -726,8 +769,8 @@ impl MutableIndex {
         // requested algorithm at the widened threshold; its result list
         // is a superset of every live-qualifying base record.
         let mut base_cands: Vec<SetId> = Vec::new();
-        if !self.base.collection().is_empty() && !req.query.stale.is_empty() {
-            let sreq = SearchRequest::new(&req.query.stale)
+        if !self.base.collection().is_empty() && !query.stale.is_empty() {
+            let sreq = SearchRequest::new(&query.stale)
                 .tau(tau_wide)
                 .algorithm(req.algorithm)
                 .config(req.config);
@@ -746,9 +789,9 @@ impl MutableIndex {
             // No base weights to key runs by: visit all alive records.
             self.delta.all_alive(&mut delta_cands, &mut outcome.stats);
         } else {
-            let (lo, hi) = length_bounds(tau_wide, req.query.stale.len);
+            let (lo, hi) = length_bounds(tau_wide, query.stale.len);
             self.delta.window_candidates(
-                req.query.live.tokens.iter().map(|qt| qt.token),
+                query.live.tokens.iter().map(|qt| qt.token),
                 lo,
                 hi,
                 &mut delta_cands,
@@ -761,7 +804,7 @@ impl MutableIndex {
         // Phase 3: exact re-scoring under the live weights.
         for sid in base_cands {
             outcome.stats.records_scanned += 1;
-            let score = self.live_score(&req.query.live, self.base.collection().set(sid));
+            let score = self.live_score(&query.live, self.base.collection().set(sid));
             if passes(score, tau) {
                 outcome.results.push(MutableMatch {
                     record: self.base_ids[sid.index()],
@@ -772,7 +815,7 @@ impl MutableIndex {
         for slot in delta_cands {
             outcome.stats.records_scanned += 1;
             let r = &self.delta.records[slot as usize];
-            let score = self.live_score(&req.query.live, &r.set);
+            let score = self.live_score(&query.live, &r.set);
             if passes(score, tau) {
                 outcome.results.push(MutableMatch {
                     record: RecordId(r.id),

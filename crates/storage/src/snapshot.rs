@@ -849,7 +849,7 @@ mod tests {
             let pages: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 40]).collect();
             write_snapshot(&t.0, &pages, b"footer-bytes", 64);
             let mut bytes = std::fs::read(&t.0).unwrap();
-            let i = (flip_at % bytes.len() as u64) as usize; // lint: allow — modulo file length, exact
+            let i = (flip_at % bytes.len() as u64) as usize;
             bytes[i] ^= 1 << bit;
             std::fs::write(&t.0, &bytes).unwrap();
             let outcome = SnapshotReader::open(&t.0)

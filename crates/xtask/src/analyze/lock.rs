@@ -1,0 +1,898 @@
+//! Lock-discipline pass: verifies lock acquisitions in the concurrent
+//! serving layer against a declared canonical order, token-accurately
+//! and fully offline.
+//!
+//! # What it checks
+//!
+//! For every file in scope (`setsim-core` and `setsim-cli` library
+//! code), the pass:
+//!
+//! 1. **Extracts the lock fields** — every `name: Mutex<…>` /
+//!    `name: RwLock<…>` declaration (paths like `std::sync::Mutex`
+//!    included).
+//! 2. **Reads the declared order** from a structured comment in the same
+//!    file:
+//!    ```text
+//!    // lock-order: compaction -> state -> scratch_pool
+//!    // lock-heavy: build_base, save, load
+//!    ```
+//!    A file with two or more lock fields MUST declare an order
+//!    (`lock-undeclared`), and every field must appear in it
+//!    (`lock-unranked`).
+//! 3. **Simulates guard lifetimes** through each `fn` body: a let-bound
+//!    guard lives to the end of its block (or an explicit `drop(name)`),
+//!    a temporary guard to the end of its statement (`;`, or the `{`
+//!    opening an `if`/`while` body — Rust drops plain-`if` condition
+//!    temporaries before the block runs). Every acquisition made while
+//!    another guard is live becomes an **edge** in the lock graph.
+//!    Acquisitions through same-file wrapper fns (`self.read()` returning
+//!    a guard, `pool_pop()` locking internally) are resolved by a
+//!    fixpoint over the file's call graph — a wrapper whose return type
+//!    mentions `Guard` hands the lock to its caller; any other wrapper
+//!    acquires and releases internally but still contributes edges.
+//! 4. **Checks every edge** against the declared ranks: an edge from a
+//!    rank-`i` lock to a rank-`j` lock with `i >= j` is a `lock-order`
+//!    violation (`i == j` is a self-deadlock: re-acquiring a lock the
+//!    thread already holds). Independently, the observed graph is
+//!    DFS-checked for cycles (`lock-cycle`) so a file whose declaration
+//!    is itself wrong cannot self-certify.
+//! 5. **Flags guards held across heavy calls** (`lock-heavy`): while any
+//!    guard is live, calling one of the declared heavy operations
+//!    (compaction/rebuild/snapshot-IO) stalls every other thread on that
+//!    lock for the heavy call's full duration. A deliberate exception
+//!    (e.g. `save()` holding the state read lock to snapshot a
+//!    consistent view) carries a `lint: allow` marker with its
+//!    justification.
+//! 6. **Flags guards escaping the module boundary** (`lock-boundary`):
+//!    a `pub fn` whose return type mentions `Guard` hands callers a live
+//!    lock with no ordering obligations — the declared order becomes
+//!    unenforceable.
+//!
+//! # What it deliberately does not do
+//!
+//! Cross-type method calls (`st.search(…)` where `st` derefs to another
+//! struct in another file) are *not* resolved: without name resolution,
+//! matching by method name alone would invent edges from unrelated
+//! functions that happen to share a name. Those cross-file chains (the
+//! engine holding the state read guard while `MutableIndex::search`
+//! takes `drift_cache`) are covered by the *runtime* lock-order checker
+//! (`setsim-core`'s `segment::lockcheck`, `audit` feature), which
+//! asserts the same canonical ranks on every real acquisition during the
+//! mutable-equivalence suites. Static pass and runtime checker are two
+//! halves of one contract; DESIGN.md §13 documents the split.
+
+use crate::lexer::TokenKind;
+use crate::lints::Finding;
+use crate::model::FileModel;
+use std::collections::BTreeMap;
+
+/// Is this pass in scope for `path` (repo-relative, `/`-separated)?
+#[must_use]
+pub fn in_scope(path: &str) -> bool {
+    (path.starts_with("crates/core/src/") || path.starts_with("crates/cli/src/"))
+        && path.ends_with(".rs")
+}
+
+/// A lock-acquisition edge: `held` was live when `taken` was acquired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Edge {
+    held: String,
+    taken: String,
+    line: usize,
+}
+
+/// How a function interacts with the file's locks — the unit of the
+/// wrapper-resolution fixpoint.
+#[derive(Debug, Clone, Default)]
+struct FnSummary {
+    /// Locks acquired (and released) somewhere inside the call.
+    acquires: Vec<String>,
+    /// Lock still held by the caller after the call returns (wrapper fns
+    /// whose return type mentions `Guard`).
+    escapes: Option<String>,
+}
+
+/// One function's span in code-token indices, plus its header facts.
+struct FnSpan {
+    name: String,
+    /// Code-token index of the `fn` keyword.
+    kw: usize,
+    /// Code-token range of the body, exclusive of the outer braces.
+    body: std::ops::Range<usize>,
+    /// Text of the return type tokens (empty when `-> …` is absent).
+    ret: String,
+    is_pub: bool,
+}
+
+/// A guard currently held during simulation.
+struct Held {
+    field: String,
+    /// Binding name for let-bound guards (`drop(name)` releases them).
+    name: Option<String>,
+    /// Brace depth at acquisition.
+    depth: usize,
+    /// Temporaries die at the end of their statement.
+    temp: bool,
+}
+
+/// Run the lock-discipline pass over one file.
+#[must_use]
+pub fn check(path: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
+    let fields = lock_fields(&m);
+    if fields.is_empty() {
+        return Vec::new();
+    }
+    let (ranks, heavy) = declarations(&m);
+    let mut findings = Vec::new();
+
+    if fields.len() >= 2 && ranks.is_empty() {
+        findings.push(finding(
+            path,
+            fields[0].1,
+            "lock-undeclared",
+            format!(
+                "file declares {} lock fields ({}) but no canonical order; add a \
+                 `// lock-order: a -> b -> …` comment",
+                fields.len(),
+                field_names(&fields),
+            ),
+        ));
+        return findings;
+    }
+    if !ranks.is_empty() {
+        for (f, line) in &fields {
+            if !ranks.contains_key(f) {
+                findings.push(finding(
+                    path,
+                    *line,
+                    "lock-unranked",
+                    format!("lock field `{f}` is missing from the `lock-order:` declaration"),
+                ));
+            }
+        }
+    }
+
+    let fns = fn_spans(&m);
+    let summaries = summarize(&m, &fields, &fns);
+
+    // Boundary: public fns must not hand live guards to callers.
+    for f in &fns {
+        if f.is_pub && f.ret.contains("Guard") {
+            findings.push(finding(
+                path,
+                m.ct(f.kw).line,
+                "lock-boundary",
+                format!(
+                    "`pub fn {}` returns a lock guard (`{}`); guards must not escape \
+                     the declaring module — expose a closure-taking accessor instead",
+                    f.name, f.ret
+                ),
+            ));
+        }
+    }
+
+    // Simulate every body, collecting edges and heavy-call violations.
+    // Test fns exercise the public API under arbitrary orders (that is
+    // the point of the equivalence suites) and are out of scope.
+    let mut edges: Vec<Edge> = Vec::new();
+    for f in fns.iter().filter(|f| !m.in_test(m.ct(f.kw).line)) {
+        simulate(
+            &m,
+            &fields,
+            &fns,
+            &summaries,
+            &heavy,
+            f,
+            path,
+            &mut edges,
+            &mut findings,
+        );
+    }
+
+    // Rank check: every edge must go strictly downhill in the declared
+    // order (rank strictly increasing).
+    for e in &edges {
+        if e.held == e.taken {
+            findings.push(finding(
+                path,
+                e.line,
+                "lock-order",
+                format!(
+                    "`{}` is acquired while a guard for `{}` is already held — \
+                     self-deadlock on non-reentrant std locks",
+                    e.taken, e.held
+                ),
+            ));
+            continue;
+        }
+        if let (Some(&h), Some(&t)) = (ranks.get(&e.held), ranks.get(&e.taken)) {
+            if h >= t {
+                findings.push(finding(
+                    path,
+                    e.line,
+                    "lock-order",
+                    format!(
+                        "`{}` (rank {t}) acquired while `{}` (rank {h}) is held, \
+                         against the declared order {}",
+                        e.taken,
+                        e.held,
+                        order_string(&ranks),
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Independent cycle check over the observed graph, so a wrong
+    // declaration cannot self-certify.
+    if let Some(cycle) = find_cycle(&edges) {
+        let line = edges
+            .iter()
+            .find(|e| e.held == cycle[0])
+            .map_or(1, |e| e.line);
+        findings.push(finding(
+            path,
+            line,
+            "lock-cycle",
+            format!(
+                "observed lock-acquisition graph contains a cycle: {}",
+                cycle.join(" -> "),
+            ),
+        ));
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn finding(path: &str, line: usize, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: path.to_string(),
+        line,
+        rule,
+        message,
+    }
+}
+
+fn field_names(fields: &[(String, usize)]) -> String {
+    fields
+        .iter()
+        .map(|(f, _)| f.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn order_string(ranks: &BTreeMap<String, usize>) -> String {
+    let mut by_rank: Vec<(&usize, &String)> = ranks.iter().map(|(k, v)| (v, k)).collect();
+    by_rank.sort();
+    by_rank
+        .iter()
+        .map(|(_, k)| k.as_str())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Every `name: [path::]Mutex<…>` / `RwLock<…>` field in the file, with
+/// its line. Walks back from the type name over path segments to find
+/// the `name:` introducer, so `Mutex::new(…)` expressions don't match.
+fn lock_fields(m: &FileModel<'_>) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = Vec::new();
+    for i in 0..m.code_len() {
+        if !(m.is_ident(i, "Mutex") || m.is_ident(i, "RwLock")) || !m.is_punct(i + 1, '<') {
+            continue;
+        }
+        // Walk back over `ident ::` path segments.
+        let mut j = i;
+        while j >= 3
+            && m.is_punct(j - 1, ':')
+            && m.is_punct(j - 2, ':')
+            && m.ct(j - 3).kind == TokenKind::Ident
+        {
+            j -= 3;
+        }
+        // A field declaration has `name :` right before the type path
+        // (a lone `:`, not the tail of a `::`).
+        if j >= 2
+            && m.is_punct(j - 1, ':')
+            && !m.is_punct(j - 2, ':')
+            && m.ct(j - 2).kind == TokenKind::Ident
+        {
+            let name = m.ct_text(j - 2).to_string();
+            if !out.iter().any(|(f, _)| *f == name) {
+                out.push((name, m.ct(i).line));
+            }
+        }
+    }
+    out
+}
+
+/// Parse the `lock-order:` and `lock-heavy:` declaration comments.
+fn declarations(m: &FileModel<'_>) -> (BTreeMap<String, usize>, Vec<String>) {
+    let mut ranks = BTreeMap::new();
+    let mut heavy = Vec::new();
+    for t in m.tokens.iter().filter(|t| t.is_comment()) {
+        let text = t.text(m.source);
+        if let Some(rest) = text.split("lock-order:").nth(1) {
+            let rest = rest.lines().next().unwrap_or(rest);
+            for (rank, name) in rest.split("->").enumerate() {
+                let name = name.trim().trim_matches('`');
+                if !name.is_empty() && ranks.insert(name.to_string(), rank).is_none() {}
+            }
+        }
+        if let Some(rest) = text.split("lock-heavy:").nth(1) {
+            let rest = rest.lines().next().unwrap_or(rest);
+            for name in rest.split(',') {
+                let name = name.trim().trim_matches('`');
+                if !name.is_empty() {
+                    heavy.push(name.to_string());
+                }
+            }
+        }
+    }
+    (ranks, heavy)
+}
+
+/// Locate every `fn` in the file: name, return-type text, body span.
+fn fn_spans(m: &FileModel<'_>) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let n = m.code_len();
+    let mut i = 0usize;
+    while i < n {
+        if !m.is_ident(i, "fn") || i + 1 >= n || m.ct(i + 1).kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = m.ct_text(i + 1).to_string();
+        // Visibility: walk back over `pub`, `pub(crate)`, `const`,
+        // `unsafe`, `async`, `extern "C"`.
+        let mut p = i;
+        let mut is_pub = false;
+        while p > 0 {
+            let prev = m.ct_text(p - 1);
+            match prev {
+                "const" | "unsafe" | "async" | "extern" | ")" | "(" | "crate" | "super" | "in" => {
+                    p -= 1;
+                }
+                "pub" => {
+                    is_pub = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        // Find the body `{` (or a `;` for bodyless trait methods),
+        // remembering where a `->` return type starts.
+        let mut j = i + 2;
+        let mut ret_start: Option<usize> = None;
+        let mut depth = 0usize;
+        let mut body = None;
+        while j < n {
+            let t = m.ct_text(j);
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "-" if depth == 0 && m.is_punct(j + 1, '>') => {
+                    ret_start = Some(j + 2);
+                    j += 1;
+                }
+                ";" if depth == 0 => break,
+                "{" if depth == 0 => {
+                    // Matching close brace.
+                    let mut braces = 1usize;
+                    let mut k = j + 1;
+                    while k < n && braces > 0 {
+                        if m.is_punct(k, '{') {
+                            braces += 1;
+                        } else if m.is_punct(k, '}') {
+                            braces -= 1;
+                        }
+                        k += 1;
+                    }
+                    body = Some((j + 1)..(k.saturating_sub(1)));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let ret = ret_start.map_or(String::new(), |s| {
+            (s..j).map(|k| m.ct_text(k)).collect::<Vec<_>>().join("")
+        });
+        let end = body.as_ref().map_or(j, |b| b.end);
+        if let Some(body) = body {
+            out.push(FnSpan {
+                name,
+                kw: i,
+                body,
+                ret,
+                is_pub,
+            });
+        }
+        i = end.max(i + 1);
+    }
+    out
+}
+
+/// Direct acquisition at code index `i`: `self . F . lock/read/write/
+/// try_lock (` or `helper ( & self . F` (the `lock_or_recover` shape).
+/// Returns `(field, resume index past the matched head, index of the
+/// call's opening paren)`.
+fn direct_acquisition(
+    m: &FileModel<'_>,
+    fields: &[(String, usize)],
+    i: usize,
+) -> Option<(String, usize, usize)> {
+    let is_field = |k: usize| -> Option<String> {
+        let t = m.ct_text(k);
+        fields.iter().find(|(f, _)| f == t).map(|(f, _)| f.clone())
+    };
+    // self . F . op (
+    if m.is_ident(i, "self") && m.is_punct(i + 1, '.') {
+        if let Some(field) = is_field(i + 2) {
+            if m.is_punct(i + 3, '.')
+                && ["lock", "read", "write", "try_lock", "try_read", "try_write"]
+                    .iter()
+                    .any(|op| m.is_ident(i + 4, op))
+                && m.is_punct(i + 5, '(')
+            {
+                return Some((field, i + 6, i + 5));
+            }
+        }
+    }
+    // helper ( & self . F  — free-fn recovery wrappers.
+    if m.ct(i).kind == TokenKind::Ident
+        && !m.is_ident(i, "drop")
+        && m.is_punct(i + 1, '(')
+        && m.is_punct(i + 2, '&')
+        && m.is_ident(i + 3, "self")
+        && m.is_punct(i + 4, '.')
+    {
+        if let Some(field) = is_field(i + 5) {
+            return Some((field, i + 6, i + 1));
+        }
+    }
+    None
+}
+
+/// Fixpoint over same-file `self.method(…)` calls: which locks does each
+/// fn acquire, and does it hand one to its caller?
+fn summarize(
+    m: &FileModel<'_>,
+    fields: &[(String, usize)],
+    fns: &[FnSpan],
+) -> BTreeMap<String, FnSummary> {
+    let mut sums: BTreeMap<String, FnSummary> = BTreeMap::new();
+    // Seed with direct acquisitions.
+    for f in fns {
+        let mut s = FnSummary::default();
+        for i in f.body.clone() {
+            if let Some((field, _, _)) = direct_acquisition(m, fields, i) {
+                if !s.acquires.contains(&field) {
+                    s.acquires.push(field);
+                }
+            }
+        }
+        if f.ret.contains("Guard") {
+            s.escapes = s.acquires.first().cloned();
+        }
+        sums.insert(f.name.clone(), s);
+    }
+    // Propagate through same-file self calls until stable.
+    for _ in 0..fns.len().max(4) {
+        let mut changed = false;
+        for f in fns {
+            let mut acquired: Vec<String> = Vec::new();
+            for i in f.body.clone() {
+                if m.is_ident(i, "self")
+                    && m.is_punct(i + 1, '.')
+                    && m.is_punct(i + 3, '(')
+                    && m.ct(i + 2).kind == TokenKind::Ident
+                {
+                    if let Some(callee) = sums.get(m.ct_text(i + 2)) {
+                        for a in callee.acquires.iter().chain(callee.escapes.iter()) {
+                            if !acquired.contains(a) {
+                                acquired.push(a.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            let s = sums.get_mut(&f.name).unwrap(); // lint: allow — keyed by the same fns we seeded
+            for a in acquired {
+                if !s.acquires.contains(&a) {
+                    s.acquires.push(a);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+/// Walk one fn body, tracking live guards; emit edges and heavy-call
+/// findings.
+#[allow(clippy::too_many_arguments)]
+fn simulate(
+    m: &FileModel<'_>,
+    fields: &[(String, usize)],
+    fns: &[FnSpan],
+    summaries: &BTreeMap<String, FnSummary>,
+    heavy: &[String],
+    f: &FnSpan,
+    path: &str,
+    edges: &mut Vec<Edge>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = f.body.start;
+    while i < f.body.end {
+        let line = m.ct(i).line;
+        // Block structure.
+        if m.is_punct(i, '{') {
+            // Plain-`if`/`while` condition temporaries drop before the
+            // block runs; model statement end here.
+            held.retain(|h| !(h.temp && h.depth == depth));
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if m.is_punct(i, '}') {
+            depth = depth.saturating_sub(1);
+            held.retain(|h| h.depth <= depth);
+            i += 1;
+            continue;
+        }
+        if m.is_punct(i, ';') {
+            held.retain(|h| !(h.temp && h.depth == depth));
+            i += 1;
+            continue;
+        }
+        // Explicit release.
+        if m.is_ident(i, "drop") && m.is_punct(i + 1, '(') && m.ct(i + 2).kind == TokenKind::Ident {
+            let name = m.ct_text(i + 2);
+            held.retain(|h| h.name.as_deref() != Some(name));
+            i += 3;
+            continue;
+        }
+        // Heavy call while holding a guard: `h(`, `.h(`, `::h(`.
+        if m.ct(i).kind == TokenKind::Ident
+            && heavy.iter().any(|h| h == m.ct_text(i))
+            && m.is_punct(i + 1, '(')
+            && !(i > f.body.start && m.is_ident(i - 1, "fn"))
+            && !held.is_empty()
+            && !m.allowed_on_or_above(line)
+            && !m.in_test(line)
+        {
+            let holding = held
+                .iter()
+                .map(|h| h.field.as_str())
+                .collect::<Vec<_>>()
+                .join(", ");
+            findings.push(finding(
+                path,
+                line,
+                "lock-heavy",
+                format!(
+                    "heavy operation `{}` called while holding `{holding}` (in `fn {}`); \
+                     release the guard first or justify with a `lint: allow` marker",
+                    m.ct_text(i),
+                    f.name,
+                ),
+            ));
+        }
+        // Acquisition: direct, or through a same-file wrapper.
+        let acq: Option<(String, usize, usize)> =
+            if let Some((field, after, open)) = direct_acquisition(m, fields, i) {
+                Some((field, after, open))
+            } else if m.is_ident(i, "self")
+                && m.is_punct(i + 1, '.')
+                && m.ct(i + 2).kind == TokenKind::Ident
+                && m.is_punct(i + 3, '(')
+            {
+                let callee = m.ct_text(i + 2);
+                // Only resolve names that are unique in this file — a name
+                // both defined here and on another type would be ambiguous.
+                match summaries.get(callee) {
+                    Some(s) if fns.iter().filter(|g| g.name == callee).count() == 1 => {
+                        // Transient wrappers contribute edges for everything
+                        // they acquire; escaping wrappers additionally leave
+                        // their lock held.
+                        for a in &s.acquires {
+                            if Some(a) != s.escapes.as_ref() {
+                                for h in &held {
+                                    edges.push(Edge {
+                                        held: h.field.clone(),
+                                        taken: a.clone(),
+                                        line,
+                                    });
+                                }
+                            }
+                        }
+                        s.escapes.clone().map(|field| (field, i + 4, i + 3))
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+        if let Some((field, after, open)) = acq {
+            for h in &held {
+                edges.push(Edge {
+                    held: h.field.clone(),
+                    taken: field.clone(),
+                    line,
+                });
+            }
+            // Binding: statement starting with `let` whose RHS *is* the
+            // acquisition (the call's close paren is followed by `;` or
+            // `else`) binds the guard; anything else is a temporary that
+            // dies at the end of the statement.
+            let (is_let, name) = binding(m, f.body.start, i);
+            let close = matching_close(m, open, f.body.end);
+            let whole_rhs = m.is_punct(close + 1, ';') || m.is_ident(close + 1, "else");
+            if is_let && whole_rhs {
+                held.push(Held {
+                    field,
+                    name,
+                    depth,
+                    temp: false,
+                });
+            } else {
+                held.push(Held {
+                    field,
+                    name: None,
+                    depth,
+                    temp: true,
+                });
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Find the statement introducer for the expression at code index `i`:
+/// walk back to the nearest `;`/`{`/`}` and report whether the statement
+/// begins with `let`, plus the binding name (last plain ident before the
+/// `=`).
+fn binding(m: &FileModel<'_>, lo: usize, i: usize) -> (bool, Option<String>) {
+    let mut s = i;
+    while s > lo {
+        let t = m.ct_text(s - 1);
+        if t == ";" || t == "{" || t == "}" {
+            break;
+        }
+        s -= 1;
+    }
+    if !m.is_ident(s, "let") {
+        return (false, None);
+    }
+    let mut name = None;
+    for k in s + 1..i {
+        if m.is_punct(k, '=') {
+            break;
+        }
+        if m.ct(k).kind == TokenKind::Ident {
+            let t = m.ct_text(k);
+            if t.chars()
+                .next()
+                .is_some_and(|c| c.is_lowercase() || c == '_')
+                && t != "mut"
+            {
+                name = Some(t.to_string());
+            }
+        }
+    }
+    (true, name)
+}
+
+/// Code index of the `)` matching the `(` at `open` (bounded by `end`).
+fn matching_close(m: &FileModel<'_>, open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < end {
+        if m.is_punct(k, '(') {
+            depth += 1;
+        } else if m.is_punct(k, ')') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// DFS cycle detection over the observed edges; returns one cycle's node
+/// sequence if any exists.
+fn find_cycle(edges: &[Edge]) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    // Self-edges are reported separately as self-deadlocks.
+    for e in edges.iter().filter(|e| e.held != e.taken) {
+        adj.entry(&e.held).or_default().push(&e.taken);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for start in nodes {
+        let mut stack = vec![(start, 0usize)];
+        let mut pathway = vec![start];
+        while let Some((node, next)) = stack.pop() {
+            let succ = adj.get(node).map_or(&[][..], Vec::as_slice);
+            if next < succ.len() {
+                stack.push((node, next + 1));
+                let child = succ[next];
+                if child == start {
+                    pathway.push(child);
+                    return Some(pathway.iter().map(ToString::to_string).collect());
+                }
+                if !pathway.contains(&child) {
+                    pathway.push(child);
+                    stack.push((child, 0));
+                }
+            } else {
+                pathway.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PATH: &str = "crates/core/src/segment/engine.rs";
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn single_lock_file_needs_no_declaration() {
+        let src = "struct S { cache: Mutex<u32> }\nimpl S {\n    fn get(&self) -> u32 {\n        *self.cache.lock().unwrap_or_default()\n    }\n}\n";
+        assert!(check(PATH, src).is_empty());
+    }
+
+    #[test]
+    fn two_locks_without_declaration_is_flagged() {
+        let src = "struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
+        let f = check(PATH, src);
+        assert_eq!(rules(&f), vec!["lock-undeclared"]);
+    }
+
+    #[test]
+    fn field_missing_from_declaration_is_flagged() {
+        let src =
+            "// lock-order: a -> b\nstruct S { a: Mutex<u32>, b: Mutex<u32>, c: RwLock<u32> }\n";
+        let f = check(PATH, src);
+        assert_eq!(rules(&f), vec!["lock-unranked"]);
+        assert!(f[0].message.contains("`c`"));
+    }
+
+    #[test]
+    fn ordered_nesting_passes() {
+        let src = "// lock-order: a -> b\nstruct S { a: Mutex<u32>, b: std::sync::Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock();\n        let gb = self.b.lock();\n        drop(gb);\n        drop(ga);\n    }\n}\n";
+        assert!(check(PATH, src).is_empty());
+    }
+
+    #[test]
+    fn inverted_nesting_is_flagged_with_cycle_free_graph() {
+        let src = "// lock-order: a -> b\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let gb = self.b.lock();\n        let ga = self.a.lock();\n    }\n}\n";
+        let f = check(PATH, src);
+        assert_eq!(rules(&f), vec!["lock-order"]);
+        assert!(f[0].message.contains("against the declared order"));
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn deliberate_cycle_is_reported_as_cycle_and_order_violation() {
+        // f takes a then b; g takes b then a — classic ABBA deadlock.
+        let src = "// lock-order: a -> b\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let ga = self.a.lock();\n        let gb = self.b.lock();\n    }\n    fn g(&self) {\n        let gb = self.b.lock();\n        let ga = self.a.lock();\n    }\n}\n";
+        let f = check(PATH, src);
+        assert!(rules(&f).contains(&"lock-order"), "{f:?}");
+        assert!(rules(&f).contains(&"lock-cycle"), "{f:?}");
+        let cycle = f.iter().find(|x| x.rule == "lock-cycle").unwrap();
+        assert!(cycle.message.contains("a -> b -> a") || cycle.message.contains("b -> a -> b"));
+    }
+
+    #[test]
+    fn reacquiring_held_lock_is_flagged() {
+        let src = "struct S { a: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let g1 = self.a.lock();\n        let g2 = self.a.lock();\n    }\n}\n";
+        let f = check(PATH, src);
+        assert_eq!(rules(&f), vec!["lock-order"]);
+        assert!(f[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn statement_temporary_is_released_at_semicolon() {
+        // The first statement's guard is a temporary (the lock call is
+        // chained into a method) and dies at `;` — no edge to b.
+        let src = "// lock-order: b -> a\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let n = *self.a.lock().unwrap();\n        let gb = self.b.lock();\n    }\n}\n";
+        assert!(check(PATH, src).is_empty());
+    }
+
+    #[test]
+    fn if_condition_temporary_is_released_before_block() {
+        // Rust drops plain-if condition temporaries before the block; the
+        // body's acquisition of b is NOT under a.
+        let src = "// lock-order: b -> a\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        if self.a.lock().is_ok() {\n            let gb = self.b.lock();\n        }\n    }\n}\n";
+        assert!(check(PATH, src).is_empty());
+    }
+
+    #[test]
+    fn let_else_guard_lives_on() {
+        let src = "// lock-order: a -> b\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let Ok(_g) = self.a.try_lock() else { return; };\n        let gb = self.b.lock();\n    }\n}\n";
+        // Edge a -> b, which matches the declared order: clean.
+        assert!(check(PATH, src).is_empty());
+        let inverted = src.replace("lock-order: a -> b", "lock-order: b -> a");
+        assert_eq!(rules(&check(PATH, &inverted)), vec!["lock-order"]);
+    }
+
+    #[test]
+    fn escaping_wrapper_resolves_to_its_lock() {
+        // `self.rd()` returns a guard for `a`; calling it while holding
+        // `b` is an edge b -> a, against the declared order.
+        let src = "// lock-order: a -> b\nstruct S { a: RwLock<u32>, b: Mutex<u32> }\nimpl S {\n    fn rd(&self) -> RwLockReadGuard<'_, u32> {\n        self.a.read().unwrap()\n    }\n    fn f(&self) {\n        let gb = self.b.lock();\n        let ga = self.rd();\n    }\n}\n";
+        let f = check(PATH, src);
+        assert_eq!(rules(&f), vec!["lock-order"], "{f:?}");
+    }
+
+    #[test]
+    fn transient_wrapper_contributes_edges_but_releases() {
+        // pool_pop locks `b` internally and returns a value, not a guard:
+        // calling it under `a` is an a -> b edge (fine), and b is NOT
+        // held afterwards, so re-calling it is not a self-deadlock.
+        let src = "// lock-order: a -> b\nstruct S { a: Mutex<u32>, b: Mutex<Vec<u32>> }\nimpl S {\n    fn pop(&self) -> Option<u32> {\n        self.b.lock().unwrap().pop()\n    }\n    fn f(&self) {\n        let ga = self.a.lock();\n        let x = self.pop();\n        let y = self.pop();\n    }\n}\n";
+        assert!(check(PATH, src).is_empty());
+    }
+
+    #[test]
+    fn recovery_helper_shape_is_an_acquisition() {
+        let src = "// lock-order: a -> b\nstruct S { a: Mutex<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let gb = lock_or_recover(&self.b);\n        let ga = lock_or_recover(&self.a);\n    }\n}\n";
+        assert_eq!(rules(&check(PATH, src)), vec!["lock-order"]);
+    }
+
+    #[test]
+    fn heavy_call_under_guard_is_flagged_and_allowable() {
+        let src = "// lock-order: a -> b\n// lock-heavy: save\nstruct S { a: RwLock<u32>, b: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let g = self.a.read();\n        save(&g);\n    }\n}\n";
+        let f = check(PATH, src);
+        assert_eq!(rules(&f), vec!["lock-heavy"]);
+        assert_eq!(f[0].line, 7);
+        let allowed = src.replace(
+            "        save(&g);",
+            "        // lint: allow — consistent view required\n        save(&g);",
+        );
+        assert!(check(PATH, &allowed).is_empty());
+    }
+
+    #[test]
+    fn heavy_call_with_no_guard_passes() {
+        let src = "// lock-heavy: save\nstruct S { a: Mutex<u32> }\nimpl S {\n    fn f(&self) {\n        let snapshot = { let g = self.a.lock(); g.clone() };\n        save(&snapshot);\n    }\n}\n";
+        assert!(check(PATH, src).is_empty());
+    }
+
+    #[test]
+    fn pub_fn_returning_guard_is_a_boundary_violation() {
+        let src = "struct S { a: RwLock<u32> }\nimpl S {\n    pub fn peek(&self) -> RwLockReadGuard<'_, u32> {\n        self.a.read().unwrap()\n    }\n}\n";
+        let f = check(PATH, src);
+        assert_eq!(rules(&f), vec!["lock-boundary"]);
+        // Private wrappers are the sanctioned pattern.
+        let private = src.replace("pub fn peek", "fn peek");
+        assert!(check(PATH, &private).is_empty());
+    }
+
+    #[test]
+    fn scope_is_core_and_cli_lib_code() {
+        assert!(in_scope("crates/core/src/segment/engine.rs"));
+        assert!(in_scope("crates/cli/src/lib.rs"));
+        assert!(!in_scope("crates/storage/src/snapshot.rs"));
+        assert!(!in_scope("crates/core/tests/mutable_equivalence.rs"));
+        assert!(!in_scope("crates/xtask/src/analyze/lock.rs"));
+    }
+}

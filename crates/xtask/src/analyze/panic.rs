@@ -1,0 +1,417 @@
+//! Panic-reachability pass: token-accurate detection of panic sites in
+//! serving library code.
+//!
+//! # Why panics are a concurrency problem here
+//!
+//! `MutableEngine` serves searches under an `RwLock`; a panic while a
+//! guard is held poisons the lock for every other thread. The engine
+//! recovers poisoned locks (`PoisonError::into_inner`), but recovery is
+//! a last resort — it re-exposes whatever half-written state the
+//! panicking thread left behind. The cheapest correct policy is for
+//! serving code to not panic, and that policy has to be *checked*,
+//! because the panic sites that matter (`v[i]`, `a / b`, a bare
+//! `unreachable!()`) don't look like panics in review.
+//!
+//! # What it checks
+//!
+//! * **`panic-path`** — `panic!` / `todo!` / `unimplemented!` and *bare*
+//!   `unreachable!()` invocations in library code of `setsim-core`,
+//!   `setsim-collections`, and `setsim-storage`. Escapes, in order of
+//!   preference: the enclosing `fn` documents the contract in a
+//!   `# Panics` doc section (the std convention — the panic is then API,
+//!   not an accident); a `lint: allow` marker on the line or the line
+//!   above; a test region. `unreachable!("why this is impossible")`
+//!   with a message is *not* flagged: stating the violated invariant is
+//!   exactly what turns a dead branch into a diagnosable bug report.
+//! * **`serving-index`** — slice/`Vec` indexing expressions (`expr[i]`)
+//!   in the two files that execute while lock guards are live
+//!   (`engine/mod.rs`, `segment/engine.rs`). Indexing panics on
+//!   out-of-bounds; under a guard that is a poisoning event. Use
+//!   `.get(..)` with an explicit fallback, or justify with `lint:
+//!   allow`.
+//! * **`serving-div`** — `/` and `%` with a non-literal right-hand side
+//!   in the same two files (divide-by-zero panics on integers).
+//!   Literal divisors (`x / 2`) are provably non-zero and pass.
+//!
+//! Outside the two guard-holding files, indexing and division sites in
+//! library code are reported as an **advisory count** only (the kernels
+//! index heavily, by design, against lengths they computed themselves —
+//! flagging each site would bury the signal; see DESIGN.md §13).
+//! `unwrap`/`expect` are not re-detected here: the migrated `no-unwrap`
+//! and `no-unchecked-io` lints already gate them on the same token
+//! engine. `assert!`/`debug_assert!` are deliberately exempt — they
+//! state contracts, and banning them would push checks *out* of the
+//! code.
+
+use crate::lexer::TokenKind;
+use crate::lints::Finding;
+use crate::model::FileModel;
+
+/// Files whose code runs while lock guards are held: index/div panics
+/// there are poisoning events and are gated, not advisory.
+const GUARD_HOLDING_FILES: [&str; 2] = [
+    "crates/core/src/engine/mod.rs",
+    "crates/core/src/segment/engine.rs",
+];
+
+/// Is the panic-macro check in scope for `path`?
+#[must_use]
+pub fn in_scope(path: &str) -> bool {
+    (path.starts_with("crates/core/src/")
+        || path.starts_with("crates/collections/src/")
+        || path.starts_with("crates/storage/src/"))
+        && path.ends_with(".rs")
+}
+
+/// Advisory tallies for sites that are counted but not gated.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Advisory {
+    /// `expr[i]` indexing sites in non-guard-holding lib code.
+    pub index_sites: usize,
+    /// Non-literal `/` / `%` sites in non-guard-holding lib code.
+    pub div_sites: usize,
+}
+
+/// Run the panic-reachability pass over one file.
+#[must_use]
+pub fn check(path: &str, source: &str) -> (Vec<Finding>, Advisory) {
+    let m = FileModel::new(source);
+    let mut findings = Vec::new();
+    let mut advisory = Advisory::default();
+    let fns = fn_doc_spans(&m);
+    let gated_sites = GUARD_HOLDING_FILES.contains(&path);
+
+    for i in 0..m.code_len() {
+        let line = m.ct(i).line;
+        if m.in_test(line) {
+            continue;
+        }
+
+        // panic! / todo! / unimplemented! / bare unreachable!().
+        if m.ct(i).kind == TokenKind::Ident && m.is_punct(i + 1, '!') {
+            let name = m.ct_text(i);
+            let bare_unreachable =
+                name == "unreachable" && m.is_punct(i + 2, '(') && m.is_punct(i + 3, ')');
+            let always = matches!(name, "panic" | "todo" | "unimplemented");
+            if (always || bare_unreachable)
+                && !m.allowed_on_or_above(line)
+                && !documented_panics(&m, &fns, i)
+            {
+                let advice = if bare_unreachable {
+                    "state the violated invariant: `unreachable!(\"…\")`"
+                } else {
+                    "return an error, or document the contract in a `# Panics` doc section"
+                };
+                findings.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: "panic-path",
+                    message: format!("`{name}!` reachable in serving library code; {advice}"),
+                });
+            }
+            continue;
+        }
+
+        // expr[i] indexing: `[` directly after an ident, `)`, or `]`.
+        if m.is_punct(i, '[') && i > 0 {
+            let prev = m.ct(i - 1);
+            let indexes_expr = matches!(prev.kind, TokenKind::Ident)
+                && !is_keyword(m.ct_text(i - 1))
+                || prev.is_punct(m.source, ')')
+                || prev.is_punct(m.source, ']');
+            if indexes_expr {
+                if gated_sites {
+                    if !m.allowed_on_or_above(line) {
+                        findings.push(Finding {
+                            file: path.to_string(),
+                            line,
+                            rule: "serving-index",
+                            message: format!(
+                                "indexing `{}[..]` can panic out-of-bounds while a lock guard \
+                                 is live; use `.get(..)` with an explicit fallback",
+                                m.ct_text(i - 1)
+                            ),
+                        });
+                    }
+                } else {
+                    advisory.index_sites += 1;
+                }
+            }
+            continue;
+        }
+
+        // Integer division / remainder with a non-literal divisor.
+        if (m.is_punct(i, '/') || m.is_punct(i, '%')) && i > 0 {
+            // `/` here is always division: comments are separate tokens
+            // and `/=` divides too. Exclude the `%` of nothing (prefix
+            // position: previous token is an operator or open bracket).
+            let prev = m.ct_text(i - 1);
+            let binary = !matches!(
+                prev,
+                "(" | "["
+                    | "{"
+                    | ","
+                    | "="
+                    | "+"
+                    | "-"
+                    | "*"
+                    | "<"
+                    | ">"
+                    | "&"
+                    | "|"
+                    | ";"
+                    | "!"
+                    | ":"
+                    | "return"
+                    | "=>"
+            );
+            let rhs = i + usize::from(m.is_punct(i + 1, '=')) + 1;
+            let literal_rhs = rhs < m.code_len() && m.ct(rhs).kind == TokenKind::Num;
+            if binary && !literal_rhs {
+                if gated_sites {
+                    if !m.allowed_on_or_above(line) {
+                        findings.push(Finding {
+                            file: path.to_string(),
+                            line,
+                            rule: "serving-div",
+                            message: "division/remainder with a non-literal divisor can panic \
+                                      on zero while a lock guard is live; check the divisor or \
+                                      use `checked_div`"
+                                .to_string(),
+                        });
+                    }
+                } else {
+                    advisory.div_sites += 1;
+                }
+            }
+        }
+    }
+    (findings, advisory)
+}
+
+fn is_keyword(t: &str) -> bool {
+    matches!(
+        t,
+        "if" | "else"
+            | "match"
+            | "return"
+            | "in"
+            | "as"
+            | "mut"
+            | "let"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "box"
+            | "unsafe"
+            | "vec"
+    )
+}
+
+/// `(body range, fn has a `# Panics` doc section)` for every fn.
+fn fn_doc_spans(m: &FileModel<'_>) -> Vec<(std::ops::Range<usize>, bool)> {
+    let mut out = Vec::new();
+    let n = m.code_len();
+    let mut i = 0usize;
+    while i < n {
+        if !m.is_ident(i, "fn") || i + 1 >= n || m.ct(i + 1).kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Doc attaches to the item head: walk back over visibility /
+        // qualifier tokens to the first token of the item.
+        let mut head = i;
+        while head > 0 {
+            match m.ct_text(head - 1) {
+                "pub" | "const" | "unsafe" | "async" | "extern" | ")" | "(" | "crate" | "super"
+                | "in" => head -= 1,
+                _ => break,
+            }
+        }
+        let documented = m.doc_above(head).contains("# Panics");
+        // Find the body braces (skipping a bodyless `;`).
+        let mut depth = 0usize;
+        let mut j = i + 2;
+        let mut body: Option<std::ops::Range<usize>> = None;
+        while j < n {
+            let t = m.ct_text(j);
+            match t {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => break,
+                "{" if depth == 0 => {
+                    let mut braces = 1usize;
+                    let mut k = j + 1;
+                    while k < n && braces > 0 {
+                        if m.is_punct(k, '{') {
+                            braces += 1;
+                        } else if m.is_punct(k, '}') {
+                            braces -= 1;
+                        }
+                        k += 1;
+                    }
+                    body = Some((j + 1)..k.saturating_sub(1));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(b) = body {
+            let end = b.end;
+            out.push((b, documented));
+            // Don't skip the body: nested fns must be found too — the
+            // innermost enclosing fn wins in `documented_panics`.
+            let _ = end;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Does the innermost fn enclosing code index `i` document `# Panics`?
+fn documented_panics(m: &FileModel<'_>, fns: &[(std::ops::Range<usize>, bool)], i: usize) -> bool {
+    let _ = m;
+    fns.iter()
+        .filter(|(r, _)| r.contains(&i))
+        .min_by_key(|(r, _)| r.end - r.start)
+        .is_some_and(|&(_, documented)| documented)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/index.rs";
+    const SERVING: &str = "crates/core/src/segment/engine.rs";
+
+    fn rules(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn undocumented_panic_macro_is_flagged() {
+        let src = "fn f(x: u32) {\n    if x > 9 { panic!(\"too big: {x}\") }\n}\n";
+        let (f, _) = check(LIB, src);
+        assert_eq!(rules(&f), vec!["panic-path"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn panics_doc_section_is_the_escape() {
+        let src = "/// Reads the thing.\n///\n/// # Panics\n/// Panics when `x > 9`.\npub fn f(x: u32) {\n    if x > 9 { panic!(\"too big: {x}\") }\n}\n";
+        let (f, _) = check(LIB, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn doc_section_attaches_through_attributes_and_pub() {
+        let src = "/// # Panics\n/// On corrupt input.\n#[inline]\npub(crate) fn f() {\n    panic!(\"corrupt\")\n}\n";
+        let (f, _) = check(LIB, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn innermost_fn_doc_governs() {
+        // Outer fn documents # Panics, the nested helper does not: the
+        // helper's panic is still flagged.
+        let src = "/// # Panics\n/// Documented.\npub fn outer() {\n    fn inner(x: u32) {\n        panic!(\"inner: {x}\")\n    }\n    inner(1);\n}\n";
+        let (f, _) = check(LIB, src);
+        assert_eq!(rules(&f), vec!["panic-path"]);
+    }
+
+    #[test]
+    fn bare_unreachable_is_flagged_messaged_passes() {
+        let bare = "fn f(x: u32) -> u32 {\n    match x { 0 => 1, _ => unreachable!() }\n}\n";
+        let (f, _) = check(LIB, bare);
+        assert_eq!(rules(&f), vec!["panic-path"]);
+        assert!(f[0].message.contains("violated invariant"));
+        let messaged =
+            "fn f(x: u32) -> u32 {\n    match x { 0 => 1, _ => unreachable!(\"x is 0 by caller contract\") }\n}\n";
+        let (f, _) = check(LIB, messaged);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn todo_and_unimplemented_are_flagged_even_with_args() {
+        let src = "fn f() {\n    todo!(\"later\")\n}\nfn g() {\n    unimplemented!()\n}\n";
+        let (f, _) = check(LIB, src);
+        assert_eq!(rules(&f), vec!["panic-path", "panic-path"]);
+    }
+
+    #[test]
+    fn allow_marker_and_tests_escape_panics() {
+        let marked = "fn f() {\n    // lint: allow — exercised only by the fuzzer harness\n    panic!(\"boom\")\n}\n";
+        let (f, _) = check(LIB, marked);
+        assert!(f.is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(\"test-only\") }\n}\n";
+        let (f, _) = check(LIB, test);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn panic_spelled_in_string_or_comment_is_data() {
+        let src = "fn f() -> &'static str {\n    // panic!(\"in a comment\")\n    \"panic!(in a string)\"\n}\n";
+        let (f, _) = check(LIB, src);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn indexing_in_guard_holding_file_is_gated() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    v[i]\n}\n";
+        let (f, _) = check(SERVING, src);
+        assert_eq!(rules(&f), vec!["serving-index"]);
+        let (f, adv) = check(LIB, src);
+        assert!(f.is_empty(), "non-guard-holding files are advisory only");
+        assert_eq!(adv.index_sites, 1);
+    }
+
+    #[test]
+    fn safe_index_shapes_are_not_flagged() {
+        // Attributes, array types/literals, slice patterns, vec!: the `[`
+        // does not follow an expression.
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> [u32; 2] {\n    let v = vec![1, 2];\n    let [a, b] = [v[0], v[1]]; // lint: allow — two-element literal\n    [a, b]\n}\n";
+        let (f, _) = check(SERVING, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn get_based_access_passes_and_allow_works() {
+        let clean = "fn f(v: &[u32], i: usize) -> u32 {\n    v.get(i).copied().unwrap_or(0)\n}\n";
+        let (f, _) = check(SERVING, clean);
+        assert!(f.is_empty());
+        let marked = "fn f(v: &[u32]) -> u32 {\n    // lint: allow — length asserted by constructor\n    v[0]\n}\n";
+        let (f, _) = check(SERVING, marked);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn division_by_non_literal_is_gated_in_serving_files() {
+        let src = "fn f(a: usize, b: usize) -> usize {\n    a / b\n}\n";
+        let (f, _) = check(SERVING, src);
+        assert_eq!(rules(&f), vec!["serving-div"]);
+        let (f, adv) = check(LIB, src);
+        assert!(f.is_empty());
+        assert_eq!(adv.div_sites, 1);
+    }
+
+    #[test]
+    fn literal_divisors_and_paths_pass() {
+        let src = "fn f(a: usize) -> usize {\n    let half = a / 2;\n    let rem = a % 16;\n    std::cmp::max(half, rem)\n}\n";
+        let (f, _) = check(SERVING, src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scope_covers_the_three_lib_crates() {
+        assert!(in_scope("crates/core/src/index.rs"));
+        assert!(in_scope("crates/collections/src/btree.rs"));
+        assert!(in_scope("crates/storage/src/snapshot.rs"));
+        assert!(!in_scope("crates/cli/src/main.rs"));
+        assert!(!in_scope("crates/core/tests/mutable_equivalence.rs"));
+    }
+}

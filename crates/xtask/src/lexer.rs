@@ -1,0 +1,621 @@
+//! A hand-rolled Rust lexer for the workspace's offline analysis engine.
+//!
+//! The custom lints started life as line-oriented substring scans; that
+//! engine false-positived on `.unwrap()` spelled inside a string literal
+//! and could not see a call chain split across lines, let alone a lock
+//! acquisition order. This module replaces the text layer with a real
+//! token stream — the smallest faithful one that handles the parts of
+//! Rust's lexical grammar that defeat regexes:
+//!
+//! * **raw strings** `r"…"`, `r#"…"#`, … with any number of `#` guards
+//!   (and their byte/C cousins `br#"…"#`, `cr#"…"#`);
+//! * **nested block comments** `/* /* */ */` (Rust block comments nest,
+//!   unlike C's);
+//! * **char literal vs lifetime** disambiguation (`'a'` is a char, `'a`
+//!   is a lifetime, `'\u{1F600}'` is a char, `b'x'` is a byte);
+//! * **doc comments** (`///`, `//!`, `/** */`, `/*! */`) kept as their
+//!   own token kinds so documentation-aware rules (`paper-ref`, the
+//!   `# Panics`-contract escape of the panic pass) see them structurally;
+//! * numeric literals with underscores, type suffixes, and float exponents
+//!   (so `1_000u64` is one token and `1.0e-3` does not shed a `.`).
+//!
+//! It is *not* a parser: no AST, no name resolution, no types. The
+//! analysis passes layer a lightweight block tracker (brace depth,
+//! `#[cfg(test)]` regions, `fn` item boundaries) on top of the raw
+//! stream; see [`crate::analyze`]. Deliberately no `syn`: the workspace
+//! builds offline with zero external dependencies, and the subset of
+//! structure the passes need is small enough to own.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Char or byte literal (`'a'`, `'\n'`, `b'x'`).
+    Char,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Numeric literal (`42`, `1_000u64`, `0xFF`, `1.0e-3`).
+    Num,
+    /// `//` comment that is not a doc comment.
+    LineComment,
+    /// `/* … */` comment (nesting already resolved), not a doc comment.
+    BlockComment,
+    /// `///` or `//!` doc comment line.
+    DocComment,
+    /// `/** … */` or `/*! … */` block doc comment.
+    DocBlockComment,
+    /// A single punctuation byte (`.`, `(`, `{`, `;`, `<`, …). Multi-byte
+    /// operators arrive as consecutive `Punct` tokens; the passes match
+    /// the sequences they care about (`::`, `->`) explicitly.
+    Punct,
+}
+
+/// One lexed token: kind plus location. The text is borrowed from the
+/// source via the byte span, so the stream is cheap to build and hold.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `source` (the string it was lexed from).
+    #[must_use]
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+
+    /// True for the comment kinds (doc or plain).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocComment
+                | TokenKind::DocBlockComment
+        )
+    }
+
+    /// True for doc-comment kinds only.
+    #[must_use]
+    pub fn is_doc(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::DocComment | TokenKind::DocBlockComment
+        )
+    }
+
+    /// True if this is `Punct` and its text is exactly `c`.
+    #[must_use]
+    pub fn is_punct(&self, source: &str, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(source) == c.to_string().as_str()
+    }
+}
+
+/// Lex `source` into a token stream. Whitespace is dropped; comments are
+/// kept (several rules are *about* comments). The lexer never fails: a
+/// byte it cannot place (stray `\r`, an unterminated literal at EOF)
+/// becomes a `Punct`/truncated token rather than an error, because lint
+/// input is the committed tree, which rustc has already accepted.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(text: &'s str) -> Self {
+        Self {
+            src: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    let kind = match self.peek(2) {
+                        // `////…` is a plain comment by the reference
+                        // grammar, but the distinction never matters to a
+                        // rule; classify by the first three bytes.
+                        Some(b'/') | Some(b'!') => TokenKind::DocComment,
+                        _ => TokenKind::LineComment,
+                    };
+                    while self.peek(0).is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.push(kind, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    let kind = match self.peek(2) {
+                        Some(b'*') if self.peek(3) != Some(b'/') => TokenKind::DocBlockComment,
+                        Some(b'!') => TokenKind::DocBlockComment,
+                        _ => TokenKind::BlockComment,
+                    };
+                    self.block_comment();
+                    self.push(kind, start, line);
+                }
+                b'"' => {
+                    self.string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line),
+                b'r' | b'b' | b'c' => {
+                    if self.raw_or_prefixed_literal(start, line) {
+                        // token already pushed
+                    } else {
+                        self.ident();
+                        self.push(TokenKind::Ident, start, line);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokenKind::Num, start, line);
+                }
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                b'#' if self.peek(1) == Some(b'"') => {
+                    // Inside a raw-string guard mismatch we would never
+                    // get here on valid code; treat as punct.
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+                _ if b >= 0x80 => {
+                    // Non-ASCII (only valid in idents/strings/comments in
+                    // real Rust): consume the whole UTF-8 ident run.
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `/* … */` with Rust's nesting. Consumes the opening `/*`.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// A plain `"…"` string with escapes. Consumes the opening quote.
+    fn string(&mut self) {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` / `'\u{…}'` (char) vs `'a` / `'static` (lifetime).
+    ///
+    /// The reliable discriminator, straight from rustc's lexer: after the
+    /// opening quote, if the next char starts an identifier and the char
+    /// after *that* is not a closing quote, it is a lifetime (`'a` …);
+    /// otherwise it is a char literal (`'a'`, `'\n'`, `'('`).
+    fn char_or_lifetime(&mut self, start: usize, line: usize) {
+        self.bump(); // opening '
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let ident_start = first.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic() || c >= 0x80);
+        if ident_start && second != Some(b'\'') {
+            // Lifetime: consume the identifier run.
+            while self
+                .peek(0)
+                .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+            {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, start, line);
+            return;
+        }
+        // Char literal: consume to the closing quote, honoring escapes.
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                b'\n' => break, // unterminated; don't eat the file
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    /// Handle the `r` / `b` / `c` prefix family: `r"…"`, `r#"…"#`,
+    /// `r#ident` (raw identifier), `b"…"`, `b'x'`, `br#"…"#`, `c"…"`.
+    /// Returns true if a literal token was pushed; false means the `r`/
+    /// `b`/`c` is just the first letter of an ordinary identifier.
+    fn raw_or_prefixed_literal(&mut self, start: usize, line: usize) -> bool {
+        let b0 = self.peek(0).unwrap_or(0);
+        // Longest prefix of [rbc] letters that a literal can start with:
+        // r, b, c, br, cr (b/c first, r second).
+        let mut n = 1;
+        if (b0 == b'b' || b0 == b'c') && self.peek(1) == Some(b'r') {
+            n = 2;
+        }
+        match self.peek(n) {
+            Some(b'"') => {
+                for _ in 0..n {
+                    self.bump();
+                }
+                if self.src.get(self.pos.wrapping_sub(1)) == Some(&b'r') {
+                    self.raw_string(0);
+                } else {
+                    self.string();
+                }
+                self.push(TokenKind::Str, start, line);
+                true
+            }
+            Some(b'#') if self.peek(n - 1) == Some(b'r') || b0 == b'r' => {
+                // Count the guard hashes after the prefix letters.
+                let mut guards = 0usize;
+                while self.peek(n + guards) == Some(b'#') {
+                    guards += 1;
+                }
+                if self.peek(n + guards) == Some(b'"') {
+                    for _ in 0..n {
+                        self.bump();
+                    }
+                    self.raw_string(guards);
+                    self.push(TokenKind::Str, start, line);
+                    true
+                } else if b0 == b'r' && n == 1 && guards == 1 {
+                    // `r#ident` raw identifier.
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.ident();
+                    self.push(TokenKind::Ident, start, line);
+                    true
+                } else {
+                    false
+                }
+            }
+            Some(b'\'') if b0 == b'b' && n == 1 => {
+                self.bump(); // b
+                self.char_or_lifetime(start, line);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Raw string body: `#…#"` already consumed up to (but not including)
+    /// the guards; consumes `#`*guards* `"` … `"` `#`*guards*.
+    fn raw_string(&mut self, guards: usize) {
+        for _ in 0..guards {
+            self.bump(); // leading #s
+        }
+        self.bump(); // opening "
+        'scan: while let Some(c) = self.peek(0) {
+            if c == b'"' {
+                // Candidate close: need `guards` hashes right after.
+                for g in 0..guards {
+                    if self.peek(1 + g) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump(); // closing "
+                for _ in 0..guards {
+                    self.bump();
+                }
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Identifier / keyword run (ASCII + permissive non-ASCII).
+    fn ident(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            self.bump();
+        }
+    }
+
+    /// Numeric literal: ints with radix prefixes and `_` separators,
+    /// floats with `.`/exponent, and type suffixes (`1_000u64`, `1.0e-3`,
+    /// `0xFFusize`). A trailing `.` followed by an identifier or a second
+    /// `.` is *not* consumed (`1..n`, `1.max(2)`).
+    fn number(&mut self) {
+        let radix_prefixed = self.peek(0) == Some(b'0')
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'));
+        if radix_prefixed {
+            self.bump();
+            self.bump();
+        }
+        let digits = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+        while self.peek(0).is_some_and(digits) {
+            // `1e-3` / `1E+3`: the sign belongs to the literal.
+            let c = self.peek(0).unwrap_or(0);
+            self.bump();
+            if (c == b'e' || c == b'E')
+                && !radix_prefixed
+                && matches!(self.peek(0), Some(b'+' | b'-'))
+            {
+                self.bump();
+            }
+        }
+        if self.peek(0) == Some(b'.') {
+            let after = self.peek(1);
+            let fractional =
+                after.is_none_or(|c| c.is_ascii_digit() || c == b' ' || c == b';' || c == b')');
+            if after.is_some_and(|c| c.is_ascii_digit()) || (fractional && after != Some(b'.')) {
+                self.bump(); // the .
+                while self.peek(0).is_some_and(digits) {
+                    let c = self.peek(0).unwrap_or(0);
+                    self.bump();
+                    if (c == b'e' || c == b'E') && matches!(self.peek(0), Some(b'+' | b'-')) {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterate only the *code* tokens (comments skipped), the view most
+/// matching rules want.
+pub fn code_tokens(tokens: &[Token]) -> impl Iterator<Item = (usize, &Token)> {
+    tokens.iter().enumerate().filter(|(_, t)| !t.is_comment())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let toks = kinds("fn f(x: u32) -> u32 { x + 1 }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "f".into()));
+        assert!(toks.contains(&(TokenKind::Num, "1".into())));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        // The adversarial case from the satellite list: `.unwrap()` inside
+        // a raw string must be a single Str token, not code.
+        let src = r####"let s = r#"x.unwrap() "quoted" inside"#; s.len()"####;
+        let toks = kinds(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains(".unwrap()"));
+        // The trailing `.len()` IS code.
+        assert!(toks.contains(&(TokenKind::Ident, "len".into())));
+    }
+
+    #[test]
+    fn raw_string_with_two_guards_and_inner_hash_quote() {
+        let src = "r##\"a \"# b\"##.len()";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "r##\"a \"# b\"##");
+        assert!(toks.contains(&(TokenKind::Ident, "len".into())));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" c"cstr" br#"raw"# x"##);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+        assert!(toks.contains(&(TokenKind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still comment */".into()
+                ),
+                (TokenKind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(lifetimes[0].1, "'a");
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn escaped_char_and_static_lifetime() {
+        let toks = kinds(r"let c = '\n'; let s: &'static str = x;");
+        assert!(toks.contains(&(TokenKind::Char, r"'\n'".into())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static".into())));
+    }
+
+    #[test]
+    fn unicode_escape_char() {
+        let toks = kinds(r"'\u{1F600}'");
+        assert_eq!(toks, vec![(TokenKind::Char, r"'\u{1F600}'".into())]);
+    }
+
+    #[test]
+    fn byte_char() {
+        let toks = kinds("b'x' + b\"s\"");
+        assert_eq!(toks[0], (TokenKind::Char, "b'x'".into()));
+        assert_eq!(toks[2], (TokenKind::Str, "b\"s\"".into()));
+    }
+
+    #[test]
+    fn doc_comments_are_distinct() {
+        let src = "/// outer docs\n//! inner docs\n// plain\n/** block doc */\n/*! inner block */\n/* plain block */\nfn f() {}";
+        let toks = kinds(src);
+        let doc: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.0, TokenKind::DocComment | TokenKind::DocBlockComment))
+            .collect();
+        assert_eq!(doc.len(), 4, "{toks:?}");
+        let plain: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.0, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        assert_eq!(plain.len(), 2);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type".into())));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let toks = kinds("1_000u64 0xFFusize 1.0e-3 1..n 2.max(3)");
+        assert!(toks.contains(&(TokenKind::Num, "1_000u64".into())));
+        assert!(toks.contains(&(TokenKind::Num, "0xFFusize".into())));
+        assert!(toks.contains(&(TokenKind::Num, "1.0e-3".into())));
+        // Range and method-call dots are not swallowed into the number.
+        assert!(toks.contains(&(TokenKind::Num, "1".into())));
+        assert!(toks.contains(&(TokenKind::Num, "2".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "fn a() {}\n/* two\nlines */\nlet s = \"x\ny\";\nfn b() {}";
+        let toks = lex(src);
+        let b = toks
+            .iter()
+            .find(|t| t.text(src) == "b" && t.kind == TokenKind::Ident)
+            .expect("b token");
+        // Multi-line comment and multi-line string both advance lines.
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_string() {
+        let toks = kinds(r#"let s = "a \" b \\" ; x"#);
+        assert!(toks.contains(&(TokenKind::Str, r#""a \" b \\""#.into())));
+        assert!(toks.contains(&(TokenKind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn lexer_is_lossless_over_code_bytes() {
+        // Every non-whitespace byte of a realistic snippet lands inside
+        // exactly one token span, and spans are ordered and disjoint.
+        let src = "impl<'a> T<'a> { fn f(&self) -> &'a str { r#\"s\"# } } // t\n";
+        let toks = lex(src);
+        let mut last_end = 0usize;
+        for t in &toks {
+            assert!(t.start >= last_end, "overlap at {t:?}");
+            assert!(t.end > t.start);
+            last_end = t.end;
+        }
+        for (i, b) in src.bytes().enumerate() {
+            if !b.is_ascii_whitespace() {
+                assert!(
+                    toks.iter().any(|t| t.start <= i && i < t.end),
+                    "byte {i} ({:?}) in no token",
+                    b as char
+                );
+            }
+        }
+    }
+}

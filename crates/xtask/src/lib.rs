@@ -1,0 +1,30 @@
+//! The workspace's offline analysis engine, shared between the `cargo
+//! xtask` binary and the analyzer self-tests in `crates/xtask/tests/`.
+//!
+//! Layering, bottom to top:
+//!
+//! * [`lexer`] — a hand-rolled Rust lexer (raw strings, nested block
+//!   comments, char-vs-lifetime disambiguation, doc comments as their
+//!   own token kinds). No `syn`: the workspace builds offline with zero
+//!   external dependencies.
+//! * [`model`] — the per-file token model every pass consumes: code
+//!   tokens, a token-accurate `#[cfg(test)]` region mask, the
+//!   `lint: allow` escape-hatch index, doc-comment attachment.
+//! * [`lints`] — the seven custom policy rules (`no-unwrap`,
+//!   `no-lossy-cast`, `paper-ref`, `engine-api`, `no-unchecked-io`,
+//!   `no-wallclock`, `mutable-index`), migrated from line-oriented
+//!   substring scans onto the token stream.
+//! * [`analyze`] — the workspace passes behind `cargo xtask analyze`:
+//!   lock-discipline ([`analyze::lock`]) and panic-reachability
+//!   ([`analyze::panic`]), plus the orchestrator and the allow-marker
+//!   inventory.
+//!
+//! The static lock pass is half of a contract whose other half lives in
+//! `setsim-core` (`segment::lockcheck`, `audit` feature): the same
+//! canonical lock order is asserted at runtime on every acquisition
+//! during the mutable-equivalence suites. DESIGN.md §13 documents both.
+
+pub mod analyze;
+pub mod lexer;
+pub mod lints;
+pub mod model;

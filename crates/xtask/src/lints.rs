@@ -1,6 +1,6 @@
-//! The repo's custom lint rules, as a text-scanning engine.
+//! The repo's custom lint rules, on the token-stream engine.
 //!
-//! Five rules encode policies rustc and clippy cannot express:
+//! Seven rules encode policies rustc and clippy cannot express:
 //!
 //! 1. **`no-unwrap`** — library code in `setsim-core` and
 //!    `setsim-collections` must not call `.unwrap()` or `.expect(...)`.
@@ -26,8 +26,8 @@
 //!    `SelectionAlgorithm::search(&index, &query, tau)` directly; it goes
 //!    through `QueryEngine`/`SearchRequest` (or `engine::execute`),
 //!    which validates instead of panicking and reuses scratch memory.
-//!    Detected textually as a `.search(` call whose argument list holds
-//!    two or more top-level commas, so `engine.search(req)` and the SQL
+//!    Detected as a `.search(` call whose argument list holds two or
+//!    more top-level commas, so `engine.search(req)` and the SQL
 //!    baseline's `sql.search(q, tau)` stay legal.
 //! 5. **`no-unchecked-io`** — library code in `setsim-storage` must not
 //!    call `.unwrap()` or `.expect(...)`. That crate is the only one that
@@ -46,25 +46,38 @@
 //!    behavior machine-dependent. The serving boundary (engine latency
 //!    recording, budget deadlines) carries explicit `lint: allow`
 //!    markers — those clocks sit outside the pruning kernels.
+//! 7. **`mutable-index`** — serving and CLI code must obtain indexes
+//!    through the segment layer rather than constructing `InvertedIndex`
+//!    directly; direct construction bypasses record-id assignment, the
+//!    delta op log, and drift accounting.
 //!
-//! The engine is deliberately text-based (no `syn` — the workspace builds
-//! offline with zero external dependencies) and deliberately simple:
-//! line-oriented, comment-stripping, with an explicit escape hatch. Rules
-//! run on the source as committed; generated code is out of scope.
+//! All seven used to run as line-oriented substring scans; they now run
+//! on the token stream from [`crate::lexer`] via [`crate::model`]. The
+//! observable policy is unchanged on the committed tree (both engines
+//! report zero findings); behavior differs only where the text engine
+//! was provably wrong — `.unwrap()` spelled inside a string literal no
+//! longer counts as a call, a call chain split across lines no longer
+//! escapes, and `lint: allow` inside a *string* no longer silences
+//! anything (markers must be comments). The analyzer self-test corpus in
+//! `crates/xtask/tests/` pins each of those differences.
 
+use crate::lexer::TokenKind;
+use crate::model::FileModel;
 use std::fmt;
+
+pub use crate::model::ALLOW_MARKER;
 
 /// One rule violation at a specific source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Finding {
+pub struct Finding {
     /// Repo-relative path of the offending file.
-    pub(crate) file: String,
+    pub file: String,
     /// 1-based line number.
-    pub(crate) line: usize,
-    /// Which rule fired (`no-unwrap`, `no-lossy-cast`, `paper-ref`).
-    pub(crate) rule: &'static str,
+    pub line: usize,
+    /// Which rule fired (`no-unwrap`, `lock-order`, `panic-path`, …).
+    pub rule: &'static str,
     /// What went wrong and how to fix it.
-    pub(crate) message: String,
+    pub message: String,
 }
 
 impl fmt::Display for Finding {
@@ -77,187 +90,111 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Marker that exempts a single line from every rule. Must be accompanied
-/// by a justification on the same line or the one above.
-pub(crate) const ALLOW_MARKER: &str = "lint: allow";
-
-/// Classify each line of `source` as test code or not, by tracking
-/// `#[cfg(test)]`-attributed blocks (and, transitively, everything inside
-/// them). Returns one flag per line, `true` = inside a test region.
-fn test_region_mask(source: &str) -> Vec<bool> {
-    let mut mask = Vec::new();
-    // Once a #[cfg(test)] attribute is seen, the next block that opens a
-    // brace is the gated item; skip until its braces balance.
-    let mut pending_attr = false;
-    let mut depth = 0usize;
-    for line in source.lines() {
-        let trimmed = line.trim_start();
-        let in_test = depth > 0 || pending_attr;
-        if depth > 0 {
-            // Inside the gated block: update the balance.
-            depth = update_depth(depth, line);
-        } else if pending_attr {
-            // The attribute applies to this item; if it opens a block,
-            // start tracking. An item without braces on this line (e.g.
-            // a multi-line signature) keeps the attribute pending.
-            let opened = update_depth(0, line);
-            if opened > 0 {
-                depth = opened;
-                pending_attr = false;
-            } else if trimmed.ends_with(';') {
-                // `#[cfg(test)] use ...;` style one-liner.
-                pending_attr = false;
-            }
-        } else if trimmed.starts_with("#[cfg(test)]") {
-            pending_attr = true;
-            mask.push(true);
+/// Match `.unwrap()` / `.expect(` as token sequences. Returns the code
+/// index and which needle fired. `unwrap_or`, `expect_err`, etc. are
+/// single ident tokens and never match.
+fn unwrap_sites(m: &FileModel<'_>) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for i in 0..m.code_len().saturating_sub(2) {
+        if !m.is_punct(i, '.') {
             continue;
         }
-        mask.push(in_test);
-    }
-    mask
-}
-
-/// Apply `line`'s braces to `depth`, ignoring braces inside comments,
-/// strings, and char literals (a heuristic lexer — good enough for
-/// rustfmt-formatted code).
-fn update_depth(mut depth: usize, line: &str) -> usize {
-    let chars: Vec<char> = line.chars().collect();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        match c {
-            '\\' if in_str => i += 1,
-            '"' => in_str = !in_str,
-            '\'' if !in_str => {
-                // Char literal iff it closes within the next few chars
-                // (`'a'`, `'\n'`); otherwise it is a lifetime (`'static`)
-                // and consumes nothing.
-                if chars.get(i + 1) == Some(&'\\') && chars.get(i + 3) == Some(&'\'') {
-                    i += 3;
-                } else if chars.get(i + 2) == Some(&'\'') {
-                    i += 2;
-                }
-            }
-            '/' if !in_str && chars.get(i + 1) == Some(&'/') => break,
-            '{' if !in_str => depth += 1,
-            '}' if !in_str => depth = depth.saturating_sub(1),
-            _ => {}
+        if m.is_ident(i + 1, "unwrap") && m.is_punct(i + 2, '(') {
+            out.push((i + 1, ".unwrap()"));
+        } else if m.is_ident(i + 1, "expect") && m.is_punct(i + 2, '(') {
+            out.push((i + 1, ".expect("));
         }
-        i += 1;
     }
-    depth
-}
-
-/// Strip a trailing `// ...` comment (not inside a string literal).
-fn strip_line_comment(line: &str) -> &str {
-    let mut in_str = false;
-    let bytes = line.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1,
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
+    out
 }
 
 /// Rule `no-unwrap`: flag `.unwrap()` / `.expect(` outside test regions.
-pub(crate) fn check_no_unwrap(file: &str, source: &str) -> Vec<Finding> {
-    let mask = test_region_mask(source);
-    let mut findings = Vec::new();
-    for (i, line) in source.lines().enumerate() {
-        if mask.get(i).copied().unwrap_or(false) || line.contains(ALLOW_MARKER) {
-            continue;
-        }
-        let code = strip_line_comment(line);
-        for needle in [".unwrap()", ".expect("] {
-            if code.contains(needle) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: "no-unwrap",
-                    message: format!(
-                        "`{needle}` in library code; return an error, use a \
-                         combinator with a total fallback, or panic explicitly \
-                         with a documented `# Panics` contract"
-                    ),
-                });
-            }
-        }
-    }
-    findings
+pub fn check_no_unwrap(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
+    unwrap_sites(&m)
+        .into_iter()
+        .filter(|(i, _)| {
+            let line = m.ct(*i).line;
+            !m.in_test(line) && !m.allowed_on(line)
+        })
+        .map(|(i, needle)| Finding {
+            file: file.to_string(),
+            line: m.ct(i).line,
+            rule: "no-unwrap",
+            message: format!(
+                "`{needle}` in library code; return an error, use a \
+                 combinator with a total fallback, or panic explicitly \
+                 with a documented `# Panics` contract"
+            ),
+        })
+        .collect()
 }
 
 /// Rule `no-unchecked-io`: `setsim-storage` wraps real files, so every
 /// `io::Result` must propagate (`?` into `SnapshotError::Io`) rather
-/// than be unwrapped. Textually identical to `no-unwrap` but reported
-/// under its own rule so the policy and its fix are explicit.
-pub(crate) fn check_no_unchecked_io(file: &str, source: &str) -> Vec<Finding> {
-    let mask = test_region_mask(source);
-    let mut findings = Vec::new();
-    for (i, line) in source.lines().enumerate() {
-        if mask.get(i).copied().unwrap_or(false) || line.contains(ALLOW_MARKER) {
-            continue;
-        }
-        let code = strip_line_comment(line);
-        for needle in [".unwrap()", ".expect("] {
-            if code.contains(needle) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: "no-unchecked-io",
-                    message: format!(
-                        "`{needle}` in storage library code; propagate I/O \
-                         errors (`?` into `SnapshotError::Io`) — an in-memory \
-                         invariant that truly cannot fail needs a \
-                         `{ALLOW_MARKER}` marker with its justification"
-                    ),
-                });
-            }
-        }
-    }
-    findings
+/// than be unwrapped. Same detector as `no-unwrap` but reported under
+/// its own rule so the policy and its fix are explicit.
+pub fn check_no_unchecked_io(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
+    unwrap_sites(&m)
+        .into_iter()
+        .filter(|(i, _)| {
+            let line = m.ct(*i).line;
+            !m.in_test(line) && !m.allowed_on(line)
+        })
+        .map(|(i, needle)| Finding {
+            file: file.to_string(),
+            line: m.ct(i).line,
+            rule: "no-unchecked-io",
+            message: format!(
+                "`{needle}` in storage library code; propagate I/O \
+                 errors (`?` into `SnapshotError::Io`) — an in-memory \
+                 invariant that truly cannot fail needs a \
+                 `{ALLOW_MARKER}` marker with its justification"
+            ),
+        })
+        .collect()
 }
 
 /// Rule `no-wallclock`: flag wall-clock reads in `setsim-core` library
 /// code outside the metrics module, so timing logic cannot leak into the
 /// measured algorithm kernels (their counters must stay deterministic —
 /// they are the bench harness's primary regression signal).
-pub(crate) fn check_no_wallclock(file: &str, source: &str) -> Vec<Finding> {
-    let mask = test_region_mask(source);
-    let lines: Vec<&str> = source.lines().collect();
+pub fn check_no_wallclock(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
     let mut findings = Vec::new();
-    for (i, line) in lines.iter().enumerate() {
-        let allowed = line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER));
-        if mask.get(i).copied().unwrap_or(false) || allowed {
+    for i in 0..m.code_len().saturating_sub(4) {
+        let clock = if m.is_ident(i, "Instant") {
+            "Instant::now()"
+        } else if m.is_ident(i, "SystemTime") {
+            "SystemTime::now()"
+        } else {
+            continue;
+        };
+        let is_now_call = m.is_punct(i + 1, ':')
+            && m.is_punct(i + 2, ':')
+            && m.is_ident(i + 3, "now")
+            && m.is_punct(i + 4, '(');
+        if !is_now_call {
             continue;
         }
-        let code = strip_line_comment(line);
-        for needle in ["Instant::now()", "SystemTime::now()"] {
-            if code.contains(needle) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: "no-wallclock",
-                    message: format!(
-                        "`{needle}` in core library code; clocks belong at the \
-                         serving boundary (engine metrics / budget deadlines), \
-                         not in measured kernels — counters must stay \
-                         deterministic. If this site genuinely is that \
-                         boundary, add a `{ALLOW_MARKER}` marker with its \
-                         justification"
-                    ),
-                });
-            }
+        let line = m.ct(i).line;
+        if m.in_test(line) || m.allowed_on_or_above(line) {
+            continue;
         }
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "no-wallclock",
+            message: format!(
+                "`{clock}` in core library code; clocks belong at the \
+                 serving boundary (engine metrics / budget deadlines), \
+                 not in measured kernels — counters must stay \
+                 deterministic. If this site genuinely is that \
+                 boundary, add a `{ALLOW_MARKER}` marker with its \
+                 justification"
+            ),
+        });
     }
     findings
 }
@@ -269,32 +206,31 @@ const NUMERIC_TYPES: [&str; 13] = [
 ];
 
 /// Rule `no-lossy-cast`: flag `as <numeric>` outside test regions.
-pub(crate) fn check_no_lossy_casts(file: &str, source: &str) -> Vec<Finding> {
-    let mask = test_region_mask(source);
+pub fn check_no_lossy_casts(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
     let mut findings = Vec::new();
-    for (i, line) in source.lines().enumerate() {
-        if mask.get(i).copied().unwrap_or(false) || line.contains(ALLOW_MARKER) {
+    for i in 0..m.code_len().saturating_sub(1) {
+        if !m.is_ident(i, "as") {
             continue;
         }
-        let code = strip_line_comment(line);
-        for part in code.split(" as ").skip(1) {
-            let target: String = part
-                .chars()
-                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                .collect();
-            if NUMERIC_TYPES.contains(&target.as_str()) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: "no-lossy-cast",
-                    message: format!(
-                        "`as {target}` in scoring arithmetic; use `From`/`try_from`, \
-                         or isolate a provably-exact cast behind a `{ALLOW_MARKER}` \
-                         marker with its contract"
-                    ),
-                });
-            }
+        let target = m.ct_text(i + 1);
+        if m.ct(i + 1).kind != TokenKind::Ident || !NUMERIC_TYPES.contains(&target) {
+            continue;
         }
+        let line = m.ct(i).line;
+        if m.in_test(line) || m.allowed_on(line) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "no-lossy-cast",
+            message: format!(
+                "`as {target}` in scoring arithmetic; use `From`/`try_from`, \
+                 or isolate a provably-exact cast behind a `{ALLOW_MARKER}` \
+                 marker with its contract"
+            ),
+        });
     }
     findings
 }
@@ -316,71 +252,64 @@ fn has_paper_locator(text: &str) -> bool {
     PAPER_LOCATORS.iter().any(|w| text.contains(w))
 }
 
+/// Item keywords a top-level `pub` can introduce.
+const ITEM_KEYWORDS: [&str; 7] = ["fn", "struct", "enum", "trait", "type", "const", "mod"];
+
 /// Rule `paper-ref`: every public item in an algorithms source file must
 /// carry a doc comment, and that comment — or the file's `//!` header —
 /// must cite where in the paper the item comes from.
-pub(crate) fn check_paper_refs(file: &str, source: &str) -> Vec<Finding> {
-    let mask = test_region_mask(source);
-    let lines: Vec<&str> = source.lines().collect();
-    let header: String = lines
-        .iter()
-        .take_while(|l| l.trim_start().starts_with("//!") || l.trim().is_empty())
-        .copied()
-        .collect::<Vec<_>>()
-        .join("\n");
-    let header_located = has_paper_locator(&header);
+pub fn check_paper_refs(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
+    let header_located = has_paper_locator(&m.module_header());
     let mut findings = Vec::new();
     let mut depth = 0usize;
-    for (i, line) in lines.iter().enumerate() {
-        let at_top_level = depth == 0;
-        depth = update_depth(depth, line);
-        if mask.get(i).copied().unwrap_or(false) || !at_top_level {
+    for i in 0..m.code_len() {
+        if m.is_punct(i, '{') {
+            depth += 1;
             continue;
         }
-        let trimmed = line.trim_start();
-        let is_pub_item = trimmed.strip_prefix("pub ").is_some_and(|rest| {
-            [
-                "fn ", "struct ", "enum ", "trait ", "type ", "const ", "mod ",
-            ]
-            .iter()
-            .any(|kw| rest.starts_with(kw))
-        });
-        if !is_pub_item {
+        if m.is_punct(i, '}') {
+            depth = depth.saturating_sub(1);
             continue;
         }
-        // Gather the contiguous doc/attribute block directly above.
-        let mut doc = String::new();
-        let mut j = i;
-        while j > 0 {
-            let above = lines[j - 1].trim_start();
-            if above.starts_with("///") || above.starts_with("#[") || above.starts_with("#![") {
-                doc.push_str(above);
-                doc.push('\n');
-                j -= 1;
-            } else {
-                break;
-            }
+        // A top-level `pub` directly followed by an item keyword — the
+        // `pub(crate)` form has `(` next and is not public API.
+        if depth != 0 || !m.is_ident(i, "pub") {
+            continue;
         }
-        if !doc.contains("///") {
+        if !ITEM_KEYWORDS.iter().any(|kw| m.is_ident(i + 1, kw)) {
+            continue;
+        }
+        let line = m.ct(i).line;
+        if m.in_test(line) {
+            continue;
+        }
+        let item = source
+            .lines()
+            .nth(line - 1)
+            .unwrap_or("")
+            .trim()
+            .trim_end_matches('{')
+            .trim();
+        let doc = m.doc_above(i);
+        if doc.is_empty() {
             findings.push(Finding {
                 file: file.to_string(),
-                line: i + 1,
+                line,
                 rule: "paper-ref",
                 message: format!(
-                    "public item `{}` has no doc comment; document it with the \
-                     paper location it implements",
-                    trimmed.trim_end_matches('{').trim()
+                    "public item `{item}` has no doc comment; document it with the \
+                     paper location it implements"
                 ),
             });
         } else if !has_paper_locator(&doc) && !header_located {
             findings.push(Finding {
                 file: file.to_string(),
-                line: i + 1,
+                line,
                 rule: "paper-ref",
                 message: format!(
-                    "public item `{}`: neither its docs nor the module header \
-                     cite a paper location (Section/Algorithm/Theorem/…)",
-                    trimmed.trim_end_matches('{').trim()
+                    "public item `{item}`: neither its docs nor the module header \
+                     cite a paper location (Section/Algorithm/Theorem/…)"
                 ),
             });
         }
@@ -389,59 +318,38 @@ pub(crate) fn check_paper_refs(file: &str, source: &str) -> Vec<Finding> {
 }
 
 /// Rule `engine-api`: flag direct three-argument
-/// `SelectionAlgorithm::search(index, query, tau)` calls. The scan is
-/// whole-source (a call's arguments may span lines): each `.search(`
-/// occurrence is followed to its matching close paren, counting commas at
-/// bracket depth 1. Two or more top-level commas means the legacy
-/// three-argument form; fewer is an engine (`search(req)`) or SQL
-/// (`search(q, tau)`) call and passes.
-pub(crate) fn check_engine_api(file: &str, source: &str) -> Vec<Finding> {
-    let mask = test_region_mask(source);
-    let lines: Vec<&str> = source.lines().collect();
-    // Comment-stripped copy with line structure intact, so doc-comment
-    // examples don't trip the scan and offsets still map to line numbers.
-    let joined = lines
-        .iter()
-        .map(|l| strip_line_comment(l))
-        .collect::<Vec<_>>()
-        .join("\n");
-    let needle = b".search(";
-    let bytes = joined.as_bytes();
+/// `SelectionAlgorithm::search(index, query, tau)` calls. Each
+/// `.search(` token triple is followed to its matching close paren,
+/// counting commas at bracket depth 1. Two or more top-level commas
+/// means the legacy three-argument form; fewer is an engine
+/// (`search(req)`) or SQL (`search(q, tau)`) call and passes. String
+/// literals are single tokens, so commas inside them never count — and
+/// a `.search(` spelled inside a string or doc example never matches.
+pub fn check_engine_api(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
     let mut findings = Vec::new();
-    let mut i = 0usize;
-    while i + needle.len() <= bytes.len() {
-        if &bytes[i..i + needle.len()] != needle {
-            i += 1;
+    for i in 0..m.code_len().saturating_sub(2) {
+        if !(m.is_punct(i, '.') && m.is_ident(i + 1, "search") && m.is_punct(i + 2, '(')) {
             continue;
         }
-        let line_idx = joined[..i].bytes().filter(|b| *b == b'\n').count();
-        // Walk the argument list: commas at depth 1 are top-level.
         let mut depth = 1usize;
         let mut commas = 0usize;
-        let mut in_str = false;
-        let mut j = i + needle.len();
-        while j < bytes.len() && depth > 0 {
-            match bytes[j] {
-                b'\\' if in_str => j += 1,
-                b'"' => in_str = !in_str,
-                b'(' | b'[' | b'{' if !in_str => depth += 1,
-                b')' | b']' | b'}' if !in_str => depth = depth.saturating_sub(1),
-                b',' if !in_str && depth == 1 => commas += 1,
+        let mut j = i + 3;
+        while j < m.code_len() && depth > 0 {
+            let t = m.ct_text(j);
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 1 => commas += 1,
                 _ => {}
             }
             j += 1;
         }
-        // The allow marker may sit on the call line or the line above
-        // (multi-line calls push the justification onto its own line).
-        let exempt = mask.get(line_idx).copied().unwrap_or(false)
-            || lines
-                .get(line_idx)
-                .is_some_and(|l| l.contains(ALLOW_MARKER))
-            || (line_idx > 0 && lines[line_idx - 1].contains(ALLOW_MARKER));
-        if commas >= 2 && !exempt {
+        let line = m.ct(i).line;
+        if commas >= 2 && !m.in_test(line) && !m.allowed_on_or_above(line) {
             findings.push(Finding {
                 file: file.to_string(),
-                line: line_idx + 1,
+                line,
                 rule: "engine-api",
                 message: "direct `SelectionAlgorithm::search(index, query, tau)` call; \
                           go through `QueryEngine::search(SearchRequest::new(..))` (or \
@@ -449,7 +357,6 @@ pub(crate) fn check_engine_api(file: &str, source: &str) -> Vec<Finding> {
                     .to_string(),
             });
         }
-        i += needle.len();
     }
     findings
 }
@@ -463,43 +370,38 @@ pub(crate) fn check_engine_api(file: &str, source: &str) -> Vec<Finding> {
 /// mutated or audited. The segment module itself and test regions are
 /// exempt; a deliberate exception carries the allow marker on the call
 /// line or the line above.
-pub(crate) fn check_mutable_index(file: &str, source: &str) -> Vec<Finding> {
-    let mask = test_region_mask(source);
-    let lines: Vec<&str> = source.lines().collect();
+pub fn check_mutable_index(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
     let mut findings = Vec::new();
-    for (i, line) in lines.iter().enumerate() {
-        if mask.get(i).copied().unwrap_or(false) {
+    for i in 0..m.code_len().saturating_sub(4) {
+        if !m.is_ident(i, "InvertedIndex") || !m.is_punct(i + 1, ':') || !m.is_punct(i + 2, ':') {
             continue;
         }
-        if line.contains(ALLOW_MARKER) || (i > 0 && lines[i - 1].contains(ALLOW_MARKER)) {
+        let method = m.ct_text(i + 3);
+        if !["build", "build_owned", "load"].contains(&method) || !m.is_punct(i + 4, '(') {
             continue;
         }
-        let code = strip_line_comment(line);
-        for needle in [
-            "InvertedIndex::build(",
-            "InvertedIndex::build_owned(",
-            "InvertedIndex::load(",
-        ] {
-            if code.contains(needle) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: "mutable-index",
-                    message: format!(
-                        "`{needle}..)` in serving/CLI code; build through the \
-                         segment layer (`MutableIndex::from_collection` or \
-                         `MutableEngine::open`) and freeze with `into_base()` \
-                         if a static index is required"
-                    ),
-                });
-            }
+        let line = m.ct(i + 3).line;
+        if m.in_test(line) || m.allowed_on_or_above(line) {
+            continue;
         }
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "mutable-index",
+            message: format!(
+                "`InvertedIndex::{method}(..)` in serving/CLI code; build through the \
+                 segment layer (`MutableIndex::from_collection` or \
+                 `MutableEngine::open`) and freeze with `into_base()` \
+                 if a static index is required"
+            ),
+        });
     }
     findings
 }
 
 /// Which rules apply to a repo-relative path.
-pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
+pub fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     let mut rules: Vec<fn(&str, &str) -> Vec<Finding>> = Vec::new();
     let unix = path.replace('\\', "/");
     let in_lib_crates = (unix.starts_with("crates/core/src/")
@@ -554,7 +456,7 @@ pub(crate) fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
 }
 
 /// Run every applicable rule on one file.
-pub(crate) fn check_file(path: &str, source: &str) -> Vec<Finding> {
+pub fn check_file(path: &str, source: &str) -> Vec<Finding> {
     rules_for(path)
         .into_iter()
         .flat_map(|rule| rule(path, source))
@@ -608,6 +510,42 @@ mod tests {
         assert!(check_no_unwrap(LIB_PATH, src).is_empty());
     }
 
+    /// The headline fix of the token migration: `.unwrap()` spelled
+    /// inside a string literal is data, not a call. The old line scanner
+    /// flagged it.
+    #[test]
+    fn unwrap_inside_string_literal_is_not_flagged() {
+        let src = "fn f() -> &'static str {\n    \"never call .unwrap() in serving code\"\n}\n";
+        assert!(check_no_unwrap(LIB_PATH, src).is_empty());
+        let raw = "fn f() -> &'static str {\n    r#\"x.unwrap() inside raw\"#\n}\n";
+        assert!(check_no_unwrap(LIB_PATH, raw).is_empty());
+    }
+
+    /// And the converse: a chain split across lines IS a call — the old
+    /// line scanner only matched `.unwrap()` on one line.
+    #[test]
+    fn multiline_unwrap_chain_is_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x\n        .unwrap\n        ()\n}\n";
+        let f = check_no_unwrap(LIB_PATH, src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    /// `lint: allow` smuggled inside a string no longer silences the rule.
+    #[test]
+    fn allow_marker_inside_string_does_not_exempt() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap(); let _ = \"lint: allow\";\n    0\n}\n";
+        assert_eq!(check_no_unwrap(LIB_PATH, src).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src =
+            "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0).max(x.unwrap_or_default())\n}\n";
+        assert!(check_no_unwrap(LIB_PATH, src).is_empty());
+    }
+
     #[test]
     fn lossy_cast_is_flagged() {
         let src = "fn f(n: usize) -> f64 {\n    n as f64\n}\n";
@@ -625,6 +563,13 @@ mod tests {
     #[test]
     fn non_cast_use_of_as_keyword_is_ignored() {
         let src = "use std::collections::HashMap as Map;\nfn f(m: &Map<u32, u32>) { let _ = m; }\n";
+        assert!(check_no_lossy_casts("crates/core/src/weights.rs", src).is_empty());
+    }
+
+    /// `as` inside a string ("measured as f64 …") is not a cast.
+    #[test]
+    fn cast_spelled_in_string_is_ignored() {
+        let src = "fn f() -> &'static str {\n    \"stored as f64 internally\"\n}\n";
         assert!(check_no_lossy_casts("crates/core/src/weights.rs", src).is_empty());
     }
 
@@ -660,6 +605,13 @@ mod tests {
     #[test]
     fn nested_items_are_not_scanned_for_paper_refs() {
         let src = "/// Algorithm 3 driver.\npub fn run() {\n    pub fn helper() {}\n}\n";
+        assert!(check_paper_refs("crates/core/src/algorithms/x.rs", src).is_empty());
+    }
+
+    /// Doc comments interleaved with attributes still attach to the item.
+    #[test]
+    fn docs_through_derive_attribute_attach() {
+        let src = "/// Section III-B merge state.\n#[derive(Debug, Clone)]\npub struct Merge;\n";
         assert!(check_paper_refs("crates/core/src/algorithms/x.rs", src).is_empty());
     }
 
@@ -783,6 +735,14 @@ mod tests {
     fn nested_commas_do_not_count_as_top_level() {
         // Commas inside a nested call or tuple stay at depth > 1.
         let src = "fn f() {\n    let a = engine.search(req(&q, 0.7, cfg));\n}\n";
+        assert!(check_engine_api("examples/x.rs", src).is_empty());
+    }
+
+    /// Commas inside a *string* argument are data, not separators. The
+    /// old scanner tracked `"` by hand; the token engine gets it free.
+    #[test]
+    fn commas_inside_string_arguments_do_not_count() {
+        let src = "fn f() {\n    let a = engine.search(parse(\"a, b, c\"));\n}\n";
         assert!(check_engine_api("examples/x.rs", src).is_empty());
     }
 

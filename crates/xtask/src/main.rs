@@ -3,10 +3,10 @@
 //! `cargo xtask check` is what CI runs and what a contributor runs before
 //! pushing: rustfmt in check mode, clippy with the workspace's curated
 //! deny-set (`[workspace.lints]` in the root manifest, escalated to
-//! errors), and the repo's custom lint rules (see [`lints`]) that encode
-//! policies off-the-shelf tools cannot: no panicking combinators in
-//! library crates, no lossy casts in scoring arithmetic, paper citations
-//! on every public algorithm item.
+//! errors), and `analyze` — the token-engine passes: the repo's seven
+//! custom lint rules plus the lock-discipline and panic-reachability
+//! passes (see [`xtask::analyze`]). `check` including `analyze` is what
+//! makes the gate unskippable.
 //!
 //! It also hosts the benchmark regression gate: `cargo xtask bench-diff
 //! <baseline.json> <candidate.json>` compares two `BENCH_*.json` reports
@@ -16,30 +16,31 @@
 //! `--latency-advisory` (for noisy shared CI runners).
 //!
 //! Subcommands:
-//! * `check` — fmt + clippy + custom lints (the CI gate)
-//! * `lint`  — custom lints only (fast, no compilation)
+//! * `check` — fmt + clippy + analyze (the CI gate)
+//! * `analyze [--allows]` — token-engine passes only (fast, no
+//!   compilation); `--allows` prints the `lint: allow` inventory instead
+//! * `lint` — alias for `analyze` (kept for muscle memory)
 //! * `fmt`   — rustfmt check only
 //! * `clippy` — clippy only
 //! * `bench-diff <baseline> <candidate> [--latency-band PCT] [--latency-advisory]`
 
-mod lints;
-
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::{Command, ExitCode};
+use xtask::analyze;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map_or("check", String::as_str);
-    let root = workspace_root();
+    let root = analyze::workspace_root();
     let ok = match cmd {
-        "check" => run_fmt(&root) & run_clippy(&root) & run_custom_lints(&root),
-        "lint" => run_custom_lints(&root),
+        "check" => run_fmt(&root) & run_clippy(&root) & analyze::run(&root, &args[1..]),
+        "analyze" | "lint" => analyze::run(&root, &args[1..]),
         "fmt" => run_fmt(&root),
         "clippy" => run_clippy(&root),
         "bench-diff" => run_bench_diff(&args[1..]),
         other => {
             eprintln!(
-                "unknown xtask command `{other}`; try: check | lint | fmt | clippy | bench-diff"
+                "unknown xtask command `{other}`; try: check | analyze | lint | fmt | clippy | bench-diff"
             );
             return ExitCode::FAILURE;
         }
@@ -51,15 +52,6 @@ fn main() -> ExitCode {
         eprintln!("xtask {cmd}: FAILED");
         ExitCode::FAILURE
     }
-}
-
-/// The workspace root: two levels above this crate's manifest.
-fn workspace_root() -> PathBuf {
-    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_string()); // lint: allow — xtask is a dev tool, not library code
-    Path::new(&manifest)
-        .ancestors()
-        .nth(2)
-        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
 }
 
 fn run_step(root: &Path, name: &str, program: &str, args: &[&str]) -> bool {
@@ -160,138 +152,5 @@ fn run_bench_diff(args: &[String]) -> bool {
             eprintln!("bench-diff: reports are not comparable: {e}");
             false
         }
-    }
-}
-
-/// Directories scanned by the custom lints: every crate, plus the root
-/// facade and its examples (the `engine-api` rule polices those too).
-const LINT_ROOTS: [&str; 3] = ["crates", "src", "examples"];
-
-/// Walk the lint roots and apply the custom rules.
-fn run_custom_lints(root: &Path) -> bool {
-    println!(
-        "==> custom lints (no-unwrap, no-lossy-cast, paper-ref, engine-api, \
-         no-unchecked-io, no-wallclock, mutable-index)"
-    );
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for file in LINT_ROOTS.iter().flat_map(|d| rust_sources(&root.join(d))) {
-        let rel = file
-            .strip_prefix(root)
-            .unwrap_or(&file)
-            .to_string_lossy()
-            .replace('\\', "/");
-        if lints::rules_for(&rel).is_empty() {
-            continue;
-        }
-        let Ok(source) = std::fs::read_to_string(&file) else {
-            eprintln!("could not read {rel}");
-            return false;
-        };
-        files_scanned += 1;
-        findings.extend(lints::check_file(&rel, &source));
-    }
-    for f in &findings {
-        eprintln!("{f}");
-    }
-    println!(
-        "    {files_scanned} files scanned, {} finding(s)",
-        findings.len()
-    );
-    findings.is_empty()
-}
-
-/// All `.rs` files under `dir`, recursively, skipping `target/`.
-fn rust_sources(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return out;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            out.extend(rust_sources(&path));
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    out.sort();
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// The committed tree must be clean under the custom rules — this is
-    /// the same scan `cargo xtask check` runs, executed as a test so
-    /// plain `cargo test` also guards the policy.
-    #[test]
-    fn committed_tree_passes_custom_lints() {
-        let root = workspace_root();
-        assert!(
-            root.join("Cargo.toml").exists(),
-            "workspace root not found at {}",
-            root.display()
-        );
-        let mut all = Vec::new();
-        for file in LINT_ROOTS.iter().flat_map(|d| rust_sources(&root.join(d))) {
-            let rel = file
-                .strip_prefix(&root)
-                .unwrap_or(&file)
-                .to_string_lossy()
-                .replace('\\', "/");
-            let source = std::fs::read_to_string(&file).expect("readable source");
-            all.extend(lints::check_file(&rel, &source));
-        }
-        assert!(
-            all.is_empty(),
-            "custom lints found {} issue(s):\n{}",
-            all.len(),
-            all.iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
-    }
-
-    /// Introducing an unwrap into a real setsim-core library file makes
-    /// the scan fail — the gate demonstrably catches the regression it
-    /// exists to catch.
-    #[test]
-    fn unwrap_injected_into_real_core_file_fails() {
-        let root = workspace_root();
-        let target = root.join("crates/core/src/properties.rs");
-        let source = std::fs::read_to_string(&target).expect("core source readable");
-        let clean = lints::check_file("crates/core/src/properties.rs", &source);
-        assert!(clean.is_empty(), "premise: committed file is clean");
-        let sabotaged = source.replacen(
-            "use crate::PreparedQuery;",
-            "use crate::PreparedQuery;\npub fn oops(x: Option<u32>) -> u32 { x.unwrap() }",
-            1,
-        );
-        assert_ne!(source, sabotaged, "replacement must have applied");
-        let findings = lints::check_file("crates/core/src/properties.rs", &sabotaged);
-        assert!(
-            findings.iter().any(|f| f.rule == "no-unwrap"),
-            "gate failed to flag an injected unwrap: {findings:?}"
-        );
-    }
-
-    #[test]
-    fn source_walk_finds_the_workspace() {
-        let root = workspace_root();
-        let sources = rust_sources(&root.join("crates"));
-        assert!(
-            sources.len() > 30,
-            "expected a full workspace, found {} files",
-            sources.len()
-        );
-        assert!(sources
-            .iter()
-            .any(|p| p.ends_with("crates/core/src/lib.rs")));
     }
 }

@@ -1,0 +1,386 @@
+//! The shared token-level view of one source file that every analysis
+//! pass consumes: the lexed stream ([`crate::lexer`]), a token-accurate
+//! `#[cfg(test)]` / `#[test]` region mask, and the `lint: allow`
+//! escape-hatch index.
+//!
+//! The old line-oriented engine approximated all three with substring
+//! heuristics (`test_region_mask` guessed brace balance per line and a
+//! `'a'` char literal could desynchronize it). Here the mask is computed
+//! on the token stream, so a `#[cfg(test)]` attribute on a multi-line
+//! signature, a brace inside a raw string, or a `{` in a char literal
+//! cannot corrupt region tracking.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// Marker that exempts a finding site from a rule. Must live in a
+/// *plain* comment (the token engine will not honor one smuggled inside
+/// a string literal, and doc comments are API documentation — prose
+/// there merely *mentions* the marker) and be accompanied by a
+/// justification.
+pub const ALLOW_MARKER: &str = "lint: allow";
+
+/// One file, lexed and annotated for the passes.
+pub struct FileModel<'s> {
+    /// The raw source (token spans index into it).
+    pub source: &'s str,
+    /// Every token, comments included, in source order.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment ("code") tokens.
+    pub code: Vec<usize>,
+    /// 1-based lines that lie inside a `#[cfg(test)]` / `#[test]` region.
+    test_lines: BTreeSet<usize>,
+    /// 1-based lines carrying a `lint: allow` comment.
+    allow_lines: BTreeSet<usize>,
+    /// Number of lines in the file.
+    pub line_count: usize,
+}
+
+impl<'s> FileModel<'s> {
+    /// Lex and annotate `source`.
+    #[must_use]
+    pub fn new(source: &'s str) -> Self {
+        let tokens = lex(source);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let line_count = source.lines().count();
+        let test_lines = test_region_lines(source, &tokens, &code, line_count);
+        let allow_lines = tokens
+            .iter()
+            .filter(|t| t.is_comment() && !t.is_doc() && t.text(source).contains(ALLOW_MARKER))
+            .map(|t| t.line)
+            .collect();
+        Self {
+            source,
+            tokens,
+            code,
+            test_lines,
+            allow_lines,
+            line_count,
+        }
+    }
+
+    /// The `i`-th code token (panics if out of range — callers bound by
+    /// [`Self::code_len`]).
+    #[must_use]
+    pub fn ct(&self, i: usize) -> &Token {
+        &self.tokens[self.code[i]]
+    }
+
+    /// Text of the `i`-th code token.
+    #[must_use]
+    pub fn ct_text(&self, i: usize) -> &'s str {
+        self.ct(i).text(self.source)
+    }
+
+    /// Number of code tokens.
+    #[must_use]
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Is the `i`-th code token an ident with exactly this text?
+    #[must_use]
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        i < self.code.len() && self.ct(i).kind == TokenKind::Ident && self.ct_text(i) == text
+    }
+
+    /// Is the `i`-th code token the punctuation `c`?
+    #[must_use]
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        i < self.code.len() && self.ct(i).is_punct(self.source, c)
+    }
+
+    /// True if `line` (1-based) is inside a test region.
+    #[must_use]
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// True if `line` itself carries an allow marker.
+    #[must_use]
+    pub fn allowed_on(&self, line: usize) -> bool {
+        self.allow_lines.contains(&line)
+    }
+
+    /// True if `line` or the line above carries an allow marker (the
+    /// convention for rules whose sites often span several lines: the
+    /// justification sits on its own comment line directly above).
+    #[must_use]
+    pub fn allowed_on_or_above(&self, line: usize) -> bool {
+        self.allowed_on(line) || (line > 1 && self.allowed_on(line - 1))
+    }
+
+    /// The file's module header: the text of the leading `//!` / `/*! */`
+    /// doc comments before the first code token.
+    #[must_use]
+    pub fn module_header(&self) -> String {
+        let first_code = self.code.first().map_or(usize::MAX, |&i| i);
+        self.tokens
+            .iter()
+            .take_while(|t| t.is_comment())
+            .take_while(|_| first_code > 0)
+            .filter(|t| t.is_doc())
+            .map(|t| t.text(self.source))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// The doc-comment text attached to the item whose first *code* token
+    /// is at code index `i`: contiguous doc comments directly above,
+    /// possibly interleaved with attributes.
+    #[must_use]
+    pub fn doc_above(&self, i: usize) -> String {
+        let Some(&item_tok) = self.code.get(i) else {
+            return String::new();
+        };
+        // Walk raw tokens backwards from the item, skipping attribute
+        // groups (`] … [ #`, matched right-to-left) and collecting doc
+        // comments until anything else intervenes.
+        let mut docs: Vec<&str> = Vec::new();
+        let mut j = item_tok;
+        while j > 0 {
+            j -= 1;
+            let t = &self.tokens[j];
+            if t.is_doc() {
+                let text = t.text(self.source);
+                // Inner docs (`//!`, `/*!`) attach to the enclosing
+                // module, never to the item below them.
+                if text.starts_with("//!") || text.starts_with("/*!") {
+                    break;
+                }
+                docs.push(text);
+            } else if t.is_comment() {
+                // Plain comments neither break nor contribute.
+            } else if t.is_punct(self.source, ']') {
+                // Skip the attribute group: back to its opening `#`.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    let a = &self.tokens[j];
+                    if a.is_punct(self.source, ']') {
+                        depth += 1;
+                    } else if a.is_punct(self.source, '[') {
+                        depth -= 1;
+                    }
+                }
+                // The `#` (or `#!`) sits right before the `[`.
+                while j > 0 && self.tokens[j - 1].is_punct(self.source, '#') {
+                    j -= 1;
+                }
+            } else {
+                break;
+            }
+        }
+        docs.reverse();
+        docs.join("\n")
+    }
+}
+
+/// Compute the set of 1-based lines inside `#[cfg(test)]`- or
+/// `#[test]`-gated items, token-accurately.
+fn test_region_lines(
+    source: &str,
+    tokens: &[Token],
+    code: &[usize],
+    line_count: usize,
+) -> BTreeSet<usize> {
+    let mut lines = BTreeSet::new();
+    let n = code.len();
+    let tok = |i: usize| -> &Token { &tokens[code[i]] };
+    let text = |i: usize| -> &str { tok(i).text(source) };
+    let mut i = 0usize;
+    while i < n {
+        // An *outer* attribute `#[ … ]` (inner `#![…]` attributes apply
+        // to the enclosing module/file; the old engine ignored them too).
+        if !(tok(i).is_punct(source, '#') && i + 1 < n && tok(i + 1).is_punct(source, '[')) {
+            i += 1;
+            continue;
+        }
+        let attr_line = tok(i).line;
+        // Collect the attribute's idents while finding its closing `]`.
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        let mut j = i + 1;
+        while j < n {
+            let t = tok(j);
+            if t.is_punct(source, '[') {
+                depth += 1;
+            } else if t.is_punct(source, ']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokenKind::Ident {
+                idents.push(text(j));
+            }
+            j += 1;
+        }
+        let gates_test = match idents.first() {
+            Some(&"test") => true,
+            Some(&"cfg") => idents.contains(&"test"),
+            _ => false,
+        };
+        if !gates_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes / the gap down to the item itself.
+        let mut k = j + 1;
+        while k + 1 < n && tok(k).is_punct(source, '#') && tok(k + 1).is_punct(source, '[') {
+            let mut d = 0usize;
+            while k < n {
+                if tok(k).is_punct(source, '[') {
+                    d += 1;
+                } else if tok(k).is_punct(source, ']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // The gated item runs to the first `;` at bracket depth 0 (no
+        // body) or through the matching `}` of its first `{`.
+        let mut paren = 0usize;
+        let mut end = k;
+        while end < n {
+            let t = tok(end);
+            if t.is_punct(source, '(') || t.is_punct(source, '[') {
+                paren += 1;
+            } else if t.is_punct(source, ')') || t.is_punct(source, ']') {
+                paren = paren.saturating_sub(1);
+            } else if paren == 0 && t.is_punct(source, ';') {
+                break;
+            } else if paren == 0 && t.is_punct(source, '{') {
+                let mut braces = 1usize;
+                while braces > 0 && end + 1 < n {
+                    end += 1;
+                    let b = tok(end);
+                    if b.is_punct(source, '{') {
+                        braces += 1;
+                    } else if b.is_punct(source, '}') {
+                        braces -= 1;
+                    }
+                }
+                break;
+            }
+            end += 1;
+        }
+        let end_line = if end < n { tok(end).line } else { line_count };
+        for line in attr_line..=end_line {
+            lines.insert(line);
+        }
+        i = end + 1;
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\npub fn g() {}\n";
+        let m = FileModel::new(src);
+        assert!(!m.in_test(1));
+        assert!(m.in_test(3));
+        assert!(m.in_test(5));
+        assert!(m.in_test(6));
+        assert!(!m.in_test(7));
+    }
+
+    #[test]
+    fn multiline_signature_under_cfg_test_is_masked() {
+        // The case the old engine handled only by heuristic: the gated
+        // item's signature spans lines before its `{` appears.
+        let src = "#[cfg(test)]\nfn helper(\n    a: u32,\n    b: u32,\n) -> u32 {\n    a + b\n}\nfn live() {}\n";
+        let m = FileModel::new(src);
+        for line in 1..=7 {
+            assert!(m.in_test(line), "line {line} should be masked");
+        }
+        assert!(!m.in_test(8));
+    }
+
+    #[test]
+    fn brace_in_char_literal_does_not_desync_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n    const C: char = '{';\n}\npub fn live() {}\n";
+        let m = FileModel::new(src);
+        assert!(m.in_test(3));
+        assert!(!m.in_test(5), "char-literal brace must not extend region");
+    }
+
+    #[test]
+    fn brace_in_raw_string_does_not_desync_regions() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    const S: &str = r#\"{ {\"#;\n}\npub fn live() {}\n";
+        let m = FileModel::new(src);
+        assert!(!m.in_test(5));
+    }
+
+    #[test]
+    fn cfg_test_semicolon_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\npub fn live() {}\n";
+        let m = FileModel::new(src);
+        assert!(m.in_test(2));
+        assert!(!m.in_test(3));
+    }
+
+    #[test]
+    fn test_attribute_is_masked_like_cfg_test() {
+        let src = "#[test]\nfn t() {\n    helper();\n}\nfn live() {}\n";
+        let m = FileModel::new(src);
+        assert!(m.in_test(3));
+        assert!(!m.in_test(5));
+    }
+
+    #[test]
+    fn cfg_feature_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"audit\")]\nfn audited() {\n    body();\n}\n";
+        let m = FileModel::new(src);
+        assert!(!m.in_test(3));
+    }
+
+    #[test]
+    fn cfg_any_with_test_is_masked() {
+        let src = "#[cfg(any(test, feature = \"bench\"))]\nfn t() {\n    body();\n}\n";
+        let m = FileModel::new(src);
+        assert!(m.in_test(3));
+    }
+
+    #[test]
+    fn allow_marker_only_counts_in_comments() {
+        let src =
+            "fn f() {\n    let s = \"lint: allow\";\n    g(); // lint: allow — justified\n}\n";
+        let m = FileModel::new(src);
+        assert!(!m.allowed_on(2), "marker inside a string must not count");
+        assert!(m.allowed_on(3));
+        assert!(m.allowed_on_or_above(4));
+    }
+
+    #[test]
+    fn doc_above_collects_docs_through_attributes() {
+        let src = "/// Docs line one, Section III.\n#[derive(Debug)]\n/// Docs line two.\npub struct S;\n";
+        let m = FileModel::new(src);
+        let pub_ci = (0..m.code_len())
+            .find(|&i| m.is_ident(i, "pub"))
+            .expect("pub token");
+        let doc = m.doc_above(pub_ci);
+        assert!(doc.contains("Section III"));
+        assert!(doc.contains("line two"));
+    }
+
+    #[test]
+    fn module_header_is_leading_inner_docs() {
+        let src = "//! Header cites Section V.\n//! More.\n\nuse std::fmt;\n";
+        let m = FileModel::new(src);
+        assert!(m.module_header().contains("Section V"));
+    }
+}

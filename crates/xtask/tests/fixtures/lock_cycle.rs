@@ -1,0 +1,24 @@
+// Deliberate ABBA deadlock fixture for the lock-discipline pass:
+// `first` acquires `a` then `b`, `second` acquires `b` then `a`. The
+// pass must report both the rank violation and the cycle; the expected
+// findings are asserted exactly in crates/xtask/tests/analyze.rs.
+// Never compiled — cargo builds tests/*.rs, not tests/fixtures/.
+// lock-order: a -> b
+struct Abba {
+    a: std::sync::Mutex<u32>,
+    b: std::sync::Mutex<u32>,
+}
+
+impl Abba {
+    fn first(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        0
+    }
+
+    fn second(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        0
+    }
+}

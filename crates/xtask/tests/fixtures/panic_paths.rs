@@ -1,0 +1,45 @@
+// Fixture for the panic-reachability pass: undocumented panics,
+// documented panics, and invariant panics, mixed. The expected findings
+// (lines 8 and 27 only) are asserted exactly in
+// crates/xtask/tests/analyze.rs.
+
+pub fn undocumented(x: u32) {
+    if x > 9 {
+        panic!("too big: {x}")
+    }
+}
+
+/// Clamps.
+///
+/// # Panics
+///
+/// Panics when `x > 9`.
+pub fn documented(x: u32) {
+    if x > 9 {
+        panic!("too big: {x}")
+    }
+}
+
+pub fn invariant(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        1 => 0,
+        _ => unreachable!(),
+    }
+}
+
+pub fn messaged(kind: u8) -> u8 {
+    match kind {
+        0 => 1,
+        1 => 0,
+        _ => unreachable!("kind is validated at construction"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_fine() {
+        panic!("this is a test");
+    }
+}

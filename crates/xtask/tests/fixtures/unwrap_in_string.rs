@@ -1,0 +1,17 @@
+// Fixture: every `.unwrap()` / `.expect(` below lives inside a string
+// literal or a comment. A line-based regex lint flags all of them; the
+// token engine must flag none. Asserted in
+// crates/xtask/tests/analyze.rs.
+
+pub fn describe() -> &'static str {
+    "call .unwrap() to extract the value"
+}
+
+pub fn raw() -> &'static str {
+    r#"chained: opt.unwrap().expect("nope")"#
+}
+
+// A comment mentioning x.unwrap() is not a call site either.
+pub fn clean(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
