@@ -20,12 +20,15 @@
 //! Beyond the figure binaries, the crate hosts the machine-readable perf
 //! trajectory: [`json`] (a dependency-free JSON writer/parser), [`report`]
 //! (the versioned `BENCH_*.json` schema), [`harness`] (the deterministic
-//! seeded workload runner behind `setsim-bench harness`), and [`diff`]
-//! (the noise-aware comparator behind `cargo xtask bench-diff`).
+//! seeded workload runner behind `setsim-bench harness`), [`loadgen`]
+//! (the concurrent serving-tier driver behind `setsim-bench loadgen`),
+//! and [`diff`] (the noise-aware comparator behind `cargo xtask
+//! bench-diff`).
 
 pub mod diff;
 pub mod harness;
 pub mod json;
+pub mod loadgen;
 pub mod report;
 
 use setsim_core::algorithms::sql::SqlBaseline;

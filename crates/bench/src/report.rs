@@ -249,6 +249,42 @@ pub struct LatencySection {
     pub median_ms_per_query: f64,
     /// Median absolute deviation of the per-rep means.
     pub mad_ms_per_query: f64,
+    /// Client-observed tail percentiles over individual request
+    /// latencies. `None` for the offline harness (which reduces per-rep
+    /// *means*, where percentiles of three numbers mean nothing);
+    /// populated by `setsim-bench loadgen`, whose samples are one TCP
+    /// round-trip each. Optional keys are a within-version schema
+    /// extension: readers ignore unknown keys, and old reports without
+    /// them still parse.
+    pub tail: Option<TailSection>,
+}
+
+/// Tail latency percentiles (nearest-rank) over per-request samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailSection {
+    /// 50th percentile, milliseconds per request.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds per request.
+    pub p95_ms: f64,
+    /// 99th percentile, milliseconds per request.
+    pub p99_ms: f64,
+}
+
+impl TailSection {
+    fn of_sorted(sorted: &[f64]) -> Self {
+        let pick = |p: f64| {
+            // Nearest-rank: ceil(p·n) clamped into range, 1-indexed.
+            let n = sorted.len();
+            // lint: allow — sample counts well below 2^53.
+            let rank = (p * n as f64).ceil() as usize;
+            sorted[rank.clamp(1, n) - 1]
+        };
+        Self {
+            p50_ms: pick(0.50),
+            p95_ms: pick(0.95),
+            p99_ms: pick(0.99),
+        }
+    }
 }
 
 impl LatencySection {
@@ -256,7 +292,19 @@ impl LatencySection {
     /// empty sample set (the harness always runs ≥ 1 rep).
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "at least one measured rep required");
+        Self::reduce(samples, false)
+    }
+
+    /// Reduce per-**request** latency samples (milliseconds), keeping
+    /// tail percentiles — the loadgen path, where every sample is one
+    /// client-observed round-trip rather than a per-rep mean.
+    #[must_use]
+    pub fn from_request_samples_ms(samples: &[f64]) -> Self {
+        Self::reduce(samples, true)
+    }
+
+    fn reduce(samples: &[f64], with_tail: bool) -> Self {
+        assert!(!samples.is_empty(), "at least one measured sample required");
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
         let med = median_of_sorted(&sorted);
@@ -267,23 +315,42 @@ impl LatencySection {
             min_ms_per_query: sorted[0],
             median_ms_per_query: med,
             mad_ms_per_query: median_of_sorted(&devs),
+            tail: with_tail.then(|| TailSection::of_sorted(&sorted)),
         }
     }
 
     fn to_json(self) -> Json {
-        Json::obj()
+        let mut obj = Json::obj()
             .field("reps", self.reps)
             .field("min_ms_per_query", self.min_ms_per_query)
             .field("median_ms_per_query", self.median_ms_per_query)
-            .field("mad_ms_per_query", self.mad_ms_per_query)
+            .field("mad_ms_per_query", self.mad_ms_per_query);
+        if let Some(t) = self.tail {
+            obj = obj
+                .field("p50_ms", t.p50_ms)
+                .field("p95_ms", t.p95_ms)
+                .field("p99_ms", t.p99_ms);
+        }
+        obj
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
+        // The tail keys travel together; a report either has all three
+        // (loadgen) or none (harness).
+        let tail = match v.get("p50_ms") {
+            Some(_) => Some(TailSection {
+                p50_ms: f64_field(v, "p50_ms")?,
+                p95_ms: f64_field(v, "p95_ms")?,
+                p99_ms: f64_field(v, "p99_ms")?,
+            }),
+            None => None,
+        };
         Ok(Self {
             reps: u64_field(v, "reps")?,
             min_ms_per_query: f64_field(v, "min_ms_per_query")?,
             median_ms_per_query: f64_field(v, "median_ms_per_query")?,
             mad_ms_per_query: f64_field(v, "mad_ms_per_query")?,
+            tail,
         })
     }
 }
@@ -728,6 +795,23 @@ mod tests {
         assert_eq!(l.median_ms_per_query, 2.5);
         // Deviations from 2.5: sorted [0.5, 0.5, 1.5, 7.5] → median 1.0.
         assert_eq!(l.mad_ms_per_query, 1.0);
+    }
+
+    #[test]
+    fn request_samples_keep_tail_percentiles() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let l = LatencySection::from_request_samples_ms(&samples);
+        let t = l.tail.expect("loadgen reduction keeps tails");
+        assert_eq!(t.p50_ms, 50.0);
+        assert_eq!(t.p95_ms, 95.0);
+        assert_eq!(t.p99_ms, 99.0);
+        // The tail keys survive the JSON round trip, and their absence
+        // (harness reports) still parses.
+        let mut r = sample_report();
+        r.workloads[0].algos[0].latency = l;
+        let back = BenchReport::parse(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        assert!(sample_report().workloads[0].algos[0].latency.tail.is_none());
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   query from it.
 //! * `setsim-cli snapshot verify -s SNAP` — check every page checksum and
 //!   the logical consistency of a snapshot without serving from it.
+//! * `setsim-cli serve {-i FILE | -d DIR} [--addr HOST:PORT]
+//!   [--inflight N]` — serve the index over TCP with the wire-stable
+//!   protocol (`setsim-core::api`, DESIGN.md §14).
+//! * `setsim-cli query --remote HOST:PORT -q TEXT [--tau T] [--algo NAME]`
+//!   — run the query against a running `serve`/`setsim-server` instance
+//!   through the typed protocol client instead of a local index.
 //!
 //! Lines are tokenized into padded 3-grams by default; `--words` switches
 //! to word tokens, `--q N` changes the gram length.
@@ -34,9 +40,11 @@
 use setsim_core::algorithms::selfjoin::par_self_join;
 use setsim_core::algorithms::topk::topk_nra;
 use setsim_core::{
-    AlgorithmKind, CollectionBuilder, IndexOptions, MutableIndex, MutableSearchRequest,
-    PreparedQuery, QueryEngine, RecordId, Scratch, SearchRequest, SetCollection, SfAlgorithm,
+    AlgorithmKind, CollectionBuilder, IndexOptions, MutableEngine, MutableIndex,
+    MutableSearchRequest, PreparedQuery, QueryEngine, RecordId, Scratch, SearchCall, SearchRequest,
+    SetCollection, SfAlgorithm, PROTOCOL_VERSION,
 };
+use setsim_server::{Client, ServerConfig, ServerHandle};
 use setsim_tokenize::{QGramTokenizer, WordTokenizer};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -75,6 +83,13 @@ pub struct Options {
     pub json: bool,
     /// Tokenize into words instead of q-grams.
     pub words: bool,
+    /// Query: address of a running server to query over TCP instead of
+    /// building a local index.
+    pub remote: Option<String>,
+    /// Serve: bind address.
+    pub addr: String,
+    /// Serve: admission-control permit count (concurrent requests).
+    pub inflight: usize,
 }
 
 impl Default for Options {
@@ -95,6 +110,9 @@ impl Default for Options {
             repeat: 1,
             json: false,
             words: false,
+            remote: None,
+            addr: "127.0.0.1:7878".into(),
+            inflight: 8,
         }
     }
 }
@@ -105,6 +123,8 @@ setsim-cli — set similarity search over the lines of a file
 
 USAGE:
   setsim-cli query {-i FILE | -d DIR} -q TEXT [--tau T] [--algo sf|hybrid|inra|ita|ta|nra|merge|scan] [-n N]
+  setsim-cli query --remote HOST:PORT -q TEXT [--tau T] [--algo NAME] [-n N]
+  setsim-cli serve {-i FILE | -d DIR} [--addr HOST:PORT] [--inflight N]
   setsim-cli ingest -d DIR [-i FILE] [--ops FILE]
   setsim-cli compact -d DIR
   setsim-cli topk  -i FILE -q TEXT [-k K]
@@ -130,6 +150,10 @@ OPTIONS:
       --repeat R     bench workload repetitions (default 1)
       --json         bench: print serving metrics as one JSON object
       --words        word tokens instead of q-grams
+      --remote ADDR  query: send the query to a running server instead of
+                     building a local index
+      --addr ADDR    serve: bind address (default 127.0.0.1:7878)
+      --inflight N   serve: admission-control permit count (default 8)
 
 bench runs every input line as a query through the engine's work-stealing
 batch executor and prints the aggregated serving metrics.
@@ -138,6 +162,11 @@ snapshot save builds the index from FILE and persists it as a
 page-structured, CRC-checksummed snapshot; load cold-starts a serving
 engine from the snapshot without rebuilding; verify checks every page
 checksum and the logical consistency of the file.
+
+serve binds a TCP listener and answers the wire-stable binary protocol
+(see DESIGN.md, \"Wire protocol\"); query --remote talks to such a
+server through the same protocol, so scores match the local path
+bit-for-bit.
 
 ingest creates a mutable segment directory (seeded from FILE when new)
 and applies the --ops mutation script to it; compact folds the delta
@@ -156,14 +185,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             .next()
             .ok_or_else(|| format!("snapshot requires save|load|verify\n{USAGE}"))?;
         if !matches!(sub.as_str(), "save" | "load" | "verify") {
-            return Err(format!("unknown snapshot subcommand {sub:?}\n{USAGE}"));
+            return Err(format!("unknown snapshot subcommand '{sub}'\n{USAGE}"));
         }
         opts.command = format!("snapshot-{sub}");
     } else if !matches!(
         opts.command.as_str(),
-        "query" | "topk" | "join" | "stats" | "bench" | "ingest" | "compact"
+        "query" | "topk" | "join" | "stats" | "bench" | "ingest" | "compact" | "serve"
     ) {
-        return Err(format!("unknown command {:?}\n{USAGE}", opts.command));
+        return Err(format!("unknown command '{}'\n{USAGE}", opts.command));
     }
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -210,14 +239,38 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--json" => opts.json = true,
             "--words" => opts.words = true,
+            "--remote" => opts.remote = Some(value("--remote")?),
+            "--addr" => opts.addr = value("--addr")?,
+            "--inflight" => {
+                opts.inflight = value("--inflight")?
+                    .parse()
+                    .map_err(|_| "--inflight expects an integer".to_string())?;
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
-            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+            other => return Err(format!("unknown option '{other}'\n{USAGE}")),
+        }
+    }
+    if opts.remote.is_some() && opts.command != "query" {
+        return Err("--remote only applies to query".to_string());
+    }
+    if opts.remote.is_some() && (opts.input.is_some() || opts.dir.is_some()) {
+        return Err(
+            "query --remote takes no --input or --dir (the server owns the index)".to_string(),
+        );
+    }
+    if opts.command == "serve" {
+        if opts.input.is_none() && opts.dir.is_none() {
+            return Err("serve requires --input FILE or --dir DIR".to_string());
+        }
+        if opts.input.is_some() && opts.dir.is_some() {
+            return Err("serve takes --input or --dir, not both".to_string());
         }
     }
     let needs_input = !(matches!(
         opts.command.as_str(),
-        "snapshot-load" | "snapshot-verify" | "ingest" | "compact"
-    ) || (opts.command == "query" && opts.dir.is_some()));
+        "snapshot-load" | "snapshot-verify" | "ingest" | "compact" | "serve"
+    ) || (opts.command == "query"
+        && (opts.dir.is_some() || opts.remote.is_some())));
     if needs_input && opts.input.is_none() {
         return Err("missing --input FILE".to_string());
     }
@@ -257,7 +310,7 @@ pub fn build_collection(lines: &[String], opts: &Options) -> SetCollection {
 }
 
 fn algorithm(name: &str) -> Result<AlgorithmKind, String> {
-    AlgorithmKind::parse(name).ok_or_else(|| format!("unknown algorithm {name:?}"))
+    AlgorithmKind::parse(name).ok_or_else(|| format!("unknown algorithm '{name}'"))
 }
 
 /// Run a parsed command against record lines; returns printable output.
@@ -309,7 +362,13 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
             .unwrap();
             return Ok(out);
         }
-        "query" => return run_query(opts, lines),
+        "query" => {
+            return match &opts.remote {
+                Some(addr) => run_remote_query(opts, addr),
+                None => run_query(opts, lines),
+            }
+        }
+        "serve" => return run_serve(opts, lines),
         "ingest" => return run_ingest(opts, lines),
         "compact" => return run_compact(opts),
         _ => {}
@@ -340,7 +399,7 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
             for p in joined.pairs.iter().take(opts.limit) {
                 writeln!(
                     out,
-                    "  {:5.3}  {:?} ~ {:?}",
+                    "  {:5.3}  '{}' ~ '{}'",
                     p.score,
                     index.collection().text(p.a).unwrap(),
                     index.collection().text(p.b).unwrap()
@@ -434,6 +493,74 @@ fn run_query(opts: &Options, lines: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Run `query --remote`: send the query to a running server through the
+/// typed protocol client. The server owns the index and does the
+/// scoring, so output matches the local path bit-for-bit.
+fn run_remote_query(opts: &Options, addr: &str) -> Result<String, String> {
+    let kind = algorithm(&opts.algo)?;
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot reach server at {addr}: {e}"))?;
+    let call = SearchCall::new(opts.query.clone().expect("validated"))
+        .tau(opts.tau)
+        .algorithm(kind)
+        .with_texts();
+    let reply = client.search(&call).map_err(|e| e.to_string())?;
+    let mut matches = reply.matches;
+    matches.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.record.cmp(&b.record)));
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} match(es) at tau={} (remote {addr}):",
+        matches.len(),
+        opts.tau
+    )
+    .unwrap();
+    for m in matches.iter().take(opts.limit) {
+        let text = m.text.as_deref().unwrap_or("<text not requested>");
+        writeln!(out, "  {:5.3}  [r{}] {text}", m.score, m.record).unwrap();
+    }
+    if reply.status == setsim_core::SearchStatus::BudgetExceeded {
+        writeln!(
+            out,
+            "  (budget exceeded: exact but possibly partial results)"
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// Bind the `serve` listener and start answering the wire protocol.
+///
+/// Split out of [`run`] so tests and embedders can serve on an
+/// ephemeral port (`--addr 127.0.0.1:0`) and shut down cleanly via the
+/// returned handle; the `serve` subcommand itself blocks forever.
+pub fn start_server(opts: &Options, lines: &[String]) -> Result<ServerHandle, String> {
+    let engine = match &opts.dir {
+        Some(dir) => MutableEngine::open(Path::new(dir)).map_err(|e| e.to_string())?,
+        None => MutableEngine::new(build_mutable(lines, opts)?),
+    };
+    let mut cfg = ServerConfig::default();
+    cfg.addr.clone_from(&opts.addr);
+    cfg.max_inflight = opts.inflight.max(1);
+    ServerHandle::spawn(engine, cfg).map_err(|e| format!("cannot serve on {}: {e}", opts.addr))
+}
+
+fn run_serve(opts: &Options, lines: &[String]) -> Result<String, String> {
+    let handle = start_server(opts, lines)?;
+    let records = handle.engine().with_index(MutableIndex::live_len);
+    println!(
+        "serving {records} record(s) on {} (protocol v{PROTOCOL_VERSION}, {} permit(s))",
+        handle.addr(),
+        opts.inflight.max(1)
+    );
+    // Serve until killed. The handle's drain path is exercised by tests
+    // and embedders; the CLI process has no portable signal story under
+    // the std-only rules, so it parks forever.
+    loop {
+        std::thread::park();
+    }
+}
+
 fn run_ingest(opts: &Options, lines: &[String]) -> Result<String, String> {
     let dir = Path::new(opts.dir.as_ref().expect("validated"));
     let opened = MutableIndex::exists(dir);
@@ -451,7 +578,7 @@ fn run_ingest(opts: &Options, lines: &[String]) -> Result<String, String> {
     let (ins, del, ups) = match &opts.ops {
         Some(path) => {
             let script =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             apply_ops(&mut mi, &script)?
         }
         None => (0, 0, 0),
@@ -525,7 +652,7 @@ pub fn apply_ops(mi: &mut MutableIndex, script: &str) -> Result<(usize, usize, u
             }
             "-" => {
                 let id = parse_record_id(rest)
-                    .ok_or_else(|| format!("ops line {n}: '-' needs a record id, got {rest:?}"))?;
+                    .ok_or_else(|| format!("ops line {n}: '-' needs a record id, got '{rest}'"))?;
                 if !mi.delete(id) {
                     return Err(format!("ops line {n}: no live record {id}"));
                 }
@@ -536,7 +663,7 @@ pub fn apply_ops(mi: &mut MutableIndex, script: &str) -> Result<(usize, usize, u
                     .split_once(char::is_whitespace)
                     .ok_or_else(|| format!("ops line {n}: '~' needs ID TEXT"))?;
                 let id = parse_record_id(id_text)
-                    .ok_or_else(|| format!("ops line {n}: bad record id {id_text:?}"))?;
+                    .ok_or_else(|| format!("ops line {n}: bad record id '{id_text}'"))?;
                 if !mi.upsert(id, text.trim_start()) {
                     return Err(format!("ops line {n}: no live record {id}"));
                 }
@@ -544,7 +671,7 @@ pub fn apply_ops(mi: &mut MutableIndex, script: &str) -> Result<(usize, usize, u
             }
             _ => {
                 return Err(format!(
-                    "ops line {n}: expected '+', '-' or '~', got {op:?}"
+                    "ops line {n}: expected '+', '-' or '~', got '{op}'"
                 ))
             }
         }
@@ -607,6 +734,72 @@ mod tests {
             .iter()
             .map(|s| (*s).to_string())
             .collect()
+    }
+
+    #[test]
+    fn parse_serve_and_remote() {
+        let o = parse_args(&argv("serve -i f.txt --addr 0.0.0.0:9000 --inflight 4")).unwrap();
+        assert_eq!(o.command, "serve");
+        assert_eq!(o.addr, "0.0.0.0:9000");
+        assert_eq!(o.inflight, 4);
+        let o = parse_args(&argv("query --remote 127.0.0.1:7878 -q hello")).unwrap();
+        assert_eq!(o.remote.as_deref(), Some("127.0.0.1:7878"));
+        assert!(o.input.is_none(), "remote query needs no input");
+
+        assert!(parse_args(&argv("serve")).is_err(), "serve needs a source");
+        assert!(
+            parse_args(&argv("serve -i f -d d")).is_err(),
+            "not both sources"
+        );
+        assert!(
+            parse_args(&argv("query --remote a:1 -i f -q x")).is_err(),
+            "remote excludes local sources"
+        );
+        assert!(
+            parse_args(&argv("stats -i f --remote a:1")).is_err(),
+            "--remote is query-only"
+        );
+        assert!(
+            parse_args(&argv("query --remote a:1")).is_err(),
+            "remote query still needs -q"
+        );
+    }
+
+    /// Round-trip smoke test for the serving tier: start a server on an
+    /// ephemeral port via the same path `serve` uses, then drive
+    /// `query --remote` through `run()` and compare against the local
+    /// query output record-for-record.
+    #[test]
+    fn remote_query_round_trip() {
+        let corpus = lines();
+        let mut serve_opts = parse_args(&argv("serve -i x --addr 127.0.0.1:0")).unwrap();
+        serve_opts.input = Some("unused".into());
+        let handle = start_server(&serve_opts, &corpus).unwrap();
+
+        let mut local = parse_args(&argv("query -i x -q y --tau 0.4")).unwrap();
+        local.query = Some("main street".into());
+        let local_out = run(&local, &corpus).unwrap();
+
+        let mut remote = parse_args(&argv(&format!(
+            "query --remote {} -q y --tau 0.4",
+            handle.addr()
+        )))
+        .unwrap();
+        remote.query = Some("main street".into());
+        let remote_out = run(&remote, &[]).unwrap();
+
+        // Same matches, same scores, same ids: everything after the
+        // header line must agree with the local path.
+        let tail = |s: &str| s.lines().skip(1).map(str::to_string).collect::<Vec<_>>();
+        assert_eq!(
+            tail(&local_out),
+            tail(&remote_out),
+            "{local_out}\n{remote_out}"
+        );
+        assert!(remote_out.contains("main street"), "{remote_out}");
+
+        let report = handle.shutdown();
+        assert_eq!(report.shed, 0, "smoke load must not shed");
     }
 
     #[test]

@@ -67,6 +67,7 @@
 //! ```
 
 pub mod algorithms;
+pub mod api;
 #[cfg(feature = "audit")]
 pub mod audit;
 mod collection;
@@ -85,6 +86,10 @@ mod weights;
 pub use algorithms::{
     AlgoConfig, FullScan, HybridAlgorithm, INraAlgorithm, ITaAlgorithm, NraAlgorithm,
     SelectionAlgorithm, SfAlgorithm, SortByIdMerge, TaAlgorithm, MAX_QUERY_LISTS,
+};
+pub use api::{
+    ErrorCode, SearchCall, SearchReply, WireError, WireMatch, WireRequest, WireResponse, WireStats,
+    PROTOCOL_VERSION,
 };
 pub use collection::{CollectionBuilder, SetCollection, SetId};
 pub use engine::{

@@ -44,7 +44,7 @@ mod persist;
 pub use drift::DriftBudget;
 pub use engine::MutableEngine;
 
-use crate::engine::{execute as engine_execute, Scratch, SearchError, SearchRequest};
+use crate::engine::{execute as engine_execute, Budget, Scratch, SearchError, SearchRequest};
 use crate::properties::length_bounds;
 use crate::query::QueryToken;
 use crate::weights::count_to_f64;
@@ -125,7 +125,8 @@ pub struct MutableOutcome {
     pub results: Vec<MutableMatch>,
     /// Access counters, base-segment work and delta work combined.
     pub stats: SearchStats,
-    /// Completion status (always complete — budgets do not apply here).
+    /// Completion status: [`SearchStatus::BudgetExceeded`] marks an
+    /// exact-but-partial result set (see [`MutableSearchRequest::budget`]).
     pub status: SearchStatus,
 }
 
@@ -177,9 +178,12 @@ impl MutableQuery {
 
 /// A [`SearchRequest`]-shaped builder for mutable-index searches.
 ///
-/// Budgets are intentionally absent: a budget-truncated base pass could
-/// silently miss candidates the delta re-scoring needs, so the layered
-/// path always runs to completion.
+/// Budgets truncate *candidates*, never scores: a record that survives a
+/// budget-limited base pass still receives its exact live score in the
+/// re-scoring phase, so a tripped budget yields an exact **subset** of the
+/// answer (reported as [`SearchStatus::BudgetExceeded`]), never an
+/// approximate score — the property the serving tier's deadline
+/// propagation relies on.
 #[derive(Debug, Clone, Copy)]
 pub struct MutableSearchRequest<'q> {
     /// The prepared query.
@@ -190,6 +194,9 @@ pub struct MutableSearchRequest<'q> {
     pub algorithm: AlgorithmKind,
     /// Property-ablation config forwarded to the base pass.
     pub config: AlgoConfig,
+    /// Work/time budget propagated into the base pass and checked between
+    /// layered phases. Defaults to unlimited.
+    pub budget: Budget,
 }
 
 impl<'q> MutableSearchRequest<'q> {
@@ -201,6 +208,7 @@ impl<'q> MutableSearchRequest<'q> {
             tau: 0.7,
             algorithm: AlgorithmKind::Sf,
             config: AlgoConfig::full(),
+            budget: Budget::unlimited(),
         }
     }
 
@@ -222,6 +230,13 @@ impl<'q> MutableSearchRequest<'q> {
     #[must_use]
     pub fn config(mut self, config: AlgoConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attach a work/time budget (see [`Budget`]).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -745,7 +760,8 @@ impl MutableIndex {
             let sreq = SearchRequest::new(&query.stale)
                 .tau(tau)
                 .algorithm(req.algorithm)
-                .config(req.config);
+                .config(req.config)
+                .budget(req.budget);
             let out = engine_execute(&self.base, scratch, &sreq)?;
             return Ok(MutableOutcome {
                 results: out
@@ -764,6 +780,11 @@ impl MutableIndex {
         if self.n_live == 0 || query.live.len <= 0.0 {
             return Ok(outcome);
         }
+        // Arm the budget once so its deadline covers all three phases.
+        // Truncation is sound: every emitted result carries an exact live
+        // score, so a tripped budget yields an exact subset (see the
+        // [`MutableSearchRequest`] docs).
+        let armed = req.budget.arm();
         let tau_wide = tau / self.drift_bounds().widening_factor();
         // Phase 1: candidate generation over the base segment — the
         // requested algorithm at the widened threshold; its result list
@@ -773,9 +794,13 @@ impl MutableIndex {
             let sreq = SearchRequest::new(&query.stale)
                 .tau(tau_wide)
                 .algorithm(req.algorithm)
-                .config(req.config);
+                .config(req.config)
+                .budget(req.budget);
             let out = engine_execute(&self.base, scratch, &sreq)?;
             outcome.stats.merge(&out.stats);
+            if out.status == SearchStatus::BudgetExceeded {
+                outcome.status = SearchStatus::BudgetExceeded;
+            }
             for m in &out.results {
                 if !self.base_dead[m.id.index()] {
                     base_cands.push(m.id);
@@ -801,8 +826,14 @@ impl MutableIndex {
             delta_cands.dedup();
         }
         outcome.stats.candidates_inserted += (base_cands.len() + delta_cands.len()) as u64;
-        // Phase 3: exact re-scoring under the live weights.
+        // Phase 3: exact re-scoring under the live weights. The budget is
+        // re-checked per candidate: stopping early drops *unscored*
+        // candidates, never emits an inexact score.
         for sid in base_cands {
+            if armed.exceeded(&outcome.stats) {
+                outcome.status = SearchStatus::BudgetExceeded;
+                return Ok(outcome);
+            }
             outcome.stats.records_scanned += 1;
             let score = self.live_score(&query.live, self.base.collection().set(sid));
             if passes(score, tau) {
@@ -813,6 +844,10 @@ impl MutableIndex {
             }
         }
         for slot in delta_cands {
+            if armed.exceeded(&outcome.stats) {
+                outcome.status = SearchStatus::BudgetExceeded;
+                return Ok(outcome);
+            }
             outcome.stats.records_scanned += 1;
             let r = &self.delta.records[slot as usize];
             let score = self.live_score(&query.live, &r.set);

@@ -1,0 +1,184 @@
+//! Blocking typed client for the setsim wire protocol.
+//!
+//! The client is the *only* sanctioned way for in-repo callers (CLI,
+//! loadgen, tests) to talk to a server: every request is built from
+//! [`setsim_core::api`] types and every response decodes back into them,
+//! so there is no bespoke byte fiddling outside the `api` module.
+
+use setsim_core::api::{
+    read_frame, write_frame, FrameReadError, SearchCall, SearchReply, WireDecodeError, WireError,
+    WireRequest, WireResponse, WireStats, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+use setsim_core::RecordId;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Transport failure (connect, read, or write).
+    Io(io::Error),
+    /// The stream broke at the framing layer.
+    Frame(FrameReadError),
+    /// The server's bytes did not decode to a known response.
+    Decode(WireDecodeError),
+    /// The server answered with a typed error (including `Overloaded`
+    /// sheds and `QuotaExhausted`).
+    Server(WireError),
+    /// The server answered with the wrong response variant.
+    Protocol(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "framing error: {e}"),
+            ClientError::Decode(e) => write!(f, "protocol decode error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(what) => write!(f, "unexpected response: wanted {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Decode(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            ClientError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected, handshaken protocol client.
+pub struct Client {
+    stream: TcpStream,
+    version: u32,
+}
+
+impl Client {
+    /// Connect and perform the `Hello` handshake at [`PROTOCOL_VERSION`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        Client::handshake(stream)
+    }
+
+    fn handshake(stream: TcpStream) -> Result<Client, ClientError> {
+        stream.set_nodelay(true)?;
+        let mut client = Client { stream, version: 0 };
+        let resp = client.call(&WireRequest::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match resp {
+            WireResponse::Hello { version } => {
+                client.version = version;
+                Ok(client)
+            }
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Hello")),
+        }
+    }
+
+    /// The protocol version agreed in the handshake.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Bound the time a single call may block on the socket.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Send one request and read one response. Typed server errors are
+    /// returned as `Ok(WireResponse::Error(_))`; use the verb-specific
+    /// helpers to surface them as [`ClientError::Server`].
+    pub fn call(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME_LEN).map_err(ClientError::Frame)?;
+        WireResponse::decode(&payload).map_err(ClientError::Decode)
+    }
+
+    /// Execute a search.
+    pub fn search(&mut self, call: &SearchCall) -> Result<SearchReply, ClientError> {
+        match self.call(&WireRequest::Search(call.clone()))? {
+            WireResponse::Search(reply) => Ok(reply),
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Search")),
+        }
+    }
+
+    /// Insert a record, returning the server-assigned id.
+    pub fn insert(&mut self, text: &str) -> Result<RecordId, ClientError> {
+        match self.call(&WireRequest::Insert {
+            text: text.to_owned(),
+        })? {
+            WireResponse::Insert { id } => Ok(RecordId(id)),
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Insert")),
+        }
+    }
+
+    /// Delete a record; reports whether it existed.
+    pub fn delete(&mut self, id: RecordId) -> Result<bool, ClientError> {
+        match self.call(&WireRequest::Delete { id: id.0 })? {
+            WireResponse::Delete { existed } => Ok(existed),
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Delete")),
+        }
+    }
+
+    /// Insert-or-replace at a caller-chosen id; reports whether a record
+    /// was replaced.
+    pub fn upsert(&mut self, id: RecordId, text: &str) -> Result<bool, ClientError> {
+        match self.call(&WireRequest::Upsert {
+            id: id.0,
+            text: text.to_owned(),
+        })? {
+            WireResponse::Upsert { existed } => Ok(existed),
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Upsert")),
+        }
+    }
+
+    /// Fetch engine + serving metrics.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.call(&WireRequest::Stats)? {
+            WireResponse::Stats(stats) => Ok(stats),
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Stats")),
+        }
+    }
+
+    /// Trigger a zero-downtime compaction.
+    pub fn compact(&mut self) -> Result<(), ClientError> {
+        match self.call(&WireRequest::Compact)? {
+            WireResponse::Compact => Ok(()),
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Compact")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            WireResponse::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::Protocol("Ping")),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! `setsim-server` — serve a set-similarity index over TCP.
+//!
+//! ```text
+//! setsim-server --input records.txt [--addr 127.0.0.1:7878] [--inflight 8]
+//! setsim-server --dir /path/to/segment-dir [--addr ...]
+//! ```
+//!
+//! Runs until killed. For graceful-drain shutdown semantics use the
+//! library (`setsim_server::ServerHandle`) or `setsim-cli serve`.
+
+use setsim_core::{CollectionBuilder, IndexOptions, MutableEngine, MutableIndex};
+use setsim_server::{ServerConfig, ServerHandle};
+use setsim_tokenize::QGramTokenizer;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: setsim-server (--input FILE | --dir DIR) \
+[--addr HOST:PORT] [--inflight N] [--quota N] [--max-elements N]";
+
+struct Args {
+    input: Option<String>,
+    dir: Option<String>,
+    cfg: ServerConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut cfg = ServerConfig::default();
+    cfg.addr = "127.0.0.1:7878".to_owned();
+    let mut args = Args {
+        input: None,
+        dir: None,
+        cfg,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--input" => args.input = Some(value("--input")?),
+            "--dir" => args.dir = Some(value("--dir")?),
+            "--addr" => args.cfg.addr = value("--addr")?,
+            "--inflight" => {
+                args.cfg.max_inflight = value("--inflight")?
+                    .parse()
+                    .map_err(|e| format!("--inflight: {e}"))?;
+            }
+            "--quota" => {
+                args.cfg.conn_quota = Some(
+                    value("--quota")?
+                        .parse()
+                        .map_err(|e| format!("--quota: {e}"))?,
+                );
+            }
+            "--max-elements" => {
+                args.cfg.max_elements_per_query = Some(
+                    value("--max-elements")?
+                        .parse()
+                        .map_err(|e| format!("--max-elements: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if args.input.is_none() == args.dir.is_none() {
+        return Err(format!(
+            "exactly one of --input / --dir is required\n{USAGE}"
+        ));
+    }
+    Ok(args)
+}
+
+fn build_engine(args: &Args) -> Result<MutableEngine, String> {
+    if let Some(dir) = &args.dir {
+        return MutableEngine::open(Path::new(dir)).map_err(|e| e.to_string());
+    }
+    let path = args.input.as_deref().unwrap_or_default();
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+        builder.add(line);
+    }
+    let index = MutableIndex::from_collection(Box::new(builder.build()), IndexOptions::default())
+        .map_err(|e| e.to_string())?;
+    Ok(MutableEngine::new(index))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = match build_engine(&args) {
+        Ok(e) => e,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let records = engine.with_index(setsim_core::MutableIndex::live_len);
+    let handle = match ServerHandle::spawn(engine, args.cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "setsim-server: serving {records} record(s) on {} (protocol v{})",
+        handle.addr(),
+        setsim_core::PROTOCOL_VERSION
+    );
+    // No in-process signal handling under the std-only rules: run until
+    // the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

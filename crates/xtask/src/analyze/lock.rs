@@ -4,8 +4,8 @@
 //!
 //! # What it checks
 //!
-//! For every file in scope (`setsim-core` and `setsim-cli` library
-//! code), the pass:
+//! For every file in scope (`setsim-core`, `setsim-cli`, and
+//! `setsim-server` library code), the pass:
 //!
 //! 1. **Extracts the lock fields** — every `name: Mutex<…>` /
 //!    `name: RwLock<…>` declaration (paths like `std::sync::Mutex`
@@ -69,7 +69,9 @@ use std::collections::BTreeMap;
 /// Is this pass in scope for `path` (repo-relative, `/`-separated)?
 #[must_use]
 pub fn in_scope(path: &str) -> bool {
-    (path.starts_with("crates/core/src/") || path.starts_with("crates/cli/src/"))
+    (path.starts_with("crates/core/src/")
+        || path.starts_with("crates/cli/src/")
+        || path.starts_with("crates/server/src/"))
         && path.ends_with(".rs")
 }
 
@@ -888,9 +890,10 @@ mod tests {
     }
 
     #[test]
-    fn scope_is_core_and_cli_lib_code() {
+    fn scope_is_core_cli_and_server_lib_code() {
         assert!(in_scope("crates/core/src/segment/engine.rs"));
         assert!(in_scope("crates/cli/src/lib.rs"));
+        assert!(in_scope("crates/server/src/lib.rs"));
         assert!(!in_scope("crates/storage/src/snapshot.rs"));
         assert!(!in_scope("crates/core/tests/mutable_equivalence.rs"));
         assert!(!in_scope("crates/xtask/src/analyze/lock.rs"));

@@ -1,6 +1,6 @@
 //! The repo's custom lint rules, on the token-stream engine.
 //!
-//! Seven rules encode policies rustc and clippy cannot express:
+//! Eight rules encode policies rustc and clippy cannot express:
 //!
 //! 1. **`no-unwrap`** — library code in `setsim-core` and
 //!    `setsim-collections` must not call `.unwrap()` or `.expect(...)`.
@@ -50,8 +50,14 @@
 //!    through the segment layer rather than constructing `InvertedIndex`
 //!    directly; direct construction bypasses record-id assignment, the
 //!    delta op log, and drift accounting.
+//! 8. **`wire-api`** — code that speaks the network protocol (the server
+//!    crate, the CLI, the bench loadgen) must construct requests and
+//!    responses as typed `setsim_core::api` values and frame them with
+//!    `write_frame`/`read_frame`, never by hand-rolling bytes. A bespoke
+//!    encoder silently forks the wire format — the exact failure the
+//!    versioned protocol exists to prevent.
 //!
-//! All seven used to run as line-oriented substring scans; they now run
+//! The first seven used to run as line-oriented substring scans; they now run
 //! on the token stream from [`crate::lexer`] via [`crate::model`]. The
 //! observable policy is unchanged on the committed tree (both engines
 //! report zero findings); behavior differs only where the text engine
@@ -400,6 +406,59 @@ pub fn check_mutable_index(file: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule `wire-api`: serving-adjacent code must speak the wire protocol
+/// through `setsim_core::api` — typed `WireRequest`/`WireResponse`
+/// values framed by `write_frame`/`read_frame` — never by hand-rolling
+/// bytes. Detected as calls to the byte-level codec primitives
+/// (`write_varint`, `read_u32_le`, …) or `to_le_bytes`/`from_le_bytes`:
+/// any bespoke framing needs one of those to produce a length prefix or
+/// a fixed-width field, so the primitives are the reliable tell. The
+/// `api` module itself lives in `setsim-core` (outside this rule's
+/// scope); test suites are exempt, and a deliberate exception carries
+/// the allow marker on the call line or the line above.
+pub fn check_wire_api(file: &str, source: &str) -> Vec<Finding> {
+    const PRIMITIVES: [&str; 12] = [
+        "write_varint",
+        "read_varint",
+        "write_u32_le",
+        "read_u32_le",
+        "write_u64_le",
+        "read_u64_le",
+        "write_bytes",
+        "read_bytes",
+        "write_str",
+        "read_str",
+        "to_le_bytes",
+        "from_le_bytes",
+    ];
+    let m = FileModel::new(source);
+    let mut findings = Vec::new();
+    for i in 0..m.code_len().saturating_sub(1) {
+        if m.ct(i).kind != TokenKind::Ident || !m.is_punct(i + 1, '(') {
+            continue;
+        }
+        let name = m.ct_text(i);
+        if !PRIMITIVES.contains(&name) {
+            continue;
+        }
+        let line = m.ct(i).line;
+        if m.in_test(line) || m.allowed_on_or_above(line) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "wire-api",
+            message: format!(
+                "`{name}(..)` hand-rolls wire bytes in serving code; construct typed \
+                 `setsim_core::api` requests/responses and frame them with \
+                 `write_frame`/`read_frame`"
+            ),
+        });
+    }
+    findings
+}
+
 /// Which rules apply to a repo-relative path.
 pub fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     let mut rules: Vec<fn(&str, &str) -> Vec<Finding>> = Vec::new();
@@ -444,13 +503,27 @@ pub fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     if unix.ends_with(".rs") && !engine_exempt {
         rules.push(check_engine_api);
     }
-    // mutable-index: the CLI and the core serving layer, minus the segment
-    // module (it defines the sanctioned construction path) and test
-    // suites. Everything else may build static indexes freely.
-    let in_serving =
-        unix.starts_with("crates/cli/src/") || unix.starts_with("crates/core/src/engine/");
+    // mutable-index: the CLI, the server, and the core serving layer,
+    // minus the segment module (it defines the sanctioned construction
+    // path) and test suites. Everything else may build static indexes
+    // freely.
+    let in_serving = unix.starts_with("crates/cli/src/")
+        || unix.starts_with("crates/server/src/")
+        || unix.starts_with("crates/core/src/engine/");
     if in_serving && unix.ends_with(".rs") && !unix.contains("tests/") {
         rules.push(check_mutable_index);
+    }
+    // wire-api: the code that speaks the network protocol. The typed
+    // encoders live in setsim-core's api module, which this scope
+    // deliberately excludes; the bench crate is in scope only through
+    // its loadgen module and driver binary (its JSON writer has a
+    // legitimate `write_str` of its own).
+    let speaks_wire = unix.starts_with("crates/server/src/")
+        || unix.starts_with("crates/cli/src/")
+        || unix == "crates/bench/src/loadgen.rs"
+        || unix.starts_with("crates/bench/src/bin/");
+    if speaks_wire && unix.ends_with(".rs") && !unix.contains("tests/") {
+        rules.push(check_wire_api);
     }
     rules
 }
@@ -634,17 +707,56 @@ mod tests {
         assert_eq!(rules_for("crates/storage/src/pool.rs").len(), 2);
         // engine-api only, everywhere outside the exempt crates.
         assert_eq!(rules_for("crates/datagen/src/corpus.rs").len(), 1);
-        // CLI serving code: engine-api + mutable-index.
-        assert_eq!(rules_for("crates/cli/src/lib.rs").len(), 2);
-        assert_eq!(rules_for("crates/cli/src/main.rs").len(), 2);
+        // CLI serving code: engine-api + mutable-index + wire-api.
+        assert_eq!(rules_for("crates/cli/src/lib.rs").len(), 3);
+        assert_eq!(rules_for("crates/cli/src/main.rs").len(), 3);
+        // Server crate: the same three.
+        assert_eq!(rules_for("crates/server/src/lib.rs").len(), 3);
+        assert_eq!(rules_for("crates/server/src/client.rs").len(), 3);
         assert_eq!(rules_for("examples/quickstart.rs").len(), 1);
         assert_eq!(rules_for("src/lib.rs").len(), 1);
-        // Exempt: core/bench/xtask and every test suite.
+        // Bench is engine-api-exempt but its loadgen speaks the wire;
+        // the rest of the crate (e.g. the JSON writer) stays out.
+        assert_eq!(rules_for("crates/bench/src/loadgen.rs").len(), 1);
+        assert_eq!(rules_for("crates/bench/src/bin/setsim-bench.rs").len(), 1);
         assert!(rules_for("crates/bench/src/lib.rs").is_empty());
+        assert!(rules_for("crates/bench/src/json.rs").is_empty());
+        // Exempt: xtask and every test suite.
         assert!(rules_for("crates/xtask/src/lints.rs").is_empty());
         assert!(rules_for("tests/oracle_equivalence.rs").is_empty());
         assert!(rules_for("crates/cli/tests/e2e.rs").is_empty());
+        assert!(rules_for("crates/server/tests/e2e.rs").is_empty());
         assert!(rules_for("crates/core/README.md").is_empty());
+    }
+
+    #[test]
+    fn hand_rolled_wire_bytes_are_flagged() {
+        let src = "pub fn frame(len: u32, out: &mut Vec<u8>) {\n    \
+                   out.extend_from_slice(&len.to_le_bytes());\n    \
+                   write_varint(out, 7);\n}\n";
+        let f = check_wire_api("crates/server/src/lib.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, "wire-api");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+    }
+
+    #[test]
+    fn typed_wire_calls_and_exemptions_pass() {
+        // Typed surface: no byte primitives, nothing fires.
+        let src = "pub fn send(s: &mut TcpStream, r: &WireRequest) {\n    \
+                   write_frame(s, &r.encode());\n}\n";
+        assert!(check_wire_api("crates/server/src/lib.rs", src).is_empty());
+        // The primitive named in a comment or string is not a call.
+        let src = "/ to_le_bytes( is banned here\npub fn f() -> &'static str {\n    \
+                   \"write_varint(out, 7)\"\n}\n"
+            .replace("/ to", "// to");
+        assert!(check_wire_api("crates/server/src/lib.rs", &src).is_empty());
+        // Allow marker on the line above escapes.
+        let src = "pub fn f(x: u32) {\n    / lint: allow — checksum field, not framing.\n    \
+                   let b = x.to_le_bytes();\n}\n"
+            .replace("/ lint", "// lint");
+        assert!(check_wire_api("crates/server/src/lib.rs", &src).is_empty());
     }
 
     #[test]
