@@ -22,7 +22,7 @@ use crate::report::{
 use crate::{prepare_queries, word_collection_seeded, workload, Algo, Engines, Scale};
 use setsim_core::{
     AlgoConfig, AlgorithmKind, CollectionBuilder, DriftBudget, IndexOptions, MutableIndex,
-    MutableSearchRequest, RecordId, Scratch, SearchStats,
+    MutableSearchRequest, PreparedQuery, RecordId, ReprKind, ReprPolicy, Scratch, SearchStats,
 };
 use setsim_datagen::{Corpus, LengthBucket};
 use setsim_tokenize::QGramTokenizer;
@@ -134,6 +134,7 @@ pub fn run(config: &HarnessConfig) -> BenchReport {
         ));
     }
     workloads.push(measure_mixed_workload(&corpus, config));
+    workloads.push(measure_dense_workload(&corpus, config));
     BenchReport {
         schema_version: SCHEMA_VERSION,
         label: config.label.clone(),
@@ -274,6 +275,117 @@ fn mixed_pass(
     (stats, matches, elapsed_ms / queries.len().max(1) as f64)
 }
 
+/// Label of the dense-token cell (appended after the mixed cell).
+pub const DENSE_LABEL: &str = "tau=0.8 dense adaptive-vs-run";
+
+/// Records in the dense cell's corpus (every one shares a long core, so
+/// the core's gram lists hold every record — the bitmap regime).
+const DENSE_RECORDS: usize = 1_024;
+/// Roster of the dense cell: the algorithms whose in-window pruning the
+/// block-max layer accelerates. Hybrid is absent deliberately — its
+/// resting-list rule already stops before the postings a block-max seek
+/// would bypass, so its counters are identical across the variants.
+const DENSE_ROSTER: [Algo; 2] = [Algo::Sf, Algo::INra];
+
+/// Measure the dense-token cell: the same corpus-derived workload runs
+/// against two indexes over one dense collection — the adaptive
+/// representation policy with block skipping (the kernel path) and the
+/// pre-kernel configuration (every list a sorted run, block skipping
+/// off, classic skip lists still on). Both variants of each algorithm
+/// report side by side, so `bench-diff` gates the representation
+/// machinery's counter win (fewer `elements_read`, more
+/// `elements_skipped`) exactly like any other deterministic counter.
+fn measure_dense_workload(corpus: &Corpus, config: &HarnessConfig) -> WorkloadReport {
+    let tau = 0.8;
+    let texts: Vec<String> = corpus
+        .words()
+        .take(DENSE_RECORDS)
+        .map(|w| format!("sharedcore {w}"))
+        .collect();
+    let mut builder = CollectionBuilder::new(QGramTokenizer::new(3).with_padding('#'));
+    for t in &texts {
+        builder.add(t);
+    }
+    let collection = builder.build();
+    let adaptive = Engines::build_with(&collection, IndexOptions::default(), false);
+    let run_only = Engines::build_with(
+        &collection,
+        IndexOptions::default().with_repr_policy(ReprPolicy::Force(ReprKind::Run)),
+        false,
+    );
+    debug_assert!(
+        adaptive
+            .index
+            .list(collection.dict().get("har").expect("core gram interned"))
+            .is_some_and(|l| l.repr() == ReprKind::Bitmap),
+        "dense cell's core grams must adapt to bitmaps"
+    );
+
+    // Queries sample the records evenly — every one hits the dense core.
+    let n = config.queries.max(1);
+    let stride = (texts.len() / n).max(1);
+    let query_texts: Vec<&String> = texts.iter().step_by(stride).take(n).collect();
+
+    let (warmup, reps) = (config.warmup, config.reps.max(1));
+    let mut algos = Vec::new();
+    let variants: [(&str, &Engines<'_>, AlgoConfig); 2] = [
+        ("", &adaptive, AlgoConfig::default()),
+        (" run-noskip", &run_only, AlgoConfig::no_block_skip()),
+    ];
+    for (suffix, engines, cfg) in variants {
+        let queries: Vec<PreparedQuery> = query_texts
+            .iter()
+            .map(|s| engines.index.prepare_query_str(s))
+            .collect();
+        for algo in DENSE_ROSTER {
+            for _ in 0..warmup {
+                dense_pass(engines, algo, cfg, &queries, tau);
+            }
+            let mut samples = Vec::with_capacity(reps);
+            let mut stats = SearchStats::default();
+            let mut matches = 0u64;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let (pass_stats, pass_matches) = dense_pass(engines, algo, cfg, &queries, tau);
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                stats = pass_stats;
+                matches = pass_matches;
+                // lint: allow — workload sizes well below 2^53.
+                samples.push(elapsed_ms / queries.len().max(1) as f64);
+            }
+            algos.push(AlgoReport {
+                name: format!("{}{suffix}", algo.name()),
+                counters: CounterSection::from_stats(&stats, queries.len() as u64, matches),
+                latency: LatencySection::from_samples(&samples),
+            });
+        }
+    }
+    WorkloadReport {
+        label: DENSE_LABEL.to_string(),
+        tau,
+        queries: query_texts.len() as u64,
+        algos,
+    }
+}
+
+/// One pass of the dense cell: every query through one engine variant.
+fn dense_pass(
+    engines: &Engines<'_>,
+    algo: Algo,
+    cfg: AlgoConfig,
+    queries: &[PreparedQuery],
+    tau: f64,
+) -> (SearchStats, u64) {
+    let mut stats = SearchStats::default();
+    let mut matches = 0u64;
+    for q in queries {
+        let out = engines.run(algo, cfg, q, tau);
+        matches += out.results.len() as u64;
+        stats.merge(&out.stats);
+    }
+    (stats, matches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,7 +397,7 @@ mod tests {
         config.warmup = 0;
         config.reps = 1;
         let report = run(&config);
-        assert_eq!(report.workloads.len(), GRID.len() + 1);
+        assert_eq!(report.workloads.len(), GRID.len() + 2);
         for w in &report.workloads[..GRID.len()] {
             assert_eq!(w.algos.len(), Algo::ALL.len());
             assert_eq!(w.queries, 5);
@@ -302,7 +414,7 @@ mod tests {
         // The mixed read/write cell runs the inverted-list roster (the
         // relational baseline has no mutable path) over the same query
         // count, and its counters show real work too.
-        let mixed = report.workloads.last().expect("mixed cell present");
+        let mixed = &report.workloads[GRID.len()];
         assert_eq!(mixed.label, MIXED_LABEL);
         assert_eq!(mixed.algos.len(), Algo::LISTS_ONLY.len());
         assert!(mixed.algo("SQL").is_none());
@@ -313,6 +425,39 @@ mod tests {
                 a.counters.records_scanned > 0,
                 "{}: the delta re-score path must run",
                 a.name
+            );
+        }
+        // The dense cell reports both engine variants for its roster,
+        // and the kernel path (adaptive representations + block
+        // skipping) beats the pre-kernel configuration on the counters
+        // the block-max layer exists to improve.
+        let dense = report.workloads.last().expect("dense cell present");
+        assert_eq!(dense.label, DENSE_LABEL);
+        assert_eq!(dense.algos.len(), 2 * DENSE_ROSTER.len());
+        for algo in DENSE_ROSTER {
+            let kernel = dense.algo(algo.name()).expect("adaptive variant");
+            let pre = dense
+                .algo(&format!("{} run-noskip", algo.name()))
+                .expect("run-noskip variant");
+            assert_eq!(
+                kernel.counters.matches,
+                pre.counters.matches,
+                "{}: the variants must agree on answers",
+                algo.name()
+            );
+            assert!(
+                kernel.counters.elements_read < pre.counters.elements_read,
+                "{}: kernel reads {} vs pre-kernel {}",
+                algo.name(),
+                kernel.counters.elements_read,
+                pre.counters.elements_read
+            );
+            assert!(
+                kernel.counters.elements_skipped > pre.counters.elements_skipped,
+                "{}: kernel skips {} vs pre-kernel {}",
+                algo.name(),
+                kernel.counters.elements_skipped,
+                pre.counters.elements_skipped
             );
         }
         // The report survives its own serialization.

@@ -1,0 +1,373 @@
+//! Dense bitmap posting representation with per-block population counts.
+//!
+//! For tokens whose inverted list covers a large fraction of the record
+//! universe (low-idf grams such as padded `##a` prefixes), a `⟨id, len⟩`
+//! posting array spends 16 bytes per element on ids that are almost
+//! consecutive. A [`DenseBitmap`] stores the same membership in one bit
+//! per universe slot plus a small per-block popcount directory, answering
+//! the three accesses the algorithms need:
+//!
+//! * **membership** (`contains`) — the random-access probe TA/iTA issue,
+//!   one word load instead of an extendible-hash bucket walk;
+//! * **id-order enumeration** (`iter`, `next_set_bit`) — what the
+//!   sort-by-id merge baseline consumes; all-zero blocks are skipped via
+//!   the popcount directory without touching their words;
+//! * **rank** (`rank`) — set bits strictly below an id, used to validate
+//!   decoded pages and by the block-at-a-time intersection kernels.
+//!
+//! The structure is deterministic (no seeds) and its serialized form is
+//! just the word array: `from_words` rebuilds the directory, so a
+//! snapshot round trip is bit-identical by construction.
+
+/// Words per popcount block: 8 × 64 = 512 bits, matching a cache line of
+/// bitmap payload per directory entry.
+pub const BLOCK_WORDS: usize = 8;
+
+/// Bits covered by one popcount block.
+pub const BLOCK_BITS: u32 = (BLOCK_WORDS * 64) as u32;
+
+/// A fixed-universe dense bitmap over `u32` ids with a per-block
+/// population-count directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBitmap {
+    /// Number of addressable ids (bits); ids must be `< universe`.
+    universe: u32,
+    /// Total set bits.
+    count: u32,
+    /// Bit `i` of the universe lives at `words[i / 64] >> (i % 64)`.
+    words: Vec<u64>,
+    /// Prefix popcounts: `block_rank[b]` = set bits in blocks `0..b`;
+    /// length `num_blocks() + 1`, so block `b` holds
+    /// `block_rank[b + 1] - block_rank[b]` bits.
+    block_rank: Vec<u32>,
+}
+
+impl DenseBitmap {
+    /// Build from a strictly ascending id slice. Ids must be unique and
+    /// `< universe`.
+    ///
+    /// # Panics
+    /// Panics if `ids` is unsorted, contains duplicates, or exceeds the
+    /// universe — posting lists are sorted by construction, so any of
+    /// these is an upstream bug, not an input condition.
+    #[must_use]
+    pub fn from_sorted_ids(ids: &[u32], universe: u32) -> Self {
+        let num_words = (universe as usize).div_ceil(64);
+        let mut words = vec![0u64; num_words];
+        let mut prev: Option<u32> = None;
+        for &id in ids {
+            assert!(id < universe, "bitmap id {id} outside universe {universe}");
+            assert!(
+                prev.map_or(true, |p| p < id),
+                "bitmap ids must be strictly ascending"
+            );
+            prev = Some(id);
+            words[(id / 64) as usize] |= 1u64 << (id % 64);
+        }
+        Self::from_words(words, universe)
+    }
+
+    /// Rebuild from a raw word array (the snapshot decode path). The
+    /// popcount directory and total count are derived from the words, so
+    /// two bitmaps with equal words are equal in full.
+    ///
+    /// # Panics
+    /// Panics if `words` is not exactly `ceil(universe / 64)` long or if a
+    /// bit beyond `universe` is set (a corrupt page must be rejected by
+    /// the caller before reaching this constructor).
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, universe: u32) -> Self {
+        assert_eq!(
+            words.len(),
+            (universe as usize).div_ceil(64),
+            "bitmap word count does not match universe"
+        );
+        if universe % 64 != 0 {
+            if let Some(last) = words.last() {
+                assert_eq!(
+                    last >> (universe % 64),
+                    0,
+                    "bitmap has bits set beyond its universe"
+                );
+            }
+        }
+        let num_blocks = words.len().div_ceil(BLOCK_WORDS);
+        let mut block_rank = Vec::with_capacity(num_blocks + 1);
+        block_rank.push(0u32);
+        let mut total = 0u32;
+        for chunk in words.chunks(BLOCK_WORDS) {
+            total += chunk.iter().map(|w| w.count_ones()).sum::<u32>();
+            block_rank.push(total);
+        }
+        Self {
+            universe,
+            count: total,
+            words,
+            block_rank,
+        }
+    }
+
+    /// Number of addressable ids.
+    #[must_use]
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Total set bits (the posting-list length).
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Number of popcount blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.block_rank.len() - 1
+    }
+
+    /// Set bits inside block `b` (512-bit granules).
+    #[must_use]
+    pub fn block_pop(&self, b: usize) -> u32 {
+        self.block_rank[b + 1] - self.block_rank[b]
+    }
+
+    /// The raw word array (serialization).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Membership probe: one word load.
+    #[must_use]
+    pub fn contains(&self, id: u32) -> bool {
+        if id >= self.universe {
+            return false;
+        }
+        self.words[(id / 64) as usize] >> (id % 64) & 1 == 1
+    }
+
+    /// Set bits strictly below `id`: directory lookup plus at most
+    /// [`BLOCK_WORDS`] word popcounts.
+    #[must_use]
+    pub fn rank(&self, id: u32) -> u32 {
+        let id = id.min(self.universe);
+        let block = (id / BLOCK_BITS) as usize;
+        let mut r = self.block_rank[block.min(self.num_blocks())];
+        let word = (id / 64) as usize;
+        for w in &self.words[block * BLOCK_WORDS..word] {
+            r += w.count_ones();
+        }
+        if word < self.words.len() && id % 64 != 0 {
+            r += (self.words[word] & ((1u64 << (id % 64)) - 1)).count_ones();
+        }
+        r
+    }
+
+    /// Smallest set bit `≥ from`, skipping all-zero blocks through the
+    /// popcount directory.
+    #[must_use]
+    pub fn next_set_bit(&self, from: u32) -> Option<u32> {
+        if from >= self.universe {
+            return None;
+        }
+        let mut word = (from / 64) as usize;
+        // Mask off bits below `from` in the first word.
+        let mut cur = self.words[word] & (u64::MAX << (from % 64));
+        loop {
+            if cur != 0 {
+                let bit = word as u32 * 64 + cur.trailing_zeros();
+                return (bit < self.universe).then_some(bit);
+            }
+            word += 1;
+            // At a block boundary, consult the directory to leap over
+            // empty blocks without loading their words.
+            while word % BLOCK_WORDS == 0 {
+                let b = word / BLOCK_WORDS;
+                if b >= self.num_blocks() || self.block_pop(b) != 0 {
+                    break;
+                }
+                word += BLOCK_WORDS;
+            }
+            if word >= self.words.len() {
+                return None;
+            }
+            cur = self.words[word];
+        }
+    }
+
+    /// Iterate set bits in ascending order.
+    #[must_use]
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            bm: self,
+            word: 0,
+            cur: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Heap footprint: words plus the popcount directory.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+            + self.block_rank.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Ascending iterator over a [`DenseBitmap`]'s set bits, word-at-a-time
+/// with directory-guided skips of empty blocks.
+#[derive(Debug, Clone)]
+pub struct SetBits<'a> {
+    bm: &'a DenseBitmap,
+    word: usize,
+    cur: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.word as u32 * 64 + self.cur.trailing_zeros();
+                self.cur &= self.cur - 1;
+                return Some(bit);
+            }
+            self.word += 1;
+            while self.word % BLOCK_WORDS == 0 {
+                let b = self.word / BLOCK_WORDS;
+                if b >= self.bm.num_blocks() || self.bm.block_pop(b) != 0 {
+                    break;
+                }
+                self.word += BLOCK_WORDS;
+            }
+            if self.word >= self.bm.words.len() {
+                return None;
+            }
+            self.cur = self.bm.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids_strategy() -> impl Strategy<Value = (Vec<u32>, u32)> {
+        (1u32..2000).prop_map(|u| {
+            // Deterministic pseudo-random subset of the universe.
+            let mut x = u64::from(u) ^ 0x9e37_79b9;
+            let mut ids = Vec::new();
+            for id in 0..u {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                if x >> 33 & 3 == 0 {
+                    ids.push(id);
+                }
+            }
+            (ids, u)
+        })
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = DenseBitmap::from_sorted_ids(&[], 100);
+        assert_eq!(bm.count(), 0);
+        assert_eq!(bm.iter().count(), 0);
+        assert_eq!(bm.next_set_bit(0), None);
+        assert_eq!(bm.rank(100), 0);
+        assert!(!bm.contains(5));
+    }
+
+    #[test]
+    fn zero_universe() {
+        let bm = DenseBitmap::from_sorted_ids(&[], 0);
+        assert_eq!(bm.count(), 0);
+        assert_eq!(bm.num_blocks(), 0);
+        assert_eq!(bm.next_set_bit(0), None);
+        assert!(!bm.contains(0));
+    }
+
+    #[test]
+    fn contains_and_rank_exact() {
+        let ids = [0u32, 3, 63, 64, 511, 512, 513, 1023];
+        let bm = DenseBitmap::from_sorted_ids(&ids, 1024);
+        assert_eq!(bm.count(), ids.len() as u32);
+        for id in 0..1024u32 {
+            assert_eq!(bm.contains(id), ids.contains(&id), "id {id}");
+            let expect = ids.iter().filter(|&&x| x < id).count() as u32;
+            assert_eq!(bm.rank(id), expect, "rank({id})");
+        }
+        assert_eq!(bm.rank(2000), ids.len() as u32, "rank clamps to universe");
+    }
+
+    #[test]
+    fn iter_matches_input() {
+        let ids = [1u32, 2, 100, 600, 601, 1500];
+        let bm = DenseBitmap::from_sorted_ids(&ids, 1600);
+        let got: Vec<u32> = bm.iter().collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn next_set_bit_walks_forward() {
+        let ids = [5u32, 700, 1301];
+        let bm = DenseBitmap::from_sorted_ids(&ids, 1400);
+        assert_eq!(bm.next_set_bit(0), Some(5));
+        assert_eq!(bm.next_set_bit(5), Some(5));
+        assert_eq!(bm.next_set_bit(6), Some(700));
+        assert_eq!(bm.next_set_bit(701), Some(1301));
+        assert_eq!(bm.next_set_bit(1302), None);
+        assert_eq!(bm.next_set_bit(5000), None);
+    }
+
+    #[test]
+    fn block_directory_sums_to_count() {
+        let ids: Vec<u32> = (0..3000).filter(|i| i % 7 == 0).collect();
+        let bm = DenseBitmap::from_sorted_ids(&ids, 3000);
+        let total: u32 = (0..bm.num_blocks()).map(|b| bm.block_pop(b)).sum();
+        assert_eq!(total, bm.count());
+    }
+
+    #[test]
+    fn from_words_round_trip() {
+        let ids: Vec<u32> = (0..999).filter(|i| i % 3 == 1).collect();
+        let bm = DenseBitmap::from_sorted_ids(&ids, 999);
+        let rebuilt = DenseBitmap::from_words(bm.words().to_vec(), 999);
+        assert_eq!(bm, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond its universe")]
+    fn from_words_rejects_overflow_bits() {
+        let _ = DenseBitmap::from_words(vec![1u64 << 40], 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_ids_rejects_duplicates() {
+        let _ = DenseBitmap::from_sorted_ids(&[4, 4], 10);
+    }
+
+    proptest! {
+        #[test]
+        fn properties_vs_reference((ids, universe) in ids_strategy()) {
+            let bm = DenseBitmap::from_sorted_ids(&ids, universe);
+            prop_assert_eq!(bm.count() as usize, ids.len());
+            let collected: Vec<u32> = bm.iter().collect();
+            prop_assert_eq!(&collected, &ids);
+            // Rank is consistent with enumeration order at every member.
+            for (i, &id) in ids.iter().enumerate() {
+                prop_assert!(bm.contains(id));
+                prop_assert_eq!(bm.rank(id) as usize, i);
+                prop_assert_eq!(bm.next_set_bit(id), Some(id));
+            }
+            // next_set_bit from between members lands on the successor.
+            let mut prev = 0u32;
+            for &id in &ids {
+                prop_assert_eq!(bm.next_set_bit(prev), Some(id));
+                prev = id + 1;
+            }
+            prop_assert_eq!(bm.next_set_bit(prev), None);
+        }
+    }
+}

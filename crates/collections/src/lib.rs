@@ -23,16 +23,29 @@
 //! A fourth substrate, [`codec`]-level compression, reflects how such
 //! lists are actually laid out on disk: delta + varint encoded blocks with
 //! per-block skip keys ([`CompressedList`]).
+//!
+//! Two further substrates back the adaptive posting representations:
+//! [`bitmap`] (a dense bitmap with per-block population counts, the
+//! high-density representation) and [`kernels`] (galloping seeks,
+//! block-at-a-time intersections, and the [`BlockMaxIndex`] directory the
+//! bitmap representation uses as its skip layer).
 
+pub mod bitmap;
 pub mod checksum;
 pub mod codec;
+pub mod kernels;
 
 mod btree;
 mod extendible;
 mod skiplist;
 
+pub use bitmap::{DenseBitmap, SetBits};
 pub use btree::BPlusTree;
 pub use checksum::crc32;
 pub use codec::{CodecEntry, CompressedList};
 pub use extendible::ExtendibleHashMap;
+pub use kernels::{
+    gallop_seek_by, intersect_bitmaps, intersect_run_bitmap, intersect_sorted_gallop,
+    intersect_sorted_linear, linear_seek_by, BlockMaxIndex,
+};
 pub use skiplist::SkipList;

@@ -94,6 +94,49 @@ impl SelectionAlgorithm for INraAlgorithm {
                 if scratch.closed[i] {
                     continue;
                 }
+                // Endgame block skipping: once F < τ no posting can be
+                // admitted as a new candidate, so list i only owes the
+                // entries of candidates still unseen in it and not yet
+                // resolved absent by Order Preservation. Jump straight to
+                // the smallest such key — every bypassed posting either
+                // belongs to no candidate or to one already seen here, and
+                // is counted as skipped. If no such candidate exists the
+                // list's tail is irrelevant: close it outright. (The
+                // frontier is left where the last *read* put it, which
+                // only under-resolves — never a false resolution.)
+                if self.config.block_skip && safely_below(f_bound, tau) {
+                    let mut target: Option<(u64, u32)> = None;
+                    for (&id, c) in &scratch.candidates {
+                        if c.seen & (1u128 << i) != 0 || c.len < scratch.frontier[i] {
+                            continue;
+                        }
+                        let k = (c.len.to_bits(), id);
+                        if target.map_or(true, |t| k < t) {
+                            target = Some(k);
+                        }
+                    }
+                    match target {
+                        None => {
+                            scratch.stats.elements_skipped +=
+                                (lists[i].len() - scratch.pos[i]) as u64;
+                            scratch.closed[i] = true;
+                            continue;
+                        }
+                        Some((len_bits, id)) => {
+                            scratch.pos[i] = index.query_list(query.tokens[i].token).seek_key(
+                                scratch.pos[i],
+                                f64::from_bits(len_bits),
+                                SetId(id),
+                                self.config.use_skip_lists,
+                                &mut scratch.stats,
+                            );
+                            if scratch.pos[i] >= lists[i].len() {
+                                scratch.closed[i] = true;
+                                continue;
+                            }
+                        }
+                    }
+                }
                 let p = lists[i][scratch.pos[i]];
                 scratch.pos[i] += 1;
                 scratch.stats.elements_read += 1;

@@ -1,6 +1,7 @@
 use crate::algorithms::SelectionAlgorithm;
 use crate::engine::SearchCtx;
-use crate::{Match, SearchStatus};
+use crate::{IdPostings, Match, SearchStatus};
+use setsim_collections::SetBits;
 use std::cmp::Reverse;
 
 /// Multiway merge over **id-sorted** inverted lists (Section III-B's
@@ -11,14 +12,54 @@ use std::cmp::Reverse;
 /// immediately. Bookkeeping is trivial but every element of every query
 /// list is read — no pruning whatsoever, which is why its cost is constant
 /// across thresholds in Figure 6(a).
+///
+/// Lists supply ascending ids through whichever representation they hold:
+/// the id-sorted posting copy (inline and run lists) or set-bit
+/// enumeration of the dense bitmap, whose postings' lengths are recovered
+/// from the index's length table — the same table every stored posting's
+/// `len` was computed from, so scores are bit-identical across
+/// representations.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SortByIdMerge;
+
+/// Ascending-id cursor over one query list.
+enum IdCursor<'a> {
+    Slice {
+        postings: &'a [crate::Posting],
+        pos: usize,
+    },
+    Bits(SetBits<'a>),
+}
+
+impl IdCursor<'_> {
+    /// Next `(id, len)` pair in ascending id order, or `None` when the
+    /// list is exhausted.
+    fn next(&mut self, index: &crate::InvertedIndex<'_>) -> Option<(u32, f64)> {
+        match self {
+            IdCursor::Slice { postings, pos } => {
+                let p = postings.get(*pos)?;
+                *pos += 1;
+                Some((p.id.0, p.len))
+            }
+            IdCursor::Bits(bits) => {
+                let id = bits.next()?;
+                Some((id, index.set_len(crate::SetId(id))))
+            }
+        }
+    }
+}
 
 impl SelectionAlgorithm for SortByIdMerge {
     fn name(&self) -> &'static str {
         "sort-by-id"
     }
 
+    /// # Panics
+    ///
+    /// Panics if a non-empty query list supports no ascending-id access
+    /// at all — a run-represented list built with
+    /// `build_id_sorted_lists` disabled. Misconfiguration, not data: the
+    /// engine builds indexes with the id order this baseline requires.
     fn search_with(&self, ctx: &mut SearchCtx<'_, '_>) {
         let index = ctx.index;
         let query = ctx.query;
@@ -30,26 +71,30 @@ impl SelectionAlgorithm for SortByIdMerge {
             return;
         }
 
-        let lists: Vec<&[crate::Posting]> = query
+        let mut cursors: Vec<IdCursor<'_>> = query
             .tokens
             .iter()
             .map(|qt| {
                 let l = index.query_list(qt.token);
-                assert!(
-                    !l.postings_by_id().is_empty() || l.is_empty(),
-                    "sort-by-id requires build_id_sorted_lists"
-                );
-                l.postings_by_id()
+                match l.id_postings() {
+                    Some(IdPostings::Slice(postings)) => IdCursor::Slice { postings, pos: 0 },
+                    Some(IdPostings::Bitmap(bm)) => IdCursor::Bits(bm.iter()),
+                    None => panic!("sort-by-id requires build_id_sorted_lists"),
+                }
             })
             .collect();
 
-        // Heap of (Reverse(id), list index); positions track each cursor.
+        // Heap of (Reverse(id), list index); `heads` holds the length of
+        // each list's current head so a popped entry scores without
+        // re-touching its source. Elements are counted when consumed
+        // (popped), exactly as the slice-only implementation did.
         let heap = &mut scratch.heap;
-        scratch.pos.resize(lists.len(), 0);
-        let pos = &mut scratch.pos;
-        for (i, l) in lists.iter().enumerate() {
-            if !l.is_empty() {
-                heap.push((Reverse(l[0].id.0), i));
+        scratch.frontier.resize(cursors.len(), 0.0);
+        let heads = &mut scratch.frontier;
+        for (i, cur) in cursors.iter_mut().enumerate() {
+            if let Some((id, len)) = cur.next(index) {
+                heads[i] = len;
+                heap.push((Reverse(id), i));
             }
         }
 
@@ -66,13 +111,12 @@ impl SelectionAlgorithm for SortByIdMerge {
                     break;
                 }
                 heap.pop();
-                let p = lists[i][pos[i]];
                 scratch.stats.elements_read += 1;
                 dot += query.tokens[i].idf_sq;
-                len_s = p.len;
-                pos[i] += 1;
-                if pos[i] < lists[i].len() {
-                    heap.push((Reverse(lists[i][pos[i]].id.0), i));
+                len_s = heads[i];
+                if let Some((next_id, next_len)) = cursors[i].next(index) {
+                    heads[i] = next_len;
+                    heap.push((Reverse(next_id), i));
                 }
             }
             let score = dot / (len_s * query.len);
@@ -136,6 +180,29 @@ mod tests {
         let q = idx.prepare_query_str("");
         let out = SortByIdMerge.search(&idx, &q, 0.5);
         assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn bitmap_lists_keep_exact_element_counters() {
+        // The bitmap cursor enumerates set bits rather than stored
+        // postings; each enumerated id must still count as exactly one
+        // sorted read, so the no-pruning contract of this baseline — and
+        // the `read ≤ total` invariant behind pruning_pct — survive the
+        // representation change.
+        let c = setup(&["abcd", "bcde", "abcf", "abcde"]);
+        let opts = IndexOptions::default()
+            .with_repr_policy(crate::ReprPolicy::Force(crate::ReprKind::Bitmap));
+        let idx = InvertedIndex::build(&c, opts);
+        let q = idx.prepare_query_str("abcd");
+        let out = SortByIdMerge.search(&idx, &q, 0.5);
+        assert_eq!(out.stats.elements_read, out.stats.total_list_elements);
+        assert_eq!(out.stats.pruning_pct(), 0.0);
+        let oracle = FullScan.search(&idx, &q, 0.5);
+        assert_eq!(out.ids_sorted(), oracle.ids_sorted());
+        for m in &out.results {
+            let expect = super::super::scan::exact_score(&idx, &q, m.id);
+            assert!((m.score - expect).abs() < 1e-12);
+        }
     }
 
     #[test]

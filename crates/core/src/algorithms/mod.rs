@@ -65,6 +65,12 @@ pub struct AlgoConfig {
     /// a scan-and-discard of the prefix — the "NSL" variants of Figure 9.
     /// Irrelevant unless `length_bounding` is on.
     pub use_skip_lists: bool,
+    /// Let SF and iNRA jump forward *inside* the Theorem 1 window — over
+    /// postings that provably cannot create or resolve a candidate — via
+    /// each list's skip layer (skip list or block-max directory). Skipped
+    /// elements are counted in `elements_skipped`, never read. Disabling
+    /// reproduces the pre-kernel element-at-a-time behaviour exactly.
+    pub block_skip: bool,
 }
 
 impl Default for AlgoConfig {
@@ -72,6 +78,7 @@ impl Default for AlgoConfig {
         Self {
             length_bounding: true,
             use_skip_lists: true,
+            block_skip: true,
         }
     }
 }
@@ -87,14 +94,26 @@ impl AlgoConfig {
         Self {
             length_bounding: false,
             use_skip_lists: false,
+            block_skip: false,
         }
     }
 
     /// Skip lists disabled but Length Bounding on (Figure 9's NSL).
+    /// Forward jumps need the skip layer too, so they are off as well.
     pub fn no_skip_lists() -> Self {
         Self {
             length_bounding: true,
             use_skip_lists: false,
+            block_skip: false,
+        }
+    }
+
+    /// In-window forward jumps disabled; everything else on. Isolates the
+    /// effect of the candidate-targeted skips from the initial seeks.
+    pub fn no_block_skip() -> Self {
+        Self {
+            block_skip: false,
+            ..Self::default()
         }
     }
 
@@ -109,6 +128,14 @@ impl AlgoConfig {
     #[must_use]
     pub fn with_skip_lists(mut self, on: bool) -> Self {
         self.use_skip_lists = on;
+        self
+    }
+
+    /// Toggle in-window forward jumps (SF and iNRA candidate-targeted
+    /// seeks through the skip layer).
+    #[must_use]
+    pub fn with_block_skip(mut self, on: bool) -> Self {
+        self.block_skip = on;
         self
     }
 }

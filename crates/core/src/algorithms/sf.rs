@@ -122,6 +122,26 @@ impl SelectionAlgorithm for SfAlgorithm {
                 if p.len > bound {
                     break;
                 }
+                // Forward jump: past λᵢ no posting can be admitted as a
+                // new candidate (lists are length-sorted, so every later
+                // posting is past λᵢ too), and postings ordered before the
+                // next pending candidate cannot match any pending
+                // candidate either. Seek straight to that candidate's key;
+                // everything bypassed is provably irrelevant and counted
+                // as skipped, not read.
+                if self.config.block_skip && p.len > lambda_i && ci < scratch.sf_cands.len() {
+                    let c = scratch.sf_cands[ci];
+                    if key(p.len, p.id) < key(c.len, c.id) {
+                        pos = list.seek_key(
+                            pos,
+                            c.len,
+                            c.id,
+                            self.config.use_skip_lists,
+                            &mut scratch.stats,
+                        );
+                        continue;
+                    }
+                }
                 pos += 1;
                 scratch.stats.elements_read += 1;
 

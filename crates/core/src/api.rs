@@ -478,12 +478,15 @@ impl SearchCall {
     }
 
     /// Reconstruct the [`crate::AlgoConfig`] carried by the flag bits.
+    /// In-window forward jumps ride the skip-list flag: they go through
+    /// the same skip layer, and the wire format (which predates them)
+    /// stays byte-identical.
     #[must_use]
     pub fn algo_config(&self) -> crate::AlgoConfig {
-        crate::AlgoConfig {
-            length_bounding: self.length_bounding,
-            use_skip_lists: self.use_skip_lists,
-        }
+        crate::AlgoConfig::default()
+            .with_length_bounding(self.length_bounding)
+            .with_skip_lists(self.use_skip_lists)
+            .with_block_skip(self.use_skip_lists)
     }
 
     /// Reconstruct the engine [`Budget`] this call asks for.

@@ -1,5 +1,5 @@
 use crate::{PreparedQuery, QueryToken, SearchStats, SetCollection, SetId, TokenWeights};
-use setsim_collections::{ExtendibleHashMap, SkipList};
+use setsim_collections::{BlockMaxIndex, DenseBitmap, ExtendibleHashMap, SkipList};
 use setsim_tokenize::{Token, TokenSet};
 use std::collections::HashMap;
 
@@ -17,6 +17,77 @@ pub struct Posting {
     pub len: f64,
 }
 
+/// The physical representation of one token's posting list, selected per
+/// list at build/compaction time from list statistics (or forced globally
+/// by [`ReprPolicy::Force`]).
+///
+/// All three answer the same logical accesses — `(len, id)`-ordered
+/// scans, length seeks, id membership, id-order enumeration — with
+/// bit-identical results; they differ only in the auxiliary structures
+/// and therefore in cost. `tests/representation_equivalence.rs` holds all
+/// eight algorithms to that contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReprKind {
+    /// A fixed-capacity array of at most [`INLINE_CAP`] postings, no
+    /// auxiliary structures at all: the long tail of rare q-grams, where
+    /// a skip list and a hash directory cost more than the list itself.
+    Inline,
+    /// The classic sorted run with a sparse skip list and an
+    /// extendible-hash id index — the paper's default layout.
+    Run,
+    /// A dense bitmap over set ids with per-block popcounts plus a
+    /// block-max directory over the `(len, id)` run — high-frequency
+    /// (low-idf) tokens whose lists cover a large fraction of the record
+    /// universe. Membership is a bit test; the id-sorted copy and the
+    /// hash index disappear entirely.
+    Bitmap,
+}
+
+/// How [`InvertedIndex::build`] picks a [`ReprKind`] per list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReprPolicy {
+    /// Per-list selection from list statistics (the production default):
+    /// lists of at most [`INLINE_CAP`] postings inline; lists with at
+    /// least [`BITMAP_MIN_POSTINGS`] postings covering at least
+    /// 1/[`BITMAP_DENSITY_DEN`] of the records go dense; everything else
+    /// stays a sorted run.
+    #[default]
+    Adaptive,
+    /// Force every list into one representation (differential tests and
+    /// ablation experiments).
+    Force(ReprKind),
+}
+
+/// Maximum postings held inline ([`ReprKind::Inline`]).
+pub const INLINE_CAP: usize = 8;
+
+/// Minimum list length for [`ReprKind::Bitmap`] under
+/// [`ReprPolicy::Adaptive`].
+pub const BITMAP_MIN_POSTINGS: usize = 64;
+
+/// Density denominator for [`ReprKind::Bitmap`] under
+/// [`ReprPolicy::Adaptive`]: a list qualifies when it covers at least
+/// `1/BITMAP_DENSITY_DEN` of the record universe (so the bitmap's
+/// bit-per-record footprint undercuts the 16-byte postings it replaces).
+pub const BITMAP_DENSITY_DEN: usize = 16;
+
+/// The representation `policy` assigns to a list of `n` postings over a
+/// universe of `num_records` sets.
+fn select_repr(n: usize, num_records: usize, policy: ReprPolicy) -> ReprKind {
+    match policy {
+        ReprPolicy::Force(kind) => kind,
+        ReprPolicy::Adaptive => {
+            if n <= INLINE_CAP {
+                ReprKind::Inline
+            } else if n >= BITMAP_MIN_POSTINGS && n * BITMAP_DENSITY_DEN >= num_records {
+                ReprKind::Bitmap
+            } else {
+                ReprKind::Run
+            }
+        }
+    }
+}
+
 /// Build options for [`InvertedIndex`].
 ///
 /// Marked non-exhaustive so new knobs can be added without breaking
@@ -30,15 +101,22 @@ pub struct IndexOptions {
     pub build_skip_lists: bool,
     /// One skip entry every `skip_stride` postings (the paper caps skip
     /// lists at a small fraction of list size; sparsity is the same knob).
+    /// Also the block size of the bitmap representation's block-max
+    /// directory.
     pub skip_stride: usize,
     /// Build an extendible-hash id index per list (required by TA/iTA's
-    /// random accesses; a large space cost in Figure 5).
+    /// random accesses; a large space cost in Figure 5). Only
+    /// [`ReprKind::Run`] lists carry a hash — inline lists probe their
+    /// few postings directly and bitmap lists answer with a bit test.
     pub build_hash_indexes: bool,
     /// Entries per extendible-hash bucket page.
     pub hash_bucket_capacity: usize,
     /// Build the id-sorted copy of every list (required by the sort-by-id
-    /// merge baseline).
+    /// merge baseline). [`ReprKind::Bitmap`] lists never materialize the
+    /// copy: the bitmap itself enumerates ids in order.
     pub build_id_sorted_lists: bool,
+    /// Per-list representation selection (see [`ReprPolicy`]).
+    pub repr_policy: ReprPolicy,
 }
 
 impl Default for IndexOptions {
@@ -49,6 +127,7 @@ impl Default for IndexOptions {
             build_hash_indexes: true,
             hash_bucket_capacity: 64,
             build_id_sorted_lists: true,
+            repr_policy: ReprPolicy::Adaptive,
         }
     }
 }
@@ -88,68 +167,203 @@ impl IndexOptions {
         self.build_id_sorted_lists = on;
         self
     }
+
+    /// Set the per-list representation policy.
+    #[must_use]
+    pub fn with_repr_policy(mut self, policy: ReprPolicy) -> Self {
+        self.repr_policy = policy;
+        self
+    }
 }
 
-/// A token's inverted list in both sort orders plus auxiliary indexes.
+/// A decoded list body handed to [`InvertedIndex::assemble_owned`]:
+/// either full `(len, id)`-sorted postings (run/inline page encodings)
+/// or bare ascending ids (bitmap pages, whose lengths are recomputed
+/// from the collection — the ids must already be validated against the
+/// record count).
+pub(crate) enum ListPayload {
+    /// `(len, id)`-sorted postings.
+    Postings(Vec<Posting>),
+    /// Strictly ascending set ids; lengths come from the length table.
+    Ids(Vec<u32>),
+}
+
+/// Posting storage: a fixed inline array for lists that fit
+/// [`INLINE_CAP`], a heap vector otherwise. The inline arm is what makes
+/// [`ReprKind::Inline`] real — a rare-gram list occupies its slot in the
+/// table with no extra allocation.
+#[derive(Debug, Clone)]
+enum Store {
+    Inline { buf: [Posting; INLINE_CAP], len: u8 },
+    Heap(Vec<Posting>),
+}
+
+const ZERO_POSTING: Posting = Posting {
+    id: SetId(0),
+    len: 0.0,
+};
+
+impl Store {
+    /// Empty heap store (the unbuilt / not-applicable placeholder).
+    fn empty() -> Self {
+        Store::Heap(Vec::new())
+    }
+
+    /// Inline when the postings fit, heap otherwise (a *forced* inline
+    /// representation on an oversized list spills to the heap but keeps
+    /// the inline access paths).
+    fn inline_or_heap(v: Vec<Posting>) -> Self {
+        if v.len() <= INLINE_CAP {
+            let mut buf = [ZERO_POSTING; INLINE_CAP];
+            buf[..v.len()].copy_from_slice(&v);
+            Store::Inline {
+                buf,
+                len: v.len() as u8,
+            }
+        } else {
+            Store::Heap(v)
+        }
+    }
+
+    fn as_slice(&self) -> &[Posting] {
+        match self {
+            Store::Inline { buf, len } => &buf[..*len as usize],
+            Store::Heap(v) => v,
+        }
+    }
+}
+
+/// A token's inverted list behind one of the three [`ReprKind`]
+/// representations. The `(len, id)`-ordered postings are always
+/// materialized (every algorithm's sorted access reads that order); the
+/// representations differ in the auxiliary structures answering seeks,
+/// membership probes, and id-order enumeration.
 pub struct PostingList {
+    repr: ReprKind,
     /// Sorted by `(len, id)` ascending — equivalently by descending
     /// per-token contribution `w`, the order TA/NRA-style algorithms need.
-    by_len: Vec<Posting>,
+    by_len: Store,
     /// Sorted by id ascending, for the multiway merge baseline. Empty if
-    /// not built.
-    by_id: Vec<Posting>,
-    /// Sparse `(len_bits, id) → offset into by_len`.
+    /// not built or if the bitmap enumerates ids instead.
+    by_id: Store,
+    /// Sparse `(len_bits, id) → offset into by_len` ([`ReprKind::Run`]).
     skip: Option<SkipList<(u64, u32), u32>>,
-    /// id membership for random access.
+    /// id membership for random access ([`ReprKind::Run`]).
     hash: Option<ExtendibleHashMap<u32, ()>>,
+    /// Dense id membership + id-order enumeration ([`ReprKind::Bitmap`]).
+    bitmap: Option<DenseBitmap>,
+    /// First `len`-bits per `skip_stride` block of `by_len` — the bitmap
+    /// representation's skip layer. The run ascends by `len`, so each
+    /// entry bounds its block's best contribution weight
+    /// (`w = idf²/(len·len_q)` falls as `len` grows): block-max metadata.
+    block_max: Option<BlockMaxIndex>,
+}
+
+/// Id-ordered view of a list for the sort-by-id merge: a materialized
+/// id-sorted slice, or the bitmap's ascending set bits (lengths come from
+/// the index's length table — identical bits, because every posting is
+/// constructed from that same table).
+pub enum IdPostings<'a> {
+    /// Materialized id-sorted postings.
+    Slice(&'a [Posting]),
+    /// Dense bitmap; enumerate with [`DenseBitmap::iter`].
+    Bitmap(&'a DenseBitmap),
 }
 
 impl PostingList {
-    /// Postings in ascending `(len, id)` order.
-    pub fn postings(&self) -> &[Posting] {
-        &self.by_len
+    /// The representation this list was built into.
+    pub fn repr(&self) -> ReprKind {
+        self.repr
     }
 
-    /// Postings in ascending id order (empty unless built).
+    /// Postings in ascending `(len, id)` order.
+    pub fn postings(&self) -> &[Posting] {
+        self.by_len.as_slice()
+    }
+
+    /// Postings in ascending id order (empty unless built; always empty
+    /// for [`ReprKind::Bitmap`], which enumerates via
+    /// [`id_postings`](Self::id_postings) instead).
     pub fn postings_by_id(&self) -> &[Posting] {
-        &self.by_id
+        self.by_id.as_slice()
+    }
+
+    /// Id-ordered view for the merge baseline, or `None` if the index
+    /// was built without id-sorted lists (and this list is not a bitmap,
+    /// which needs no copy).
+    pub fn id_postings(&self) -> Option<IdPostings<'_>> {
+        if let Some(bm) = &self.bitmap {
+            return Some(IdPostings::Bitmap(bm));
+        }
+        if self.by_id.as_slice().len() == self.len() {
+            return Some(IdPostings::Slice(self.by_id.as_slice()));
+        }
+        None
+    }
+
+    /// The dense bitmap, when this list is [`ReprKind::Bitmap`].
+    pub fn bitmap(&self) -> Option<&DenseBitmap> {
+        self.bitmap.as_ref()
     }
 
     /// List length.
     pub fn len(&self) -> usize {
-        self.by_len.len()
+        self.by_len.as_slice().len()
     }
 
     /// True if the list is empty (never for an indexed token).
     pub fn is_empty(&self) -> bool {
-        self.by_len.is_empty()
+        self.by_len.as_slice().is_empty()
     }
 
-    /// Random-access membership probe (one simulated page I/O).
+    /// Random-access membership probe (one simulated page I/O). Inline
+    /// lists scan their few postings, bitmap lists test one bit, run
+    /// lists consult the extendible hash.
     ///
     /// # Panics
-    /// Panics if the index was built without hash indexes.
+    /// Panics if this is a [`ReprKind::Run`] list and the index was built
+    /// without hash indexes.
     pub fn contains_id(&self, id: SetId, stats: &mut SearchStats) -> bool {
-        let Some(hash) = self.hash.as_ref() else {
-            panic!("random access requires build_hash_indexes")
-        };
         stats.random_probes += 1;
-        hash.contains_key(&id.0)
+        match self.repr {
+            ReprKind::Inline => self.by_len.as_slice().iter().any(|p| p.id == id),
+            ReprKind::Bitmap => match &self.bitmap {
+                Some(bm) => bm.contains(id.0),
+                None => unreachable!("bitmap representation always carries its bitmap"),
+            },
+            ReprKind::Run => {
+                let Some(hash) = self.hash.as_ref() else {
+                    panic!("random access requires build_hash_indexes")
+                };
+                hash.contains_key(&id.0)
+            }
+        }
     }
 
-    /// True if this list supports random access.
+    /// True if this list supports random access ([`contains_id`]
+    /// will not panic). Inline and bitmap lists always do.
+    ///
+    /// [`contains_id`]: Self::contains_id
+    pub fn supports_random_access(&self) -> bool {
+        !matches!(self.repr, ReprKind::Run) || self.hash.is_some()
+    }
+
+    /// True if this list carries an extendible-hash id index.
     pub fn has_hash_index(&self) -> bool {
         self.hash.is_some()
     }
 
     /// Offset of the first posting with `len ≥ min_len`.
     ///
-    /// With `use_skip` (and a built skip list) the seek jumps via the skip
-    /// index: bypassed postings are counted as `elements_skipped` and only
-    /// the ≤ stride postings walked after the jump count as reads. Without
-    /// it, the prefix is scanned and discarded, every entry counting as a
-    /// read — exactly the contrast Figure 9 measures.
+    /// With `use_skip` the seek jumps via the list's skip layer — the
+    /// sparse skip list for run lists, the block-max directory for bitmap
+    /// lists: bypassed postings are counted as `elements_skipped` and
+    /// only the ≤ stride postings walked after the jump count as reads.
+    /// Without it (or on inline lists, which carry no skip layer), the
+    /// prefix is scanned and discarded, every entry counting as a read —
+    /// exactly the contrast Figure 9 measures.
     pub fn seek_len(&self, min_len: f64, use_skip: bool, stats: &mut SearchStats) -> usize {
+        let postings = self.by_len.as_slice();
         let mut off = 0usize;
         if use_skip {
             if let Some(skip) = &self.skip {
@@ -157,13 +371,79 @@ impl PostingList {
                     off = o as usize;
                     stats.elements_skipped += off as u64;
                 }
+            } else if let Some(bmx) = &self.block_max {
+                if min_len > 0.0 {
+                    off = bmx.seek_start(min_len.to_bits());
+                    stats.elements_skipped += off as u64;
+                }
             }
         }
-        while off < self.by_len.len() && self.by_len[off].len < min_len {
+        while off < postings.len() && postings[off].len < min_len {
             off += 1;
             stats.elements_read += 1;
         }
         off
+    }
+
+    /// Offset of the first posting at `from` or later whose `(len, id)`
+    /// key is `≥ (len, id)` — the candidate-jump seek behind the block
+    /// skipping of SF and iNRA (`AlgoConfig::block_skip`).
+    ///
+    /// With `use_skip`, the skip layer jumps over whole blocks (charged
+    /// to `elements_skipped`) and the remainder is galloped: inspected
+    /// postings are charged to `elements_read`, leapt ones to
+    /// `elements_skipped`, and the two never double-count — each bypassed
+    /// posting is charged exactly once, so
+    /// `elements_read + elements_skipped ≤ total_list_elements` holds
+    /// across any single pass. Without `use_skip` the gap is walked
+    /// element by element, every posting counting as a read.
+    pub fn seek_key(
+        &self,
+        from: usize,
+        len: f64,
+        id: SetId,
+        use_skip: bool,
+        stats: &mut SearchStats,
+    ) -> usize {
+        let postings = self.by_len.as_slice();
+        let target = (len.to_bits(), id.0);
+        let mut off = from.min(postings.len());
+        if !use_skip {
+            while off < postings.len() && (postings[off].len.to_bits(), postings[off].id.0) < target
+            {
+                off += 1;
+                stats.elements_read += 1;
+            }
+            return off;
+        }
+        if let Some(skip) = &self.skip {
+            if let Some((_, &o)) = skip.predecessor(&target) {
+                if o as usize > off {
+                    stats.elements_skipped += (o as usize - off) as u64;
+                    off = o as usize;
+                }
+            }
+        } else if let Some(bmx) = &self.block_max {
+            if len > 0.0 {
+                let start = bmx.seek_start(len.to_bits());
+                if start > off {
+                    stats.elements_skipped += (start - off) as u64;
+                    off = start;
+                }
+            }
+        }
+        let (idx, probes) = setsim_collections::gallop_seek_by(postings, off, |p| {
+            (p.len.to_bits(), p.id.0) < target
+        });
+        // Exact-element accounting: of the `idx - off` postings advanced
+        // past, charge the inspected ones as reads (capped by the span so
+        // revisited binary-search probes cannot over-count) and the rest
+        // as skipped.
+        let span = idx - off;
+        let reads = span.min(usize::try_from(probes).unwrap_or(usize::MAX));
+        stats.elements_read += reads as u64;
+        stats.elements_skipped += (span - reads) as u64;
+        idx
     }
 
     /// Footprint of the weight-sorted list under the delta+varint codec
@@ -172,6 +452,7 @@ impl PostingList {
     pub fn compressed_size_bytes(&self) -> usize {
         let entries: Vec<setsim_collections::CodecEntry> = self
             .by_len
+            .as_slice()
             .iter()
             .map(|p| setsim_collections::CodecEntry {
                 key: p.len.to_bits(),
@@ -181,15 +462,22 @@ impl PostingList {
         setsim_collections::CompressedList::build(&entries, 128).size_bytes()
     }
 
-    /// Sizes of the list's components in bytes: `(postings, skip, hash)`.
-    /// Postings count both sort orders if built.
+    /// Sizes of the list's components in bytes:
+    /// `(postings incl. bitmap, skip layer, hash)`. Postings count both
+    /// sort orders if built; the bitmap's words and popcount directory
+    /// count as postings, the block-max directory as skip layer.
     pub fn size_bytes(&self) -> (usize, usize, usize) {
         let posting = std::mem::size_of::<Posting>();
-        let lists = (self.by_len.len() + self.by_id.len()) * posting;
+        let lists = (self.by_len.as_slice().len() + self.by_id.as_slice().len()) * posting
+            + self.bitmap.as_ref().map_or(0, DenseBitmap::size_bytes);
         let skip = self
             .skip
             .as_ref()
-            .map_or(0, setsim_collections::SkipList::size_bytes);
+            .map_or(0, setsim_collections::SkipList::size_bytes)
+            + self
+                .block_max
+                .as_ref()
+                .map_or(0, setsim_collections::BlockMaxIndex::size_bytes);
         let hash = self
             .hash
             .as_ref()
@@ -216,47 +504,89 @@ impl CollectionHandle<'_> {
     }
 }
 
-/// Derive the auxiliary structures of one list from its `(len, id)`-sorted
-/// postings. Shared by [`InvertedIndex::build`] and the snapshot load
-/// path so both produce bit-identical lists: the id-sorted copy, the skip
-/// list (seeded per token, one entry per stride), and the extendible-hash
-/// id index are all functions of the sorted postings alone.
-fn assemble_list(token: Token, by_len: Vec<Posting>, options: &IndexOptions) -> PostingList {
-    let by_id = if options.build_id_sorted_lists {
-        let mut v = by_len.clone();
-        v.sort_by_key(|p| p.id);
-        v
-    } else {
-        Vec::new()
+/// Derive the representation and auxiliary structures of one list from
+/// its `(len, id)`-sorted postings. Shared by [`InvertedIndex::build`]
+/// and the snapshot load path so both produce bit-identical lists: the
+/// selected [`ReprKind`] is a pure function of `(list length,
+/// num_records, policy)`, and the id-sorted copy, the skip list (seeded
+/// per token, one entry per stride), the extendible-hash id index, the
+/// dense bitmap, and the block-max directory are all deterministic
+/// functions of the sorted postings alone.
+///
+/// # Panics
+///
+/// Panics if the collection holds more than `u32::MAX` records — the
+/// bitmap universe (like [`SetId`] itself) is a `u32`.
+fn assemble_list(
+    token: Token,
+    by_len: Vec<Posting>,
+    options: &IndexOptions,
+    num_records: usize,
+) -> PostingList {
+    let repr = select_repr(by_len.len(), num_records, options.repr_policy);
+    let stride = options.skip_stride.max(1);
+    let mut list = PostingList {
+        repr,
+        by_len: Store::empty(),
+        by_id: Store::empty(),
+        skip: None,
+        hash: None,
+        bitmap: None,
+        block_max: None,
     };
-    let skip = if options.build_skip_lists {
-        let mut sl = SkipList::with_seed(0x51c1_f1ed ^ u64::from(token.0));
-        for (off, p) in by_len
-            .iter()
-            .enumerate()
-            .step_by(options.skip_stride.max(1))
-        {
-            sl.insert((p.len.to_bits(), p.id.0), off as u32);
+    match repr {
+        ReprKind::Inline => {
+            // No auxiliary structures: seeks and probes walk the few
+            // postings directly.
+            if options.build_id_sorted_lists {
+                let mut v = by_len.clone();
+                v.sort_by_key(|p| p.id);
+                list.by_id = Store::inline_or_heap(v);
+            }
+            list.by_len = Store::inline_or_heap(by_len);
         }
-        Some(sl)
-    } else {
-        None
-    };
-    let hash = if options.build_hash_indexes {
-        let mut h = ExtendibleHashMap::new(options.hash_bucket_capacity);
-        for p in &by_len {
-            h.insert(p.id.0, ());
+        ReprKind::Run => {
+            if options.build_id_sorted_lists {
+                let mut v = by_len.clone();
+                v.sort_by_key(|p| p.id);
+                list.by_id = Store::Heap(v);
+            }
+            if options.build_skip_lists {
+                let mut sl = SkipList::with_seed(0x51c1_f1ed ^ u64::from(token.0));
+                for (off, p) in by_len.iter().enumerate().step_by(stride) {
+                    sl.insert((p.len.to_bits(), p.id.0), off as u32);
+                }
+                list.skip = Some(sl);
+            }
+            if options.build_hash_indexes {
+                let mut h = ExtendibleHashMap::new(options.hash_bucket_capacity);
+                for p in &by_len {
+                    h.insert(p.id.0, ());
+                }
+                list.hash = Some(h);
+            }
+            list.by_len = Store::Heap(by_len);
         }
-        Some(h)
-    } else {
-        None
-    };
-    PostingList {
-        by_len,
-        by_id,
-        skip,
-        hash,
+        ReprKind::Bitmap => {
+            // The bitmap subsumes both the hash index (bit-test
+            // membership) and the id-sorted copy (ascending set-bit
+            // enumeration); the block-max directory is the skip layer.
+            let mut ids: Vec<u32> = by_len.iter().map(|p| p.id.0).collect();
+            ids.sort_unstable();
+            list.bitmap = Some(DenseBitmap::from_sorted_ids(
+                &ids,
+                u32::try_from(num_records).expect("more than u32::MAX records"), // lint: allow — SetId is a u32, so a collection cannot exceed u32::MAX records; documented in # Panics
+            ));
+            if options.build_skip_lists {
+                list.block_max = Some(BlockMaxIndex::build(
+                    by_len.iter().map(|p| p.len.to_bits()),
+                    stride,
+                ));
+            }
+            list.by_len = Store::Heap(by_len);
+        }
     }
+    list
 }
 
 /// The inverted-list index of Section III-B.
@@ -296,7 +626,10 @@ impl<'c> InvertedIndex<'c> {
         for (token, mut postings) in raw {
             total_postings += postings.len() as u64;
             postings.sort_by(|a, b| a.len.total_cmp(&b.len).then(a.id.cmp(&b.id)));
-            lists.insert(token, assemble_list(token, postings, &options));
+            lists.insert(
+                token,
+                assemble_list(token, postings, &options, lengths.len()),
+            );
         }
 
         Self {
@@ -332,22 +665,29 @@ impl<'c> InvertedIndex<'c> {
                 raw.entry(t).or_default().push(Posting { id, len });
             }
         }
-        let mut sorted_lists: Vec<(Token, Vec<Posting>)> = raw.into_iter().collect();
-        for (_, postings) in &mut sorted_lists {
-            postings.sort_by(|a, b| a.len.total_cmp(&b.len).then(a.id.cmp(&b.id)));
-        }
+        let mut sorted_lists: Vec<(Token, ListPayload)> = raw
+            .into_iter()
+            .map(|(t, mut postings)| {
+                postings.sort_by(|a, b| a.len.total_cmp(&b.len).then(a.id.cmp(&b.id)));
+                (t, ListPayload::Postings(postings))
+            })
+            .collect();
+        sorted_lists.sort_by_key(|(t, _)| *t);
         Self::assemble_owned(collection, options, sorted_lists)
     }
 
     /// Reassemble an index around an owned collection from decoded
-    /// `(len, id)`-sorted posting lists (the snapshot load path).
-    /// Weights, set lengths, and every per-list auxiliary structure are
-    /// recomputed with the same deterministic code the build path uses,
-    /// so a loaded index is bit-identical to the one that was saved.
+    /// list payloads (the snapshot load path). Weights, set lengths, and
+    /// every per-list auxiliary structure are recomputed with the same
+    /// deterministic code the build path uses, so a loaded index is
+    /// bit-identical to the one that was saved. Id-only payloads (bitmap
+    /// pages carry no lengths) get their lengths from the recomputed
+    /// length table — the same table every built posting is constructed
+    /// from.
     pub(crate) fn assemble_owned(
         collection: Box<SetCollection>,
         options: IndexOptions,
-        sorted_lists: Vec<(Token, Vec<Posting>)>,
+        sorted_lists: Vec<(Token, ListPayload)>,
     ) -> InvertedIndex<'static> {
         let weights = TokenWeights::compute(&collection);
         let lengths: Vec<f64> = collection
@@ -356,9 +696,26 @@ impl<'c> InvertedIndex<'c> {
             .collect();
         let mut total_postings = 0u64;
         let mut lists = HashMap::with_capacity(sorted_lists.len());
-        for (token, postings) in sorted_lists {
+        for (token, payload) in sorted_lists {
+            let postings = match payload {
+                ListPayload::Postings(p) => p,
+                ListPayload::Ids(ids) => {
+                    let mut p: Vec<Posting> = ids
+                        .into_iter()
+                        .map(|id| Posting {
+                            id: SetId(id),
+                            len: lengths[id as usize],
+                        })
+                        .collect();
+                    p.sort_by(|a, b| a.len.total_cmp(&b.len).then(a.id.cmp(&b.id)));
+                    p
+                }
+            };
             total_postings += postings.len() as u64;
-            lists.insert(token, assemble_list(token, postings, &options));
+            lists.insert(
+                token,
+                assemble_list(token, postings, &options, lengths.len()),
+            );
         }
         InvertedIndex {
             collection: CollectionHandle::Owned(collection),
@@ -727,7 +1084,12 @@ mod tests {
 
     #[test]
     fn size_breakdown_nonzero() {
-        let (c, o) = index_of(&["abcd", "bcde", "cdef", "defg"], IndexOptions::default());
+        // Force the run representation: adaptively these tiny lists all go
+        // inline, which carries no skip or hash structure at all.
+        let (c, o) = index_of(
+            &["abcd", "bcde", "cdef", "defg"],
+            IndexOptions::default().with_repr_policy(ReprPolicy::Force(ReprKind::Run)),
+        );
         let idx = InvertedIndex::build(&c, o);
         let (lists, skip, hash) = idx.size_bytes();
         assert!(lists > 0);

@@ -96,7 +96,10 @@ pub use engine::{
     AlgorithmKind, Budget, EngineMetrics, MetricsSnapshot, QueryEngine, Scratch, SearchError,
     SearchRequest, SearchView,
 };
-pub use index::{IndexOptions, InvertedIndex, Posting, PostingList};
+pub use index::{
+    IdPostings, IndexOptions, InvertedIndex, Posting, PostingList, ReprKind, ReprPolicy,
+    BITMAP_DENSITY_DEN, BITMAP_MIN_POSTINGS, INLINE_CAP,
+};
 pub use properties::Tau;
 pub use query::{PreparedQuery, QueryToken};
 pub use result::{Match, SearchOutcome, SearchStatus};

@@ -29,7 +29,8 @@
 //! is internally inconsistent is rejected as
 //! [`SnapshotError::Corrupt`], never served.
 
-use crate::{IndexOptions, InvertedIndex, Posting, SetCollection, SetId};
+use crate::index::ListPayload;
+use crate::{IndexOptions, InvertedIndex, Posting, ReprKind, ReprPolicy, SetCollection, SetId};
 use setsim_collections::codec::{
     read_str, read_u32_le, read_u64_le, read_varint, write_str, write_u32_le, write_u64_le,
     write_varint,
@@ -151,6 +152,68 @@ fn decode_options(buf: &[u8], pos: &mut usize) -> Result<IndexOptions, SnapshotE
         .with_id_sorted_lists(build_id_sorted_lists))
 }
 
+/// How a list's body is laid out in its pages. Pre-kernel snapshots only
+/// ever contain [`RunBlocks`](Self::RunBlocks); the other two are the
+/// page kinds introduced with the adaptive representations, recorded in
+/// the footer's representation extension (absent in legacy files, whose
+/// decoder therefore defaults every list to `RunBlocks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ListEncoding {
+    /// Delta+varint `(len, id)` blocks — the original page kind.
+    RunBlocks,
+    /// Raw fixed-width `(len-bits, id)` entries: a handful of postings is
+    /// cheaper to store verbatim than to delta-code.
+    InlineRaw,
+    /// Raw bitmap words; ids only, lengths recomputed at load. The
+    /// block's `first_key` holds the starting word index and `count` the
+    /// number of words.
+    BitmapWords,
+}
+
+impl ListEncoding {
+    fn tag(self) -> u8 {
+        match self {
+            ListEncoding::RunBlocks => 0,
+            ListEncoding::InlineRaw => 1,
+            ListEncoding::BitmapWords => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(ListEncoding::RunBlocks),
+            1 => Ok(ListEncoding::InlineRaw),
+            2 => Ok(ListEncoding::BitmapWords),
+            t => Err(corrupt(format!("unknown list encoding tag {t}"))),
+        }
+    }
+}
+
+/// Magic leading the footer's representation extension. Legacy footers
+/// end exactly at the list directory; the extension (policy byte plus
+/// per-list encoding tags) follows it in post-kernel files.
+const REPR_EXTENSION_MAGIC: u32 = 0x5250_5258; // "RPRX"
+const REPR_EXTENSION_VERSION: u8 = 1;
+
+fn encode_repr_policy(policy: ReprPolicy) -> u8 {
+    match policy {
+        ReprPolicy::Adaptive => 0,
+        ReprPolicy::Force(ReprKind::Inline) => 1,
+        ReprPolicy::Force(ReprKind::Run) => 2,
+        ReprPolicy::Force(ReprKind::Bitmap) => 3,
+    }
+}
+
+fn decode_repr_policy(byte: u8) -> Result<ReprPolicy, SnapshotError> {
+    match byte {
+        0 => Ok(ReprPolicy::Adaptive),
+        1 => Ok(ReprPolicy::Force(ReprKind::Inline)),
+        2 => Ok(ReprPolicy::Force(ReprKind::Run)),
+        3 => Ok(ReprPolicy::Force(ReprKind::Bitmap)),
+        b => Err(corrupt(format!("unknown representation policy byte {b}"))),
+    }
+}
+
 /// One block of a serialized list: `(first len-bits key, page, offset,
 /// count)`. `offset` locates the block inside its (shared) page.
 struct BlockRef {
@@ -164,6 +227,7 @@ struct BlockRef {
 struct ListRef {
     token: Token,
     postings: u64,
+    encoding: ListEncoding,
     blocks: Vec<BlockRef>,
 }
 
@@ -277,10 +341,81 @@ fn write_list_pages(
     Ok(blocks)
 }
 
+/// Bytes per [`ListEncoding::InlineRaw`] entry: `u64` len-bits plus
+/// `u32` id, both little-endian.
+const INLINE_ENTRY_BYTES: usize = 12;
+
+/// Write an inline list as raw fixed-width entries (no delta coding —
+/// a handful of postings is cheaper verbatim), as many per block as fit
+/// one page.
+fn write_inline_pages(
+    packer: &mut PagePacker<'_>,
+    postings: &[Posting],
+) -> Result<Vec<BlockRef>, SnapshotError> {
+    let capacity = packer.capacity();
+    let per_block = capacity / INLINE_ENTRY_BYTES;
+    if per_block == 0 {
+        return Err(SnapshotError::Unsupported {
+            detail: format!("page capacity {capacity} below one inline posting"),
+        });
+    }
+    let mut blocks = Vec::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(capacity);
+    for chunk in postings.chunks(per_block) {
+        buf.clear();
+        for p in chunk {
+            write_u64_le(&mut buf, p.len.to_bits());
+            write_u32_le(&mut buf, p.id.0);
+        }
+        let (page, offset) = packer.place(&buf)?;
+        blocks.push(BlockRef {
+            first_key: chunk[0].len.to_bits(),
+            page,
+            offset,
+            count: chunk.len() as u32,
+        });
+    }
+    Ok(blocks)
+}
+
+/// Write a bitmap list as raw little-endian words. Each block's
+/// `first_key` records its starting word index and `count` its word
+/// count, so truncation or reordering is detected structurally before
+/// any bit is trusted.
+fn write_bitmap_pages(
+    packer: &mut PagePacker<'_>,
+    words: &[u64],
+) -> Result<Vec<BlockRef>, SnapshotError> {
+    let capacity = packer.capacity();
+    let per_block = capacity / 8;
+    if per_block == 0 {
+        return Err(SnapshotError::Unsupported {
+            detail: format!("page capacity {capacity} below one bitmap word"),
+        });
+    }
+    let mut blocks = Vec::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(capacity);
+    for (i, chunk) in words.chunks(per_block).enumerate() {
+        buf.clear();
+        for w in chunk {
+            write_u64_le(&mut buf, *w);
+        }
+        let (page, offset) = packer.place(&buf)?;
+        blocks.push(BlockRef {
+            first_key: (i * per_block) as u64,
+            page,
+            offset,
+            count: chunk.len() as u32,
+        });
+    }
+    Ok(blocks)
+}
+
 fn encode_footer(
     index: &InvertedIndex<'_>,
     spec: &TokenizerSpec,
     directory: &[ListRef],
+    legacy_format: bool,
 ) -> Vec<u8> {
     let collection = index.collection();
     let mut out = Vec::new();
@@ -327,6 +462,20 @@ fn encode_footer(
             write_varint(&mut out, u64::from(b.count));
         }
     }
+
+    // Representation extension (absent in the legacy format): the policy
+    // plus one encoding tag per directory entry. Legacy decoders reject
+    // trailing footer bytes, so the legacy writer must omit it entirely;
+    // the current decoder treats a footer ending at the directory as
+    // "all lists are delta+varint runs".
+    if !legacy_format {
+        write_u32_le(&mut out, REPR_EXTENSION_MAGIC);
+        out.push(REPR_EXTENSION_VERSION);
+        out.push(encode_repr_policy(index.options().repr_policy));
+        for list in directory {
+            out.push(list.encoding.tag());
+        }
+    }
     out
 }
 
@@ -335,6 +484,29 @@ pub(crate) fn save_index(
     index: &InvertedIndex<'_>,
     path: &Path,
     page_size: usize,
+) -> Result<(), SnapshotError> {
+    save_index_with_format(index, path, page_size, false)
+}
+
+/// Serialize `index` in the **pre-kernel** snapshot format: every list as
+/// delta+varint run blocks and no representation extension in the footer,
+/// byte-compatible with what older builds wrote. Exists so compatibility
+/// tests can produce genuine legacy files; production code has no reason
+/// to call it.
+#[doc(hidden)]
+pub fn save_legacy_format(
+    index: &InvertedIndex<'_>,
+    path: &Path,
+    page_size: usize,
+) -> Result<(), SnapshotError> {
+    save_index_with_format(index, path, page_size, true)
+}
+
+fn save_index_with_format(
+    index: &InvertedIndex<'_>,
+    path: &Path,
+    page_size: usize,
+    legacy_format: bool,
 ) -> Result<(), SnapshotError> {
     let spec = index
         .collection()
@@ -356,17 +528,34 @@ pub(crate) fn save_index(
     {
         let mut packer = PagePacker::new(&mut writer);
         for (token, list) in lists {
-            let blocks = write_list_pages(&mut packer, list.postings())?;
+            // The page kind follows the in-memory representation — except
+            // in the legacy format, which predates every kind but run
+            // blocks (and run blocks encode any list's postings).
+            let (encoding, blocks) = match (legacy_format, list.repr(), list.bitmap()) {
+                (false, crate::ReprKind::Bitmap, Some(bm)) => (
+                    ListEncoding::BitmapWords,
+                    write_bitmap_pages(&mut packer, bm.words())?,
+                ),
+                (false, crate::ReprKind::Inline, _) => (
+                    ListEncoding::InlineRaw,
+                    write_inline_pages(&mut packer, list.postings())?,
+                ),
+                _ => (
+                    ListEncoding::RunBlocks,
+                    write_list_pages(&mut packer, list.postings())?,
+                ),
+            };
             directory.push(ListRef {
                 token,
                 postings: list.len() as u64,
+                encoding,
                 blocks,
             });
         }
         packer.flush()?;
     }
 
-    let footer = encode_footer(index, &spec, &directory);
+    let footer = encode_footer(index, &spec, &directory, legacy_format);
     writer.finish(&footer)?;
     Ok(())
 }
@@ -497,8 +686,41 @@ fn decode_footer(buf: &[u8]) -> Result<DecodedFooter, SnapshotError> {
         directory.push(ListRef {
             token: Token(token),
             postings,
+            encoding: ListEncoding::RunBlocks,
             blocks,
         });
+    }
+
+    // Representation extension. A legacy footer ends exactly at the
+    // directory: default to the pre-kernel reading (every list a sorted
+    // run, forced) so a legacy file loads into bit-identical serving
+    // structures. Anything else must be a well-formed extension.
+    let mut options = options;
+    if pos == buf.len() {
+        options = options.with_repr_policy(ReprPolicy::Force(ReprKind::Run));
+    } else {
+        let magic = read_u32_le(buf, &mut pos)
+            .ok_or_else(|| corrupt("truncated representation extension magic"))?;
+        if magic != REPR_EXTENSION_MAGIC {
+            return Err(corrupt(format!(
+                "unexpected footer extension magic {magic:#010x}"
+            )));
+        }
+        let version = read_u8(buf, &mut pos)
+            .ok_or_else(|| corrupt("representation extension missing version"))?;
+        if version != REPR_EXTENSION_VERSION {
+            return Err(SnapshotError::Unsupported {
+                detail: format!("representation extension version {version}"),
+            });
+        }
+        let policy = read_u8(buf, &mut pos)
+            .ok_or_else(|| corrupt("representation extension missing policy"))?;
+        options = options.with_repr_policy(decode_repr_policy(policy)?);
+        for list in &mut directory {
+            let tag = read_u8(buf, &mut pos)
+                .ok_or_else(|| corrupt("representation extension shorter than the directory"))?;
+            list.encoding = ListEncoding::from_tag(tag)?;
+        }
     }
     if pos != buf.len() {
         return Err(corrupt(format!(
@@ -531,8 +753,50 @@ impl PageCache<'_> {
     }
 }
 
-/// Decode one list's postings from its block pages.
+/// Decode one list's body from its block pages, dispatching on the page
+/// kind recorded in the footer's representation extension.
 fn read_list_postings(
+    cache: &mut PageCache<'_>,
+    list: &ListRef,
+    num_sets: usize,
+) -> Result<ListPayload, SnapshotError> {
+    match list.encoding {
+        ListEncoding::RunBlocks => {
+            read_run_blocks(cache, list, num_sets).map(ListPayload::Postings)
+        }
+        ListEncoding::InlineRaw => {
+            read_inline_raw(cache, list, num_sets).map(ListPayload::Postings)
+        }
+        ListEncoding::BitmapWords => read_bitmap_words(cache, list, num_sets).map(ListPayload::Ids),
+    }
+}
+
+/// Shared post-decode validation for the posting-bearing encodings: count
+/// must match the directory and the order must be strictly `(len, id)`.
+fn check_posting_body(list: &ListRef, postings: &[Posting]) -> Result<(), SnapshotError> {
+    let total =
+        usize::try_from(list.postings).map_err(|_| corrupt("posting count overflows usize"))?;
+    if postings.len() != total {
+        return Err(corrupt(format!(
+            "list for token {} has {} postings, directory says {total}",
+            list.token.0,
+            postings.len()
+        )));
+    }
+    let ordered = postings
+        .windows(2)
+        .all(|w| (w[0].len, w[0].id) < (w[1].len, w[1].id));
+    if !ordered {
+        return Err(corrupt(format!(
+            "list for token {} not strictly (len, id)-sorted",
+            list.token.0
+        )));
+    }
+    Ok(())
+}
+
+/// Delta + varint `(len, id)` blocks — the original page kind.
+fn read_run_blocks(
     cache: &mut PageCache<'_>,
     list: &ListRef,
     num_sets: usize,
@@ -579,23 +843,111 @@ fn read_list_postings(
             });
         }
     }
-    if postings.len() != total {
+    check_posting_body(list, &postings)?;
+    Ok(postings)
+}
+
+/// Raw fixed-width `(len-bits, id)` entries (inline lists).
+fn read_inline_raw(
+    cache: &mut PageCache<'_>,
+    list: &ListRef,
+    num_sets: usize,
+) -> Result<Vec<Posting>, SnapshotError> {
+    let total =
+        usize::try_from(list.postings).map_err(|_| corrupt("posting count overflows usize"))?;
+    let mut postings = Vec::with_capacity(total.min(1 << 20));
+    for b in &list.blocks {
+        let payload = cache.page(b.page)?;
+        let mut pos = b.offset as usize;
+        for j in 0..b.count {
+            let key = read_u64_le(payload, &mut pos)
+                .ok_or_else(|| corrupt(format!("page {} inline entry {j} truncated", b.page)))?;
+            if j == 0 && key != b.first_key {
+                return Err(corrupt(format!(
+                    "page {} first key disagrees with directory",
+                    b.page
+                )));
+            }
+            let id = read_u32_le(payload, &mut pos)
+                .ok_or_else(|| corrupt(format!("page {} inline entry {j} truncated", b.page)))?;
+            if (id as usize) >= num_sets {
+                return Err(corrupt(format!(
+                    "posting references set {id} outside the collection ({num_sets} sets)"
+                )));
+            }
+            postings.push(Posting {
+                id: SetId(id),
+                len: f64::from_bits(key),
+            });
+        }
+    }
+    check_posting_body(list, &postings)?;
+    Ok(postings)
+}
+
+/// Raw bitmap words. The universe is the collection size; the words must
+/// tile it exactly (directory `first_key` is the starting word index of
+/// each block), carry no bits beyond it, and pop-count to the directory's
+/// posting total. Returns the set ids in ascending order.
+fn read_bitmap_words(
+    cache: &mut PageCache<'_>,
+    list: &ListRef,
+    num_sets: usize,
+) -> Result<Vec<u32>, SnapshotError> {
+    let expected_words = num_sets.div_ceil(64);
+    let mut words = Vec::with_capacity(expected_words.min(1 << 20));
+    for b in &list.blocks {
+        if b.first_key != words.len() as u64 {
+            return Err(corrupt(format!(
+                "bitmap block on page {} starts at word {} but {} words precede it",
+                b.page,
+                b.first_key,
+                words.len()
+            )));
+        }
+        let payload = cache.page(b.page)?;
+        let mut pos = b.offset as usize;
+        for j in 0..b.count {
+            let w = read_u64_le(payload, &mut pos)
+                .ok_or_else(|| corrupt(format!("page {} bitmap word {j} truncated", b.page)))?;
+            words.push(w);
+        }
+    }
+    if words.len() != expected_words {
         return Err(corrupt(format!(
-            "list for token {} has {} postings, directory says {total}",
+            "bitmap for token {} has {} words, a {num_sets}-set collection needs {expected_words}",
             list.token.0,
-            postings.len()
+            words.len()
         )));
     }
-    let ordered = postings
-        .windows(2)
-        .all(|w| (w[0].len, w[0].id) < (w[1].len, w[1].id));
-    if !ordered {
+    if num_sets % 64 != 0 {
+        if let Some(&last) = words.last() {
+            if last >> (num_sets % 64) != 0 {
+                return Err(corrupt(format!(
+                    "bitmap for token {} has bits beyond the collection ({num_sets} sets)",
+                    list.token.0
+                )));
+            }
+        }
+    }
+    let total =
+        usize::try_from(list.postings).map_err(|_| corrupt("posting count overflows usize"))?;
+    let popcount: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+    if popcount != total {
         return Err(corrupt(format!(
-            "list for token {} not strictly (len, id)-sorted",
+            "bitmap for token {} holds {popcount} sets, directory says {total}",
             list.token.0
         )));
     }
-    Ok(postings)
+    let mut ids = Vec::with_capacity(total.min(1 << 20));
+    for (wi, &word) in words.iter().enumerate() {
+        let mut cur = word;
+        while cur != 0 {
+            ids.push((wi * 64) as u32 + cur.trailing_zeros());
+            cur &= cur - 1;
+        }
+    }
+    Ok(ids)
 }
 
 /// Load an index from `path`. See [`InvertedIndex::load`].

@@ -37,13 +37,25 @@ impl SearchStats {
     ///
     /// Sorted reads can never exceed the denominator; an algorithm that
     /// over-counts (e.g. by charging base-table records to
-    /// `elements_read`) is a bug, not something to clamp away.
+    /// `elements_read`) is a bug, not something to clamp away. The same
+    /// holds for reads and skips together: every list element is either
+    /// read, skipped, or untouched — a seek that charged an element to
+    /// both sides (or a jump that re-counted an already-passed prefix)
+    /// would break the sum, not just one term.
     pub fn pruning_pct(&self) -> f64 {
         debug_assert!(
             self.elements_read <= self.total_list_elements,
             "elements_read ({}) exceeds total_list_elements ({}): \
              an algorithm is over-counting sorted accesses",
             self.elements_read,
+            self.total_list_elements
+        );
+        debug_assert!(
+            self.elements_read + self.elements_skipped <= self.total_list_elements,
+            "elements_read ({}) + elements_skipped ({}) exceeds \
+             total_list_elements ({}): a seek double-charged postings",
+            self.elements_read,
+            self.elements_skipped,
             self.total_list_elements
         );
         if self.total_list_elements == 0 {
@@ -177,5 +189,33 @@ mod tests {
             ..Default::default()
         };
         let _ = s.pruning_pct();
+    }
+
+    #[test]
+    #[should_panic(expected = "double-charged")]
+    #[cfg(debug_assertions)]
+    fn pruning_pct_rejects_double_charged_seeks_in_debug() {
+        // Reads and skips individually within bounds, but their sum says
+        // some posting was charged on both sides of a seek.
+        let s = SearchStats {
+            elements_read: 60,
+            elements_skipped: 60,
+            total_list_elements: 100,
+            ..Default::default()
+        };
+        let _ = s.pruning_pct();
+    }
+
+    #[test]
+    fn pruning_pct_accepts_exact_partition() {
+        // Every element accounted for exactly once: read + skipped may
+        // reach the denominator but never pass it.
+        let s = SearchStats {
+            elements_read: 40,
+            elements_skipped: 60,
+            total_list_elements: 100,
+            ..Default::default()
+        };
+        assert!((s.pruning_pct() - 60.0).abs() < 1e-12);
     }
 }

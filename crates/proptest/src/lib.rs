@@ -243,6 +243,22 @@ macro_rules! impl_arbitrary_int {
 
 impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_range(0u8..=1) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
 /// The strategy generating any value of `A`: `any::<u64>()`,
 /// `any::<prop::sample::Index>()`.
 #[must_use]

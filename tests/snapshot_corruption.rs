@@ -243,3 +243,80 @@ fn flip_sweep_never_loads_a_silently_wrong_index() {
     // CRC32 detects all single-byte flips, so nothing should have loaded.
     assert_eq!(loaded_ok, 0, "{loaded_ok} single-byte flips loaded cleanly");
 }
+
+/// The bitmap and inline page encodings introduce new byte layouts
+/// (raw 12-byte posting entries, packed bitmap words, the footer's
+/// representation extension). The same fault model must hold for them:
+/// every single-byte flip and every truncation is a typed rejection —
+/// never a panic, never a silently different index.
+#[test]
+fn forced_representation_snapshots_reject_every_flip_and_truncation() {
+    use setsim::core::{ReprKind, ReprPolicy};
+
+    let c = collection();
+    for (tag, kind) in [("inline", ReprKind::Inline), ("bitmap", ReprKind::Bitmap)] {
+        let t = TempFile(temp_snap(&format!("repr-{tag}")));
+        let options = IndexOptions::default().with_repr_policy(ReprPolicy::Force(kind));
+        let index = InvertedIndex::build(&c, options);
+        index.save(&t.0).expect("save");
+        let clean = std::fs::read(&t.0).expect("read back");
+        let layout = SnapshotReader::open(&t.0).expect("clean open").layout();
+
+        // Flip sweep across the whole file, denser than the default
+        // fixture's (the new encodings pack more structure per page).
+        let mut loaded_ok = 0usize;
+        for pos in (0..clean.len()).step_by(23) {
+            let mut b = clean.clone();
+            b[pos] ^= 0xa5;
+            write_variant(&t.0, &b);
+            match InvertedIndex::load(&t.0) {
+                Err(
+                    SnapshotError::BadMagic { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+                    | SnapshotError::Truncated { .. }
+                    | SnapshotError::Corrupt { .. }
+                    | SnapshotError::UnsupportedVersion { .. }
+                    | SnapshotError::Unsupported { .. },
+                ) => {}
+                Err(other) => panic!("{tag}: flip at {pos}: untyped error {other:?}"),
+                Ok(_) => loaded_ok += 1,
+            }
+        }
+        assert_eq!(
+            loaded_ok, 0,
+            "{tag}: {loaded_ok} single-byte flips loaded cleanly"
+        );
+
+        // Truncations, including mid-footer cuts that amputate the
+        // representation extension (leaving a well-formed directory —
+        // exactly the shape a legacy file has, but with a footer length
+        // and CRC that still cover the missing bytes).
+        let cuts: Vec<u64> = vec![
+            layout.pages_offset,
+            layout.footer_offset,
+            layout.footer_offset + layout.footer_len / 2,
+            layout.footer_offset + layout.footer_len - 1,
+            layout.file_len - 1,
+        ];
+        for cut in cuts {
+            let cut = usize::try_from(cut).expect("fits");
+            write_variant(&t.0, &clean[..cut]);
+            let Err(err) = InvertedIndex::load(&t.0) else {
+                panic!("{tag}: truncated file at {cut} must not load")
+            };
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::BadMagic { .. }
+                        | SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::Corrupt { .. }
+                ),
+                "{tag}: cut at {cut}: unexpected error {err:?}"
+            );
+        }
+
+        write_variant(&t.0, &clean);
+        InvertedIndex::load(&t.0).expect("pristine bytes load");
+    }
+}

@@ -158,3 +158,99 @@ fn empty_and_single_record_indexes_serve_after_reload() {
         }
     }
 }
+
+/// Per-representation round trips: under each forced (and the adaptive)
+/// representation policy, a loaded index must carry the same per-list
+/// representations as the one saved — inline and bitmap lists go through
+/// their own page encodings — and answer every algorithm bit-identically.
+#[test]
+fn every_representation_policy_round_trips_bit_identically() {
+    use setsim::core::{ReprKind, ReprPolicy};
+
+    let (corpus, collection) = corpus_collection();
+    let policies = [
+        ("run", ReprPolicy::Force(ReprKind::Run)),
+        ("inline", ReprPolicy::Force(ReprKind::Inline)),
+        ("bitmap", ReprPolicy::Force(ReprKind::Bitmap)),
+        ("adaptive", ReprPolicy::Adaptive),
+    ];
+    let queries: Vec<String> = corpus.records().iter().take(8).cloned().collect();
+
+    for (name, policy) in policies {
+        let options = IndexOptions::default().with_repr_policy(policy);
+        let built = InvertedIndex::build(&collection, options);
+        let t = TempFile(temp_snap(&format!("repr-{name}")));
+        built.save(&t.0).expect("save");
+        let loaded = InvertedIndex::load(&t.0).expect("load");
+
+        // Structural agreement: same representation per token list.
+        for tok in 0..collection.dict().len() as u32 {
+            let tok = setsim::tokenize::Token(tok);
+            match (built.list(tok), loaded.list(tok)) {
+                (Some(b), Some(l)) => assert_eq!(
+                    b.repr(),
+                    l.repr(),
+                    "policy {name}: representation drifted for token {}",
+                    tok.0
+                ),
+                (None, None) => {}
+                _ => panic!("policy {name}: token {} present on one side only", tok.0),
+            }
+        }
+
+        let mut built_engine = QueryEngine::new(built);
+        let mut loaded_engine = QueryEngine::open(&t.0).expect("open");
+        for tau in [0.5, 0.8] {
+            for kind in AlgorithmKind::ALL {
+                for text in &queries {
+                    let b = fingerprint(&mut built_engine, text, tau, kind);
+                    let l = fingerprint(&mut loaded_engine, text, tau, kind);
+                    assert_eq!(
+                        b,
+                        l,
+                        "policy {name}: {} tau={tau} query={text:?}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A legacy-format snapshot — the byte layout produced before the
+/// representation extension existed — must still load, decode every list
+/// as a forced sorted run (pre-kernel in-memory structures, bit for
+/// bit), and serve identical answers.
+#[test]
+fn legacy_format_snapshot_loads_as_forced_runs() {
+    use setsim::core::snapshot::{save_legacy_format, DEFAULT_PAGE_SIZE};
+    use setsim::core::ReprKind;
+
+    let (corpus, collection) = corpus_collection();
+    let built = InvertedIndex::build(&collection, IndexOptions::default());
+    let t = TempFile(temp_snap("legacy"));
+    save_legacy_format(&built, &t.0, DEFAULT_PAGE_SIZE).expect("legacy save");
+
+    let loaded = InvertedIndex::load(&t.0).expect("legacy bytes must load");
+    for tok in 0..collection.dict().len() as u32 {
+        if let Some(list) = loaded.list(setsim::tokenize::Token(tok)) {
+            assert_eq!(
+                list.repr(),
+                ReprKind::Run,
+                "legacy snapshots predate the extension: every list is a run"
+            );
+        }
+    }
+
+    // Legacy bytes still serve the exact same answers (a run-forced
+    // in-memory index is query-equivalent to any adaptive one).
+    let mut adaptive_engine = QueryEngine::new(built);
+    let mut legacy_engine = QueryEngine::open(&t.0).expect("open legacy");
+    for text in corpus.records().iter().take(6) {
+        for kind in AlgorithmKind::ALL {
+            let (b_ids, _) = fingerprint(&mut adaptive_engine, text, 0.7, kind);
+            let (l_ids, _) = fingerprint(&mut legacy_engine, text, 0.7, kind);
+            assert_eq!(b_ids, l_ids, "{} on legacy bytes", kind.name());
+        }
+    }
+}
