@@ -31,6 +31,7 @@
 use setsim_bench::harness::{self, HarnessConfig};
 use setsim_bench::loadgen::{self, LoadgenConfig};
 use setsim_bench::report::Metric;
+use setsim_bench::scaleout::{self, ScaleoutConfig};
 use setsim_bench::Scale;
 
 const USAGE: &str = "\
@@ -39,6 +40,7 @@ setsim-bench — machine-readable benchmark harness
 USAGE:
   setsim-bench harness [OPTIONS]
   setsim-bench loadgen [OPTIONS]
+  setsim-bench scaleout [OPTIONS]
 
 HARNESS OPTIONS:
   --scale small|medium|large   corpus scale (default small)
@@ -67,6 +69,22 @@ LOADGEN OPTIONS:
   --expect-zero-shed           exit 1 if any request was shed
   --expect-shed                exit 1 if no request was shed (saturation)
   --expect-drain-clean         exit 1 on transport errors or drain loss
+
+SCALEOUT OPTIONS:
+  --records N                  corpus records (default 10000000)
+  --shards S                   length-banded shards (default 32)
+  --seed N                     master seed (default 42)
+  --queries Q                  queries per tau cell (default 64)
+  --taus T1,T2,..              threshold grid (default 0.5,0.8,0.95)
+  --dir DIR                    sharded-snapshot cache directory: reopened
+                               when present, written after a fresh build
+  --equivalence N              sharded-vs-unsharded differential over the
+                               first N records (default 20000; 0 skips)
+  --label L                    report label (default scaleout)
+  --out FILE                   output path (default BENCH_<label>.json)
+  --stdout                     print the JSON instead of writing a file
+  --expect-majority-pruned     exit 1 unless tau=0.8 prunes > 50% of
+                               (query, shard) visits whole
 ";
 
 fn fail(msg: &str) -> ! {
@@ -80,6 +98,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("harness") => run_harness(&args[1..]),
         Some("loadgen") => run_loadgen(&args[1..]),
+        Some("scaleout") => run_scaleout(&args[1..]),
         Some("-h" | "--help") => println!("{USAGE}"),
         Some(other) => fail(&format!("unknown subcommand '{other}'")),
         None => fail("missing subcommand"),
@@ -293,6 +312,120 @@ fn run_loadgen(args: &[String]) {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+fn run_scaleout(args: &[String]) {
+    let mut config = ScaleoutConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut to_stdout = false;
+    let mut expect_majority = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("{name} requires a value")))
+        };
+        match a.as_str() {
+            "--records" => config.records = parse_num(&value("--records"), "--records"),
+            "--shards" => config.shards = parse_num(&value("--shards"), "--shards"),
+            "--seed" => config.seed = parse_num(&value("--seed"), "--seed"),
+            "--queries" => config.queries = parse_num(&value("--queries"), "--queries"),
+            "--taus" => {
+                config.taus = value("--taus")
+                    .split(',')
+                    .map(|t| parse_num(t, "--taus"))
+                    .collect();
+                if config.taus.is_empty() {
+                    fail("--taus needs at least one threshold");
+                }
+            }
+            "--dir" => config.dir = Some(value("--dir").into()),
+            "--equivalence" => {
+                config.equivalence_records = parse_num(&value("--equivalence"), "--equivalence");
+            }
+            "--label" => config.label = value("--label"),
+            "--out" => out_path = Some(value("--out")),
+            "--stdout" => to_stdout = true,
+            "--expect-majority-pruned" => expect_majority = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    if config.records == 0 || config.shards == 0 {
+        fail("--records and --shards must be at least 1");
+    }
+
+    eprintln!(
+        "scaleout: records={} shards={} seed={} queries/tau={} taus={:?} equivalence={}",
+        config.records,
+        config.shards,
+        config.seed,
+        config.queries,
+        config.taus,
+        config.equivalence_records
+    );
+    let outcome = scaleout::run(&config).unwrap_or_else(|e| {
+        eprintln!("scaleout failed: {e}");
+        std::process::exit(1);
+    });
+    let json = outcome.report.to_json_string();
+    if to_stdout {
+        print!("{json}");
+    } else {
+        let path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", config.label));
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    eprintln!(
+        "  index: {} record(s) in {} shard(s){}{}",
+        outcome.num_records,
+        outcome.num_shards,
+        if outcome.opened_from_cache {
+            " (reopened from cache)"
+        } else {
+            " (built fresh)"
+        },
+        if outcome.equivalence_checked {
+            ", equivalence prefix OK"
+        } else {
+            ""
+        }
+    );
+    for (tau, fraction) in &outcome.pruned_fraction {
+        eprintln!(
+            "  tau={tau}: {:.1}% of (query, shard) visits pruned whole",
+            100.0 * fraction
+        );
+    }
+
+    if expect_majority {
+        let at_08 = outcome
+            .pruned_fraction
+            .iter()
+            .find(|(t, _)| (*t - 0.8).abs() < 1e-9);
+        match at_08 {
+            Some((_, fraction)) if *fraction > 0.5 => {}
+            Some((_, fraction)) => {
+                eprintln!(
+                    "FAIL --expect-majority-pruned: tau=0.8 pruned only {:.1}% of shard visits",
+                    100.0 * fraction
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("FAIL --expect-majority-pruned: tau=0.8 not in --taus grid");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

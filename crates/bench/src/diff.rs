@@ -263,6 +263,8 @@ mod tests {
             rounds: 30,
             records_scanned: 0,
             total_list_elements: 2000,
+            shards_pruned: 0,
+            shard_pruned_elements: 0,
         };
         BenchReport {
             schema_version: SCHEMA_VERSION,

@@ -22,7 +22,8 @@ use crate::report::{
 use crate::{prepare_queries, word_collection_seeded, workload, Algo, Engines, Scale};
 use setsim_core::{
     AlgoConfig, AlgorithmKind, CollectionBuilder, DriftBudget, IndexOptions, MutableIndex,
-    MutableSearchRequest, PreparedQuery, RecordId, ReprKind, ReprPolicy, Scratch, SearchStats,
+    MutableSearchRequest, PreparedQuery, RecordId, ReprKind, ReprPolicy, Scratch, SearchRequest,
+    SearchStats, SetCollection, ShardedEngine, ShardedIndex,
 };
 use setsim_datagen::{Corpus, LengthBucket};
 use setsim_tokenize::QGramTokenizer;
@@ -135,6 +136,7 @@ pub fn run(config: &HarnessConfig) -> BenchReport {
     }
     workloads.push(measure_mixed_workload(&corpus, config));
     workloads.push(measure_dense_workload(&corpus, config));
+    workloads.push(measure_sharded_workload(&corpus, &collection, config));
     BenchReport {
         schema_version: SCHEMA_VERSION,
         label: config.label.clone(),
@@ -368,6 +370,95 @@ fn measure_dense_workload(corpus: &Corpus, config: &HarnessConfig) -> WorkloadRe
     }
 }
 
+/// Label of the sharded scatter-gather cell (appended after the dense
+/// cell).
+pub const SHARDED_LABEL: &str = "tau=0.8 11-15g sharded-8";
+
+/// Shard count of the sharded cell — enough bands that Theorem 1's
+/// window visibly prunes whole shards at τ = 0.8.
+const SHARDED_SHARDS: usize = 8;
+
+/// Measure the sharded scatter-gather cell: the harness corpus behind a
+/// [`ShardedIndex`] with [`SHARDED_SHARDS`] length bands, every query
+/// served through the [`ShardedEngine`] scatter path. The per-shard
+/// gather merges stats in deterministic plan order, so the counters —
+/// including the new `shards_pruned` / `shard_pruned_elements` — stay a
+/// pure function of (scale, seed, grid) and `bench-diff` gates the
+/// band-pruning machinery like any other cell.
+fn measure_sharded_workload(
+    corpus: &Corpus,
+    collection: &SetCollection,
+    config: &HarnessConfig,
+) -> WorkloadReport {
+    let tau = 0.8;
+    let index = ShardedIndex::build(collection, SHARDED_SHARDS, IndexOptions::default())
+        .expect("q-gram tokenizer has a serializable spec");
+    let engine = ShardedEngine::new(index);
+    let wl = workload(
+        corpus,
+        LengthBucket::PAPER[2],
+        0,
+        config.queries,
+        config.seed ^ 0x0073_6361_7474_6572, // "scatter": distinct stream
+    );
+    let queries: Vec<PreparedQuery> = wl
+        .queries()
+        .iter()
+        .map(|s| engine.prepare_query_str(s))
+        .collect();
+    let (warmup, reps) = (config.warmup, config.reps.max(1));
+    let mut algos = Vec::new();
+    for algo in Algo::LISTS_ONLY {
+        let Some(kind) = algo.kind() else {
+            continue;
+        };
+        for _ in 0..warmup {
+            sharded_pass(&engine, kind, &queries, tau);
+        }
+        let mut samples = Vec::with_capacity(reps);
+        let mut stats = SearchStats::default();
+        let mut matches = 0u64;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let (pass_stats, pass_matches) = sharded_pass(&engine, kind, &queries, tau);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            stats = pass_stats;
+            matches = pass_matches;
+            // lint: allow — workload sizes well below 2^53.
+            samples.push(elapsed_ms / queries.len().max(1) as f64);
+        }
+        algos.push(AlgoReport {
+            name: algo.name().to_string(),
+            counters: CounterSection::from_stats(&stats, queries.len() as u64, matches),
+            latency: LatencySection::from_samples(&samples),
+        });
+    }
+    WorkloadReport {
+        label: SHARDED_LABEL.to_string(),
+        tau,
+        queries: queries.len() as u64,
+        algos,
+    }
+}
+
+/// One pass of the sharded cell: every query through the scatter engine.
+fn sharded_pass(
+    engine: &ShardedEngine,
+    kind: AlgorithmKind,
+    queries: &[PreparedQuery],
+    tau: f64,
+) -> (SearchStats, u64) {
+    let mut stats = SearchStats::default();
+    let mut matches = 0u64;
+    for q in queries {
+        let req = SearchRequest::new(q).tau(tau).algorithm(kind);
+        let out = engine.search(&req).expect("sharded-cell search");
+        matches += out.results.len() as u64;
+        stats.merge(&out.stats);
+    }
+    (stats, matches)
+}
+
 /// One pass of the dense cell: every query through one engine variant.
 fn dense_pass(
     engines: &Engines<'_>,
@@ -397,7 +488,7 @@ mod tests {
         config.warmup = 0;
         config.reps = 1;
         let report = run(&config);
-        assert_eq!(report.workloads.len(), GRID.len() + 2);
+        assert_eq!(report.workloads.len(), GRID.len() + 3);
         for w in &report.workloads[..GRID.len()] {
             assert_eq!(w.algos.len(), Algo::ALL.len());
             assert_eq!(w.queries, 5);
@@ -431,7 +522,7 @@ mod tests {
         // and the kernel path (adaptive representations + block
         // skipping) beats the pre-kernel configuration on the counters
         // the block-max layer exists to improve.
-        let dense = report.workloads.last().expect("dense cell present");
+        let dense = &report.workloads[GRID.len() + 1];
         assert_eq!(dense.label, DENSE_LABEL);
         assert_eq!(dense.algos.len(), 2 * DENSE_ROSTER.len());
         for algo in DENSE_ROSTER {
@@ -458,6 +549,40 @@ mod tests {
                 algo.name(),
                 kernel.counters.elements_skipped,
                 pre.counters.elements_skipped
+            );
+        }
+        // The sharded cell serves the inverted-list roster through the
+        // scatter-gather engine: every algorithm agrees on answers, the
+        // Theorem 1 band check prunes whole shards, and the pruned
+        // postings land in the new counters.
+        let sharded = report.workloads.last().expect("sharded cell present");
+        assert_eq!(sharded.label, SHARDED_LABEL);
+        assert_eq!(sharded.algos.len(), Algo::LISTS_ONLY.len());
+        let sf_matches = sharded.algo("SF").expect("SF in roster").counters.matches;
+        for a in &sharded.algos {
+            assert_eq!(a.counters.queries, 5);
+            assert_eq!(
+                a.counters.matches, sf_matches,
+                "{}: sharded roster must agree on answers",
+                a.name
+            );
+            assert!(
+                a.counters.shards_pruned > 0,
+                "{}: tau=0.8 must prune whole shards",
+                a.name
+            );
+            assert!(
+                a.counters.shard_pruned_elements > 0,
+                "{}: pruned shards hold postings",
+                a.name
+            );
+            assert!(
+                a.counters.elements_read
+                    + a.counters.elements_skipped
+                    + a.counters.shard_pruned_elements
+                    <= a.counters.total_list_elements,
+                "{}: the stats partition must cover shard pruning",
+                a.name
             );
         }
         // The report survives its own serialization.

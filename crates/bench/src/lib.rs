@@ -22,14 +22,16 @@
 //! (the versioned `BENCH_*.json` schema), [`harness`] (the deterministic
 //! seeded workload runner behind `setsim-bench harness`), [`loadgen`]
 //! (the concurrent serving-tier driver behind `setsim-bench loadgen`),
-//! and [`diff`] (the noise-aware comparator behind `cargo xtask
-//! bench-diff`).
+//! [`scaleout`] (the ≥10M-record sharded cell behind `setsim-bench
+//! scaleout`), and [`diff`] (the noise-aware comparator behind `cargo
+//! xtask bench-diff`).
 
 pub mod diff;
 pub mod harness;
 pub mod json;
 pub mod loadgen;
 pub mod report;
+pub mod scaleout;
 
 use setsim_core::algorithms::sql::SqlBaseline;
 use setsim_core::{

@@ -223,6 +223,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenOutcome, String> {
         rounds: 0,
         records_scanned: server.records_scanned,
         total_list_elements: server.total_list_elements,
+        // The serving tier fronts a single unsharded index.
+        shards_pruned: 0,
+        shard_pruned_elements: 0,
     };
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,

@@ -136,11 +136,15 @@ pub struct CounterSection {
     pub records_scanned: u64,
     /// Σ pruning denominators (total postings across query lists).
     pub total_list_elements: u64,
+    /// Σ shards skipped whole by the Theorem 1 band check.
+    pub shards_pruned: u64,
+    /// Σ postings never visited because their shard was pruned.
+    pub shard_pruned_elements: u64,
 }
 
 /// Field names of [`CounterSection`], in serialization order; `bench-diff`
 /// iterates this list so a new counter is automatically gated.
-pub const COUNTER_FIELDS: [&str; 10] = [
+pub const COUNTER_FIELDS: [&str; 12] = [
     "queries",
     "matches",
     "elements_read",
@@ -151,6 +155,8 @@ pub const COUNTER_FIELDS: [&str; 10] = [
     "rounds",
     "records_scanned",
     "total_list_elements",
+    "shards_pruned",
+    "shard_pruned_elements",
 ];
 
 impl CounterSection {
@@ -168,6 +174,8 @@ impl CounterSection {
             rounds: stats.rounds,
             records_scanned: stats.records_scanned,
             total_list_elements: stats.total_list_elements,
+            shards_pruned: stats.shards_pruned,
+            shard_pruned_elements: stats.shard_pruned_elements,
         }
     }
 
@@ -185,6 +193,8 @@ impl CounterSection {
             "rounds" => self.rounds,
             "records_scanned" => self.records_scanned,
             "total_list_elements" => self.total_list_elements,
+            "shards_pruned" => self.shards_pruned,
+            "shard_pruned_elements" => self.shard_pruned_elements,
             _ => return None,
         })
     }
@@ -230,6 +240,10 @@ impl CounterSection {
             rounds: u64_field(v, "rounds")?,
             records_scanned: u64_field(v, "records_scanned")?,
             total_list_elements: u64_field(v, "total_list_elements")?,
+            // Within-version schema extension: reports written before the
+            // sharded cell landed lack these keys and still must parse.
+            shards_pruned: u64_field_or_zero(v, "shards_pruned")?,
+            shard_pruned_elements: u64_field_or_zero(v, "shard_pruned_elements")?,
         })
     }
 }
@@ -710,6 +724,17 @@ fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing or non-integer field `{key}`"))
 }
 
+/// Optional integer field: absent keys default to 0 (pre-extension
+/// reports), present keys must still be integers.
+fn u64_field_or_zero(v: &Json, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(j) => j
+            .as_u64()
+            .ok_or_else(|| format!("non-integer field `{key}`")),
+    }
+}
+
 fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
     v.get(key)
         .and_then(Json::as_f64)
@@ -732,6 +757,8 @@ mod tests {
             rounds: 30,
             records_scanned: 0,
             total_list_elements: 2000,
+            shards_pruned: 3,
+            shard_pruned_elements: 400,
         };
         let latency = LatencySection::from_samples(&[0.5, 0.4, 0.6]);
         BenchReport {
@@ -827,13 +854,31 @@ mod tests {
             rounds: 8,
             records_scanned: 9,
             total_list_elements: 10,
+            shards_pruned: 11,
+            shard_pruned_elements: 12,
         };
         let values: Vec<u64> = COUNTER_FIELDS
             .iter()
             .map(|f| c.get(f).expect("known field"))
             .collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
         assert_eq!(c.get("bogus"), None);
+    }
+
+    #[test]
+    fn missing_shard_counters_default_to_zero() {
+        // Reports written before the sharded cell landed have no shard
+        // keys; they must parse with zeros, not fail.
+        // Renaming the keys (readers ignore unknown keys) removes them
+        // without disturbing the surrounding JSON punctuation.
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"shards_pruned\"", "\"x_shards_pruned\"")
+            .replace("\"shard_pruned_elements\"", "\"x_shard_pruned_elements\"");
+        let back = BenchReport::parse(&text).unwrap();
+        let c = &back.workloads[0].algos[0].counters;
+        assert_eq!(c.shards_pruned, 0);
+        assert_eq!(c.shard_pruned_elements, 0);
     }
 
     #[test]

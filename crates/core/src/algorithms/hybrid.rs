@@ -205,10 +205,13 @@ impl SelectionAlgorithm for HybridAlgorithm {
                             upper += query.tokens[i].idf_sq / (len * query.len);
                         }
                         if complete {
-                            if crate::passes(lower, tau) {
+                            // Emit the order-canonical score, not the
+                            // round-order partial sum (see canonical_score).
+                            let score = crate::algorithms::canonical_score(query, seen, len);
+                            if crate::passes(score, tau) {
                                 scratch.results.push(Match {
                                     id: SetId(id),
-                                    score: lower,
+                                    score,
                                 });
                             }
                             scratch.pool.kill_at(li, pi);

@@ -208,10 +208,13 @@ impl SelectionAlgorithm for INraAlgorithm {
                         upper += query.tokens[i].idf_sq / (c.len * query.len);
                     }
                     if complete {
-                        if crate::passes(c.lower, tau) {
+                        // Emit the order-canonical score, not the
+                        // round-order partial sum (see canonical_score).
+                        let score = crate::algorithms::canonical_score(query, c.seen, c.len);
+                        if crate::passes(score, tau) {
                             scratch.results.push(Match {
                                 id: SetId(id),
-                                score: c.lower,
+                                score,
                             });
                         }
                         scratch.to_remove.push(id);

@@ -102,9 +102,12 @@ impl SelectionAlgorithm for ITaAlgorithm {
                 if safely_below(best, tau) {
                     continue;
                 }
-                let mut dot = query.tokens[i].idf_sq;
+                // Sum in query-token order (not first-seen-list order)
+                // so the emitted bits are traversal-independent — see
+                // `canonical_score` in the algorithms module.
+                let mut dot = 0.0;
                 for (j, l) in lists.iter().enumerate() {
-                    if j != i && l.contains_id(p.id, &mut scratch.stats) {
+                    if j == i || l.contains_id(p.id, &mut scratch.stats) {
                         dot += query.tokens[j].idf_sq;
                     }
                 }

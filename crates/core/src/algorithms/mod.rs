@@ -182,6 +182,29 @@ pub trait SelectionAlgorithm {
 /// 128 lists is far beyond anything the paper's workloads produce.
 pub const MAX_QUERY_LISTS: usize = 128;
 
+/// Canonical emission score for a candidate whose matched query lists are
+/// the set bits of `seen`: sum the idf² weights **in query-token order**,
+/// then divide once by `len(s)·len(q)` — exactly [`FullScan`]'s arithmetic
+/// shape. The algorithms discover a candidate's matches in traversal
+/// order (round-robin depth for NRA/iNRA/Hybrid, first-seen list for
+/// TA/iTA), and floating-point addition is not associative, so emitting
+/// the *accumulated* partial sum would leak traversal order into the
+/// reported bits. Routing every emission through this helper makes the
+/// reported score a pure function of the match set — which is what lets a
+/// length-banded [`ShardedIndex`](crate::ShardedIndex), whose shards
+/// traverse shorter lists in different orders, return bit-identical
+/// results to the unsharded index.
+#[inline]
+pub(crate) fn canonical_score(query: &PreparedQuery, seen: u128, len_s: f64) -> f64 {
+    let mut dot = 0.0;
+    for (i, qt) in query.tokens.iter().enumerate() {
+        if seen & (1u128 << i) != 0 {
+            dot += qt.idf_sq;
+        }
+    }
+    dot / (len_s * query.len)
+}
+
 pub(crate) fn assert_query_width(query: &PreparedQuery) {
     assert!(
         query.num_lists() <= MAX_QUERY_LISTS,

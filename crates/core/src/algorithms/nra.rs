@@ -1,4 +1,4 @@
-use crate::algorithms::{assert_query_width, SelectionAlgorithm};
+use crate::algorithms::{assert_query_width, canonical_score, SelectionAlgorithm};
 use crate::engine::{CandCell, SearchCtx};
 use crate::{safely_below, Match, SearchStatus, SetId};
 
@@ -44,9 +44,10 @@ impl NraAlgorithm {
     }
 }
 
-// Classic NRA tracks no set length: its upper bounds use frontier weights
-// only (that blindness is exactly what iNRA fixes); the scratch CandCell's
-// len field stays unused here.
+// Classic NRA tracks no set length for its *bounds*: those use frontier
+// weights only (that blindness is exactly what iNRA fixes). The scratch
+// CandCell's len field is still recorded so completed candidates can be
+// emitted through `canonical_score` — order-independent bits.
 
 impl SelectionAlgorithm for NraAlgorithm {
     fn name(&self) -> &'static str {
@@ -98,6 +99,7 @@ impl SelectionAlgorithm for NraAlgorithm {
                     CandCell::default()
                 });
                 e.lower += w;
+                e.len = p.len;
                 e.seen |= 1u128 << i;
             }
 
@@ -134,10 +136,13 @@ impl SelectionAlgorithm for NraAlgorithm {
                         upper += scratch.frontier[i];
                     }
                     if complete {
-                        if crate::passes(c.lower, tau) {
+                        // Emit the order-canonical score, not the
+                        // round-order partial sum (see canonical_score).
+                        let score = canonical_score(query, c.seen, c.len);
+                        if crate::passes(score, tau) {
                             scratch.results.push(Match {
                                 id: SetId(id),
-                                score: c.lower,
+                                score,
                             });
                         }
                         scratch.to_remove.push(id);

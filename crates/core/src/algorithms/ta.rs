@@ -62,10 +62,13 @@ impl SelectionAlgorithm for TaAlgorithm {
                 if !scratch.seen.insert(p.id.0) {
                     continue;
                 }
-                // Complete the score by probing every other list.
-                let mut dot = query.tokens[i].idf_sq;
+                // Complete the score by probing every other list,
+                // summing in query-token order (not first-seen-list
+                // order) so the emitted bits are traversal-independent —
+                // see `canonical_score` in the algorithms module.
+                let mut dot = 0.0;
                 for (j, l) in lists.iter().enumerate() {
-                    if j != i && l.contains_id(p.id, &mut scratch.stats) {
+                    if j == i || l.contains_id(p.id, &mut scratch.stats) {
                         dot += query.tokens[j].idf_sq;
                     }
                 }

@@ -116,6 +116,20 @@ impl SetCollection {
         }
     }
 
+    /// Decompose into the parts [`from_parts`](Self::from_parts) takes
+    /// (the sharded build path: records are *moved* into per-shard
+    /// sub-collections, never copied).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Box<dyn Tokenizer + Send + Sync>,
+        Dictionary,
+        Vec<String>,
+        Vec<TokenMultiSet>,
+    ) {
+        (self.tokenizer, self.dict, self.texts, self.multisets)
+    }
+
     /// All record texts in id order (snapshot save path).
     pub(crate) fn texts(&self) -> &[String] {
         &self.texts

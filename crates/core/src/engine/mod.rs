@@ -521,3 +521,157 @@ impl<'c> QueryEngine<'c> {
         pool.push(scratch);
     }
 }
+
+/// Serving engine over a [`ShardedIndex`](crate::ShardedIndex): resolves
+/// the band table, **scatters** the surviving shards across a
+/// work-stealing worker pool (the same idiom as
+/// [`QueryEngine::search_batch`], stealing shards instead of requests),
+/// and **gathers** the per-shard outcomes into one result set that is
+/// bit-identical to searching the unsharded index.
+///
+/// Skipped shards are charged to [`SearchStats::shards_pruned`] /
+/// [`SearchStats::shard_pruned_elements`](crate::SearchStats) without a
+/// single posting access, which is the whole point of length banding:
+/// at high thresholds most shards fall outside the Theorem 1 window
+/// `[τ·len(q), len(q)/τ]` and scale-out is nearly free.
+pub struct ShardedEngine {
+    index: crate::ShardedIndex,
+    metrics: EngineMetrics,
+    scratch_pool: Mutex<Vec<Scratch>>,
+}
+
+impl ShardedEngine {
+    /// Wrap a sharded index in a serving engine.
+    #[must_use]
+    pub fn new(index: crate::ShardedIndex) -> Self {
+        Self {
+            index,
+            metrics: EngineMetrics::default(),
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Cold-start from a sharded snapshot directory written by
+    /// [`ShardedIndex::save`](crate::ShardedIndex::save). Every shard
+    /// file is length- and CRC-verified against the `MANIFEST` before a
+    /// byte of it is decoded.
+    pub fn open(dir: &std::path::Path) -> Result<Self, crate::SnapshotError> {
+        // The sanctioned cold-start path for shard directories, like
+        // QueryEngine::open for single files. lint: allow
+        Ok(Self::new(crate::ShardedIndex::open(dir)?))
+    }
+
+    /// The wrapped sharded index.
+    #[must_use]
+    pub fn index(&self) -> &crate::ShardedIndex {
+        &self.index
+    }
+
+    /// Give the sharded index back, dropping the engine state.
+    #[must_use]
+    pub fn into_index(self) -> crate::ShardedIndex {
+        self.index
+    }
+
+    /// Tokenize and prepare a query against the global dictionary and
+    /// weight table (bit-identical to the unsharded preparation).
+    #[must_use]
+    pub fn prepare_query_str(&self, text: &str) -> PreparedQuery {
+        self.index.prepare_query_str(text)
+    }
+
+    /// Run one request, scattering surviving shards across all available
+    /// cores.
+    pub fn search(&self, req: &SearchRequest<'_>) -> Result<SearchOutcome, SearchError> {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.search_with_threads(req, threads)
+    }
+
+    /// [`search`](Self::search) with an explicit worker count. One warm
+    /// scratch per worker, drawn from (and returned to) the engine pool.
+    pub fn search_with_threads(
+        &self,
+        req: &SearchRequest<'_>,
+        num_threads: usize,
+    ) -> Result<SearchOutcome, SearchError> {
+        // Serving boundary: feeds the metrics latency histogram, never
+        // the algorithm kernels. lint: allow no-wallclock
+        let start = Instant::now();
+        crate::ShardedIndex::validate(req)?;
+        let plan = self.index.plan(req.query, req.tau);
+        let shards = self.index.shards();
+        let workers = num_threads.max(1).min(plan.surviving.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Result<SearchOutcome, SearchError>>> =
+            (0..plan.surviving.len()).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    let mut scratch = self.pool_pop();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let (Some((shard, fq)), Some(slot)) = (plan.surviving.get(i), slots.get(i))
+                        else {
+                            break;
+                        };
+                        let sreq = SearchRequest {
+                            query: fq,
+                            tau: req.tau,
+                            algorithm: req.algorithm,
+                            config: req.config,
+                            budget: req.budget,
+                        };
+                        let res = match shards.get(*shard) {
+                            Some(sh) => execute(&sh.index, &mut scratch, &sreq),
+                            None => unreachable!("plan indexes its own shard slice"),
+                        };
+                        // Each slot is claimed by exactly one worker.
+                        let _ = slot.set(res);
+                    }
+                    self.pool_push(scratch);
+                });
+            }
+        });
+        let mut outcomes = Vec::with_capacity(plan.surviving.len());
+        for (slot, (shard, _)) in slots.into_iter().zip(&plan.surviving) {
+            match slot.into_inner() {
+                Some(Ok(out)) => outcomes.push((*shard, out)),
+                Some(Err(e)) => return Err(e),
+                // The cursor hands every slot to some worker before any
+                // worker exits, and scope joins them all.
+                None => unreachable!("shard slot left unfilled"),
+            }
+        }
+        let out = self.index.gather(&plan, outcomes);
+        self.metrics.record(&out.stats, out.status, start.elapsed());
+        self.metrics.record_matches(out.results.len() as u64);
+        Ok(out)
+    }
+
+    /// Point-in-time serving metrics.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Zero the serving metrics (between benchmark phases).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+
+    fn pool_pop(&self) -> Scratch {
+        let mut pool = match self.scratch_pool.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        pool.pop().unwrap_or_default()
+    }
+
+    fn pool_push(&self, scratch: Scratch) {
+        let mut pool = match self.scratch_pool.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        pool.push(scratch);
+    }
+}

@@ -654,6 +654,20 @@ impl<'c> InvertedIndex<'c> {
         options: IndexOptions,
     ) -> InvertedIndex<'static> {
         let weights = TokenWeights::compute(&collection);
+        Self::build_owned_with_weights(collection, options, weights)
+    }
+
+    /// [`build_owned`](Self::build_owned) with an explicit weight table
+    /// instead of one computed from `collection`. This is the sharded
+    /// build path: each shard indexes only its own sub-collection but
+    /// must score with the *global* idf table, or per-shard scores (and
+    /// therefore the merged result set) would drift from the unsharded
+    /// index. `weights` must cover `collection`'s dictionary.
+    pub(crate) fn build_owned_with_weights(
+        collection: Box<SetCollection>,
+        options: IndexOptions,
+        weights: TokenWeights,
+    ) -> InvertedIndex<'static> {
         let lengths: Vec<f64> = collection
             .iter_sets()
             .map(|(_, s)| weights.set_length(s))
@@ -673,7 +687,7 @@ impl<'c> InvertedIndex<'c> {
             })
             .collect();
         sorted_lists.sort_by_key(|(t, _)| *t);
-        Self::assemble_owned(collection, options, sorted_lists)
+        Self::assemble_owned_with_weights(collection, options, sorted_lists, weights)
     }
 
     /// Reassemble an index around an owned collection from decoded
@@ -690,6 +704,19 @@ impl<'c> InvertedIndex<'c> {
         sorted_lists: Vec<(Token, ListPayload)>,
     ) -> InvertedIndex<'static> {
         let weights = TokenWeights::compute(&collection);
+        Self::assemble_owned_with_weights(collection, options, sorted_lists, weights)
+    }
+
+    /// [`assemble_owned`](Self::assemble_owned) with an explicit weight
+    /// table (the sharded snapshot-load path: a reopened shard must score
+    /// with the global df table stored in the shard manifest, not one
+    /// recomputed from its own sub-collection).
+    pub(crate) fn assemble_owned_with_weights(
+        collection: Box<SetCollection>,
+        options: IndexOptions,
+        sorted_lists: Vec<(Token, ListPayload)>,
+        weights: TokenWeights,
+    ) -> InvertedIndex<'static> {
         let lengths: Vec<f64> = collection
             .iter_sets()
             .map(|(_, s)| weights.set_length(s))

@@ -78,6 +78,7 @@ pub mod properties;
 mod query;
 mod result;
 pub mod segment;
+pub mod shard;
 pub mod snapshot;
 mod stats;
 pub mod tfsearch;
@@ -94,7 +95,7 @@ pub use api::{
 pub use collection::{CollectionBuilder, SetCollection, SetId};
 pub use engine::{
     AlgorithmKind, Budget, EngineMetrics, MetricsSnapshot, QueryEngine, Scratch, SearchError,
-    SearchRequest, SearchView,
+    SearchRequest, SearchView, ShardedEngine,
 };
 pub use index::{
     IdPostings, IndexOptions, InvertedIndex, Posting, PostingList, ReprKind, ReprPolicy,
@@ -108,6 +109,7 @@ pub use segment::{
     MutableSearchRequest, RecordId,
 };
 pub use setsim_storage::{SnapshotError, SnapshotRegion};
+pub use shard::{LengthBand, ShardedIndex};
 pub use stats::SearchStats;
 pub use weights::TokenWeights;
 

@@ -952,8 +952,40 @@ fn read_bitmap_words(
 
 /// Load an index from `path`. See [`InvertedIndex::load`].
 pub(crate) fn load_index(path: &Path) -> Result<InvertedIndex<'static>, SnapshotError> {
+    load_index_impl(path, None)
+}
+
+/// Load an index from `path` scoring with an explicit weight table (the
+/// sharded open path: the shard manifest carries the corpus-global df
+/// table, and every shard must be assembled with it rather than with
+/// weights recomputed from its own sub-collection). The stored-length
+/// cross-check below then also proves the supplied table matches the one
+/// the shard was built with.
+pub(crate) fn load_index_with_weights(
+    path: &Path,
+    weights: crate::TokenWeights,
+) -> Result<InvertedIndex<'static>, SnapshotError> {
+    load_index_impl(path, Some(weights))
+}
+
+fn load_index_impl(
+    path: &Path,
+    weights: Option<crate::TokenWeights>,
+) -> Result<InvertedIndex<'static>, SnapshotError> {
     let mut reader = SnapshotReader::open(path)?;
     let (spec, dict, texts, multisets, options, directory) = decode_footer(reader.footer())?;
+    if let Some(w) = &weights {
+        // An externally supplied weight table must cover this file's
+        // dictionary exactly, or assembling below would index out of
+        // bounds on hostile (checksum-valid but cross-wired) inputs.
+        if w.idf_len() != dict.len() {
+            return Err(corrupt(format!(
+                "weight table covers {} tokens, snapshot dictionary has {}",
+                w.idf_len(),
+                dict.len()
+            )));
+        }
+    }
     let num_sets = texts.len();
 
     let mut sorted_lists = Vec::with_capacity(directory.len());
@@ -972,7 +1004,10 @@ pub(crate) fn load_index(path: &Path) -> Result<InvertedIndex<'static>, Snapshot
         texts,
         multisets,
     ));
-    let index = InvertedIndex::assemble_owned(collection, options, sorted_lists);
+    let index = match weights {
+        Some(w) => InvertedIndex::assemble_owned_with_weights(collection, options, sorted_lists, w),
+        None => InvertedIndex::assemble_owned(collection, options, sorted_lists),
+    };
 
     // Cross-check the decoded postings against the recomputed per-set
     // lengths: IDF weights are a deterministic function of the multisets,

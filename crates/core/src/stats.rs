@@ -29,6 +29,14 @@ pub struct SearchStats {
     /// Total postings across the query's inverted lists — the pruning
     /// denominator.
     pub total_list_elements: u64,
+    /// Whole shards skipped by the band table before any of their lists
+    /// was touched (sharded indexes only; always 0 on a single index).
+    pub shards_pruned: u64,
+    /// Postings that were never visited because the entire shard holding
+    /// them fell outside the Theorem 1 length window. These elements are
+    /// part of `total_list_elements` but are neither read nor skipped —
+    /// the third leg of the access partition.
+    pub shard_pruned_elements: u64,
 }
 
 impl SearchStats {
@@ -39,9 +47,11 @@ impl SearchStats {
     /// over-counts (e.g. by charging base-table records to
     /// `elements_read`) is a bug, not something to clamp away. The same
     /// holds for reads and skips together: every list element is either
-    /// read, skipped, or untouched — a seek that charged an element to
-    /// both sides (or a jump that re-counted an already-passed prefix)
-    /// would break the sum, not just one term.
+    /// read, skipped, shard-pruned, or untouched — a seek that charged an
+    /// element to both sides (or a jump that re-counted an already-passed
+    /// prefix) would break the sum, not just one term. Shard pruning adds
+    /// the third leg: postings in a band-skipped shard count toward the
+    /// denominator but can never also be read or skipped.
     pub fn pruning_pct(&self) -> f64 {
         debug_assert!(
             self.elements_read <= self.total_list_elements,
@@ -56,6 +66,17 @@ impl SearchStats {
              total_list_elements ({}): a seek double-charged postings",
             self.elements_read,
             self.elements_skipped,
+            self.total_list_elements
+        );
+        debug_assert!(
+            self.elements_read + self.elements_skipped + self.shard_pruned_elements
+                <= self.total_list_elements,
+            "elements_read ({}) + elements_skipped ({}) + shard_pruned_elements ({}) \
+             exceeds total_list_elements ({}): a pruned shard's postings were \
+             also charged as visited",
+            self.elements_read,
+            self.elements_skipped,
+            self.shard_pruned_elements,
             self.total_list_elements
         );
         if self.total_list_elements == 0 {
@@ -74,7 +95,8 @@ impl SearchStats {
         format!(
             "{{\"elements_read\":{},\"random_probes\":{},\"elements_skipped\":{},\
              \"candidates_inserted\":{},\"candidate_scan_steps\":{},\"rounds\":{},\
-             \"records_scanned\":{},\"total_list_elements\":{}}}",
+             \"records_scanned\":{},\"total_list_elements\":{},\
+             \"shards_pruned\":{},\"shard_pruned_elements\":{}}}",
             self.elements_read,
             self.random_probes,
             self.elements_skipped,
@@ -83,6 +105,8 @@ impl SearchStats {
             self.rounds,
             self.records_scanned,
             self.total_list_elements,
+            self.shards_pruned,
+            self.shard_pruned_elements,
         )
     }
 
@@ -96,6 +120,8 @@ impl SearchStats {
         self.rounds += other.rounds;
         self.records_scanned += other.records_scanned;
         self.total_list_elements += other.total_list_elements;
+        self.shards_pruned += other.shards_pruned;
+        self.shard_pruned_elements += other.shard_pruned_elements;
     }
 }
 
@@ -150,12 +176,15 @@ mod tests {
             rounds: 6,
             records_scanned: 7,
             total_list_elements: 8,
+            shards_pruned: 9,
+            shard_pruned_elements: 10,
         };
         assert_eq!(
             s.to_json(),
             "{\"elements_read\":1,\"random_probes\":2,\"elements_skipped\":3,\
              \"candidates_inserted\":4,\"candidate_scan_steps\":5,\"rounds\":6,\
-             \"records_scanned\":7,\"total_list_elements\":8}"
+             \"records_scanned\":7,\"total_list_elements\":8,\
+             \"shards_pruned\":9,\"shard_pruned_elements\":10}"
         );
         assert_eq!(s.to_json(), s.to_json(), "byte-stable");
     }
@@ -171,12 +200,16 @@ mod tests {
             rounds: 6,
             records_scanned: 8,
             total_list_elements: 7,
+            shards_pruned: 9,
+            shard_pruned_elements: 0,
         };
         a.merge(&a.clone());
         assert_eq!(a.elements_read, 2);
         assert_eq!(a.random_probes, 4);
         assert_eq!(a.records_scanned, 16);
         assert_eq!(a.total_list_elements, 14);
+        assert_eq!(a.shards_pruned, 18);
+        assert_eq!(a.shard_pruned_elements, 0);
     }
 
     #[test]
@@ -217,5 +250,38 @@ mod tests {
             ..Default::default()
         };
         assert!((s.pruning_pct() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_pct_accepts_shard_pruned_partition() {
+        // A pruned shard's postings complete the partition: read +
+        // skipped + shard-pruned may reach the denominator exactly.
+        let s = SearchStats {
+            elements_read: 30,
+            elements_skipped: 20,
+            shard_pruned_elements: 50,
+            shards_pruned: 2,
+            total_list_elements: 100,
+            ..Default::default()
+        };
+        assert!((s.pruning_pct() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "also charged as visited")]
+    #[cfg(debug_assertions)]
+    fn pruning_pct_rejects_visited_postings_in_pruned_shards_in_debug() {
+        // Reads + skips alone fit the denominator, but adding the
+        // shard-pruned leg overflows it: some posting was charged both
+        // as shard-pruned and as visited.
+        let s = SearchStats {
+            elements_read: 40,
+            elements_skipped: 30,
+            shard_pruned_elements: 40,
+            shards_pruned: 1,
+            total_list_elements: 100,
+            ..Default::default()
+        };
+        let _ = s.pruning_pct();
     }
 }

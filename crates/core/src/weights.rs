@@ -55,6 +55,36 @@ impl TokenWeights {
         }
     }
 
+    /// Reconstruct weights from a document-frequency table computed over
+    /// a corpus of `n_sets` sets (the shard path: every shard scores with
+    /// the *global* df table, not its own sub-collection's, so scores are
+    /// bit-identical to the unsharded index). `df[t]` counts each token
+    /// once per set, exactly as [`compute`](Self::compute) does, so the
+    /// average distinct-token set size is `Σ df / N`.
+    pub fn from_doc_freqs(n_sets: usize, df: Vec<u32>) -> Self {
+        let idf = df.iter().map(|&d| Self::idf_formula(n_sets, d)).collect();
+        // Summing exact u32 integers in f64 stays exact below 2^53, so
+        // this equals `count_to_f64` of the integer total bit-for-bit
+        // (pinned by `from_doc_freqs_matches_compute`).
+        let total_size: f64 = df.iter().map(|&d| f64::from(d)).sum();
+        let avg_set_size = if n_sets == 0 {
+            0.0
+        } else {
+            total_size / count_to_f64(n_sets)
+        };
+        Self {
+            idf,
+            df,
+            n_sets,
+            avg_set_size,
+        }
+    }
+
+    /// The document-frequency table, one entry per dictionary token.
+    pub(crate) fn doc_freqs(&self) -> &[u32] {
+        &self.df
+    }
+
     /// `log2(1 + N / max(1, N(t)))`. Document frequency is clamped to 1 so
     /// that query tokens absent from the database (which can arise from
     /// query modifications) still get a finite weight: they behave as if
@@ -185,5 +215,19 @@ mod tests {
         let c = collection(&["a b c", "d"]);
         let w = TokenWeights::compute(&c);
         assert!((w.avg_set_size() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_doc_freqs_matches_compute() {
+        let c = collection(&["main st", "main rd", "main maine", "park"]);
+        let w = TokenWeights::compute(&c);
+        let rebuilt = TokenWeights::from_doc_freqs(w.n_sets(), w.doc_freqs().to_vec());
+        assert_eq!(rebuilt.n_sets(), w.n_sets());
+        assert_eq!(rebuilt.avg_set_size().to_bits(), w.avg_set_size().to_bits());
+        for i in 0..c.dict().len() {
+            let t = Token(u32::try_from(i).unwrap());
+            assert_eq!(rebuilt.idf(t).to_bits(), w.idf(t).to_bits());
+            assert_eq!(rebuilt.df(t), w.df(t));
+        }
     }
 }

@@ -53,29 +53,20 @@ pub struct Corpus {
 impl Corpus {
     /// Generate a corpus from `config`.
     pub fn generate(config: &CorpusConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let vocab = Vocabulary::generate(
-            config.vocab_size,
-            config.word_len.0,
-            config.word_len.1,
-            config.zipf_s,
-            &mut rng,
-        );
+        let mut stream = RecordStream::new(config);
         let mut records = Vec::with_capacity(config.num_records);
         let mut word_occurrences = Vec::new();
         for i in 0..config.num_records {
-            let (lo, hi) = config.words_per_record;
-            let n_words = rng.gen_range(lo..=hi);
-            let words: Vec<&str> = (0..n_words).map(|_| vocab.sample(&mut rng)).collect();
-            for w in &words {
-                word_occurrences.push((i, (*w).to_string()));
+            let record = stream.next().expect("stream yields num_records records");
+            for w in record.split(' ') {
+                word_occurrences.push((i, w.to_string()));
             }
-            records.push(words.join(" "));
+            records.push(record);
         }
         Self {
             records,
             word_occurrences,
-            vocab,
+            vocab: stream.into_vocab(),
         }
     }
 
@@ -100,6 +91,83 @@ impl Corpus {
         &self.vocab
     }
 }
+
+/// A streaming record generator: yields exactly the records
+/// [`Corpus::generate`] would materialize for the same config, one at a
+/// time, holding only the vocabulary (bounded by `vocab_size`) and the
+/// RNG state in memory. This is what makes the ≥10M-record `large`
+/// scale-out cell feasible — the corpus is fed record-by-record into a
+/// streaming index builder and never exists as a `Vec<String>`.
+///
+/// Determinism contract: `RecordStream::new(c).take(n)` equals
+/// `Corpus::generate(c).records()[..n]` word for word (pinned by
+/// `stream_matches_materialized_corpus`); [`Corpus::generate`] is itself
+/// implemented on top of this stream.
+#[derive(Debug, Clone)]
+pub struct RecordStream {
+    vocab: Vocabulary,
+    rng: StdRng,
+    words_per_record: (usize, usize),
+    remaining: usize,
+}
+
+impl RecordStream {
+    /// Seed a stream of `config.num_records` records.
+    pub fn new(config: &CorpusConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let vocab = Vocabulary::generate(
+            config.vocab_size,
+            config.word_len.0,
+            config.word_len.1,
+            config.zipf_s,
+            &mut rng,
+        );
+        Self {
+            vocab,
+            rng,
+            words_per_record: config.words_per_record,
+            remaining: config.num_records,
+        }
+    }
+
+    /// Records not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Consume the stream, keeping the vocabulary (and its Zipf model)
+    /// for query generation against the streamed corpus.
+    pub fn into_vocab(self) -> Vocabulary {
+        self.vocab
+    }
+}
+
+impl Iterator for RecordStream {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let (lo, hi) = self.words_per_record;
+        let n_words = self.rng.gen_range(lo..=hi);
+        let mut record = String::new();
+        for k in 0..n_words {
+            if k > 0 {
+                record.push(' ');
+            }
+            record.push_str(self.vocab.sample(&mut self.rng));
+        }
+        Some(record)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RecordStream {}
 
 #[cfg(test)]
 mod tests {
@@ -160,5 +228,34 @@ mod tests {
         let a = Corpus::generate(&small());
         let b = Corpus::generate(&CorpusConfig { seed: 8, ..small() });
         assert_ne!(a.records(), b.records());
+    }
+
+    #[test]
+    fn stream_matches_materialized_corpus() {
+        let config = small();
+        let corpus = Corpus::generate(&config);
+        let streamed: Vec<String> = RecordStream::new(&config).collect();
+        assert_eq!(corpus.records(), &streamed[..]);
+    }
+
+    #[test]
+    fn stream_is_exact_size() {
+        let config = small();
+        let mut s = RecordStream::new(&config);
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.remaining(), 500);
+        s.next().unwrap();
+        assert_eq!(s.len(), 499);
+        assert_eq!(s.by_ref().count(), 499);
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn stream_vocab_survives_consumption() {
+        let config = small();
+        let mut s = RecordStream::new(&config);
+        while s.next().is_some() {}
+        let vocab = s.into_vocab();
+        assert_eq!(vocab.len(), config.vocab_size);
     }
 }

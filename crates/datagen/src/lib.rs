@@ -14,6 +14,9 @@
 //! * [`Corpus`] — multi-word records composed from a vocabulary, plus the
 //!   word-occurrence view used for word-level similarity search (the
 //!   paper's IMDB setup assigns one id per word occurrence).
+//! * [`RecordStream`] — the streaming generator behind [`Corpus`]: the
+//!   same records, one at a time, without holding the corpus in RAM
+//!   (the ≥10M-record scale-out cell builds on this).
 //! * [`ErrorModel`] — character-level modifications (insert, delete, swap,
 //!   substitute), matching the paper's query perturbation procedure.
 //! * [`DirtyDataset`] — clean records plus erroneous duplicates with ground
@@ -31,7 +34,7 @@ mod vocab;
 mod workload;
 mod zipf;
 
-pub use corpus::{Corpus, CorpusConfig};
+pub use corpus::{Corpus, CorpusConfig, RecordStream};
 pub use dirty::{DirtyConfig, DirtyDataset};
 pub use errors::{ErrorModel, Modification};
 pub use vocab::Vocabulary;

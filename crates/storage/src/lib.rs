@@ -29,7 +29,9 @@ mod pool;
 pub mod snapshot;
 
 pub use disk::{CostModel, DiskStats, PageId, SimulatedDisk};
-pub use manifest::{DeltaLogOp, ManifestEntry, SegmentManifest};
+pub use manifest::{
+    sniff_manifest_magic, DeltaLogOp, ManifestEntry, SegmentManifest, ShardEntry, ShardManifest,
+};
 pub use paged::PagedPostings;
 pub use pool::BufferPool;
 pub use snapshot::{SnapshotError, SnapshotLayout, SnapshotReader, SnapshotRegion, SnapshotWriter};

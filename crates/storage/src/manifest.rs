@@ -194,6 +194,169 @@ impl SegmentManifest {
     }
 }
 
+/// Shard-directory manifest magic (length-banded [`ShardManifest`]).
+pub const SHARD_MANIFEST_MAGIC: [u8; 8] = *b"SSIMSHRD";
+/// Current shard-manifest format version. Readers reject anything else.
+pub const SHARD_MANIFEST_VERSION: u32 = 1;
+
+/// One shard referenced by a [`ShardManifest`]: its snapshot file (with
+/// the length + CRC32 contract of [`ManifestEntry`]), its length band
+/// stored as `f64` bit patterns so bands round-trip exactly, and the
+/// global set id of each of its records in local-id order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The shard's snapshot file.
+    pub file: ManifestEntry,
+    /// Bit pattern of the smallest normalized set length in the shard.
+    pub min_len_bits: u64,
+    /// Bit pattern of the largest normalized set length in the shard.
+    pub max_len_bits: u64,
+    /// Global set id of local record `i`, ascending (the gather phase
+    /// maps per-shard matches back through this table).
+    pub global_ids: Vec<u32>,
+}
+
+/// The manifest tying a sharded-index directory together: the N-way
+/// generalization of [`SegmentManifest`]'s base+delta layout. Alongside
+/// the per-shard file table it records the **corpus-global document
+/// frequencies** — every shard must be reassembled with the global idf
+/// table (not one recomputed from its own sub-collection) or per-shard
+/// scores would drift from the unsharded index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Total records across all shards (the global `N` of the idf
+    /// formula; shard id tables must partition `0..num_records`).
+    pub num_records: u64,
+    /// Document frequency of every dictionary token, in token-id order.
+    pub doc_freqs: Vec<u32>,
+    /// The shards, in ascending band order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Serialize and write this manifest to `dir/MANIFEST`. Callers write
+    /// every shard snapshot first and the manifest last, so a torn save
+    /// leaves no readable directory behind.
+    pub fn write(&self, dir: &Path) -> Result<(), SnapshotError> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SHARD_MANIFEST_MAGIC);
+        write_u32_le(&mut out, SHARD_MANIFEST_VERSION);
+        write_u64_le(&mut out, self.num_records);
+        write_u64_le(&mut out, self.doc_freqs.len() as u64);
+        for &df in &self.doc_freqs {
+            write_u32_le(&mut out, df);
+        }
+        write_u32_le(&mut out, self.shards.len() as u32);
+        for shard in &self.shards {
+            write_entry(&mut out, &shard.file);
+            write_u64_le(&mut out, shard.min_len_bits);
+            write_u64_le(&mut out, shard.max_len_bits);
+            write_u64_le(&mut out, shard.global_ids.len() as u64);
+            for &id in &shard.global_ids {
+                write_u32_le(&mut out, id);
+            }
+        }
+        let crc = crc32(&out);
+        write_u32_le(&mut out, crc);
+        std::fs::write(dir.join(MANIFEST_FILE), &out)?;
+        Ok(())
+    }
+
+    /// Read and validate `dir/MANIFEST` as a shard manifest.
+    pub fn read(dir: &Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+        if bytes.len() < SHARD_MANIFEST_MAGIC.len() + 8 {
+            return Err(SnapshotError::Truncated {
+                expected: (SHARD_MANIFEST_MAGIC.len() + 8) as u64,
+                actual: bytes.len() as u64,
+            });
+        }
+        if bytes[..SHARD_MANIFEST_MAGIC.len()] != SHARD_MANIFEST_MAGIC {
+            return Err(SnapshotError::BadMagic {
+                region: SnapshotRegion::Header,
+            });
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let mut tail = bytes.len() - 4;
+        let stored = read_u32_le(&bytes, &mut tail).ok_or_else(truncated_field)?;
+        if crc32(body) != stored {
+            return Err(SnapshotError::ChecksumMismatch {
+                region: SnapshotRegion::Header,
+            });
+        }
+        let mut pos = SHARD_MANIFEST_MAGIC.len();
+        let version = read_u32_le(body, &mut pos).ok_or_else(truncated_field)?;
+        if version != SHARD_MANIFEST_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SHARD_MANIFEST_VERSION,
+            });
+        }
+        let num_records = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+        let n_df = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+        let n_df = usize::try_from(n_df).map_err(|_| SnapshotError::Corrupt {
+            detail: "shard manifest df table length overflows usize".to_string(),
+        })?;
+        if body.len().saturating_sub(pos) < n_df.saturating_mul(4) {
+            return Err(truncated_field());
+        }
+        let mut doc_freqs = Vec::with_capacity(n_df);
+        for _ in 0..n_df {
+            doc_freqs.push(read_u32_le(body, &mut pos).ok_or_else(truncated_field)?);
+        }
+        let n_shards = read_u32_le(body, &mut pos).ok_or_else(truncated_field)?;
+        let mut shards = Vec::with_capacity(n_shards as usize);
+        for _ in 0..n_shards {
+            let file = read_entry(body, &mut pos)?;
+            let min_len_bits = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+            let max_len_bits = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+            let n_ids = read_u64_le(body, &mut pos).ok_or_else(truncated_field)?;
+            let n_ids = usize::try_from(n_ids).map_err(|_| SnapshotError::Corrupt {
+                detail: "shard id table length overflows usize".to_string(),
+            })?;
+            if body.len().saturating_sub(pos) < n_ids.saturating_mul(4) {
+                return Err(truncated_field());
+            }
+            let mut global_ids = Vec::with_capacity(n_ids);
+            for _ in 0..n_ids {
+                global_ids.push(read_u32_le(body, &mut pos).ok_or_else(truncated_field)?);
+            }
+            shards.push(ShardEntry {
+                file,
+                min_len_bits,
+                max_len_bits,
+                global_ids,
+            });
+        }
+        if pos != body.len() {
+            return Err(SnapshotError::Corrupt {
+                detail: "trailing bytes after last shard entry".to_string(),
+            });
+        }
+        Ok(Self {
+            num_records,
+            doc_freqs,
+            shards,
+        })
+    }
+}
+
+/// Peek at the magic of `dir/MANIFEST` without decoding it, so callers
+/// serving "a directory" can route to the segment or shard loader. Errors
+/// if the file is missing or shorter than a magic.
+pub fn sniff_manifest_magic(dir: &Path) -> Result<[u8; 8], SnapshotError> {
+    let bytes = std::fs::read(dir.join(MANIFEST_FILE))?;
+    let Some(head) = bytes.get(..8) else {
+        return Err(SnapshotError::Truncated {
+            expected: 8,
+            actual: bytes.len() as u64,
+        });
+    };
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(head);
+    Ok(magic)
+}
+
 fn truncated_field() -> SnapshotError {
     SnapshotError::Corrupt {
         detail: "manifest field truncated".to_string(),
@@ -426,6 +589,93 @@ mod tests {
         assert!(matches!(
             delta.read_verified(&dir.0),
             Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    fn sample_shard_manifest(dir: &Path) -> ShardManifest {
+        std::fs::write(dir.join("shard-000.snap"), b"shard zero bytes").unwrap();
+        std::fs::write(dir.join("shard-001.snap"), b"shard one").unwrap();
+        ShardManifest {
+            num_records: 5,
+            doc_freqs: vec![3, 0, 1, 5],
+            shards: vec![
+                ShardEntry {
+                    file: ManifestEntry::describe(&dir.join("shard-000.snap"), "shard-000.snap")
+                        .unwrap(),
+                    min_len_bits: 1.25f64.to_bits(),
+                    max_len_bits: 2.5f64.to_bits(),
+                    global_ids: vec![0, 2, 4],
+                },
+                ShardEntry {
+                    file: ManifestEntry::describe(&dir.join("shard-001.snap"), "shard-001.snap")
+                        .unwrap(),
+                    min_len_bits: 2.75f64.to_bits(),
+                    max_len_bits: 9.0f64.to_bits(),
+                    global_ids: vec![1, 3],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn shard_manifest_round_trips() {
+        let dir = TempDir::new("shard-roundtrip");
+        let m = sample_shard_manifest(&dir.0);
+        m.write(&dir.0).unwrap();
+        assert_eq!(sniff_manifest_magic(&dir.0).unwrap(), SHARD_MANIFEST_MAGIC);
+        let back = ShardManifest::read(&dir.0).unwrap();
+        assert_eq!(back, m);
+        // Referenced shard files verify through the same entry contract.
+        for s in &back.shards {
+            assert!(s.file.read_verified(&dir.0).is_ok());
+        }
+    }
+
+    #[test]
+    fn shard_manifest_detects_flips_everywhere() {
+        let dir = TempDir::new("shard-flips");
+        sample_shard_manifest(&dir.0).write(&dir.0).unwrap();
+        let path = dir.0.join(MANIFEST_FILE);
+        let clean = std::fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                ShardManifest::read(&dir.0).is_err(),
+                "flip at byte {i} went unnoticed"
+            );
+        }
+        std::fs::write(&path, &clean).unwrap();
+        assert!(ShardManifest::read(&dir.0).is_ok());
+    }
+
+    #[test]
+    fn shard_manifest_rejects_segment_manifest() {
+        // A segment directory must not open as a sharded one (and vice
+        // versa): the magics route, not just decorate.
+        let dir = TempDir::new("shard-vs-segment");
+        std::fs::write(dir.0.join(BASE_FILE), b"payload").unwrap();
+        let base = ManifestEntry::describe(&dir.0.join(BASE_FILE), BASE_FILE).unwrap();
+        let delta = write_delta_log(&dir.0, &sample_ops()).unwrap();
+        SegmentManifest {
+            base,
+            delta,
+            delta_ops: 3,
+            next_record_id: 9,
+            base_record_ids: vec![0, 1],
+        }
+        .write(&dir.0)
+        .unwrap();
+        assert_eq!(sniff_manifest_magic(&dir.0).unwrap(), MANIFEST_MAGIC);
+        assert!(matches!(
+            ShardManifest::read(&dir.0),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        sample_shard_manifest(&dir.0).write(&dir.0).unwrap();
+        assert!(matches!(
+            SegmentManifest::read(&dir.0),
+            Err(SnapshotError::BadMagic { .. })
         ));
     }
 

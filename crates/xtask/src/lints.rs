@@ -1,6 +1,6 @@
 //! The repo's custom lint rules, on the token-stream engine.
 //!
-//! Eight rules encode policies rustc and clippy cannot express:
+//! Nine rules encode policies rustc and clippy cannot express:
 //!
 //! 1. **`no-unwrap`** — library code in `setsim-core` and
 //!    `setsim-collections` must not call `.unwrap()` or `.expect(...)`.
@@ -56,6 +56,13 @@
 //!    `write_frame`/`read_frame`, never by hand-rolling bytes. A bespoke
 //!    encoder silently forks the wire format — the exact failure the
 //!    versioned protocol exists to prevent.
+//! 9. **`sharding`** — serving code (the CLI and the server crate) must
+//!    run searches through an engine (`QueryEngine`, `ShardedEngine`,
+//!    `MutableEngine`), never by invoking the single-index executor
+//!    (`engine::execute` / `execute_into`) directly. A direct executor
+//!    call bypasses the shard planner: the Theorem 1 band table is never
+//!    consulted, so a sharded deployment would silently search one shard
+//!    and miss the rest.
 //!
 //! The first seven used to run as line-oriented substring scans; they now run
 //! on the token stream from [`crate::lexer`] via [`crate::model`]. The
@@ -459,6 +466,43 @@ pub fn check_wire_api(file: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule `sharding`: serving code must run searches through an engine —
+/// `QueryEngine`, `ShardedEngine`, or `MutableEngine` — never by calling
+/// the single-index executor (`engine::execute` / `execute_into`) on an
+/// `InvertedIndex` directly. The engines own the shard planner: a direct
+/// executor call skips the Theorem 1 band table, so in a sharded
+/// deployment it would search one shard and silently miss the rest.
+/// Test regions are exempt; a deliberate exception carries the allow
+/// marker on the call line or the line above.
+pub fn check_sharding(file: &str, source: &str) -> Vec<Finding> {
+    let m = FileModel::new(source);
+    let mut findings = Vec::new();
+    for i in 0..m.code_len().saturating_sub(1) {
+        if m.ct(i).kind != TokenKind::Ident || !m.is_punct(i + 1, '(') {
+            continue;
+        }
+        let name = m.ct_text(i);
+        if name != "execute" && name != "execute_into" {
+            continue;
+        }
+        let line = m.ct(i).line;
+        if m.in_test(line) || m.allowed_on_or_above(line) {
+            continue;
+        }
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "sharding",
+            message: format!(
+                "`{name}(..)` runs a single-index search in serving code; route \
+                 through `QueryEngine`/`ShardedEngine`/`MutableEngine` so the \
+                 shard planner (the Theorem 1 band table) stays in the loop"
+            ),
+        });
+    }
+    findings
+}
+
 /// Which rules apply to a repo-relative path.
 pub fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     let mut rules: Vec<fn(&str, &str) -> Vec<Finding>> = Vec::new();
@@ -524,6 +568,15 @@ pub fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
         || unix.starts_with("crates/bench/src/bin/");
     if speaks_wire && unix.ends_with(".rs") && !unix.contains("tests/") {
         rules.push(check_wire_api);
+    }
+    // sharding: the CLI and the server serve queries, so they must go
+    // through the engines that consult the shard planner. Core (defines
+    // the executor and the engines), bench (measures the raw executor as
+    // a baseline), and test suites stay out.
+    let serves_queries =
+        unix.starts_with("crates/cli/src/") || unix.starts_with("crates/server/src/");
+    if serves_queries && unix.ends_with(".rs") && !unix.contains("tests/") {
+        rules.push(check_sharding);
     }
     rules
 }
@@ -707,12 +760,13 @@ mod tests {
         assert_eq!(rules_for("crates/storage/src/pool.rs").len(), 2);
         // engine-api only, everywhere outside the exempt crates.
         assert_eq!(rules_for("crates/datagen/src/corpus.rs").len(), 1);
-        // CLI serving code: engine-api + mutable-index + wire-api.
-        assert_eq!(rules_for("crates/cli/src/lib.rs").len(), 3);
-        assert_eq!(rules_for("crates/cli/src/main.rs").len(), 3);
-        // Server crate: the same three.
-        assert_eq!(rules_for("crates/server/src/lib.rs").len(), 3);
-        assert_eq!(rules_for("crates/server/src/client.rs").len(), 3);
+        // CLI serving code: engine-api + mutable-index + wire-api +
+        // sharding.
+        assert_eq!(rules_for("crates/cli/src/lib.rs").len(), 4);
+        assert_eq!(rules_for("crates/cli/src/main.rs").len(), 4);
+        // Server crate: the same four.
+        assert_eq!(rules_for("crates/server/src/lib.rs").len(), 4);
+        assert_eq!(rules_for("crates/server/src/client.rs").len(), 4);
         assert_eq!(rules_for("examples/quickstart.rs").len(), 1);
         assert_eq!(rules_for("src/lib.rs").len(), 1);
         // Bench is engine-api-exempt but its loadgen speaks the wire;
@@ -757,6 +811,47 @@ mod tests {
                    let b = x.to_le_bytes();\n}\n"
             .replace("/ lint", "// lint");
         assert!(check_wire_api("crates/server/src/lib.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn direct_executor_call_in_serving_code_is_flagged() {
+        let src = "pub fn serve(idx: &InvertedIndex, req: &SearchRequest) -> SearchOutcome {\n    \
+                   let mut scratch = Scratch::default();\n    \
+                   engine::execute(idx, &mut scratch, req)\n}\n";
+        let f = check_sharding("crates/cli/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "sharding");
+        assert_eq!(f[0].line, 3);
+
+        let src =
+            "pub fn serve(idx: &InvertedIndex, req: &SearchRequest, out: &mut Vec<Hit>) {\n    \
+                   engine::execute_into(idx, req, out);\n}\n";
+        let f = check_sharding("crates/server/src/lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn engine_routed_search_and_exemptions_pass() {
+        // Routing through an engine is the sanctioned path.
+        let src = "pub fn serve(e: &ShardedEngine, req: &SearchRequest) -> SearchOutcome {\n    \
+                   e.search(req)\n}\n";
+        assert!(check_sharding("crates/cli/src/lib.rs", src).is_empty());
+        // The executor named in a comment or string is not a call.
+        let src = "/ engine::execute( is banned here\npub fn f() -> &'static str {\n    \
+                   \"execute_into(idx, req, out)\"\n}\n"
+            .replace("/ engine", "// engine");
+        assert!(check_sharding("crates/cli/src/lib.rs", &src).is_empty());
+        // Allow marker on the line above escapes.
+        let src = "pub fn f(idx: &InvertedIndex, req: &SearchRequest) {\n    \
+                   / lint: allow — single-shard debug path, banner printed.\n    \
+                   let _ = engine::execute(idx, &mut Scratch::default(), req);\n}\n"
+            .replace("/ lint", "// lint");
+        assert!(check_sharding("crates/cli/src/lib.rs", &src).is_empty());
+        // Test modules may drive the executor directly.
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                   let _ = engine::execute(&idx, &mut s, &req);\n    }\n}\n";
+        assert!(check_sharding("crates/cli/src/lib.rs", src).is_empty());
     }
 
     #[test]
