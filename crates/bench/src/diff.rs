@@ -265,6 +265,9 @@ mod tests {
             total_list_elements: 2000,
             shards_pruned: 0,
             shard_pruned_elements: 0,
+            pages_touched: 0,
+            page_cache_hits: 0,
+            page_cache_misses: 0,
         };
         BenchReport {
             schema_version: SCHEMA_VERSION,

@@ -21,12 +21,13 @@ use crate::report::{
 };
 use crate::{prepare_queries, word_collection_seeded, workload, Algo, Engines, Scale};
 use setsim_core::{
-    AlgoConfig, AlgorithmKind, CollectionBuilder, DriftBudget, IndexOptions, MutableIndex,
-    MutableSearchRequest, PreparedQuery, RecordId, ReprKind, ReprPolicy, Scratch, SearchRequest,
-    SearchStats, SetCollection, ShardedEngine, ShardedIndex,
+    AlgoConfig, AlgorithmKind, CollectionBuilder, DriftBudget, IndexOptions, InvertedIndex,
+    MutableIndex, MutableSearchRequest, PreparedQuery, QueryEngine, RecordId, ReprKind, ReprPolicy,
+    Scratch, SearchRequest, SearchStats, SetCollection, ShardedEngine, ShardedIndex,
 };
 use setsim_datagen::{Corpus, LengthBucket};
 use setsim_tokenize::QGramTokenizer;
+use std::path::Path;
 use std::time::Instant;
 
 /// Harness parameters. `scale` and `seed` select the deterministic
@@ -137,6 +138,7 @@ pub fn run(config: &HarnessConfig) -> BenchReport {
     workloads.push(measure_mixed_workload(&corpus, config));
     workloads.push(measure_dense_workload(&corpus, config));
     workloads.push(measure_sharded_workload(&corpus, &collection, config));
+    workloads.push(measure_paged_workload(&corpus, &collection, config));
     BenchReport {
         schema_version: SCHEMA_VERSION,
         label: config.label.clone(),
@@ -441,6 +443,97 @@ fn measure_sharded_workload(
     }
 }
 
+/// Label of the demand-paged serving cell (appended after the sharded
+/// cell).
+pub const PAGED_LABEL: &str = "tau=0.8 11-15g paged-pool";
+
+/// Pool sizes of the paged sweep, as percentages of the snapshot's page
+/// count. 10% forces eviction pressure, 100% makes every re-fault a hit.
+const PAGED_POOL_PCTS: [u64; 3] = [10, 50, 100];
+
+/// Measure the demand-paged serving cell: the harness index persisted as
+/// a snapshot, then served through [`QueryEngine::open_paged`] at three
+/// pool sizes — 10%, 50%, and 100% of the snapshot's page count. Every
+/// timed pass opens a fresh engine (cold pool), so the page-fault
+/// counters — `pages_touched`, `page_cache_hits`, `page_cache_misses` —
+/// are a pure function of (scale, seed, grid) like every other cell and
+/// `bench-diff` gates the windowing/eviction machinery on counter drift.
+fn measure_paged_workload(
+    corpus: &Corpus,
+    collection: &SetCollection,
+    config: &HarnessConfig,
+) -> WorkloadReport {
+    let tau = 0.8;
+    let index = InvertedIndex::build(collection, IndexOptions::default());
+    let path = std::env::temp_dir().join(format!(
+        "setsim-harness-paged-{}-{}.snap",
+        std::process::id(),
+        config.seed
+    ));
+    index.save(&path).expect("paged-cell snapshot save");
+    drop(index);
+    let pages = setsim_core::snapshot::verify(&path)
+        .expect("fresh snapshot verifies")
+        .pages;
+    let wl = workload(
+        corpus,
+        LengthBucket::PAPER[2],
+        0,
+        config.queries,
+        config.seed ^ 0x0070_6167_6564, // "paged": distinct stream
+    );
+    let queries = wl.queries();
+    let (warmup, reps) = (config.warmup, config.reps.max(1));
+    let mut algos = Vec::new();
+    for pct in PAGED_POOL_PCTS {
+        let pool = usize::try_from((pages * pct / 100).max(1)).expect("page count fits usize");
+        for _ in 0..warmup {
+            paged_pass(&path, pool, queries, tau);
+        }
+        let mut samples = Vec::with_capacity(reps);
+        let mut stats = SearchStats::default();
+        let mut matches = 0u64;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let (pass_stats, pass_matches) = paged_pass(&path, pool, queries, tau);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            stats = pass_stats;
+            matches = pass_matches;
+            // lint: allow — workload sizes well below 2^53.
+            samples.push(elapsed_ms / queries.len().max(1) as f64);
+        }
+        algos.push(AlgoReport {
+            name: format!("SF pool={pct}%"),
+            counters: CounterSection::from_stats(&stats, queries.len() as u64, matches),
+            latency: LatencySection::from_samples(&samples),
+        });
+    }
+    let _ = std::fs::remove_file(&path);
+    WorkloadReport {
+        label: PAGED_LABEL.to_string(),
+        tau,
+        queries: queries.len() as u64,
+        algos,
+    }
+}
+
+/// One pass of the paged cell: a fresh cold-pool engine (open is
+/// footer-only, so it belongs in the timed serve path), every query
+/// through the SF algorithm.
+fn paged_pass(path: &Path, pool: usize, queries: &[String], tau: f64) -> (SearchStats, u64) {
+    let mut engine = QueryEngine::open_paged(path, pool).expect("paged-cell open");
+    let mut stats = SearchStats::default();
+    let mut matches = 0u64;
+    for text in queries {
+        let q = engine.prepare_query_str(text);
+        let req = SearchRequest::new(&q).tau(tau).algorithm(AlgorithmKind::Sf);
+        let out = engine.search(req).expect("paged-cell search");
+        matches += out.results.len() as u64;
+        stats.merge(&out.stats);
+    }
+    (stats, matches)
+}
+
 /// One pass of the sharded cell: every query through the scatter engine.
 fn sharded_pass(
     engine: &ShardedEngine,
@@ -488,7 +581,7 @@ mod tests {
         config.warmup = 0;
         config.reps = 1;
         let report = run(&config);
-        assert_eq!(report.workloads.len(), GRID.len() + 3);
+        assert_eq!(report.workloads.len(), GRID.len() + 4);
         for w in &report.workloads[..GRID.len()] {
             assert_eq!(w.algos.len(), Algo::ALL.len());
             assert_eq!(w.queries, 5);
@@ -555,7 +648,7 @@ mod tests {
         // scatter-gather engine: every algorithm agrees on answers, the
         // Theorem 1 band check prunes whole shards, and the pruned
         // postings land in the new counters.
-        let sharded = report.workloads.last().expect("sharded cell present");
+        let sharded = &report.workloads[GRID.len() + 2];
         assert_eq!(sharded.label, SHARDED_LABEL);
         assert_eq!(sharded.algos.len(), Algo::LISTS_ONLY.len());
         let sf_matches = sharded.algo("SF").expect("SF in roster").counters.matches;
@@ -585,6 +678,35 @@ mod tests {
                 a.name
             );
         }
+        // The paged cell sweeps the pool over the same snapshot: every
+        // pool size agrees on answers, faults real pages, and growing the
+        // pool can only reduce disk reads (misses).
+        let paged = report.workloads.last().expect("paged cell present");
+        assert_eq!(paged.label, PAGED_LABEL);
+        assert_eq!(paged.algos.len(), PAGED_POOL_PCTS.len());
+        let full = paged.algo("SF pool=100%").expect("full-pool entry");
+        for a in &paged.algos {
+            assert_eq!(a.counters.queries, 5);
+            assert_eq!(
+                a.counters.matches, full.counters.matches,
+                "{}: pool size must not change answers",
+                a.name
+            );
+            assert!(a.counters.pages_touched > 0, "{}: pages fault", a.name);
+            assert!(
+                a.counters.page_cache_hits + a.counters.page_cache_misses
+                    >= a.counters.pages_touched,
+                "{}: every touched page was fetched at least once",
+                a.name
+            );
+        }
+        let tiny = paged.algo("SF pool=10%").expect("tiny-pool entry");
+        assert!(
+            tiny.counters.page_cache_misses >= full.counters.page_cache_misses,
+            "a smaller pool cannot miss less: {} vs {}",
+            tiny.counters.page_cache_misses,
+            full.counters.page_cache_misses
+        );
         // The report survives its own serialization.
         let back = BenchReport::parse(&report.to_json_string()).unwrap();
         assert_eq!(back, report);

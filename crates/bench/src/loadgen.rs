@@ -223,9 +223,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenOutcome, String> {
         rounds: 0,
         records_scanned: server.records_scanned,
         total_list_elements: server.total_list_elements,
-        // The serving tier fronts a single unsharded index.
+        // The serving tier fronts a single unsharded, unpaged index.
         shards_pruned: 0,
         shard_pruned_elements: 0,
+        pages_touched: 0,
+        page_cache_hits: 0,
+        page_cache_misses: 0,
     };
     let report = BenchReport {
         schema_version: SCHEMA_VERSION,

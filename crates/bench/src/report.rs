@@ -140,11 +140,18 @@ pub struct CounterSection {
     pub shards_pruned: u64,
     /// Σ postings never visited because their shard was pruned.
     pub shard_pruned_elements: u64,
+    /// Σ distinct snapshot pages faulted (paged serving only).
+    pub pages_touched: u64,
+    /// Σ buffer-pool hits while faulting pages (paged serving only).
+    pub page_cache_hits: u64,
+    /// Σ buffer-pool misses — disk reads — while faulting pages (paged
+    /// serving only).
+    pub page_cache_misses: u64,
 }
 
 /// Field names of [`CounterSection`], in serialization order; `bench-diff`
 /// iterates this list so a new counter is automatically gated.
-pub const COUNTER_FIELDS: [&str; 12] = [
+pub const COUNTER_FIELDS: [&str; 15] = [
     "queries",
     "matches",
     "elements_read",
@@ -157,6 +164,9 @@ pub const COUNTER_FIELDS: [&str; 12] = [
     "total_list_elements",
     "shards_pruned",
     "shard_pruned_elements",
+    "pages_touched",
+    "page_cache_hits",
+    "page_cache_misses",
 ];
 
 impl CounterSection {
@@ -176,6 +186,9 @@ impl CounterSection {
             total_list_elements: stats.total_list_elements,
             shards_pruned: stats.shards_pruned,
             shard_pruned_elements: stats.shard_pruned_elements,
+            pages_touched: stats.pages_touched,
+            page_cache_hits: stats.page_cache_hits,
+            page_cache_misses: stats.page_cache_misses,
         }
     }
 
@@ -195,6 +208,9 @@ impl CounterSection {
             "total_list_elements" => self.total_list_elements,
             "shards_pruned" => self.shards_pruned,
             "shard_pruned_elements" => self.shard_pruned_elements,
+            "pages_touched" => self.pages_touched,
+            "page_cache_hits" => self.page_cache_hits,
+            "page_cache_misses" => self.page_cache_misses,
             _ => return None,
         })
     }
@@ -244,6 +260,10 @@ impl CounterSection {
             // sharded cell landed lack these keys and still must parse.
             shards_pruned: u64_field_or_zero(v, "shards_pruned")?,
             shard_pruned_elements: u64_field_or_zero(v, "shard_pruned_elements")?,
+            // Same extension rule for the paged-serving counters.
+            pages_touched: u64_field_or_zero(v, "pages_touched")?,
+            page_cache_hits: u64_field_or_zero(v, "page_cache_hits")?,
+            page_cache_misses: u64_field_or_zero(v, "page_cache_misses")?,
         })
     }
 }
@@ -759,6 +779,9 @@ mod tests {
             total_list_elements: 2000,
             shards_pruned: 3,
             shard_pruned_elements: 400,
+            pages_touched: 7,
+            page_cache_hits: 5,
+            page_cache_misses: 2,
         };
         let latency = LatencySection::from_samples(&[0.5, 0.4, 0.6]);
         BenchReport {
@@ -856,12 +879,18 @@ mod tests {
             total_list_elements: 10,
             shards_pruned: 11,
             shard_pruned_elements: 12,
+            pages_touched: 13,
+            page_cache_hits: 14,
+            page_cache_misses: 15,
         };
         let values: Vec<u64> = COUNTER_FIELDS
             .iter()
             .map(|f| c.get(f).expect("known field"))
             .collect();
-        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        assert_eq!(
+            values,
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+        );
         assert_eq!(c.get("bogus"), None);
     }
 
@@ -879,6 +908,22 @@ mod tests {
         let c = &back.workloads[0].algos[0].counters;
         assert_eq!(c.shards_pruned, 0);
         assert_eq!(c.shard_pruned_elements, 0);
+    }
+
+    #[test]
+    fn missing_page_counters_default_to_zero() {
+        // Reports written before the paged engine landed have no page
+        // keys; same extension rule as the shard counters.
+        let text = sample_report()
+            .to_json_string()
+            .replace("\"pages_touched\"", "\"x_pages_touched\"")
+            .replace("\"page_cache_hits\"", "\"x_page_cache_hits\"")
+            .replace("\"page_cache_misses\"", "\"x_page_cache_misses\"");
+        let back = BenchReport::parse(&text).unwrap();
+        let c = &back.workloads[0].algos[0].counters;
+        assert_eq!(c.pages_touched, 0);
+        assert_eq!(c.page_cache_hits, 0);
+        assert_eq!(c.page_cache_misses, 0);
     }
 
     #[test]

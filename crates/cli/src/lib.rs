@@ -26,7 +26,13 @@
 //!   [`QueryEngine`] from a snapshot (no rebuild) and optionally serve a
 //!   query from it.
 //! * `setsim-cli snapshot verify -s SNAP` — check every page checksum and
-//!   the logical consistency of a snapshot without serving from it.
+//!   the logical consistency of a snapshot without serving from it;
+//!   prints the page count and the minimum viable `--pool-pages`.
+//! * `setsim-cli query -s SNAP --paged [--pool-pages N] -q TEXT` — serve
+//!   the query demand-paged from the snapshot: footer-only open, posting
+//!   pages faulted per query through a bounded buffer pool, bit-identical
+//!   results to the full-load path (falls back to a full load if the
+//!   paged open fails).
 //! * `setsim-cli serve {-i FILE | -d DIR} [--addr HOST:PORT]
 //!   [--inflight N]` — serve the index over TCP with the wire-stable
 //!   protocol (`setsim-core::api`, DESIGN.md §14).
@@ -97,6 +103,11 @@ pub struct Options {
     pub inflight: usize,
     /// Shard: number of length bands to partition the corpus into.
     pub shards: usize,
+    /// Query -s: serve the snapshot demand-paged (bounded buffer pool)
+    /// instead of fully decoding it into heap first.
+    pub paged: bool,
+    /// Paged buffer pool capacity in pages.
+    pub pool_pages: usize,
 }
 
 impl Default for Options {
@@ -121,6 +132,8 @@ impl Default for Options {
             addr: "127.0.0.1:7878".into(),
             inflight: 8,
             shards: 4,
+            paged: false,
+            pool_pages: 64,
         }
     }
 }
@@ -132,6 +145,7 @@ setsim-cli — set similarity search over the lines of a file
 USAGE:
   setsim-cli query {-i FILE | -d DIR} -q TEXT [--tau T] [--algo sf|hybrid|inra|ita|ta|nra|merge|scan] [-n N]
   setsim-cli query --remote HOST:PORT -q TEXT [--tau T] [--algo NAME] [-n N]
+  setsim-cli query -s SNAP -q TEXT [--paged [--pool-pages N]] [--tau T] [--algo NAME] [-n N]
   setsim-cli serve {-i FILE | -d DIR} [--addr HOST:PORT] [--inflight N]
   setsim-cli ingest -d DIR [-i FILE] [--ops FILE]
   setsim-cli compact -d DIR
@@ -164,6 +178,8 @@ OPTIONS:
       --addr ADDR    serve: bind address (default 127.0.0.1:7878)
       --inflight N   serve: admission-control permit count (default 8)
       --shards N     shard: number of length bands (default 4)
+      --paged        query -s: serve demand-paged (bounded buffer pool)
+      --pool-pages N paged buffer pool capacity in pages (default 64)
 
 bench runs every input line as a query through the engine's work-stealing
 batch executor and prints the aggregated serving metrics.
@@ -183,6 +199,14 @@ and applies the --ops mutation script to it; compact folds the delta
 into a fresh base segment with exact recomputed idfs. query -d serves
 from such a directory, delta and all. The directory's base.snap is an
 ordinary snapshot: 'snapshot verify -s DIR/base.snap' checks it.
+
+query -s serves straight from a snapshot file. With --paged the engine
+decodes only the snapshot footer at open and faults posting pages per
+query through a buffer pool of --pool-pages frames, so an index larger
+than RAM serves with bounded resident memory and results bit-identical
+to the full-load path; if the paged open fails the query falls back to
+a full load automatically. 'snapshot verify' prints the page count and
+the minimum viable pool size so operators can size --pool-pages.
 
 shard partitions FILE into length-banded shards (one snapshot per band
 plus a checksummed MANIFEST) so queries can skip whole shards outside
@@ -267,6 +291,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--shards expects an integer".to_string())?;
             }
+            "--paged" => opts.paged = true,
+            "--pool-pages" => {
+                opts.pool_pages = value("--pool-pages")?
+                    .parse()
+                    .map_err(|_| "--pool-pages expects an integer".to_string())?;
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
@@ -274,10 +304,19 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.remote.is_some() && opts.command != "query" {
         return Err("--remote only applies to query".to_string());
     }
-    if opts.remote.is_some() && (opts.input.is_some() || opts.dir.is_some()) {
+    if opts.remote.is_some()
+        && (opts.input.is_some() || opts.dir.is_some() || opts.snapshot.is_some())
+    {
         return Err(
-            "query --remote takes no --input or --dir (the server owns the index)".to_string(),
+            "query --remote takes no --input, --dir, or --snapshot (the server owns the index)"
+                .to_string(),
         );
+    }
+    if opts.paged && !(opts.command == "query" && opts.snapshot.is_some()) {
+        return Err("--paged requires query -s SNAP".to_string());
+    }
+    if opts.pool_pages == 0 {
+        return Err("--pool-pages must be at least 1".to_string());
     }
     if opts.command == "serve" {
         if opts.input.is_none() && opts.dir.is_none() {
@@ -291,7 +330,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         opts.command.as_str(),
         "snapshot-load" | "snapshot-verify" | "ingest" | "compact" | "serve"
     ) || (opts.command == "query"
-        && (opts.dir.is_some() || opts.remote.is_some())));
+        && (opts.dir.is_some() || opts.remote.is_some() || opts.snapshot.is_some())));
     if needs_input && opts.input.is_none() {
         return Err("missing --input FILE".to_string());
     }
@@ -304,8 +343,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.command == "shard" && opts.shards == 0 {
         return Err("--shards must be at least 1".to_string());
     }
-    if opts.command == "query" && opts.dir.is_some() && opts.input.is_some() {
-        return Err("query takes --input or --dir, not both".to_string());
+    if opts.command == "query"
+        && [
+            opts.input.is_some(),
+            opts.dir.is_some(),
+            opts.snapshot.is_some(),
+        ]
+        .iter()
+        .filter(|x| **x)
+        .count()
+            > 1
+    {
+        return Err("query takes one of --input, --dir, or --snapshot".to_string());
     }
     if matches!(opts.command.as_str(), "query" | "topk") && opts.query.is_none() {
         return Err(format!("{} requires --query TEXT", opts.command));
@@ -384,12 +433,19 @@ pub fn run(opts: &Options, lines: &[String]) -> Result<String, String> {
                 s.records, s.tokens, s.postings
             )
             .unwrap();
+            writeln!(
+                out,
+                "paged serving: min pool {} page(s) (query -s --paged --pool-pages)",
+                s.min_pool_pages
+            )
+            .unwrap();
             return Ok(out);
         }
         "query" => {
-            return match &opts.remote {
-                Some(addr) => run_remote_query(opts, addr),
-                None => run_query(opts, lines),
+            return match (&opts.remote, &opts.snapshot) {
+                (Some(addr), _) => run_remote_query(opts, addr),
+                (None, Some(_)) => run_snapshot_query(opts),
+                (None, None) => run_query(opts, lines),
             }
         }
         "serve" => return run_serve(opts, lines),
@@ -570,6 +626,69 @@ fn run_sharded_query(opts: &Options, dir: &Path) -> Result<String, String> {
     for m in results.iter().take(opts.limit) {
         let text = engine.index().text(m.id).unwrap_or("<missing>");
         writeln!(out, "  {:5.3}  [{}] {text}", m.score, m.id).unwrap();
+    }
+    Ok(out)
+}
+
+/// Serve one query straight from a snapshot file. With `--paged` the
+/// demand-paged engine is tried first (footer-only open, pages faulted
+/// per query through a `--pool-pages`-frame pool); if that open fails
+/// the query falls back to a full heap load, so `--paged` can never
+/// make a servable snapshot unservable. Results are bit-identical
+/// either way; the paged path additionally reports page-fault counters.
+fn run_snapshot_query(opts: &Options) -> Result<String, String> {
+    let kind = algorithm(&opts.algo)?;
+    let path = Path::new(opts.snapshot.as_ref().expect("validated"));
+    let text = opts.query.as_ref().expect("validated");
+    let mut out = String::new();
+    if opts.paged {
+        match QueryEngine::open_paged(path, opts.pool_pages) {
+            Ok(mut engine) => {
+                let q = engine.prepare_query_str(text);
+                let outcome = engine
+                    .search(SearchRequest::new(&q).tau(opts.tau).algorithm(kind))
+                    .map_err(|e| e.to_string())?;
+                writeln!(
+                    out,
+                    "paged snapshot: {} page(s), pool {} frame(s), {} resident",
+                    engine.num_pages(),
+                    engine.pool_pages(),
+                    engine.resident_pages()
+                )
+                .unwrap();
+                let (touched, hits, misses) = (
+                    outcome.stats.pages_touched,
+                    outcome.stats.page_cache_hits,
+                    outcome.stats.page_cache_misses,
+                );
+                let results = outcome.sorted_by_score();
+                writeln!(out, "{} match(es) at tau={}:", results.len(), opts.tau).unwrap();
+                for m in results.iter().take(opts.limit) {
+                    let text = engine.index().collection().text(m.id).expect("valid id");
+                    writeln!(out, "  {:5.3}  {text}", m.score).unwrap();
+                }
+                writeln!(
+                    out,
+                    "pages touched: {touched} ({hits} hit(s), {misses} miss(es))"
+                )
+                .unwrap();
+                return Ok(out);
+            }
+            Err(e) => {
+                writeln!(out, "paged open failed ({e}); falling back to full load").unwrap();
+            }
+        }
+    }
+    let mut engine = QueryEngine::open(path).map_err(|e| e.to_string())?;
+    let q = engine.prepare_query_str(text);
+    let outcome = engine
+        .search(SearchRequest::new(&q).tau(opts.tau).algorithm(kind))
+        .map_err(|e| e.to_string())?;
+    let results = outcome.sorted_by_score();
+    writeln!(out, "{} match(es) at tau={}:", results.len(), opts.tau).unwrap();
+    for m in results.iter().take(opts.limit) {
+        let text = engine.index().collection().text(m.id).expect("valid id");
+        writeln!(out, "  {:5.3}  {text}", m.score).unwrap();
     }
     Ok(out)
 }
@@ -1072,6 +1191,83 @@ mod tests {
             parse_args(&argv("snapshot save -s x")).is_err(),
             "save still needs input"
         );
+    }
+
+    #[test]
+    fn parse_paged_query() {
+        let o = parse_args(&argv("query -s idx.snap -q hello --paged --pool-pages 8")).unwrap();
+        assert_eq!(o.command, "query");
+        assert_eq!(o.snapshot.as_deref(), Some("idx.snap"));
+        assert!(o.paged);
+        assert_eq!(o.pool_pages, 8);
+        assert!(o.input.is_none(), "snapshot query needs no input");
+
+        let o = parse_args(&argv("query -s idx.snap -q hello")).unwrap();
+        assert!(!o.paged, "paged is opt-in");
+        assert_eq!(o.pool_pages, 64, "default pool size");
+
+        assert!(
+            parse_args(&argv("query -i f.txt -q x --paged")).is_err(),
+            "--paged requires -s"
+        );
+        assert!(
+            parse_args(&argv("stats -i f.txt --paged")).is_err(),
+            "--paged is query-only"
+        );
+        assert!(
+            parse_args(&argv("query -s a.snap -i f.txt -q x")).is_err(),
+            "one source only"
+        );
+        assert!(
+            parse_args(&argv("query -s a.snap -d seg -q x")).is_err(),
+            "one source only"
+        );
+        assert!(
+            parse_args(&argv("query --remote a:1 -s a.snap -q x")).is_err(),
+            "remote excludes snapshot"
+        );
+        assert!(
+            parse_args(&argv("query -s a.snap -q x --paged --pool-pages 0")).is_err(),
+            "zero pool frames"
+        );
+    }
+
+    #[test]
+    fn paged_query_end_to_end_matches_full_load() {
+        let t = TempFile(temp_snap("paged"));
+        let snap = t.0.to_string_lossy().into_owned();
+        let o = parse_args(&argv(&format!("snapshot save -i x -s {snap}"))).unwrap();
+        run(&o, &lines()).unwrap();
+
+        // Verify reports how to size the pool.
+        let o = parse_args(&argv(&format!("snapshot verify -s {snap}"))).unwrap();
+        let out = run(&o, &[]).unwrap();
+        assert!(out.contains("min pool"), "{out}");
+
+        // Full-load serving from the snapshot.
+        let mut o = parse_args(&argv(&format!("query -s {snap} -q y --tau 0.4"))).unwrap();
+        o.query = Some("main street".into());
+        let full_out = run(&o, &[]).unwrap();
+        assert!(full_out.contains("main street"), "{full_out}");
+        assert!(full_out.contains("1.000"), "{full_out}");
+
+        // Demand-paged serving with a deliberately tiny pool must report
+        // its fault counters and agree match-for-match.
+        let mut o = parse_args(&argv(&format!(
+            "query -s {snap} -q y --tau 0.4 --paged --pool-pages 1"
+        )))
+        .unwrap();
+        o.query = Some("main street".into());
+        let paged_out = run(&o, &[]).unwrap();
+        assert!(paged_out.contains("paged snapshot:"), "{paged_out}");
+        assert!(paged_out.contains("pages touched:"), "{paged_out}");
+        let matches = |s: &str| {
+            s.lines()
+                .filter(|l| l.starts_with("  "))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(matches(&full_out), matches(&paged_out), "{paged_out}");
     }
 
     #[test]

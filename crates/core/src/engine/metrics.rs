@@ -30,6 +30,9 @@ pub struct EngineMetrics {
     records_scanned: AtomicU64,
     total_list_elements: AtomicU64,
     matches: AtomicU64,
+    pages_touched: AtomicU64,
+    page_cache_hits: AtomicU64,
+    page_cache_misses: AtomicU64,
     /// Σ pruning_pct × 100 (centi-percent), for a cheap integer mean.
     sum_pruning_centi: AtomicU64,
     latency_us_sum: AtomicU64,
@@ -47,6 +50,9 @@ impl Default for EngineMetrics {
             records_scanned: AtomicU64::new(0),
             total_list_elements: AtomicU64::new(0),
             matches: AtomicU64::new(0),
+            pages_touched: AtomicU64::new(0),
+            page_cache_hits: AtomicU64::new(0),
+            page_cache_misses: AtomicU64::new(0),
             sum_pruning_centi: AtomicU64::new(0),
             latency_us_sum: AtomicU64::new(0),
             hist: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -90,6 +96,12 @@ impl EngineMetrics {
             .fetch_add(stats.records_scanned, Ordering::Relaxed);
         self.total_list_elements
             .fetch_add(stats.total_list_elements, Ordering::Relaxed);
+        self.pages_touched
+            .fetch_add(stats.pages_touched, Ordering::Relaxed);
+        self.page_cache_hits
+            .fetch_add(stats.page_cache_hits, Ordering::Relaxed);
+        self.page_cache_misses
+            .fetch_add(stats.page_cache_misses, Ordering::Relaxed);
         // lint: allow — pruning_pct ∈ [0, 100], ×100 fits u64 exactly.
         let centi = (stats.pruning_pct() * 100.0).round() as u64;
         self.sum_pruning_centi.fetch_add(centi, Ordering::Relaxed);
@@ -124,6 +136,9 @@ impl EngineMetrics {
             random_probes: self.random_probes.load(Ordering::Relaxed),
             records_scanned: self.records_scanned.load(Ordering::Relaxed),
             total_list_elements: self.total_list_elements.load(Ordering::Relaxed),
+            pages_touched: self.pages_touched.load(Ordering::Relaxed),
+            page_cache_hits: self.page_cache_hits.load(Ordering::Relaxed),
+            page_cache_misses: self.page_cache_misses.load(Ordering::Relaxed),
             mean_pruning_pct: if queries == 0 {
                 100.0
             } else {
@@ -147,6 +162,9 @@ impl EngineMetrics {
         self.random_probes.store(0, Ordering::Relaxed);
         self.records_scanned.store(0, Ordering::Relaxed);
         self.total_list_elements.store(0, Ordering::Relaxed);
+        self.pages_touched.store(0, Ordering::Relaxed);
+        self.page_cache_hits.store(0, Ordering::Relaxed);
+        self.page_cache_misses.store(0, Ordering::Relaxed);
         self.sum_pruning_centi.store(0, Ordering::Relaxed);
         self.latency_us_sum.store(0, Ordering::Relaxed);
         for b in &self.hist {
@@ -195,6 +213,12 @@ pub struct MetricsSnapshot {
     pub records_scanned: u64,
     /// Σ pruning denominators.
     pub total_list_elements: u64,
+    /// Σ distinct snapshot pages faulted per query (paged engine only).
+    pub pages_touched: u64,
+    /// Σ page faults served from resident pool frames (paged engine only).
+    pub page_cache_hits: u64,
+    /// Σ page faults that read the snapshot file (paged engine only).
+    pub page_cache_misses: u64,
     /// Mean per-query pruning power (the Figure 7 metric), percent.
     pub mean_pruning_pct: f64,
     /// Σ per-query latency, microseconds.
@@ -220,7 +244,8 @@ impl MetricsSnapshot {
              pruning            mean {:.2}% (read {} of {} list elements)\n\
              random probes      {}\n\
              records scanned    {}\n\
-             skipped by seeks   {}",
+             skipped by seeks   {}\n\
+             pages              touched {} · pool hits {} · pool misses {}",
             self.queries,
             self.budget_exceeded,
             self.matches,
@@ -234,6 +259,9 @@ impl MetricsSnapshot {
             self.random_probes,
             self.records_scanned,
             self.elements_skipped,
+            self.pages_touched,
+            self.page_cache_hits,
+            self.page_cache_misses,
         )
     }
 
@@ -249,6 +277,7 @@ impl MetricsSnapshot {
             "{{\"queries\":{},\"budget_exceeded\":{},\"matches\":{},\
              \"elements_read\":{},\"elements_skipped\":{},\"random_probes\":{},\
              \"records_scanned\":{},\"total_list_elements\":{},\
+             \"pages_touched\":{},\"page_cache_hits\":{},\"page_cache_misses\":{},\
              \"mean_pruning_pct\":{},\"latency_us\":{{\"mean\":{},\"sum\":{},\
              \"p50\":{},\"p95\":{},\"p99\":{}}}}}",
             self.queries,
@@ -259,6 +288,9 @@ impl MetricsSnapshot {
             self.random_probes,
             self.records_scanned,
             self.total_list_elements,
+            self.pages_touched,
+            self.page_cache_hits,
+            self.page_cache_misses,
             self.mean_pruning_pct,
             mean_us,
             self.latency_us_sum,

@@ -25,11 +25,13 @@
 
 mod budget;
 mod metrics;
+mod paged;
 mod scratch;
 
 pub(crate) use budget::ArmedBudget;
 pub use budget::Budget;
 pub use metrics::{EngineMetrics, MetricsSnapshot};
+pub use paged::{PagedEngine, PagedSearchError};
 pub use scratch::Scratch;
 pub(crate) use scratch::{CandCell, PoolCand, SfCand};
 

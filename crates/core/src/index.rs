@@ -754,6 +754,38 @@ impl<'c> InvertedIndex<'c> {
         }
     }
 
+    /// Swap in a fresh set of decoded list payloads, dropping whatever
+    /// lists were present. The paged engine's per-query path: collection,
+    /// weights, lengths, and options stay fixed (they came from the
+    /// snapshot footer once, at open), while the lists hold only the
+    /// current query's Theorem 1 windows. Assembly is the same
+    /// deterministic [`assemble_list`] the build and load paths use.
+    pub(crate) fn replace_lists(&mut self, sorted_lists: Vec<(Token, ListPayload)>) {
+        self.lists.clear();
+        self.total_postings = 0;
+        for (token, payload) in sorted_lists {
+            let postings = match payload {
+                ListPayload::Postings(p) => p,
+                ListPayload::Ids(ids) => {
+                    let mut p: Vec<Posting> = ids
+                        .into_iter()
+                        .map(|id| Posting {
+                            id: SetId(id),
+                            len: self.lengths[id as usize],
+                        })
+                        .collect();
+                    p.sort_by(|a, b| a.len.total_cmp(&b.len).then(a.id.cmp(&b.id)));
+                    p
+                }
+            };
+            self.total_postings += postings.len() as u64;
+            self.lists.insert(
+                token,
+                assemble_list(token, postings, &self.options, self.lengths.len()),
+            );
+        }
+    }
+
     /// Persist this index as a page-structured, checksummed snapshot file
     /// (see `setsim-storage::snapshot` for the container layout and
     /// DESIGN.md §10 for the full format). Load it back with

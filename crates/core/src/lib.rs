@@ -94,8 +94,8 @@ pub use api::{
 };
 pub use collection::{CollectionBuilder, SetCollection, SetId};
 pub use engine::{
-    AlgorithmKind, Budget, EngineMetrics, MetricsSnapshot, QueryEngine, Scratch, SearchError,
-    SearchRequest, SearchView, ShardedEngine,
+    AlgorithmKind, Budget, EngineMetrics, MetricsSnapshot, PagedEngine, PagedSearchError,
+    QueryEngine, Scratch, SearchError, SearchRequest, SearchView, ShardedEngine,
 };
 pub use index::{
     IdPostings, IndexOptions, InvertedIndex, Posting, PostingList, ReprKind, ReprPolicy,

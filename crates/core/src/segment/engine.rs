@@ -31,7 +31,7 @@ use std::time::Instant;
 ///
 /// The canonical acquisition order below is machine-checked: statically
 /// by `cargo xtask analyze` (lock-discipline pass parses these two
-/// declarations) and at runtime by [`lockcheck`] under the `audit`
+/// declarations) and at runtime by `lockcheck` under the `audit`
 /// feature. `drift_cache` (rank 2, inside [`MutableIndex`]) sits
 /// between `state` and `scratch_pool`; it has no field here, so only
 /// the runtime checker sees its edges.

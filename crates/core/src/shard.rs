@@ -31,7 +31,7 @@
 //! 3. **A sound band bound.** For any record `s`,
 //!    `I(q, s) ≤ min(len(q)/len(s), len(s)/len(q))`; maximizing over a
 //!    band `[lo, hi]` gives the pruning bound used here, and a shard is
-//!    only skipped when that bound is [`safely below`](crate::safely_below)
+//!    only skipped when that bound is *safely below* (`safely_below`)
 //!    `τ` — the same one-sided slack every algorithm's emission test
 //!    grants, so no borderline match can be lost to banding.
 

@@ -158,7 +158,7 @@ fn decode_options(buf: &[u8], pos: &mut usize) -> Result<IndexOptions, SnapshotE
 /// the footer's representation extension (absent in legacy files, whose
 /// decoder therefore defaults every list to `RunBlocks`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ListEncoding {
+pub(crate) enum ListEncoding {
     /// Delta+varint `(len, id)` blocks — the original page kind.
     RunBlocks,
     /// Raw fixed-width `(len-bits, id)` entries: a handful of postings is
@@ -216,19 +216,19 @@ fn decode_repr_policy(byte: u8) -> Result<ReprPolicy, SnapshotError> {
 
 /// One block of a serialized list: `(first len-bits key, page, offset,
 /// count)`. `offset` locates the block inside its (shared) page.
-struct BlockRef {
-    first_key: u64,
-    page: u32,
-    offset: u32,
-    count: u32,
+pub(crate) struct BlockRef {
+    pub(crate) first_key: u64,
+    pub(crate) page: u32,
+    pub(crate) offset: u32,
+    pub(crate) count: u32,
 }
 
 /// Per-list directory entry in the footer.
-struct ListRef {
-    token: Token,
-    postings: u64,
-    encoding: ListEncoding,
-    blocks: Vec<BlockRef>,
+pub(crate) struct ListRef {
+    pub(crate) token: Token,
+    pub(crate) postings: u64,
+    pub(crate) encoding: ListEncoding,
+    pub(crate) blocks: Vec<BlockRef>,
 }
 
 /// Packs encoded blocks back to back into sealed pages. A page is flushed
@@ -563,7 +563,7 @@ fn save_index_with_format(
 /// Everything the footer describes, in decode order: tokenizer spec,
 /// interned dictionary, record texts, token multisets, index options,
 /// and the posting-list directory.
-type DecodedFooter = (
+pub(crate) type DecodedFooter = (
     TokenizerSpec,
     Dictionary,
     Vec<String>,
@@ -572,7 +572,7 @@ type DecodedFooter = (
     Vec<ListRef>,
 );
 
-fn decode_footer(buf: &[u8]) -> Result<DecodedFooter, SnapshotError> {
+pub(crate) fn decode_footer(buf: &[u8]) -> Result<DecodedFooter, SnapshotError> {
     let mut pos = 0usize;
     let spec = decode_spec(buf, &mut pos)?;
 
@@ -731,6 +731,14 @@ fn decode_footer(buf: &[u8]) -> Result<DecodedFooter, SnapshotError> {
     Ok((spec, dict, texts, multisets, options, directory))
 }
 
+/// Where block pages come from during decode. The eager load path reads
+/// straight through the [`SnapshotReader`] (via [`PageCache`]); the paged
+/// engine faults pages through a bounded buffer pool instead. Either way
+/// every fetched page has already had its CRC verified.
+pub(crate) trait PageFetch {
+    fn fetch(&mut self, id: u32) -> Result<&[u8], SnapshotError>;
+}
+
 /// Single-page read cache: consecutive blocks of the directory usually
 /// live on the same (shared) page, so one page is fetched and
 /// checksum-verified once instead of once per block.
@@ -739,8 +747,8 @@ struct PageCache<'r> {
     last: Option<(u32, Vec<u8>)>,
 }
 
-impl PageCache<'_> {
-    fn page(&mut self, id: u32) -> Result<&[u8], SnapshotError> {
+impl PageFetch for PageCache<'_> {
+    fn fetch(&mut self, id: u32) -> Result<&[u8], SnapshotError> {
         let stale = !matches!(&self.last, Some((p, _)) if *p == id);
         if stale {
             let payload = self.reader.page(id)?;
@@ -755,30 +763,108 @@ impl PageCache<'_> {
 
 /// Decode one list's body from its block pages, dispatching on the page
 /// kind recorded in the footer's representation extension.
-fn read_list_postings(
-    cache: &mut PageCache<'_>,
+fn read_list_postings<F: PageFetch>(
+    pages: &mut F,
     list: &ListRef,
     num_sets: usize,
 ) -> Result<ListPayload, SnapshotError> {
+    read_list_blocks(pages, list, 0..list.blocks.len(), num_sets)
+}
+
+/// The contiguous block range of `list` that can hold any posting whose
+/// score against a length-`len_q` query is not safely below `tau` —
+/// Theorem 1 applied block-by-block using the directory's fence keys.
+///
+/// Block `i` covers lengths `[first_key_i, first_key_{i+1}]` (the last
+/// block is unbounded above); [`crate::LengthBand::score_upper_bound`]
+/// bounds the score of every set in that band, and a block is dropped
+/// only when that bound is *safely* below `tau` — the exact complement
+/// of the emission predicate, so window decoding is bit-identical to
+/// whole-list decoding. Bitmap lists key blocks by word index, not
+/// length, and always return the full range.
+pub(crate) fn window_blocks(list: &ListRef, len_q: f64, tau: f64) -> std::ops::Range<usize> {
+    let n = list.blocks.len();
+    if list.encoding == ListEncoding::BitmapWords {
+        return 0..n;
+    }
+    let mut first = n;
+    let mut last = 0usize;
+    for i in 0..n {
+        let band = crate::LengthBand {
+            min_len: f64::from_bits(list.blocks[i].first_key),
+            max_len: match list.blocks.get(i + 1) {
+                Some(next) => f64::from_bits(next.first_key),
+                None => f64::INFINITY,
+            },
+        };
+        if !crate::safely_below(band.score_upper_bound(len_q), tau) {
+            first = first.min(i);
+            last = i + 1;
+        }
+    }
+    if first >= last {
+        0..0
+    } else {
+        first..last
+    }
+}
+
+/// Decode the given block range of one list. A partial range (the paged
+/// engine's Theorem 1 window) relaxes only the exact-count check against
+/// the directory; ordering, fence-key agreement, and id-range validation
+/// are enforced identically. Bitmap lists are structurally whole-list
+/// (word tiling and pop-count checks need every word), so a partial
+/// bitmap range is rejected rather than silently widened.
+pub(crate) fn read_list_blocks<F: PageFetch>(
+    pages: &mut F,
+    list: &ListRef,
+    range: std::ops::Range<usize>,
+    num_sets: usize,
+) -> Result<ListPayload, SnapshotError> {
+    let complete = range == (0..list.blocks.len());
+    let blocks = list
+        .blocks
+        .get(range)
+        .ok_or_else(|| corrupt("block range outside the directory"))?;
     match list.encoding {
         ListEncoding::RunBlocks => {
-            read_run_blocks(cache, list, num_sets).map(ListPayload::Postings)
+            read_run_blocks(pages, list, blocks, complete, num_sets).map(ListPayload::Postings)
         }
         ListEncoding::InlineRaw => {
-            read_inline_raw(cache, list, num_sets).map(ListPayload::Postings)
+            read_inline_raw(pages, list, blocks, complete, num_sets).map(ListPayload::Postings)
         }
-        ListEncoding::BitmapWords => read_bitmap_words(cache, list, num_sets).map(ListPayload::Ids),
+        ListEncoding::BitmapWords => {
+            if !complete {
+                return Err(corrupt(format!(
+                    "bitmap list for token {} cannot be decoded partially",
+                    list.token.0
+                )));
+            }
+            read_bitmap_words(pages, list, num_sets).map(ListPayload::Ids)
+        }
     }
 }
 
 /// Shared post-decode validation for the posting-bearing encodings: count
-/// must match the directory and the order must be strictly `(len, id)`.
-fn check_posting_body(list: &ListRef, postings: &[Posting]) -> Result<(), SnapshotError> {
+/// must match the directory (bounded by it for a partial window) and the
+/// order must be strictly `(len, id)`.
+fn check_posting_body(
+    list: &ListRef,
+    postings: &[Posting],
+    complete: bool,
+) -> Result<(), SnapshotError> {
     let total =
         usize::try_from(list.postings).map_err(|_| corrupt("posting count overflows usize"))?;
-    if postings.len() != total {
+    if complete && postings.len() != total {
         return Err(corrupt(format!(
             "list for token {} has {} postings, directory says {total}",
+            list.token.0,
+            postings.len()
+        )));
+    }
+    if postings.len() > total {
+        return Err(corrupt(format!(
+            "window of list for token {} has {} postings, whole directory says {total}",
             list.token.0,
             postings.len()
         )));
@@ -796,16 +882,18 @@ fn check_posting_body(list: &ListRef, postings: &[Posting]) -> Result<(), Snapsh
 }
 
 /// Delta + varint `(len, id)` blocks — the original page kind.
-fn read_run_blocks(
-    cache: &mut PageCache<'_>,
+fn read_run_blocks<F: PageFetch>(
+    pages: &mut F,
     list: &ListRef,
+    blocks: &[BlockRef],
+    complete: bool,
     num_sets: usize,
 ) -> Result<Vec<Posting>, SnapshotError> {
     let total =
         usize::try_from(list.postings).map_err(|_| corrupt("posting count overflows usize"))?;
     let mut postings = Vec::with_capacity(total.min(1 << 20));
-    for b in &list.blocks {
-        let payload = cache.page(b.page)?;
+    for b in blocks {
+        let payload = pages.fetch(b.page)?;
         let mut pos = b.offset as usize;
         if pos > payload.len() {
             return Err(corrupt(format!(
@@ -843,21 +931,23 @@ fn read_run_blocks(
             });
         }
     }
-    check_posting_body(list, &postings)?;
+    check_posting_body(list, &postings, complete)?;
     Ok(postings)
 }
 
 /// Raw fixed-width `(len-bits, id)` entries (inline lists).
-fn read_inline_raw(
-    cache: &mut PageCache<'_>,
+fn read_inline_raw<F: PageFetch>(
+    pages: &mut F,
     list: &ListRef,
+    blocks: &[BlockRef],
+    complete: bool,
     num_sets: usize,
 ) -> Result<Vec<Posting>, SnapshotError> {
     let total =
         usize::try_from(list.postings).map_err(|_| corrupt("posting count overflows usize"))?;
     let mut postings = Vec::with_capacity(total.min(1 << 20));
-    for b in &list.blocks {
-        let payload = cache.page(b.page)?;
+    for b in blocks {
+        let payload = pages.fetch(b.page)?;
         let mut pos = b.offset as usize;
         for j in 0..b.count {
             let key = read_u64_le(payload, &mut pos)
@@ -881,7 +971,7 @@ fn read_inline_raw(
             });
         }
     }
-    check_posting_body(list, &postings)?;
+    check_posting_body(list, &postings, complete)?;
     Ok(postings)
 }
 
@@ -889,8 +979,8 @@ fn read_inline_raw(
 /// tile it exactly (directory `first_key` is the starting word index of
 /// each block), carry no bits beyond it, and pop-count to the directory's
 /// posting total. Returns the set ids in ascending order.
-fn read_bitmap_words(
-    cache: &mut PageCache<'_>,
+fn read_bitmap_words<F: PageFetch>(
+    pages: &mut F,
     list: &ListRef,
     num_sets: usize,
 ) -> Result<Vec<u32>, SnapshotError> {
@@ -905,7 +995,7 @@ fn read_bitmap_words(
                 words.len()
             )));
         }
-        let payload = cache.page(b.page)?;
+        let payload = pages.fetch(b.page)?;
         let mut pos = b.offset as usize;
         for j in 0..b.count {
             let w = read_u64_le(payload, &mut pos)
@@ -1042,6 +1132,27 @@ pub struct SnapshotSummary {
     pub tokens: usize,
     /// Total postings across all lists.
     pub postings: u64,
+    /// Smallest buffer pool (in pages) that decodes the widest single
+    /// list without evicting mid-list: the maximum number of distinct
+    /// pages any one list's blocks span. Pools below this still work —
+    /// blocks are decoded one page at a time — but thrash inside a
+    /// single list; pools at or above it guarantee each faulted page is
+    /// read at most once per list.
+    pub min_pool_pages: usize,
+}
+
+/// Distinct pages spanned by one list's blocks. The packer places blocks
+/// in nondecreasing page order, so page transitions count pages.
+fn list_page_span(list: &ListRef) -> usize {
+    let mut span = 0usize;
+    let mut prev: Option<u32> = None;
+    for b in &list.blocks {
+        if prev != Some(b.page) {
+            span += 1;
+            prev = Some(b.page);
+        }
+    }
+    span
 }
 
 /// Fully verify the snapshot at `path`: container structure, every page
@@ -1052,6 +1163,13 @@ pub fn verify(path: &Path) -> Result<SnapshotSummary, SnapshotError> {
     let mut reader = SnapshotReader::open(path)?;
     let pages = reader.verify_all_pages()?;
     let layout = reader.layout();
+    let (_, _, _, _, _, directory) = decode_footer(reader.footer())?;
+    let min_pool_pages = directory
+        .iter()
+        .map(list_page_span)
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let index = load_index(path)?;
     Ok(SnapshotSummary {
         pages,
@@ -1060,6 +1178,7 @@ pub fn verify(path: &Path) -> Result<SnapshotSummary, SnapshotError> {
         records: index.collection().len(),
         tokens: index.collection().dict().len(),
         postings: index.total_postings(),
+        min_pool_pages,
     })
 }
 

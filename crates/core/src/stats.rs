@@ -37,6 +37,16 @@ pub struct SearchStats {
     /// part of `total_list_elements` but are neither read nor skipped —
     /// the third leg of the access partition.
     pub shard_pruned_elements: u64,
+    /// Distinct snapshot pages this query faulted through the paged
+    /// engine's buffer pool (always 0 on the heap engine). Counts each
+    /// page once per query regardless of how many blocks it serves.
+    pub pages_touched: u64,
+    /// Page faults served from a resident, re-verified pool frame
+    /// (paged engine only).
+    pub page_cache_hits: u64,
+    /// Page faults that read the snapshot file (paged engine only).
+    /// Bounded above by the pages inside the query's Theorem 1 window.
+    pub page_cache_misses: u64,
 }
 
 impl SearchStats {
@@ -96,7 +106,8 @@ impl SearchStats {
             "{{\"elements_read\":{},\"random_probes\":{},\"elements_skipped\":{},\
              \"candidates_inserted\":{},\"candidate_scan_steps\":{},\"rounds\":{},\
              \"records_scanned\":{},\"total_list_elements\":{},\
-             \"shards_pruned\":{},\"shard_pruned_elements\":{}}}",
+             \"shards_pruned\":{},\"shard_pruned_elements\":{},\
+             \"pages_touched\":{},\"page_cache_hits\":{},\"page_cache_misses\":{}}}",
             self.elements_read,
             self.random_probes,
             self.elements_skipped,
@@ -107,6 +118,9 @@ impl SearchStats {
             self.total_list_elements,
             self.shards_pruned,
             self.shard_pruned_elements,
+            self.pages_touched,
+            self.page_cache_hits,
+            self.page_cache_misses,
         )
     }
 
@@ -122,6 +136,9 @@ impl SearchStats {
         self.total_list_elements += other.total_list_elements;
         self.shards_pruned += other.shards_pruned;
         self.shard_pruned_elements += other.shard_pruned_elements;
+        self.pages_touched += other.pages_touched;
+        self.page_cache_hits += other.page_cache_hits;
+        self.page_cache_misses += other.page_cache_misses;
     }
 }
 
@@ -178,13 +195,17 @@ mod tests {
             total_list_elements: 8,
             shards_pruned: 9,
             shard_pruned_elements: 10,
+            pages_touched: 11,
+            page_cache_hits: 12,
+            page_cache_misses: 13,
         };
         assert_eq!(
             s.to_json(),
             "{\"elements_read\":1,\"random_probes\":2,\"elements_skipped\":3,\
              \"candidates_inserted\":4,\"candidate_scan_steps\":5,\"rounds\":6,\
              \"records_scanned\":7,\"total_list_elements\":8,\
-             \"shards_pruned\":9,\"shard_pruned_elements\":10}"
+             \"shards_pruned\":9,\"shard_pruned_elements\":10,\
+             \"pages_touched\":11,\"page_cache_hits\":12,\"page_cache_misses\":13}"
         );
         assert_eq!(s.to_json(), s.to_json(), "byte-stable");
     }
@@ -202,6 +223,9 @@ mod tests {
             total_list_elements: 7,
             shards_pruned: 9,
             shard_pruned_elements: 0,
+            pages_touched: 2,
+            page_cache_hits: 3,
+            page_cache_misses: 4,
         };
         a.merge(&a.clone());
         assert_eq!(a.elements_read, 2);
@@ -210,6 +234,9 @@ mod tests {
         assert_eq!(a.total_list_elements, 14);
         assert_eq!(a.shards_pruned, 18);
         assert_eq!(a.shard_pruned_elements, 0);
+        assert_eq!(a.pages_touched, 4);
+        assert_eq!(a.page_cache_hits, 6);
+        assert_eq!(a.page_cache_misses, 8);
     }
 
     #[test]

@@ -21,10 +21,15 @@
 //!   snapshot container ([`SnapshotWriter`] / [`SnapshotReader`]) with
 //!   per-page CRC32 checksums and typed [`SnapshotError`]s, backing
 //!   `Index::save` / `Index::load` in `setsim-core`.
+//! * [`pagedsnap`] — demand paging over a snapshot file: [`PagedSnapshot`]
+//!   faults CRC-sealed posting pages through a bounded [`BufferPool`]
+//!   (via the [`PageSource`] trait), so a snapshot larger than RAM can
+//!   be served with `pool × page_size` resident bytes.
 
 mod disk;
 pub mod manifest;
 mod paged;
+pub mod pagedsnap;
 mod pool;
 pub mod snapshot;
 
@@ -33,5 +38,6 @@ pub use manifest::{
     sniff_manifest_magic, DeltaLogOp, ManifestEntry, SegmentManifest, ShardEntry, ShardManifest,
 };
 pub use paged::PagedPostings;
-pub use pool::BufferPool;
+pub use pagedsnap::PagedSnapshot;
+pub use pool::{BufferPool, PageSource};
 pub use snapshot::{SnapshotError, SnapshotLayout, SnapshotReader, SnapshotRegion, SnapshotWriter};

@@ -504,6 +504,25 @@ impl SnapshotReader {
         Ok(page)
     }
 
+    /// Read page `id` **sealed** — full page-size bytes with the embedded
+    /// CRC trailer still in place, no verification performed. This is the
+    /// raw transfer unit for callers that do their own per-access
+    /// verification (the [`BufferPool`](crate::BufferPool) verified path
+    /// re-checks the seal on every access, so stripping it here would
+    /// force the pool to trust stale frames).
+    pub fn read_sealed_page(&mut self, id: u32) -> Result<Vec<u8>, SnapshotError> {
+        if u64::from(id) >= self.layout.num_pages {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("page {id} out of range ({} pages)", self.layout.num_pages),
+            });
+        }
+        let offset = self.layout.pages_offset + u64::from(id) * self.layout.page_size as u64;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut page = vec![0u8; self.layout.page_size];
+        self.file.read_exact(&mut page)?;
+        Ok(page)
+    }
+
     /// Verify every page's checksum (the `snapshot verify` sweep).
     /// Returns the number of pages checked.
     pub fn verify_all_pages(&mut self) -> Result<u64, SnapshotError> {

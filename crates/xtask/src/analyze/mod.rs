@@ -5,10 +5,12 @@
 //! Three things run under this command:
 //!
 //! 1. the seven migrated custom lints ([`crate::lints`]),
-//! 2. the lock-discipline pass ([`lock`]) over `setsim-core` and
-//!    `setsim-cli`,
-//! 3. the panic-reachability pass ([`panic`]) over `setsim-core`,
-//!    `setsim-collections`, and `setsim-storage` library code.
+//! 2. the lock-discipline pass ([`lock`]) over `setsim-core`,
+//!    `setsim-cli`, `setsim-server`, and `setsim-storage`,
+//! 3. the panic-reachability pass ([`mod@panic`]) over `setsim-core`,
+//!    `setsim-collections`, `setsim-storage` (where the paged buffer
+//!    pool's files are gated like the lock-guarded serving layer), and
+//!    `setsim-server` library code.
 //!
 //! The exit status is the gate: any finding fails. Sites the passes
 //! deliberately do not gate (indexing/division in kernel code that

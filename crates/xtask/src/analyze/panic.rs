@@ -26,16 +26,19 @@
 //!   with a message is *not* flagged: stating the violated invariant is
 //!   exactly what turns a dead branch into a diagnosable bug report.
 //! * **`serving-index`** — slice/`Vec` indexing expressions (`expr[i]`)
-//!   in the two files that execute while lock guards are live
-//!   (`engine/mod.rs`, `segment/engine.rs`). Indexing panics on
-//!   out-of-bounds; under a guard that is a poisoning event. Use
-//!   `.get(..)` with an explicit fallback, or justify with `lint:
-//!   allow`.
+//!   in the files that execute while guards are live: the lock-guarded
+//!   serving layer (`engine/mod.rs`, `segment/engine.rs`,
+//!   `server/src/lib.rs`) and the demand-paging buffer pool
+//!   (`storage/src/pool.rs`, `storage/src/pagedsnap.rs`), whose frame
+//!   borrows make a mid-admission panic strand the cache between
+//!   evicted and admitted. Indexing panics on out-of-bounds; under a
+//!   guard that is a poisoning event. Use `.get(..)` with an explicit
+//!   fallback, or justify with `lint: allow`.
 //! * **`serving-div`** — `/` and `%` with a non-literal right-hand side
-//!   in the same two files (divide-by-zero panics on integers).
+//!   in the same files (divide-by-zero panics on integers).
 //!   Literal divisors (`x / 2`) are provably non-zero and pass.
 //!
-//! Outside the two guard-holding files, indexing and division sites in
+//! Outside the guard-holding files, indexing and division sites in
 //! library code are reported as an **advisory count** only (the kernels
 //! index heavily, by design, against lengths they computed themselves —
 //! flagging each site would bury the signal; see DESIGN.md §13).
@@ -49,12 +52,18 @@ use crate::lexer::TokenKind;
 use crate::lints::Finding;
 use crate::model::FileModel;
 
-/// Files whose code runs while lock guards are held: index/div panics
-/// there are poisoning events and are gated, not advisory.
-const GUARD_HOLDING_FILES: [&str; 3] = [
+/// Files whose code runs while guards are held: index/div panics there
+/// are gated, not advisory. The first three hold lock guards (a panic
+/// poisons the lock for every other thread); the buffer-pool pair holds
+/// frame borrows — a panic mid-admission strands the pool between
+/// "evicted" and "admitted", and every later fault serves from that
+/// half-updated state.
+const GUARD_HOLDING_FILES: [&str; 5] = [
     "crates/core/src/engine/mod.rs",
     "crates/core/src/segment/engine.rs",
     "crates/server/src/lib.rs",
+    "crates/storage/src/pool.rs",
+    "crates/storage/src/pagedsnap.rs",
 ];
 
 /// Is the panic-macro check in scope for `path`?
@@ -408,6 +417,22 @@ mod tests {
         let src = "fn f(a: usize) -> usize {\n    let half = a / 2;\n    let rem = a % 16;\n    std::cmp::max(half, rem)\n}\n";
         let (f, _) = check(SERVING, src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn buffer_pool_files_are_guard_holding() {
+        // The pool's frame borrows gate index/div sites exactly like a
+        // lock guard would: a mid-admission panic strands the cache.
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    v[i]\n}\n";
+        let (f, _) = check("crates/storage/src/pool.rs", src);
+        assert_eq!(rules(&f), vec!["serving-index"]);
+        let src = "fn f(a: usize, b: usize) -> usize {\n    a / b\n}\n";
+        let (f, _) = check("crates/storage/src/pagedsnap.rs", src);
+        assert_eq!(rules(&f), vec!["serving-div"]);
+        // The rest of the storage crate stays advisory.
+        let (f, adv) = check("crates/storage/src/snapshot.rs", src);
+        assert!(f.is_empty());
+        assert_eq!(adv.div_sites, 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The repo's custom lint rules, on the token-stream engine.
 //!
-//! Nine rules encode policies rustc and clippy cannot express:
+//! Ten rules encode policies rustc and clippy cannot express:
 //!
 //! 1. **`no-unwrap`** — library code in `setsim-core` and
 //!    `setsim-collections` must not call `.unwrap()` or `.expect(...)`.
@@ -63,6 +63,16 @@
 //!    call bypasses the shard planner: the Theorem 1 band table is never
 //!    consulted, so a sharded deployment would silently search one shard
 //!    and miss the rest.
+//! 10. **`paged-io`** — the demand-paged serving path (`engine/paged` in
+//!     setsim-core, `pagedsnap` in setsim-storage) must not call a
+//!     full-decode entry point: `decode_all(..)`, the `load_index*`
+//!     helpers, or `InvertedIndex::load`. The whole point of the paged
+//!     engine is that resident memory scales with the buffer pool, not
+//!     the snapshot; one stray eager decode silently restores the
+//!     O(index) footprint the subsystem exists to avoid, and nothing
+//!     crashes to reveal it. Test regions are exempt (equivalence suites
+//!     deliberately cross-check against the full decode), as is a
+//!     `lint: allow`-marked line with its justification.
 //!
 //! The first seven used to run as line-oriented substring scans; they now run
 //! on the token stream from [`crate::lexer`] via [`crate::model`]. The
@@ -503,6 +513,59 @@ pub fn check_sharding(file: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
+/// Rule `paged-io`: the demand-paged serving path — the paged engine in
+/// `setsim-core` and the paged snapshot reader in `setsim-storage` —
+/// must never fall back to a full-decode entry point. Detected as a
+/// call to `decode_all(..)` or the `load_index*` helpers (any callee
+/// spelling), or to `InvertedIndex::load(..)` specifically; an
+/// unqualified `.load(..)` on some other receiver stays legal. Faulting
+/// goes through the buffer pool one posting block at a time
+/// (`PagedSnapshot::page` / `read_list_blocks`), which is what keeps
+/// resident memory proportional to the pool rather than the snapshot.
+/// Test regions are exempt — the equivalence suites cross-check against
+/// the eager decode on purpose — and a deliberate exception carries the
+/// allow marker on the call line or the line above.
+pub fn check_paged_io(file: &str, source: &str) -> Vec<Finding> {
+    const FULL_DECODE: [&str; 3] = ["decode_all", "load_index", "load_index_with_weights"];
+    let m = FileModel::new(source);
+    let mut findings = Vec::new();
+    for i in 0..m.code_len().saturating_sub(1) {
+        if m.ct(i).kind != TokenKind::Ident || !m.is_punct(i + 1, '(') {
+            continue;
+        }
+        let name = m.ct_text(i);
+        let qualified_load = name == "load"
+            && i >= 3
+            && m.is_ident(i - 3, "InvertedIndex")
+            && m.is_punct(i - 2, ':')
+            && m.is_punct(i - 1, ':');
+        if !FULL_DECODE.contains(&name) && !qualified_load {
+            continue;
+        }
+        let line = m.ct(i).line;
+        if m.in_test(line) || m.allowed_on_or_above(line) {
+            continue;
+        }
+        let shown = if qualified_load {
+            "InvertedIndex::load"
+        } else {
+            name
+        };
+        findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "paged-io",
+            message: format!(
+                "`{shown}(..)` decodes the whole snapshot inside the demand-paged \
+                 path; fault individual posting blocks through the buffer pool \
+                 (`PagedSnapshot::page` / `read_list_blocks`) so resident memory \
+                 stays proportional to the pool"
+            ),
+        });
+    }
+    findings
+}
+
 /// Which rules apply to a repo-relative path.
 pub fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
     let mut rules: Vec<fn(&str, &str) -> Vec<Finding>> = Vec::new();
@@ -577,6 +640,13 @@ pub fn rules_for(path: &str) -> Vec<fn(&str, &str) -> Vec<Finding>> {
         unix.starts_with("crates/cli/src/") || unix.starts_with("crates/server/src/");
     if serves_queries && unix.ends_with(".rs") && !unix.contains("tests/") {
         rules.push(check_sharding);
+    }
+    // paged-io: the demand-paged engine and its snapshot reader. Scoped
+    // by substring so a future split (e.g. engine/paged/pool.rs) stays
+    // covered without touching the router.
+    let demand_paged = unix.contains("engine/paged") || unix.contains("pagedsnap");
+    if demand_paged && unix.ends_with(".rs") && !unix.contains("tests/") {
+        rules.push(check_paged_io);
     }
     rules
 }
@@ -752,6 +822,10 @@ mod tests {
         // engine modules also pick up mutable-index.
         assert_eq!(rules_for("crates/core/src/engine/metrics.rs").len(), 2);
         assert_eq!(rules_for("crates/core/src/engine/budget.rs").len(), 3);
+        // The paged engine adds paged-io on top of the engine rules, and
+        // the paged snapshot reader adds it on top of the storage rules.
+        assert_eq!(rules_for("crates/core/src/engine/paged.rs").len(), 4);
+        assert_eq!(rules_for("crates/storage/src/pagedsnap.rs").len(), 3);
         // The segment module defines the sanctioned construction path, so
         // it gets the core rules but NOT mutable-index.
         assert_eq!(rules_for("crates/core/src/segment/mod.rs").len(), 2);
@@ -852,6 +926,59 @@ mod tests {
         let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        \
                    let _ = engine::execute(&idx, &mut s, &req);\n    }\n}\n";
         assert!(check_sharding("crates/cli/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn full_decode_in_paged_path_is_flagged() {
+        let src = "pub fn warm(p: &Paged, d: &mut Disk, b: &mut BufferPool) {\n    \
+                   let all = p.decode_all(d, b);\n    \
+                   let idx = InvertedIndex::load(&path);\n}\n";
+        let f = check_paged_io("crates/core/src/engine/paged.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, "paged-io");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+        assert!(f[1].message.contains("InvertedIndex::load"));
+    }
+
+    #[test]
+    fn paged_faults_and_exemptions_pass() {
+        // Faulting one block through the pool is the sanctioned path.
+        let src = "pub fn fault(s: &PagedSnapshot, pool: &mut BufferPool, pg: u64) {\n    \
+                   let _ = s.page(pool, pg);\n}\n";
+        assert!(check_paged_io("crates/storage/src/pagedsnap.rs", src).is_empty());
+        // An unqualified `.load(..)` is some other receiver's load, not
+        // the full snapshot decode.
+        let src = "pub fn f(r: &Reader) -> Block {\n    r.load(7)\n}\n";
+        assert!(check_paged_io("crates/storage/src/pagedsnap.rs", src).is_empty());
+        // Named in a comment or a string, it is not a call.
+        let src = "/ decode_all( is banned here\npub fn f() -> &'static str {\n    \
+                   \"InvertedIndex::load(path)\"\n}\n"
+            .replace("/ decode", "// decode");
+        assert!(check_paged_io("crates/core/src/engine/paged.rs", &src).is_empty());
+        // Allow marker on the line above escapes.
+        let src = "pub fn f(p: &Paged) {\n    \
+                   / lint: allow — verify subcommand decodes everything on purpose.\n    \
+                   let _ = p.decode_all(&mut d, &mut b);\n}\n"
+            .replace("/ lint", "// lint");
+        assert!(check_paged_io("crates/core/src/engine/paged.rs", &src).is_empty());
+        // Test modules cross-check against the eager decode on purpose.
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                   let _ = p.decode_all(&mut d, &mut b);\n    }\n}\n";
+        assert!(check_paged_io("crates/core/src/engine/paged.rs", src).is_empty());
+    }
+
+    #[test]
+    fn check_file_runs_paged_io_for_paged_paths() {
+        // check_file must route the rule: the same eager decode that the
+        // direct call flags is flagged through the front door too.
+        let src = "pub fn warm(p: &Paged) {\n    let _ = p.decode_all(&mut d, &mut b);\n}\n";
+        let f = check_file("crates/core/src/engine/paged.rs", src);
+        assert!(f.iter().any(|f| f.rule == "paged-io"));
+        // ...and must NOT apply it to the legacy paged codec in storage,
+        // which legitimately defines decode_all for the simulator.
+        let f = check_file("crates/storage/src/paged.rs", src);
+        assert!(f.iter().all(|f| f.rule != "paged-io"));
     }
 
     #[test]

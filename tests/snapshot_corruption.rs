@@ -11,8 +11,8 @@
 //! against the pristine index before it is accepted.
 
 use setsim::core::{
-    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, QueryEngine, SearchRequest,
-    SetCollection, SnapshotError, SnapshotRegion,
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, PagedSearchError, QueryEngine,
+    SearchRequest, SetCollection, SnapshotError, SnapshotRegion,
 };
 use setsim::storage::{SnapshotLayout, SnapshotReader};
 use setsim::tokenize::QGramTokenizer;
@@ -242,6 +242,90 @@ fn flip_sweep_never_loads_a_silently_wrong_index() {
     }
     // CRC32 detects all single-byte flips, so nothing should have loaded.
     assert_eq!(loaded_ok, 0, "{loaded_ok} single-byte flips loaded cleanly");
+}
+
+/// Demand-paged serving changes *when* damage is discovered, not
+/// *whether*: a flip in a page no query faults must not fail the lazy
+/// open or serving (answers stay pristine — the damaged page is simply
+/// never read), while a flip in a page inside some query window must
+/// surface as [`SnapshotError::ChecksumMismatch`] naming **exactly** the
+/// damaged page, at fault time, with zero silently-read bytes. This test
+/// damages every posting page in turn and checks both halves hold, plus
+/// that the eager sweep still pinpoints each damaged page.
+#[test]
+fn paged_serving_faults_exactly_the_damaged_pages_it_touches() {
+    let t = TempFile(temp_snap("paged"));
+    let c = collection();
+    let index = InvertedIndex::build(&c, IndexOptions::default());
+    // Small pages: many of them, so the probe's Theorem 1 window covers
+    // some pages and leaves others cold.
+    index.save_with_page_size(&t.0, 128).expect("save");
+    let clean = std::fs::read(&t.0).expect("read back");
+    let layout = SnapshotReader::open(&t.0).expect("clean open").layout();
+    let num_pages = usize::try_from(layout.num_pages).expect("fits");
+    assert!(num_pages >= 4, "fixture must span several pages");
+
+    let probe = "main street 3";
+    let mut heap = QueryEngine::open(&t.0).expect("heap open");
+    let oracle = {
+        let q = heap.prepare_query_str(probe);
+        heap.search(SearchRequest::new(&q).tau(0.6).algorithm(AlgorithmKind::Sf))
+            .expect("oracle search")
+            .ids_sorted()
+    };
+
+    let pages_offset = usize::try_from(layout.pages_offset).expect("fits");
+    let mut faulted = 0usize;
+    let mut unaffected = 0usize;
+    for page in 0..num_pages {
+        let mut b = clean.clone();
+        b[pages_offset + page * layout.page_size + 5] ^= 0xa5;
+        write_variant(&t.0, &b);
+
+        // The eager sweep pinpoints the damage regardless of queries.
+        let sweep = setsim::storage::PagedSnapshot::open(&t.0, 1)
+            .expect("open reads no posting pages")
+            .verify_all_pages();
+        assert!(
+            matches!(
+                sweep,
+                Err(SnapshotError::ChecksumMismatch { region: SnapshotRegion::Page(p) }) if p as usize == page
+            ),
+            "eager sweep must name page {page}, got {sweep:?}"
+        );
+
+        // Lazy open must succeed: header, footer, trailer are intact and
+        // no posting page is read at open.
+        let mut paged = QueryEngine::open_paged(&t.0, 2).expect("open is page-lazy");
+        let q = paged.prepare_query_str(probe);
+        match paged.search(SearchRequest::new(&q).tau(0.6).algorithm(AlgorithmKind::Sf)) {
+            Ok(out) => {
+                // The damaged page was outside every query window: the
+                // answers must be exactly the pristine ones.
+                unaffected += 1;
+                assert_eq!(
+                    out.ids_sorted(),
+                    oracle,
+                    "page {page} never faulted, yet answers changed"
+                );
+            }
+            Err(PagedSearchError::Snapshot(SnapshotError::ChecksumMismatch {
+                region: SnapshotRegion::Page(p),
+            })) => {
+                assert_eq!(p as usize, page, "fault must name the damaged page");
+                faulted += 1;
+            }
+            Err(other) => panic!("page {page}: unexpected error {other}"),
+        }
+    }
+    assert!(faulted > 0, "no damaged page was inside the probe's window");
+    assert!(
+        unaffected > 0,
+        "every page was in the window: the lazy half of the contract went untested"
+    );
+
+    write_variant(&t.0, &clean);
+    QueryEngine::open_paged(&t.0, 2).expect("pristine bytes open paged");
 }
 
 /// The bitmap and inline page encodings introduce new byte layouts

@@ -9,8 +9,8 @@
 //! or decode drift shows up here as a query-visible diff.
 
 use setsim::core::{
-    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, QueryEngine, SearchRequest,
-    SearchStatus, SetCollection,
+    AlgorithmKind, CollectionBuilder, IndexOptions, InvertedIndex, PagedEngine, QueryEngine,
+    SearchRequest, SearchStatus, SetCollection,
 };
 use setsim::datagen::{Corpus, CorpusConfig};
 use setsim::tokenize::QGramTokenizer;
@@ -59,6 +59,43 @@ fn fingerprint(
     let out = engine
         .search(SearchRequest::new(&q).tau(tau).algorithm(kind))
         .expect("valid request");
+    let mut v: Vec<(u32, u64)> = out
+        .results
+        .iter()
+        .map(|m| (m.id.0, m.score.to_bits()))
+        .collect();
+    v.sort_unstable();
+    (v, out.status)
+}
+
+/// Paged-engine fingerprint, additionally checking the access-partition
+/// invariant (`read + skipped ≤ total`) and the page counters on every
+/// single query.
+fn fingerprint_paged(
+    engine: &mut PagedEngine,
+    text: &str,
+    tau: f64,
+    kind: AlgorithmKind,
+) -> (Vec<(u32, u64)>, SearchStatus) {
+    let q = engine.prepare_query_str(text);
+    let out = engine
+        .search(SearchRequest::new(&q).tau(tau).algorithm(kind))
+        .expect("valid request");
+    assert!(
+        out.stats.elements_read + out.stats.elements_skipped <= out.stats.total_list_elements,
+        "paged access partition violated: {} tau={tau} query={text:?}",
+        kind.name()
+    );
+    assert!(
+        out.stats.pages_touched <= out.stats.page_cache_hits + out.stats.page_cache_misses,
+        "distinct pages cannot exceed pool accesses"
+    );
+    if !q.is_empty() {
+        assert!(
+            out.stats.pages_touched > 0,
+            "a non-empty paged query must fault at least one page"
+        );
+    }
     let mut v: Vec<(u32, u64)> = out
         .results
         .iter()
@@ -208,6 +245,109 @@ fn every_representation_policy_round_trips_bit_identically() {
                     assert_eq!(
                         b,
                         l,
+                        "policy {name}: {} tau={tau} query={text:?}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The tentpole guarantee of the paged engine: with a pool deliberately
+/// far smaller than the snapshot (2 frames over a small-page file with
+/// hundreds of pages), every one of the eight algorithms over the τ grid
+/// answers bit-identically to the heap engine, while the pool keeps
+/// residency bounded and every access obeys the stats partition.
+#[test]
+fn paged_engine_with_tiny_pool_matches_heap_engine() {
+    let (corpus, collection) = corpus_collection();
+    let built = InvertedIndex::build(&collection, IndexOptions::default());
+    let t = TempFile(temp_snap("paged-tiny"));
+    // Small pages force many of them, so a 2-frame pool is genuinely
+    // smaller than both the file and any single query's window.
+    built.save_with_page_size(&t.0, 256).expect("save");
+
+    let mut heap = QueryEngine::open(&t.0).expect("heap open");
+    let mut paged = QueryEngine::open_paged(&t.0, 2).expect("paged open");
+    assert!(
+        paged.num_pages() > 2,
+        "workload degenerate: snapshot fits the pool"
+    );
+
+    let mut queries: Vec<String> = corpus.records().iter().take(10).cloned().collect();
+    queries.extend(
+        corpus
+            .records()
+            .iter()
+            .skip(40)
+            .take(4)
+            .map(|r| r.chars().take(r.chars().count().div_ceil(2)).collect()),
+    );
+    queries.push("zzz qqq xxyyzz".to_string());
+
+    let mut nonempty = 0usize;
+    for tau in [0.5, 0.75, 0.95] {
+        for kind in AlgorithmKind::ALL {
+            for text in &queries {
+                let h = fingerprint(&mut heap, text, tau, kind);
+                let p = fingerprint_paged(&mut paged, text, tau, kind);
+                assert_eq!(
+                    h,
+                    p,
+                    "paged result diverges from heap: {} tau={tau} query={text:?}",
+                    kind.name()
+                );
+                assert!(
+                    paged.resident_pages() <= 2,
+                    "pool residency exceeded its bound"
+                );
+                nonempty += usize::from(!h.0.is_empty());
+            }
+        }
+    }
+    assert!(nonempty > 0, "workload degenerate: all results empty");
+}
+
+/// The paged window prune must stay bit-identical across every on-disk
+/// representation (runs, inline entries, bitmaps — which cannot be
+/// window-pruned and are decoded whole) and across the legacy format.
+#[test]
+fn paged_engine_matches_heap_for_every_representation_policy_and_legacy() {
+    use setsim::core::snapshot::{save_legacy_format, DEFAULT_PAGE_SIZE};
+    use setsim::core::{ReprKind, ReprPolicy};
+
+    let (corpus, collection) = corpus_collection();
+    let queries: Vec<String> = corpus.records().iter().take(6).cloned().collect();
+
+    let policies = [
+        ("run", Some(ReprPolicy::Force(ReprKind::Run))),
+        ("inline", Some(ReprPolicy::Force(ReprKind::Inline))),
+        ("bitmap", Some(ReprPolicy::Force(ReprKind::Bitmap))),
+        ("adaptive", Some(ReprPolicy::Adaptive)),
+        ("legacy", None), // legacy on-disk format, default build options
+    ];
+    for (name, policy) in policies {
+        let options = match policy {
+            Some(p) => IndexOptions::default().with_repr_policy(p),
+            None => IndexOptions::default(),
+        };
+        let built = InvertedIndex::build(&collection, options);
+        let t = TempFile(temp_snap(&format!("paged-{name}")));
+        match policy {
+            Some(_) => built.save_with_page_size(&t.0, 512).expect("save"),
+            None => save_legacy_format(&built, &t.0, DEFAULT_PAGE_SIZE).expect("legacy save"),
+        }
+        let mut heap = QueryEngine::open(&t.0).expect("heap open");
+        let mut paged = QueryEngine::open_paged(&t.0, 2).expect("paged open");
+        for tau in [0.5, 0.8] {
+            for kind in AlgorithmKind::ALL {
+                for text in &queries {
+                    let h = fingerprint(&mut heap, text, tau, kind);
+                    let p = fingerprint_paged(&mut paged, text, tau, kind);
+                    assert_eq!(
+                        h,
+                        p,
                         "policy {name}: {} tau={tau} query={text:?}",
                         kind.name()
                     );
